@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the caching core: insertion under
+//! budget pressure per policy, and the Algorithm-1 retrieval planning
+//! hot path.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bad_cache::{CacheConfig, CacheManager, NewObject, PolicyName};
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+/// Builds a manager with `caches` result caches of `subs` subscribers.
+fn manager(policy: PolicyName, caches: u64, subs: u64, budget: ByteSize) -> CacheManager {
+    let mut mgr = CacheManager::new(policy, CacheConfig { budget, ..CacheConfig::default() });
+    for c in 0..caches {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..subs {
+            mgr.add_subscriber(bs, SubscriberId::new(c * 1000 + s)).unwrap();
+        }
+    }
+    mgr
+}
+
+fn bench_insert_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_under_pressure");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for policy in [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+        PolicyName::Exp,
+        PolicyName::Ttl,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || manager(policy, 100, 5, ByteSize::from_kib(500)),
+                    |mut mgr| {
+                        // 1000 inserts of ~1 KiB against a 500 KiB budget:
+                        // constant eviction churn.
+                        for i in 0..1000u64 {
+                            let bs = BackendSubId::new(i % 100);
+                            let ts = Timestamp::from_micros(i * 1000);
+                            let _ = mgr.insert(
+                                bs,
+                                NewObject {
+                                    id: ObjectId::new(i),
+                                    ts,
+                                    size: ByteSize::new(1024 + (i % 7) * 100),
+                                    fetch_latency: SimDuration::from_millis(500),
+                                },
+                                ts,
+                            );
+                        }
+                        black_box(mgr.total_bytes())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_plan_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_get");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for objects in [10usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(objects),
+            &objects,
+            |b, &objects| {
+                let mut mgr = manager(PolicyName::Lsc, 1, 5, ByteSize::MAX);
+                let bs = BackendSubId::new(0);
+                for i in 0..objects as u64 {
+                    let ts = Timestamp::from_secs(i + 1);
+                    mgr.insert(
+                        bs,
+                        NewObject {
+                            id: ObjectId::new(i),
+                            ts,
+                            size: ByteSize::new(1000),
+                            fetch_latency: SimDuration::from_millis(500),
+                        },
+                        ts,
+                    )
+                    .unwrap();
+                }
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(1),
+                    Timestamp::from_secs(objects as u64),
+                );
+                let now = Timestamp::from_secs(objects as u64 + 1);
+                b.iter(|| black_box(mgr.plan_get(bs, black_box(range), now).cached.len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_evict, bench_plan_get);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmark of publication matching: equality-partition
+//! index vs brute force as the subscription population grows.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bad_cluster::MatchIndex;
+use bad_query::{ChannelSpec, ParamBindings};
+use bad_types::{BackendSubId, DataValue, Timestamp};
+
+const KINDS: [&str; 6] = ["tornado", "flood", "shooting", "fire", "earthquake", "gasleak"];
+
+fn spec() -> ChannelSpec {
+    ChannelSpec::parse(
+        "channel ByKind(etype: string, minsev: int) from Reports r \
+         where r.kind == $etype and r.severity >= $minsev select r",
+    )
+    .unwrap()
+}
+
+fn populate(index: &mut MatchIndex, subs: usize) {
+    for i in 0..subs {
+        index.add(
+            BackendSubId::new(i as u64),
+            ParamBindings::from_pairs([
+                ("etype", DataValue::from(KINDS[i % KINDS.len()])),
+                ("minsev", DataValue::from((i % 5) as i64 + 1)),
+            ]),
+            Timestamp::ZERO,
+        );
+    }
+}
+
+fn record(kind: &str, sev: i64) -> DataValue {
+    DataValue::object([
+        ("kind", DataValue::from(kind)),
+        ("severity", DataValue::from(sev)),
+    ])
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("match_publication");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for subs in [100usize, 1000, 5000] {
+        let mut indexed = MatchIndex::new(&spec);
+        populate(&mut indexed, subs);
+        group.bench_with_input(BenchmarkId::new("indexed", subs), &subs, |b, _| {
+            b.iter(|| {
+                let got = indexed
+                    .matching_subscriptions(&spec, black_box(&record("flood", 3)))
+                    .unwrap();
+                black_box(got.len())
+            })
+        });
+        let mut brute = MatchIndex::brute_force();
+        populate(&mut brute, subs);
+        group.bench_with_input(BenchmarkId::new("brute_force", subs), &subs, |b, _| {
+            b.iter(|| {
+                let got = brute
+                    .matching_subscriptions(&spec, black_box(&record("flood", 3)))
+                    .unwrap();
+                black_box(got.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

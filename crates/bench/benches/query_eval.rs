@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the BQL substrate: channel parsing and
+//! predicate evaluation (the per-publication hot path of the matcher).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bad_query::{ChannelSpec, EvalContext, ParamBindings};
+use bad_types::{BoundingBox, DataValue, GeoPoint};
+
+const CHANNEL: &str = "channel Near(etype: string, area: region, minsev: int) \
+     from Reports r \
+     where r.kind == $etype and within(r.location, $area) and r.severity >= $minsev \
+     select r.kind, r.location every 10s";
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bql");
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("parse_channel", |b| {
+        b.iter(|| ChannelSpec::parse(black_box(CHANNEL)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let spec = ChannelSpec::parse(CHANNEL).unwrap();
+    let area = BoundingBox::new(GeoPoint::new(33.0, -118.0), GeoPoint::new(34.0, -117.0));
+    let params = ParamBindings::from_pairs([
+        ("etype", DataValue::from("flood")),
+        ("area", area.to_value()),
+        ("minsev", DataValue::from(2i64)),
+    ]);
+    let matching = DataValue::parse_json(
+        r#"{"kind":"flood","severity":4,"location":{"lat":33.5,"lon":-117.5}}"#,
+    )
+    .unwrap();
+    let failing_fast = DataValue::parse_json(
+        r#"{"kind":"fire","severity":4,"location":{"lat":33.5,"lon":-117.5}}"#,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("bql");
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("eval_match", |b| {
+        b.iter(|| spec.matches(black_box(&matching), &params).unwrap())
+    });
+    group.bench_function("eval_short_circuit", |b| {
+        b.iter(|| spec.matches(black_box(&failing_fast), &params).unwrap())
+    });
+    group.bench_function("eval_expr_only", |b| {
+        let ctx = EvalContext::new(&matching, &params);
+        b.iter(|| ctx.eval(black_box(spec.predicate())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval);
+criterion_main!(benches);

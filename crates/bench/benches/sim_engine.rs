@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the simulation machinery: raw event-queue
+//! throughput and a complete (tiny) end-to-end simulation run.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bad_cache::PolicyName;
+use bad_sim::{EventQueue, SimConfig, Simulation};
+use bad_types::Timestamp;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter timestamps to exercise heap reordering.
+                q.push(Timestamp::from_micros((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_smoke_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_smoke_run");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for policy in [PolicyName::Lsc, PolicyName::Ttl, PolicyName::Nc] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let report = Simulation::new(policy, SimConfig::smoke(), 1)
+                        .expect("valid config")
+                        .run();
+                    black_box(report.deliveries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_smoke_sim);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the storage substrate: result-store
+//! appends and the `fetch(bs, ts1, ts2, closed)` range retrieval that
+//! backs every cache miss.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bad_storage::ResultStore;
+use bad_types::{BackendSubId, ByteSize, DataValue, TimeRange, Timestamp};
+
+fn populated(objects: u64) -> ResultStore {
+    let mut store = ResultStore::new();
+    let bs = BackendSubId::new(0);
+    for i in 0..objects {
+        store.append(
+            bs,
+            Timestamp::from_secs(i),
+            DataValue::Null,
+            Some(ByteSize::new(1024)),
+        );
+    }
+    store
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("result_store");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("append_1k", |b| {
+        b.iter_batched(
+            ResultStore::new,
+            |mut store| {
+                let bs = BackendSubId::new(0);
+                for i in 0..1000u64 {
+                    store.append(
+                        bs,
+                        Timestamp::from_secs(i),
+                        DataValue::Null,
+                        Some(ByteSize::new(1024)),
+                    );
+                }
+                black_box(store.total_objects())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("result_store_fetch");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let store = populated(100_000);
+    let bs = BackendSubId::new(0);
+    for window in [10u64, 1000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let range = TimeRange::closed(
+                Timestamp::from_secs(50_000),
+                Timestamp::from_secs(50_000 + w),
+            );
+            b.iter(|| black_box(store.fetch(bs, black_box(range)).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_fetch);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmark of the paper's victim-selection
+//! optimization: the ordered index (`O(log N)`) against the linear scan
+//! (`O(N)`) as the number of caches grows.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bad_cache::{CacheConfig, CacheManager, NewObject, PolicyName};
+use bad_types::{BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, Timestamp};
+
+fn populated_manager(caches: u64, use_index: bool) -> CacheManager {
+    let config = CacheConfig {
+        budget: ByteSize::MAX,
+        use_victim_index: use_index,
+        ..CacheConfig::default()
+    };
+    let mut mgr = CacheManager::new(PolicyName::Lscz, config);
+    for c in 0..caches {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..=(c % 7) {
+            mgr.add_subscriber(bs, SubscriberId::new(c * 100 + s)).unwrap();
+        }
+        let ts = Timestamp::from_secs(c + 1);
+        mgr.insert(
+            bs,
+            NewObject {
+                id: ObjectId::new(c),
+                ts,
+                size: ByteSize::new(100 + (c % 97) * 13),
+                fetch_latency: SimDuration::from_millis(500),
+            },
+            ts,
+        )
+        .unwrap();
+    }
+    mgr
+}
+
+fn bench_victim_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choose_victim");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let now = Timestamp::from_secs(1_000_000);
+    for caches in [100u64, 1000, 10_000] {
+        let indexed = populated_manager(caches, true);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", caches),
+            &indexed,
+            |b, mgr| b.iter(|| black_box(mgr.choose_victim(now))),
+        );
+        let linear = populated_manager(caches, false);
+        group.bench_with_input(
+            BenchmarkId::new("linear", caches),
+            &linear,
+            |b, mgr| b.iter(|| black_box(mgr.linear_victim(now))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_victim_selection);
+criterion_main!(benches);

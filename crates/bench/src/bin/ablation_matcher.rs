@@ -1,0 +1,104 @@
+//! Ablation — the cluster's equality-partition subscription index vs
+//! brute-force predicate evaluation: same matches, far fewer predicate
+//! evaluations per publication.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin ablation_matcher`
+
+use std::time::Instant;
+
+use bad_bench::{print_table, write_csv};
+use bad_cluster::DataCluster;
+use bad_query::ParamBindings;
+use bad_storage::Schema;
+use bad_types::{DataValue, Timestamp};
+use bad_workload::{EmergencyCity, EmergencyCityConfig};
+
+fn build(partitioned: bool, subscriptions: usize, seed: u64) -> DataCluster {
+    let mut cluster = DataCluster::new();
+    if !partitioned {
+        cluster.disable_partition_matching();
+    }
+    cluster.create_dataset("EmergencyReports", Schema::open()).unwrap();
+    cluster
+        .register_channel(
+            "channel ByKind(etype: string, minsev: int) from EmergencyReports r \
+             where r.kind == $etype and r.severity >= $minsev select r",
+        )
+        .unwrap();
+    let mut city = EmergencyCity::new(EmergencyCityConfig::default(), seed).unwrap();
+    for i in 0..subscriptions {
+        let report = city.next_report();
+        let kind = report.get("kind").unwrap().as_str().unwrap().to_owned();
+        cluster
+            .subscribe(
+                "ByKind",
+                ParamBindings::from_pairs([
+                    ("etype", DataValue::from(kind)),
+                    ("minsev", DataValue::from((i % 5) as i64 + 1)),
+                ]),
+                Timestamp::ZERO,
+            )
+            .unwrap();
+    }
+    cluster
+}
+
+fn main() {
+    let subscriptions = 2000;
+    let publications = 500;
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut results_seen = Vec::new();
+    // Untimed warmup pass: the first run of either variant pays one-off
+    // heap-growth page faults (~100 MB of result payloads) that would
+    // otherwise be misattributed to whichever variant goes first.
+    {
+        let mut cluster = build(true, subscriptions, 7);
+        let mut city = EmergencyCity::new(EmergencyCityConfig::default(), 99).unwrap();
+        for p in 0..publications {
+            let ts = Timestamp::from_secs(p as u64 + 1);
+            cluster.publish("EmergencyReports", ts, city.next_report()).unwrap();
+        }
+    }
+    for (label, partitioned) in [("partitioned", true), ("brute-force", false)] {
+        let mut cluster = build(partitioned, subscriptions, 7);
+        let mut city = EmergencyCity::new(EmergencyCityConfig::default(), 99).unwrap();
+        let start = Instant::now();
+        for p in 0..publications {
+            let ts = Timestamp::from_secs(p as u64 + 1);
+            cluster.publish("EmergencyReports", ts, city.next_report()).unwrap();
+        }
+        let elapsed = start.elapsed();
+        let stats = cluster.stats();
+        results_seen.push(stats.results);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}s", elapsed.as_secs_f64()),
+            stats.evaluations.to_string(),
+            stats.results.to_string(),
+            format!("{:.1}", stats.evaluations as f64 / publications as f64),
+        ]);
+        csv.push(format!(
+            "{},{:.4},{},{}",
+            label,
+            elapsed.as_secs_f64(),
+            stats.evaluations,
+            stats.results
+        ));
+    }
+    assert_eq!(results_seen[0], results_seen[1], "index changed the match set!");
+    print_table(
+        &format!(
+            "Ablation: matcher index vs brute force \
+             ({subscriptions} subscriptions, {publications} publications)"
+        ),
+        &["matcher", "time", "evaluations", "results", "evals/publication"],
+        &rows,
+    );
+    let path = write_csv(
+        "ablation_matcher.csv",
+        "matcher,time_s,evaluations,results",
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Ablation — sensitivity of TTL caching to the recomputation interval
+//! (the paper recomputes "at a certain interval, say every 5 minutes"):
+//! longer intervals track rate changes more slowly, so the cache strays
+//! further from the budget.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin ablation_ttl_interval`
+
+use bad_bench::{print_table, write_csv};
+use bad_cache::PolicyName;
+use bad_sim::{SimConfig, Simulation};
+use bad_types::{ByteSize, SimDuration};
+
+fn main() {
+    let budget = ByteSize::from_mib(2);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for interval_secs in [15u64, 30, 60, 300, 900] {
+        let mut config = SimConfig::table_ii_scaled(20).with_budget(budget);
+        config.cache.ttl_recompute_interval = SimDuration::from_secs(interval_secs);
+        let report = Simulation::new(PolicyName::Ttl, config, 1).expect("config").run();
+        rows.push(vec![
+            format!("{interval_secs}s"),
+            format!("{:.4}", report.hit_ratio),
+            format!("{:.2}", report.avg_cache_bytes.as_mib_f64()),
+            format!("{:.2}", report.max_cache_bytes.as_mib_f64()),
+            format!("{:.2}", report.expected_ttl_bytes.as_mib_f64()),
+            format!("{:.0}", report.mean_latency.as_millis_f64()),
+        ]);
+        csv.push(format!(
+            "{},{:.4},{:.2},{:.2},{:.2},{:.1}",
+            interval_secs,
+            report.hit_ratio,
+            report.avg_cache_bytes.as_mib_f64(),
+            report.max_cache_bytes.as_mib_f64(),
+            report.expected_ttl_bytes.as_mib_f64(),
+            report.mean_latency.as_millis_f64(),
+        ));
+    }
+    print_table(
+        &format!("Ablation: TTL recompute interval (budget {budget})"),
+        &["interval", "hit_ratio", "avg_mb", "max_mb", "sum_rho_ttl_mb", "latency_ms"],
+        &rows,
+    );
+    let path = write_csv(
+        "ablation_ttl_interval.csv",
+        "interval_s,hit_ratio,avg_mb,max_mb,sum_rho_ttl_mb,latency_ms",
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+}

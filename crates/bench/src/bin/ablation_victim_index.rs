@@ -1,0 +1,52 @@
+//! Ablation — ordered victim index (`O(log N)`, Section IV-A's "by using
+//! appropriate data structure (e.g., heap)") vs linear scan (`O(N)`)
+//! victim selection: identical caching decisions, different cost.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin ablation_victim_index`
+
+use std::time::Instant;
+
+use bad_bench::{print_table, write_csv};
+use bad_cache::PolicyName;
+use bad_sim::{SimConfig, Simulation};
+use bad_types::ByteSize;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd] {
+        let mut cells = vec![policy.to_string()];
+        let mut csv_cells = vec![policy.to_string()];
+        let mut hit_ratios = Vec::new();
+        for use_index in [true, false] {
+            let mut config =
+                SimConfig::table_ii_scaled(20).with_budget(ByteSize::from_mib(2));
+            config.cache.use_victim_index = use_index;
+            let start = Instant::now();
+            let report = Simulation::new(policy, config, 1).expect("config").run();
+            let elapsed = start.elapsed();
+            hit_ratios.push(report.hit_ratio);
+            cells.push(format!("{:.2}s", elapsed.as_secs_f64()));
+            cells.push(format!("{:.4}", report.hit_ratio));
+            csv_cells.push(format!("{:.3}", elapsed.as_secs_f64()));
+            csv_cells.push(format!("{:.4}", report.hit_ratio));
+        }
+        // Identical decisions => identical hit ratios.
+        let agree = (hit_ratios[0] - hit_ratios[1]).abs() < 1e-9;
+        cells.push(if agree { "yes".into() } else { "NO".into() });
+        csv_cells.push(agree.to_string());
+        rows.push(cells);
+        csv.push(csv_cells.join(","));
+    }
+    print_table(
+        "Ablation: indexed vs linear victim selection (same decisions, different cost)",
+        &["policy", "indexed_time", "indexed_hit", "linear_time", "linear_hit", "agree"],
+        &rows,
+    );
+    let path = write_csv(
+        "ablation_victim_index.csv",
+        "policy,indexed_s,indexed_hit,linear_s,linear_hit,agree",
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Extension experiment — admission control on top of eviction caching
+//! (the related-work family the paper cites but does not evaluate):
+//! does refusing to cache oversized objects help under a small budget?
+//!
+//! Usage: `cargo run --release -p bad-bench --bin ext_admission`
+
+use bad_bench::{print_table, write_csv};
+use bad_cache::PolicyName;
+use bad_sim::{SimConfig, Simulation};
+use bad_types::ByteSize;
+
+fn main() {
+    let budget = ByteSize::from_mib(2);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    // max_size as a fraction of the budget; `none` = paper behaviour.
+    for (label, fraction) in
+        [("none", None), ("1/2", Some((1u64, 2u64))), ("1/8", Some((1, 8))), ("1/32", Some((1, 32)))]
+    {
+        for policy in [PolicyName::Lru, PolicyName::Lsc] {
+            let mut config = SimConfig::table_ii_scaled(20).with_budget(budget);
+            config.admission_max_budget_fraction = fraction;
+            let report = Simulation::new(policy, config, 1).expect("config").run();
+            rows.push(vec![
+                policy.to_string(),
+                label.to_string(),
+                format!("{:.4}", report.hit_ratio),
+                format!("{:.1}", report.hit_bytes.as_mib_f64()),
+                format!("{:.0}", report.mean_latency.as_millis_f64()),
+                format!("{:.1}", report.miss_bytes.as_mib_f64()),
+            ]);
+            csv.push(format!(
+                "{},{},{:.4},{:.2},{:.1},{:.2}",
+                policy,
+                label,
+                report.hit_ratio,
+                report.hit_bytes.as_mib_f64(),
+                report.mean_latency.as_millis_f64(),
+                report.miss_bytes.as_mib_f64(),
+            ));
+        }
+    }
+    print_table(
+        &format!("Extension: size-based admission control (budget {budget})"),
+        &["policy", "max_size/budget", "hit_ratio", "hit_mb", "latency_ms", "miss_mb"],
+        &rows,
+    );
+    let path = write_csv(
+        "ext_admission.csv",
+        "policy,max_size_fraction,hit_ratio,hit_mb,latency_ms,miss_mb",
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,148 @@
+//! Extension experiment — multi-broker fleets (the paper's stated future
+//! work: "methods for handling failures and support for efficient load
+//! balancing"). Measures (a) how evenly the BCS spreads subscribers and
+//! cache load across brokers, and (b) delivery continuity through a
+//! mid-run broker failure.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin ext_fleet`
+
+use bad_bench::{print_table, write_csv};
+use bad_broker::{BrokerConfig, BrokerFleet};
+use bad_cache::{CacheConfig, PolicyName};
+use bad_query::ParamBindings;
+use bad_sim::SimBackend;
+use bad_types::{ByteSize, SimDuration, SubscriberId, Timestamp};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let brokers = 4usize;
+    let subscribers = 200u64;
+    let streams = 40usize;
+    let rounds = 600u64; // one arrival round per virtual second
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut backend = SimBackend::new();
+    let config = BrokerConfig {
+        cache: CacheConfig { budget: ByteSize::from_mib(1), ..CacheConfig::default() },
+        ..BrokerConfig::default()
+    };
+    let mut fleet = BrokerFleet::new(PolicyName::Lsc, config);
+    let broker_ids: Vec<_> =
+        (0..brokers).map(|i| fleet.add_broker(format!("broker-{i}:8001"))).collect();
+
+    // Every subscriber takes 4 Zipf-ish streams (favour low indices).
+    let mut handles = Vec::new();
+    for k in 0..subscribers {
+        for j in 0..4u64 {
+            let stream = ((k * 7 + j * 13) % streams as u64).min(
+                rng.random_range(0..streams as u64),
+            ) as usize;
+            let handle = fleet
+                .subscribe(
+                    &mut backend,
+                    SubscriberId::new(k),
+                    &SimBackend::stream_channel(stream),
+                    ParamBindings::new(),
+                    Timestamp::ZERO,
+                )
+                .expect("subscribe");
+            handles.push(handle);
+        }
+    }
+
+    // Phase 1: arrivals + retrievals with all brokers up.
+    let mut delivered_before = 0u64;
+    let failure_at = rounds / 2;
+    let mut delivered_after = 0u64;
+    let mut failed_broker = None;
+    for round in 0..rounds {
+        let now = Timestamp::from_secs(round + 1);
+        if round == failure_at {
+            // Kill the most-loaded broker.
+            let victim = *broker_ids
+                .iter()
+                .filter(|id| fleet.broker(**id).is_some())
+                .max_by_key(|id| {
+                    fleet.broker(**id).unwrap().subscriptions().frontend_count()
+                })
+                .expect("brokers alive");
+            let migrated = fleet.fail_broker(&mut backend, victim, now).expect("failover");
+            eprintln!("round {round}: {victim} failed; migrated {migrated} subscriptions");
+            failed_broker = Some(victim);
+        }
+        // A couple of streams produce each round.
+        for _ in 0..3 {
+            let stream = rng.random_range(0..streams);
+            if let Some(bs) = backend.subscription_of(stream) {
+                let size = ByteSize::new(rng.random_range(1024..64 * 1024));
+                let notification = backend.produce(bs, now, size);
+                fleet.on_notification(&mut backend, notification, now);
+            }
+        }
+        fleet.maintain_all(now);
+        // A random subset of subscriptions retrieves.
+        for _ in 0..40 {
+            let handle = handles[rng.random_range(0..handles.len())];
+            if let Ok(delivery) = fleet.get_results(
+                &mut backend,
+                handle,
+                now + SimDuration::from_millis(500),
+            ) {
+                if round < failure_at {
+                    delivered_before += delivery.total_objects();
+                } else {
+                    delivered_after += delivery.total_objects();
+                }
+            }
+        }
+    }
+
+    // Report: per-broker load balance + continuity.
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for id in &broker_ids {
+        let (fsubs, bsubs, hit, deliveries) = match fleet.broker(*id) {
+            Some(broker) => (
+                broker.subscriptions().frontend_count(),
+                broker.subscriptions().backend_count(),
+                broker.cache().metrics().hit_ratio().unwrap_or(0.0),
+                broker.delivery_metrics().deliveries,
+            ),
+            None => (0, 0, 0.0, 0),
+        };
+        let status =
+            if Some(*id) == failed_broker { "FAILED" } else { "alive" };
+        rows.push(vec![
+            id.to_string(),
+            status.to_owned(),
+            fsubs.to_string(),
+            bsubs.to_string(),
+            format!("{:.3}", hit),
+            deliveries.to_string(),
+        ]);
+        csv.push(format!("{id},{status},{fsubs},{bsubs},{hit:.4},{deliveries}"));
+    }
+    print_table(
+        &format!(
+            "Extension: {brokers}-broker fleet, failover at round {failure_at} \
+             ({} migrations total)",
+            fleet.migrations()
+        ),
+        &["broker", "status", "frontend_subs", "backend_subs", "hit_ratio", "deliveries"],
+        &rows,
+    );
+    println!(
+        "\ndelivery continuity: {delivered_before} objects before the failure, \
+         {delivered_after} after (no interruption)"
+    );
+    assert!(delivered_after > 0, "fleet stopped delivering after failover");
+    csv.push(format!("continuity,,{delivered_before},{delivered_after},,"));
+    let path = write_csv(
+        "ext_fleet.csv",
+        "broker,status,frontend_subs,backend_subs,hit_ratio,deliveries",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! Fig. 3 — hit ratio (a), hit bytes (b) and miss bytes (c) vs total
+//! cache size, for all six simulated caching policies.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin fig3`
+//! (`BAD_SCALE=1 BAD_SEEDS=10` reproduces the verbatim Table II sweep).
+
+use bad_bench::{load_or_run_sweep, print_table, write_csv, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    eprintln!("fig3 sweep: {}", params.fingerprint());
+    let points = load_or_run_sweep(&params);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for point in &points {
+        rows.push(vec![
+            point.policy.to_string(),
+            format!("{:.1}", point.cache_budget.as_mib_f64()),
+            format!("{:.3}", point.hit_ratio()),
+            format!("{:.1}", point.mib(|r| r.hit_bytes)),
+            format!("{:.1}", point.mib(|r| r.miss_bytes)),
+        ]);
+        csv.push(format!(
+            "{},{:.2},{:.4},{:.2},{:.2}",
+            point.policy,
+            point.cache_budget.as_mib_f64(),
+            point.hit_ratio(),
+            point.mib(|r| r.hit_bytes),
+            point.mib(|r| r.miss_bytes),
+        ));
+    }
+    print_table(
+        "Fig. 3: hit ratio / hit byte / miss byte vs cache size",
+        &["policy", "cache_mb", "hit_ratio(a)", "hit_mb(b)", "miss_mb(c)"],
+        &rows,
+    );
+    let path = write_csv("fig3.csv", "policy,cache_mb,hit_ratio,hit_mb,miss_mb", &csv);
+    println!("\nwrote {}", path.display());
+}

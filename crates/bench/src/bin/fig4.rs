@@ -1,0 +1,46 @@
+//! Fig. 4 — total fetch from the data cluster with the `Vol` reference
+//! line (a), mean subscriber latency (b) and mean object holding time
+//! (c) vs total cache size.
+//!
+//! Usage: `cargo run --release -p bad-bench --bin fig4`
+
+use bad_bench::{load_or_run_sweep, print_table, write_csv, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    eprintln!("fig4 sweep: {}", params.fingerprint());
+    let points = load_or_run_sweep(&params);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for point in &points {
+        rows.push(vec![
+            point.policy.to_string(),
+            format!("{:.1}", point.cache_budget.as_mib_f64()),
+            format!("{:.1}", point.mib(|r| r.fetched_bytes)),
+            format!("{:.1}", point.mib(|r| r.vol_bytes)),
+            format!("{:.0}", point.latency_ms()),
+            format!("{:.1}", point.mean(|r| r.mean_holding.as_secs_f64())),
+        ]);
+        csv.push(format!(
+            "{},{:.2},{:.2},{:.2},{:.1},{:.2}",
+            point.policy,
+            point.cache_budget.as_mib_f64(),
+            point.mib(|r| r.fetched_bytes),
+            point.mib(|r| r.vol_bytes),
+            point.latency_ms(),
+            point.mean(|r| r.mean_holding.as_secs_f64()),
+        ));
+    }
+    print_table(
+        "Fig. 4: fetch (+Vol) / subscriber latency / holding time vs cache size",
+        &["policy", "cache_mb", "fetch_mb(a)", "vol_mb(a)", "latency_ms(b)", "holding_s(c)"],
+        &rows,
+    );
+    let path = write_csv(
+        "fig4.csv",
+        "policy,cache_mb,fetched_mb,vol_mb,latency_ms,holding_s",
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+}

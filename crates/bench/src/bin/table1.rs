@@ -1,0 +1,34 @@
+//! Table I — the utility-driven policy catalog: utility gain `Δ`,
+//! caching value `φ`, and dropping criterion per policy, printed from
+//! the live policy implementations.
+//!
+//! Usage: `cargo run -p bad-bench --bin table1`
+
+use bad_bench::print_table;
+use bad_cache::{policy_catalog, PolicyKind};
+
+fn main() {
+    let rows: Vec<Vec<String>> = policy_catalog()
+        .into_iter()
+        .map(|info| {
+            let built = info.name.build();
+            let kind = match built.kind() {
+                PolicyKind::Eviction => "eviction",
+                PolicyKind::TtlExpiry => "ttl-expiry",
+                PolicyKind::NoCache => "baseline",
+            };
+            vec![
+                info.name.to_string(),
+                info.utility.to_string(),
+                info.value.to_string(),
+                info.dropping.to_string(),
+                kind.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: caching policies (utility, value, dropping criterion)",
+        &["name", "utility Δ(i,j,k)", "value φ_ij", "dropping criterion", "kind"],
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! Table II — the simulation settings, printed from the live default
+//! configuration (verbatim Table II plus the recorded scaled variant).
+//!
+//! Usage: `cargo run -p bad-bench --bin table2`
+
+use bad_bench::print_table;
+use bad_sim::SimConfig;
+
+fn main() {
+    for (title, config) in [
+        ("Table II: simulation settings (verbatim)", SimConfig::table_ii()),
+        (
+            "Table II scaled 10x (as used by the recorded fig3-fig5 sweep)",
+            SimConfig::table_ii_scaled(10),
+        ),
+    ] {
+        let rows: Vec<Vec<String>> =
+            config.describe().into_iter().map(|(k, v)| vec![k, v]).collect();
+        print_table(title, &["setting", "value"], &rows);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table III — the parameterized channels of the prototype's
+//! emergency-notification use case, printed from the live BQL sources
+//! (validated by parsing each one).
+//!
+//! Usage: `cargo run -p bad-bench --bin table3`
+
+use bad_bench::print_table;
+use bad_query::{ChannelMode, ChannelSpec};
+use bad_workload::TABLE_III_CHANNELS;
+
+fn main() {
+    let rows: Vec<Vec<String>> = TABLE_III_CHANNELS
+        .iter()
+        .map(|bql| {
+            let spec = ChannelSpec::parse(bql).expect("built-in channels parse");
+            let period = match spec.mode() {
+                ChannelMode::Repetitive { period } => period.to_string(),
+                ChannelMode::Continuous => "continuous".to_owned(),
+            };
+            let params = spec
+                .params()
+                .iter()
+                .map(|p| format!("{}: {}", p.name, p.ty))
+                .collect::<Vec<_>>()
+                .join(", ");
+            vec![
+                spec.name().to_owned(),
+                params,
+                spec.dataset().to_owned(),
+                period,
+                spec.predicate().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: prototype channels (emergency city scenario)",
+        &["channel", "parameters", "dataset", "period", "predicate"],
+        &rows,
+    );
+}

@@ -1,0 +1,274 @@
+//! Shared machinery for the experiment binaries that regenerate every
+//! table and figure of the ICDCS 2018 evaluation, plus the criterion
+//! micro-benchmarks.
+//!
+//! Each binary prints the series it regenerates and writes CSV under
+//! `target/experiments/`. The simulation figures (3, 4, 5) share one
+//! sweep; [`load_or_run_sweep`] caches it on disk so running `fig3`,
+//! `fig4` and `fig5` back to back performs the sweep once.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bad_cache::PolicyName;
+use bad_sim::{SimConfig, SimReport, Simulation, SweepPoint};
+use bad_types::ByteSize;
+
+/// Parameters of the shared Figs. 3–5 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepParams {
+    /// Policies to evaluate.
+    pub policies: Vec<PolicyName>,
+    /// Cache budgets to sweep.
+    pub budgets: Vec<ByteSize>,
+    /// Seeds to average over (the paper averages 10 runs).
+    pub seeds: Vec<u64>,
+    /// Table II scale-down factor (1 = verbatim Table II).
+    pub scale: u64,
+}
+
+impl SweepParams {
+    /// The default recorded sweep: all six simulated policies, six
+    /// budgets spanning the paper's 50–500 MB range (scaled down by
+    /// `scale`), three seeds, Table II scaled by 10.
+    pub fn default_recorded() -> Self {
+        let scale = 10;
+        Self {
+            policies: PolicyName::SIMULATED.to_vec(),
+            budgets: [50u64, 100, 200, 300, 400, 500]
+                .iter()
+                .map(|mb| ByteSize::from_mib(mb / scale))
+                .collect(),
+            seeds: vec![1, 2, 3],
+            scale,
+        }
+    }
+
+    /// Reads overrides from the environment: `BAD_SCALE`, `BAD_SEEDS`
+    /// (count), so `BAD_SCALE=1 cargo run --bin fig3` reproduces the
+    /// full Table II sweep.
+    pub fn from_env() -> Self {
+        let mut params = Self::default_recorded();
+        if let Ok(scale) = std::env::var("BAD_SCALE") {
+            if let Ok(scale) = scale.parse::<u64>() {
+                let scale = scale.max(1);
+                params.scale = scale;
+                params.budgets = [50u64, 100, 200, 300, 400, 500]
+                    .iter()
+                    .map(|mb| ByteSize::new(mb * 1024 * 1024 / scale))
+                    .collect();
+            }
+        }
+        if let Ok(seeds) = std::env::var("BAD_SEEDS") {
+            if let Ok(n) = seeds.parse::<u64>() {
+                params.seeds = (1..=n.max(1)).collect();
+            }
+        }
+        params
+    }
+
+    /// The simulation configuration for one budget.
+    pub fn config(&self, budget: ByteSize) -> SimConfig {
+        SimConfig::table_ii_scaled(self.scale).with_budget(budget)
+    }
+
+    /// A stable fingerprint used to validate cached sweep CSVs.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "policies={:?};budgets={:?};seeds={:?};scale={}",
+            self.policies.iter().map(|p| p.as_str()).collect::<Vec<_>>(),
+            self.budgets.iter().map(|b| b.as_u64()).collect::<Vec<_>>(),
+            self.seeds,
+            self.scale
+        )
+    }
+}
+
+/// The directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = Path::new("target").join("experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Runs the full (policy × budget × seed) sweep, printing progress.
+pub fn run_sweep(params: &SweepParams) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &policy in &params.policies {
+        for &budget in &params.budgets {
+            let mut runs = Vec::new();
+            for &seed in &params.seeds {
+                let config = params.config(budget);
+                let report = Simulation::new(policy, config, seed)
+                    .expect("valid sweep configuration")
+                    .run();
+                eprintln!(
+                    "  {policy} B={} seed={seed}: hit={:.3} latency={}",
+                    budget, report.hit_ratio, report.mean_latency
+                );
+                runs.push(report);
+            }
+            points.push(SweepPoint { policy, cache_budget: budget, runs });
+        }
+    }
+    points
+}
+
+/// Loads a cached sweep CSV if its fingerprint matches, otherwise runs
+/// the sweep and writes the cache.
+pub fn load_or_run_sweep(params: &SweepParams) -> Vec<SweepPoint> {
+    let path = experiments_dir().join("sim_sweep.csv");
+    if let Some(points) = try_load_sweep(&path, params) {
+        eprintln!("(reusing cached sweep {})", path.display());
+        return points;
+    }
+    let points = run_sweep(params);
+    write_sweep_csv(&path, params, &points);
+    points
+}
+
+fn try_load_sweep(path: &Path, params: &SweepParams) -> Option<Vec<SweepPoint>> {
+    let content = fs::read_to_string(path).ok()?;
+    let mut lines = content.lines();
+    let fingerprint = lines.next()?.strip_prefix("# ")?;
+    if fingerprint != params.fingerprint() {
+        return None;
+    }
+    let _header = lines.next()?;
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for line in lines {
+        let report = parse_report_row(line)?;
+        match points.iter_mut().find(|p| {
+            p.policy == report.policy && p.cache_budget == report.cache_budget
+        }) {
+            Some(point) => point.runs.push(report),
+            None => points.push(SweepPoint {
+                policy: report.policy,
+                cache_budget: report.cache_budget,
+                runs: vec![report],
+            }),
+        }
+    }
+    if points.is_empty() {
+        None
+    } else {
+        Some(points)
+    }
+}
+
+fn parse_report_row(line: &str) -> Option<SimReport> {
+    let cols: Vec<&str> = line.split(',').collect();
+    if cols.len() != SimReport::csv_header().split(',').count() {
+        return None;
+    }
+    let mib = |s: &str| -> Option<ByteSize> {
+        Some(ByteSize::new((s.parse::<f64>().ok()? * 1024.0 * 1024.0) as u64))
+    };
+    Some(SimReport {
+        policy: cols[0].trim().parse().ok()?,
+        cache_budget: mib(cols[1])?,
+        seed: cols[2].parse().ok()?,
+        hit_ratio: cols[3].parse().ok()?,
+        hit_bytes: mib(cols[4])?,
+        miss_bytes: mib(cols[5])?,
+        fetched_bytes: mib(cols[6])?,
+        vol_bytes: mib(cols[7])?,
+        mean_latency: bad_types::SimDuration::from_secs_f64(
+            cols[8].parse::<f64>().ok()? / 1000.0,
+        ),
+        mean_holding: bad_types::SimDuration::from_secs_f64(cols[9].parse().ok()?),
+        avg_cache_bytes: mib(cols[10])?,
+        max_cache_bytes: mib(cols[11])?,
+        expected_ttl_bytes: mib(cols[12])?,
+        mean_ttl: bad_types::SimDuration::from_secs_f64(cols[13].parse().ok()?),
+        deliveries: cols[14].parse().ok()?,
+        delivered_objects: cols[15].parse().ok()?,
+        produced_objects: cols[16].parse().ok()?,
+    })
+}
+
+fn write_sweep_csv(path: &Path, params: &SweepParams, points: &[SweepPoint]) {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", params.fingerprint()));
+    out.push_str(SimReport::csv_header());
+    out.push('\n');
+    for point in points {
+        for run in &point.runs {
+            out.push_str(&run.csv_row());
+            out.push('\n');
+        }
+    }
+    fs::write(path, out).expect("write sweep csv");
+    eprintln!("(sweep cached at {})", path.display());
+}
+
+/// Writes a small named CSV into `target/experiments/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = experiments_dir().join(name);
+    let mut out = String::from(header);
+    out.push('\n');
+    for row in rows {
+        out.push_str(row);
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write experiment csv");
+    path
+}
+
+/// Pretty-prints a table: header + rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_changes_with_params() {
+        let a = SweepParams::default_recorded();
+        let mut b = SweepParams::default_recorded();
+        b.seeds.push(99);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn report_rows_roundtrip() {
+        let params = SweepParams {
+            policies: vec![PolicyName::Lsc],
+            budgets: vec![ByteSize::from_mib(5)],
+            seeds: vec![1],
+            scale: 200,
+        };
+        let config = params.config(ByteSize::from_kib(256));
+        let mut tiny = config;
+        tiny.duration = bad_types::SimDuration::from_mins(5);
+        tiny.subscribers = 20;
+        tiny.unique_subscriptions = 5;
+        let report = Simulation::new(PolicyName::Lsc, tiny, 1).unwrap().run();
+        let parsed = parse_report_row(&report.csv_row()).unwrap();
+        assert_eq!(parsed.policy, report.policy);
+        assert_eq!(parsed.seed, report.seed);
+        assert!((parsed.hit_ratio - report.hit_ratio).abs() < 1e-3);
+        assert_eq!(parsed.deliveries, report.deliveries);
+    }
+}

@@ -1,0 +1,199 @@
+//! The Broker Coordination Service (BCS).
+//!
+//! "When a new broker node joins the broker network, it registers through
+//! the BCS ... When a subscriber comes to the system, it contacts the
+//! BCS and the BCS returns the IP address and port of a suitable broker"
+//! (Sections III, VI). In-process, brokers register under a
+//! [`bad_types::BrokerId`] and subscribers are assigned to the
+//! least-loaded registered broker.
+
+use std::collections::HashMap;
+
+use bad_types::ids::IdGen;
+use bad_types::{BadError, BrokerId, Result, SubscriberId};
+
+/// A registered broker, as known to the BCS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BrokerRecord {
+    /// The broker's identifier.
+    pub id: BrokerId,
+    /// Human-readable endpoint (stands in for IP:port).
+    pub endpoint: String,
+    /// Number of subscribers currently assigned.
+    pub assigned: usize,
+}
+
+/// The coordination service: broker registry + subscriber assignment.
+///
+/// # Examples
+///
+/// ```
+/// use bad_broker::BrokerCoordinationService;
+/// use bad_types::SubscriberId;
+///
+/// let mut bcs = BrokerCoordinationService::new();
+/// let b1 = bcs.register_broker("broker-a:8001");
+/// let b2 = bcs.register_broker("broker-b:8001");
+/// // Subscribers spread across the two brokers.
+/// let first = bcs.assign(SubscriberId::new(1))?;
+/// let second = bcs.assign(SubscriberId::new(2))?;
+/// assert_ne!(first, second);
+/// assert!([b1, b2].contains(&first));
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BrokerCoordinationService {
+    brokers: HashMap<BrokerId, BrokerRecord>,
+    assignments: HashMap<SubscriberId, BrokerId>,
+    ids: IdGen,
+}
+
+impl BrokerCoordinationService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a broker and returns its id.
+    pub fn register_broker(&mut self, endpoint: impl Into<String>) -> BrokerId {
+        let id: BrokerId = self.ids.next_id();
+        self.brokers
+            .insert(id, BrokerRecord { id, endpoint: endpoint.into(), assigned: 0 });
+        id
+    }
+
+    /// Deregisters a broker (e.g. on failure). Its subscribers become
+    /// unassigned and will be re-assigned on their next lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] for unknown brokers.
+    pub fn deregister_broker(&mut self, id: BrokerId) -> Result<Vec<SubscriberId>> {
+        if self.brokers.remove(&id).is_none() {
+            return Err(BadError::not_found("broker", id.to_string()));
+        }
+        let displaced: Vec<SubscriberId> = self
+            .assignments
+            .iter()
+            .filter(|&(_, b)| *b == id)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in &displaced {
+            self.assignments.remove(s);
+        }
+        Ok(displaced)
+    }
+
+    /// Registered brokers, in id order.
+    pub fn brokers(&self) -> Vec<&BrokerRecord> {
+        let mut out: Vec<&BrokerRecord> = self.brokers.values().collect();
+        out.sort_by_key(|b| b.id);
+        out
+    }
+
+    /// The broker a subscriber is assigned to, if any.
+    pub fn assignment_of(&self, subscriber: SubscriberId) -> Option<BrokerId> {
+        self.assignments.get(&subscriber).copied()
+    }
+
+    /// Assigns a subscriber to a broker (sticky: repeated calls return
+    /// the same broker), picking the least-loaded broker for new
+    /// subscribers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::InvalidState`] when no broker is registered.
+    pub fn assign(&mut self, subscriber: SubscriberId) -> Result<BrokerId> {
+        if let Some(existing) = self.assignments.get(&subscriber) {
+            return Ok(*existing);
+        }
+        let target = self
+            .brokers
+            .values()
+            .min_by_key(|b| (b.assigned, b.id))
+            .map(|b| b.id)
+            .ok_or_else(|| {
+                BadError::InvalidState("no broker registered with the BCS".into())
+            })?;
+        self.brokers.get_mut(&target).expect("chosen above").assigned += 1;
+        self.assignments.insert(subscriber, target);
+        Ok(target)
+    }
+
+    /// Releases a subscriber's assignment (client logged out for good).
+    pub fn release(&mut self, subscriber: SubscriberId) {
+        if let Some(broker) = self.assignments.remove(&subscriber) {
+            if let Some(record) = self.brokers.get_mut(&broker) {
+                record.assigned = record.assigned.saturating_sub(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_balances_load() {
+        let mut bcs = BrokerCoordinationService::new();
+        bcs.register_broker("a");
+        bcs.register_broker("b");
+        bcs.register_broker("c");
+        for i in 0..9 {
+            bcs.assign(SubscriberId::new(i)).unwrap();
+        }
+        for broker in bcs.brokers() {
+            assert_eq!(broker.assigned, 3);
+        }
+    }
+
+    #[test]
+    fn assignment_is_sticky() {
+        let mut bcs = BrokerCoordinationService::new();
+        bcs.register_broker("a");
+        bcs.register_broker("b");
+        let s = SubscriberId::new(1);
+        let first = bcs.assign(s).unwrap();
+        for _ in 0..5 {
+            assert_eq!(bcs.assign(s).unwrap(), first);
+        }
+        assert_eq!(bcs.assignment_of(s), Some(first));
+    }
+
+    #[test]
+    fn no_brokers_is_an_error() {
+        let mut bcs = BrokerCoordinationService::new();
+        assert!(matches!(
+            bcs.assign(SubscriberId::new(1)),
+            Err(BadError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn deregistration_displaces_subscribers() {
+        let mut bcs = BrokerCoordinationService::new();
+        let a = bcs.register_broker("a");
+        let s = SubscriberId::new(1);
+        bcs.assign(s).unwrap();
+        let displaced = bcs.deregister_broker(a).unwrap();
+        assert_eq!(displaced, vec![s]);
+        assert_eq!(bcs.assignment_of(s), None);
+        // Re-assignment works once a new broker joins.
+        let b = bcs.register_broker("b");
+        assert_eq!(bcs.assign(s).unwrap(), b);
+        assert!(bcs.deregister_broker(a).is_err());
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut bcs = BrokerCoordinationService::new();
+        let a = bcs.register_broker("a");
+        let s = SubscriberId::new(1);
+        bcs.assign(s).unwrap();
+        bcs.release(s);
+        assert_eq!(bcs.brokers()[0].assigned, 0);
+        assert_eq!(bcs.assignment_of(s), None);
+        let _ = a;
+    }
+}

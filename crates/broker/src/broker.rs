@@ -1,0 +1,661 @@
+//! The broker engine: subscription management, cache-mediated delivery
+//! and cluster interaction, independent of any particular runtime.
+
+use bad_cache::{CacheConfig, CacheManager, GetPlan, NewObject, PolicyName};
+use bad_cluster::{DataCluster, Notification};
+use bad_net::NetworkModel;
+use bad_query::ParamBindings;
+use bad_storage::ResultObject;
+use bad_types::{
+    BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
+    Timestamp,
+};
+
+use crate::subscriptions::SubscriptionTable;
+
+/// The broker's view of the data cluster.
+///
+/// The in-process [`DataCluster`] implements this directly; the threaded
+/// prototype wraps it with a transport that injects network latency.
+pub trait ClusterHandle {
+    /// Creates a backend subscription.
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel or invalid parameter bindings.
+    fn cluster_subscribe(
+        &mut self,
+        channel: &str,
+        params: ParamBindings,
+        now: Timestamp,
+    ) -> Result<BackendSubId>;
+
+    /// Tears down a backend subscription.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subscription.
+    fn cluster_unsubscribe(&mut self, bs: BackendSubId) -> Result<()>;
+
+    /// Retrieves results in a timestamp range.
+    fn cluster_fetch(&mut self, bs: BackendSubId, range: TimeRange) -> Vec<ResultObject>;
+}
+
+impl ClusterHandle for DataCluster {
+    fn cluster_subscribe(
+        &mut self,
+        channel: &str,
+        params: ParamBindings,
+        now: Timestamp,
+    ) -> Result<BackendSubId> {
+        self.subscribe(channel, params, now)
+    }
+
+    fn cluster_unsubscribe(&mut self, bs: BackendSubId) -> Result<()> {
+        self.unsubscribe(bs)
+    }
+
+    fn cluster_fetch(&mut self, bs: BackendSubId, range: TimeRange) -> Vec<ResultObject> {
+        self.fetch(bs, range)
+    }
+}
+
+/// Broker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BrokerConfig {
+    /// Cache manager settings (budget, rate windows, TTL intervals).
+    pub cache: CacheConfig,
+    /// The network model used for latency accounting.
+    pub net: NetworkModel,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self { cache: CacheConfig::default(), net: NetworkModel::paper_defaults() }
+    }
+}
+
+/// What happened when the broker processed a cluster notification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NotificationOutcome {
+    /// Subscribers that should be notified of new results.
+    pub notify: Vec<SubscriberId>,
+    /// Objects pulled into the cache.
+    pub fetched_objects: u64,
+    /// Bytes pulled into the cache (counted into `Vol`).
+    pub fetched_bytes: ByteSize,
+    /// Time the broker spent fetching from the cluster.
+    pub fetch_latency: SimDuration,
+}
+
+/// The result of one subscriber retrieval (`GETRESULTS`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The frontend subscription served.
+    pub frontend: FrontendSubId,
+    /// Objects served from the broker cache.
+    pub hit_objects: u64,
+    /// Bytes served from the broker cache.
+    pub hit_bytes: ByteSize,
+    /// Objects fetched from the cluster due to misses.
+    pub miss_objects: u64,
+    /// Bytes fetched from the cluster due to misses.
+    pub miss_bytes: ByteSize,
+    /// End-to-end latency the subscriber observes.
+    pub latency: SimDuration,
+    /// The marker to acknowledge up to (the served range's right end).
+    pub up_to: Timestamp,
+}
+
+impl Delivery {
+    /// Total objects delivered.
+    pub fn total_objects(&self) -> u64 {
+        self.hit_objects + self.miss_objects
+    }
+
+    /// Total bytes delivered.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.hit_bytes + self.miss_bytes
+    }
+}
+
+/// Aggregated delivery-side measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryMetrics {
+    /// Number of retrievals served.
+    pub deliveries: u64,
+    /// Number of retrievals that delivered at least one object.
+    pub non_empty_deliveries: u64,
+    /// Sum of observed latencies.
+    pub total_latency: SimDuration,
+    /// Objects delivered in total.
+    pub delivered_objects: u64,
+    /// Bytes delivered in total.
+    pub delivered_bytes: ByteSize,
+}
+
+impl DeliveryMetrics {
+    /// Mean subscriber latency over non-empty deliveries.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        if self.non_empty_deliveries == 0 {
+            None
+        } else {
+            Some(self.total_latency / self.non_empty_deliveries)
+        }
+    }
+}
+
+/// A BAD broker node.
+///
+/// All methods take the current virtual time and a [`ClusterHandle`];
+/// the broker itself holds no clock and spawns no threads, which is what
+/// lets the simulator and the prototype share it. See the [crate-level
+/// example](crate).
+#[derive(Debug)]
+pub struct Broker {
+    subs: SubscriptionTable,
+    cache: CacheManager,
+    net: NetworkModel,
+    delivery: DeliveryMetrics,
+}
+
+impl Broker {
+    /// Creates a broker with the given caching policy and configuration.
+    pub fn new(policy: PolicyName, config: BrokerConfig) -> Self {
+        Self {
+            subs: SubscriptionTable::new(),
+            cache: CacheManager::new(policy, config.cache),
+            net: config.net,
+            delivery: DeliveryMetrics::default(),
+        }
+    }
+
+    /// The subscription table (read-only).
+    pub fn subscriptions(&self) -> &SubscriptionTable {
+        &self.subs
+    }
+
+    /// The cache manager (read-only).
+    pub fn cache(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// Installs admission control on the cache (extension; default is
+    /// the paper's admit-everything behaviour).
+    pub fn set_admission(&mut self, admission: bad_cache::AdmissionControl) {
+        self.cache.set_admission(admission);
+    }
+
+    /// The network model in use.
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Delivery-side metrics.
+    pub fn delivery_metrics(&self) -> DeliveryMetrics {
+        self.delivery
+    }
+
+    /// Subscribes `subscriber` to `channel(params)`, merging with an
+    /// existing backend subscription when one matches (`SUBSCRIBE` of
+    /// Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-side subscription errors (unknown channel,
+    /// invalid bindings).
+    pub fn subscribe(
+        &mut self,
+        cluster: &mut impl ClusterHandle,
+        subscriber: SubscriberId,
+        channel: &str,
+        params: ParamBindings,
+        now: Timestamp,
+    ) -> Result<FrontendSubId> {
+        let backend = match self.subs.find_backend(channel, &params) {
+            Some(bs) => bs,
+            None => {
+                let bs = cluster.cluster_subscribe(channel, params.clone(), now)?;
+                self.subs.add_backend(bs, channel, params, now)?;
+                self.cache.create_cache(bs, now);
+                bs
+            }
+        };
+        let fs = self.subs.add_frontend(subscriber, backend, now)?;
+        self.cache.add_subscriber(backend, subscriber)?;
+        Ok(fs)
+    }
+
+    /// Removes a frontend subscription (`UNSUBSCRIBE` of Algorithm 1).
+    /// When the last frontend detaches, the backend subscription and its
+    /// cache are torn down.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subscription or wrong owner.
+    pub fn unsubscribe(
+        &mut self,
+        cluster: &mut impl ClusterHandle,
+        subscriber: SubscriberId,
+        fs: FrontendSubId,
+        now: Timestamp,
+    ) -> Result<()> {
+        let (backend, orphaned) = self.subs.remove_frontend(subscriber, fs)?;
+        if orphaned {
+            self.cache.remove_cache(backend, now);
+            cluster.cluster_unsubscribe(backend)?;
+        } else {
+            self.cache.remove_subscriber(backend, subscriber, now)?;
+        }
+        Ok(())
+    }
+
+    /// Handles a "new results available" webhook from the cluster: pulls
+    /// the new results into the cache (except under NC) and returns the
+    /// subscribers to notify.
+    pub fn on_notification(
+        &mut self,
+        cluster: &mut impl ClusterHandle,
+        notification: Notification,
+        now: Timestamp,
+    ) -> NotificationOutcome {
+        let bs = notification.backend_sub;
+        let Some(entry) = self.subs.backend(bs) else {
+            // Raced with an unsubscribe; nothing to do.
+            return NotificationOutcome::default();
+        };
+        let since = entry.last_seen;
+        let mut outcome = NotificationOutcome::default();
+
+        if self.cache.caches_results() {
+            // PULL model: fetch everything newer than our bts marker.
+            let range = TimeRange::closed(
+                since + SimDuration::from_micros(1),
+                notification.latest_ts,
+            );
+            let objects = cluster.cluster_fetch(bs, range);
+            for object in &objects {
+                let desc = NewObject {
+                    id: object.id,
+                    ts: object.ts,
+                    size: object.size,
+                    fetch_latency: self.net.cluster_fetch_latency(object.size),
+                };
+                outcome.fetched_bytes += object.size;
+                outcome.fetched_objects += 1;
+                // The cache exists as long as the backend entry does.
+                let _ = self.cache.insert(bs, desc, now);
+            }
+            self.cache.record_populate(outcome.fetched_bytes);
+            outcome.fetch_latency = self.net.cluster_fetch_latency(outcome.fetched_bytes);
+        }
+
+        self.subs
+            .advance_backend_marker(bs, notification.latest_ts)
+            .expect("backend entry exists");
+        outcome.notify = self
+            .subs
+            .backend(bs)
+            .map(|e| {
+                e.frontends
+                    .iter()
+                    .filter_map(|fs| self.subs.frontend(*fs))
+                    .map(|f| f.subscriber)
+                    .collect()
+            })
+            .unwrap_or_default();
+        outcome
+    }
+
+    /// Whether `fs` has results its subscriber has not retrieved yet.
+    pub fn has_pending(&self, fs: FrontendSubId) -> bool {
+        let Some(frontend) = self.subs.frontend(fs) else {
+            return false;
+        };
+        let Some(backend) = self.subs.backend(frontend.backend) else {
+            return false;
+        };
+        backend.last_seen > frontend.last_delivered
+    }
+
+    /// Serves a retrieval (`GETRESULTS` + implicit `ACK`): plans the
+    /// range `(fts, bts]` against the cache, fetches misses from the
+    /// cluster (not re-caching them), computes the subscriber-observed
+    /// latency, advances the `fts` marker and drops fully consumed
+    /// objects.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subscription, or a subscription not owned by `subscriber`.
+    pub fn get_results(
+        &mut self,
+        cluster: &mut impl ClusterHandle,
+        subscriber: SubscriberId,
+        fs: FrontendSubId,
+        now: Timestamp,
+    ) -> Result<Delivery> {
+        let frontend = self
+            .subs
+            .frontend(fs)
+            .ok_or_else(|| bad_types::BadError::not_found("frontend subscription", fs.to_string()))?
+            .clone();
+        if frontend.subscriber != subscriber {
+            return Err(bad_types::BadError::InvalidArgument(format!(
+                "{fs} belongs to {}, not {subscriber}",
+                frontend.subscriber
+            )));
+        }
+        let backend = self
+            .subs
+            .backend(frontend.backend)
+            .expect("table consistency")
+            .clone();
+
+        let range = TimeRange::closed(
+            frontend.last_delivered + SimDuration::from_micros(1),
+            backend.last_seen,
+        );
+        let plan: GetPlan = self.cache.plan_get(backend.id, range, now);
+
+        let mut miss_objects = 0u64;
+        let mut miss_bytes = ByteSize::ZERO;
+        for missed_range in &plan.missed {
+            let missed = cluster.cluster_fetch(backend.id, *missed_range);
+            let bytes: ByteSize = missed.iter().map(|o| o.size).sum();
+            self.cache.record_miss_fetch(missed.len() as u64, bytes);
+            miss_objects += missed.len() as u64;
+            miss_bytes += bytes;
+        }
+
+        let latency = self.net.delivery_latency(plan.cached_bytes, miss_bytes);
+        let delivery = Delivery {
+            frontend: fs,
+            hit_objects: plan.cached.len() as u64,
+            hit_bytes: plan.cached_bytes,
+            miss_objects,
+            miss_bytes,
+            latency,
+            up_to: backend.last_seen,
+        };
+
+        // ACK: advance fts and mark consumption in the cache.
+        self.subs.advance_frontend_marker(fs, backend.last_seen)?;
+        let _ = self.cache.ack_consume(backend.id, subscriber, backend.last_seen, now);
+
+        self.delivery.deliveries += 1;
+        if delivery.total_objects() > 0 {
+            self.delivery.non_empty_deliveries += 1;
+            self.delivery.total_latency += latency;
+        }
+        self.delivery.delivered_objects += delivery.total_objects();
+        self.delivery.delivered_bytes += delivery.total_bytes();
+        Ok(delivery)
+    }
+
+    /// Retrieves all pending results across a subscriber's subscriptions
+    /// (what a client does when it comes back online).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first retrieval error.
+    pub fn get_all_pending(
+        &mut self,
+        cluster: &mut impl ClusterHandle,
+        subscriber: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<Delivery>> {
+        let mut out = Vec::new();
+        for fs in self.subs.subscriptions_of(subscriber) {
+            if self.has_pending(fs) {
+                out.push(self.get_results(cluster, subscriber, fs, now)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Periodic maintenance: TTL recomputation and expiration.
+    pub fn maintain(&mut self, now: Timestamp) {
+        let _ = self.cache.maintain(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_storage::Schema;
+    use bad_types::DataValue;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    fn setup() -> (DataCluster, Broker) {
+        let mut cluster = DataCluster::new();
+        cluster.create_dataset("Reports", Schema::open()).unwrap();
+        cluster
+            .register_channel(
+                "channel ByKind(kind: string) from Reports r \
+                 where r.kind == $kind select r",
+            )
+            .unwrap();
+        let broker = Broker::new(PolicyName::Lsc, BrokerConfig::default());
+        (cluster, broker)
+    }
+
+    fn params(kind: &str) -> ParamBindings {
+        ParamBindings::from_pairs([("kind", DataValue::from(kind))])
+    }
+
+    fn publish(cluster: &mut DataCluster, secs: u64, kind: &str) -> Vec<Notification> {
+        cluster
+            .publish(
+                "Reports",
+                t(secs),
+                DataValue::object([
+                    ("kind", DataValue::from(kind)),
+                    ("body", DataValue::from("x".repeat(100))),
+                ]),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_subscriptions_share_one_backend() {
+        let (mut cluster, mut broker) = setup();
+        broker
+            .subscribe(&mut cluster, SubscriberId::new(1), "ByKind", params("fire"), t(0))
+            .unwrap();
+        broker
+            .subscribe(&mut cluster, SubscriberId::new(2), "ByKind", params("fire"), t(0))
+            .unwrap();
+        broker
+            .subscribe(&mut cluster, SubscriberId::new(3), "ByKind", params("flood"), t(0))
+            .unwrap();
+        assert_eq!(broker.subscriptions().frontend_count(), 3);
+        assert_eq!(broker.subscriptions().backend_count(), 2);
+        assert_eq!(cluster.subscription_count(), 2);
+    }
+
+    #[test]
+    fn notification_pulls_results_and_lists_subscribers() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        let bob = SubscriberId::new(2);
+        broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        let n = publish(&mut cluster, 1, "fire");
+        assert_eq!(n.len(), 1);
+        let outcome = broker.on_notification(&mut cluster, n[0], t(1));
+        assert_eq!(outcome.fetched_objects, 1);
+        assert!(outcome.fetched_bytes > ByteSize::ZERO);
+        let mut notified = outcome.notify.clone();
+        notified.sort();
+        assert_eq!(notified, vec![alice, bob]);
+        assert!(broker.cache().total_bytes() > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn shared_cache_serves_second_subscriber_from_memory() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        let bob = SubscriberId::new(2);
+        let fa = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fb = broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        let n = publish(&mut cluster, 1, "fire");
+        broker.on_notification(&mut cluster, n[0], t(1));
+
+        let da = broker.get_results(&mut cluster, alice, fa, t(2)).unwrap();
+        assert_eq!((da.hit_objects, da.miss_objects), (1, 0));
+        // The object is still cached (bob has not consumed it).
+        let db = broker.get_results(&mut cluster, bob, fb, t(3)).unwrap();
+        assert_eq!((db.hit_objects, db.miss_objects), (1, 0));
+        // Now fully consumed: dropped from the cache.
+        assert_eq!(broker.cache().total_bytes(), ByteSize::ZERO);
+        assert_eq!(broker.cache().metrics().consumed_objects, 1);
+    }
+
+    #[test]
+    fn miss_fetches_from_cluster_without_recaching() {
+        let (mut cluster, broker) = setup();
+        // Budget so small that nothing survives in the cache.
+        let mut config = BrokerConfig::default();
+        config.cache.budget = ByteSize::new(1);
+        let mut broker2 = Broker::new(PolicyName::Lsc, config);
+        let alice = SubscriberId::new(1);
+        let fs = broker2.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let n = publish(&mut cluster, 1, "fire");
+        broker2.on_notification(&mut cluster, n[0], t(1));
+        assert_eq!(broker2.cache().total_bytes(), ByteSize::ZERO); // evicted
+
+        let d = broker2.get_results(&mut cluster, alice, fs, t(2)).unwrap();
+        assert_eq!((d.hit_objects, d.miss_objects), (0, 1));
+        assert!(d.miss_bytes > ByteSize::ZERO);
+        // Still not cached afterwards.
+        assert_eq!(broker2.cache().total_bytes(), ByteSize::ZERO);
+        let _ = broker;
+    }
+
+    #[test]
+    fn nc_policy_always_misses_but_delivers() {
+        let (mut cluster, broker) = setup();
+        let mut nc = Broker::new(PolicyName::Nc, BrokerConfig::default());
+        let alice = SubscriberId::new(1);
+        let fs = nc.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let n = publish(&mut cluster, 1, "fire");
+        let outcome = nc.on_notification(&mut cluster, n[0], t(1));
+        assert_eq!(outcome.fetched_objects, 0); // no prefetch under NC
+        let d = nc.get_results(&mut cluster, alice, fs, t(2)).unwrap();
+        assert_eq!((d.hit_objects, d.miss_objects), (0, 1));
+        let _ = broker;
+    }
+
+    #[test]
+    fn latency_hit_faster_than_miss() {
+        let (mut cluster, mut broker) = setup();
+        let mut nc = Broker::new(PolicyName::Nc, BrokerConfig::default());
+        let alice = SubscriberId::new(1);
+        let f_hit =
+            broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let f_miss = nc.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let notifications = publish(&mut cluster, 1, "fire");
+        for n in &notifications {
+            broker.on_notification(&mut cluster, *n, t(1));
+            nc.on_notification(&mut cluster, *n, t(1));
+        }
+        let hit = broker.get_results(&mut cluster, alice, f_hit, t(2)).unwrap();
+        let miss = nc.get_results(&mut cluster, alice, f_miss, t(2)).unwrap();
+        assert!(hit.latency < miss.latency, "{} !< {}", hit.latency, miss.latency);
+    }
+
+    #[test]
+    fn empty_retrieval_is_cheap_and_idempotent() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        let fs = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        assert!(!broker.has_pending(fs));
+        let d = broker.get_results(&mut cluster, alice, fs, t(1)).unwrap();
+        assert_eq!(d.total_objects(), 0);
+        let m = broker.delivery_metrics();
+        assert_eq!(m.deliveries, 1);
+        assert_eq!(m.non_empty_deliveries, 0);
+        assert_eq!(m.mean_latency(), None);
+    }
+
+    #[test]
+    fn get_all_pending_covers_all_subscriptions() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        broker.subscribe(&mut cluster, alice, "ByKind", params("flood"), t(0)).unwrap();
+        for n in publish(&mut cluster, 1, "fire") {
+            broker.on_notification(&mut cluster, n, t(1));
+        }
+        for n in publish(&mut cluster, 2, "flood") {
+            broker.on_notification(&mut cluster, n, t(2));
+        }
+        let deliveries = broker.get_all_pending(&mut cluster, alice, t(3)).unwrap();
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|d| d.total_objects() == 1));
+        // Everything consumed; nothing pending.
+        assert!(broker.get_all_pending(&mut cluster, alice, t(4)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_tears_down_shared_state_lazily() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        let bob = SubscriberId::new(2);
+        let fa = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fb = broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        broker.unsubscribe(&mut cluster, alice, fa, t(1)).unwrap();
+        // Backend and cluster subscription survive for bob.
+        assert_eq!(broker.subscriptions().backend_count(), 1);
+        assert_eq!(cluster.subscription_count(), 1);
+        broker.unsubscribe(&mut cluster, bob, fb, t(2)).unwrap();
+        assert_eq!(broker.subscriptions().backend_count(), 0);
+        assert_eq!(cluster.subscription_count(), 0);
+        assert_eq!(broker.cache().cache_count(), 0);
+    }
+
+    #[test]
+    fn admission_rejected_objects_are_still_delivered() {
+        let (mut cluster, _) = setup();
+        let mut config = BrokerConfig::default();
+        config.cache.budget = ByteSize::from_mib(1);
+        let mut broker = Broker::new(PolicyName::Lsc, config);
+        // Reject everything bigger than 50 bytes; the ~200-byte reports
+        // will all be refused admission.
+        broker.set_admission(bad_cache::AdmissionControl::all_of([
+            bad_cache::AdmissionRule::MaxObjectSize(ByteSize::new(50)),
+        ]));
+        let alice = SubscriberId::new(1);
+        let fs = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        for sec in [1u64, 2, 3] {
+            for n in publish(&mut cluster, sec, "fire") {
+                broker.on_notification(&mut cluster, n, t(sec));
+            }
+        }
+        assert_eq!(broker.cache().total_bytes(), ByteSize::ZERO);
+        assert_eq!(broker.cache().admission_rejections(), 3);
+        // Every rejected object still reaches the subscriber, as misses.
+        let d = broker.get_results(&mut cluster, alice, fs, t(4)).unwrap();
+        assert_eq!(d.total_objects(), 3);
+        assert_eq!(d.hit_objects, 0);
+        assert_eq!(d.miss_objects, 3);
+        // Exactly once.
+        let again = broker.get_results(&mut cluster, alice, fs, t(5)).unwrap();
+        assert_eq!(again.total_objects(), 0);
+    }
+
+    #[test]
+    fn wrong_owner_cannot_retrieve() {
+        let (mut cluster, mut broker) = setup();
+        let alice = SubscriberId::new(1);
+        let fs = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        assert!(broker
+            .get_results(&mut cluster, SubscriberId::new(9), fs, t(1))
+            .is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Frontend/backend subscription bookkeeping.
+//!
+//! "The broker suppresses subscriptions when multiple subscribers
+//! subscribe to the same channel with the same set of parameters ... a
+//! set of frontend subscriptions can be merged into a single backend
+//! subscription" (Section III-C). The [`SubscriptionTable`] implements
+//! that merging plus the per-subscription timestamp markers of
+//! Algorithm 1: each frontend subscription remembers the newest result
+//! delivered to its subscriber (`fts`), each backend subscription the
+//! newest result fetched from the cluster (`bts`).
+
+use std::collections::{BTreeSet, HashMap};
+
+use bad_query::ParamBindings;
+use bad_types::ids::IdGen;
+use bad_types::{BackendSubId, BadError, FrontendSubId, Result, SubscriberId, Timestamp};
+
+/// One subscriber-facing subscription.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendSub {
+    /// Its identifier.
+    pub id: FrontendSubId,
+    /// The owning subscriber.
+    pub subscriber: SubscriberId,
+    /// The backend subscription it is merged into.
+    pub backend: BackendSubId,
+    /// `fts`: newest result timestamp delivered (and acknowledged).
+    pub last_delivered: Timestamp,
+    /// When the subscription was made.
+    pub created_at: Timestamp,
+}
+
+/// One merged subscription against the data cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackendEntry {
+    /// Its identifier (assigned by the cluster).
+    pub id: BackendSubId,
+    /// Channel name.
+    pub channel: String,
+    /// Bound parameters.
+    pub params: ParamBindings,
+    /// The frontend subscriptions sharing it.
+    pub frontends: BTreeSet<FrontendSubId>,
+    /// `bts`: newest result timestamp the broker has fetched/seen.
+    pub last_seen: Timestamp,
+}
+
+/// The broker's subscription state.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionTable {
+    frontends: HashMap<FrontendSubId, FrontendSub>,
+    backends: HashMap<BackendSubId, BackendEntry>,
+    /// `(channel, canonical params) -> backend` merge map.
+    merge_keys: HashMap<(String, String), BackendSubId>,
+    /// Subscriber -> its frontend subscriptions.
+    by_subscriber: HashMap<SubscriberId, BTreeSet<FrontendSubId>>,
+    fs_ids: IdGen,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frontend subscriptions.
+    pub fn frontend_count(&self) -> usize {
+        self.frontends.len()
+    }
+
+    /// Number of backend subscriptions.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Looks up the backend subscription for `(channel, params)`, if one
+    /// already exists (the merge check).
+    pub fn find_backend(&self, channel: &str, params: &ParamBindings) -> Option<BackendSubId> {
+        self.merge_keys
+            .get(&(channel.to_owned(), params.canonical_key()))
+            .copied()
+    }
+
+    /// Registers a new backend subscription (id assigned by the cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::AlreadyExists`] when the merge key is taken.
+    pub fn add_backend(
+        &mut self,
+        id: BackendSubId,
+        channel: &str,
+        params: ParamBindings,
+        now: Timestamp,
+    ) -> Result<()> {
+        let key = (channel.to_owned(), params.canonical_key());
+        if self.merge_keys.contains_key(&key) {
+            return Err(BadError::already_exists("backend subscription", format!("{key:?}")));
+        }
+        self.merge_keys.insert(key, id);
+        self.backends.insert(
+            id,
+            BackendEntry {
+                id,
+                channel: channel.to_owned(),
+                params,
+                frontends: BTreeSet::new(),
+                last_seen: now,
+            },
+        );
+        Ok(())
+    }
+
+    /// Attaches a new frontend subscription to an existing backend one.
+    ///
+    /// The frontend's `fts` marker starts at `now`: a subscriber "only
+    /// receives result objects after its subscription".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] for an unknown backend id.
+    pub fn add_frontend(
+        &mut self,
+        subscriber: SubscriberId,
+        backend: BackendSubId,
+        now: Timestamp,
+    ) -> Result<FrontendSubId> {
+        let entry = self
+            .backends
+            .get_mut(&backend)
+            .ok_or_else(|| BadError::not_found("backend subscription", backend.to_string()))?;
+        let id: FrontendSubId = self.fs_ids.next_id();
+        entry.frontends.insert(id);
+        self.frontends.insert(
+            id,
+            FrontendSub { id, subscriber, backend, last_delivered: now, created_at: now },
+        );
+        self.by_subscriber.entry(subscriber).or_default().insert(id);
+        Ok(id)
+    }
+
+    /// Looks up a frontend subscription.
+    pub fn frontend(&self, fs: FrontendSubId) -> Option<&FrontendSub> {
+        self.frontends.get(&fs)
+    }
+
+    /// Looks up a backend subscription.
+    pub fn backend(&self, bs: BackendSubId) -> Option<&BackendEntry> {
+        self.backends.get(&bs)
+    }
+
+    /// The frontend subscriptions of one subscriber.
+    pub fn subscriptions_of(&self, subscriber: SubscriberId) -> Vec<FrontendSubId> {
+        self.by_subscriber
+            .get(&subscriber)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates over all backend entries.
+    pub fn iter_backends(&self) -> impl Iterator<Item = &BackendEntry> {
+        self.backends.values()
+    }
+
+    /// Advances a backend's `bts` marker (after a notification/fetch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] for unknown ids.
+    pub fn advance_backend_marker(&mut self, bs: BackendSubId, to: Timestamp) -> Result<()> {
+        let entry = self
+            .backends
+            .get_mut(&bs)
+            .ok_or_else(|| BadError::not_found("backend subscription", bs.to_string()))?;
+        entry.last_seen = entry.last_seen.max(to);
+        Ok(())
+    }
+
+    /// Advances a frontend's `fts` marker (after delivery + ack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] for unknown ids.
+    pub fn advance_frontend_marker(&mut self, fs: FrontendSubId, to: Timestamp) -> Result<()> {
+        let sub = self
+            .frontends
+            .get_mut(&fs)
+            .ok_or_else(|| BadError::not_found("frontend subscription", fs.to_string()))?;
+        sub.last_delivered = sub.last_delivered.max(to);
+        Ok(())
+    }
+
+    /// Detaches a frontend subscription. Returns its backend id and
+    /// whether the backend now has no frontends left (and was removed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] for unknown ids, and
+    /// [`BadError::InvalidArgument`] when `subscriber` does not own `fs`.
+    pub fn remove_frontend(
+        &mut self,
+        subscriber: SubscriberId,
+        fs: FrontendSubId,
+    ) -> Result<(BackendSubId, bool)> {
+        let sub = self
+            .frontends
+            .get(&fs)
+            .ok_or_else(|| BadError::not_found("frontend subscription", fs.to_string()))?;
+        if sub.subscriber != subscriber {
+            return Err(BadError::InvalidArgument(format!(
+                "{fs} belongs to {}, not {subscriber}",
+                sub.subscriber
+            )));
+        }
+        let backend = sub.backend;
+        self.frontends.remove(&fs);
+        if let Some(set) = self.by_subscriber.get_mut(&subscriber) {
+            set.remove(&fs);
+            if set.is_empty() {
+                self.by_subscriber.remove(&subscriber);
+            }
+        }
+        let entry = self.backends.get_mut(&backend).expect("consistent table");
+        entry.frontends.remove(&fs);
+        let orphaned = entry.frontends.is_empty();
+        if orphaned {
+            let key = (entry.channel.clone(), entry.params.canonical_key());
+            self.backends.remove(&backend);
+            self.merge_keys.remove(&key);
+        }
+        Ok((backend, orphaned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_types::DataValue;
+
+    fn params(kind: &str) -> ParamBindings {
+        ParamBindings::from_pairs([("kind", DataValue::from(kind))])
+    }
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn merging_shares_backends() {
+        let mut table = SubscriptionTable::new();
+        let bs = BackendSubId::new(7);
+        table.add_backend(bs, "ByKind", params("fire"), t(0)).unwrap();
+        let a = table.add_frontend(SubscriberId::new(1), bs, t(1)).unwrap();
+        let b = table.add_frontend(SubscriberId::new(2), bs, t(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(table.find_backend("ByKind", &params("fire")), Some(bs));
+        assert_eq!(table.find_backend("ByKind", &params("flood")), None);
+        assert_eq!(table.backend(bs).unwrap().frontends.len(), 2);
+        assert_eq!(table.frontend_count(), 2);
+        assert_eq!(table.backend_count(), 1);
+    }
+
+    #[test]
+    fn markers_advance_monotonically() {
+        let mut table = SubscriptionTable::new();
+        let bs = BackendSubId::new(1);
+        table.add_backend(bs, "C", ParamBindings::new(), t(0)).unwrap();
+        let fs = table.add_frontend(SubscriberId::new(1), bs, t(5)).unwrap();
+        assert_eq!(table.frontend(fs).unwrap().last_delivered, t(5));
+        table.advance_frontend_marker(fs, t(10)).unwrap();
+        table.advance_frontend_marker(fs, t(7)).unwrap(); // no regression
+        assert_eq!(table.frontend(fs).unwrap().last_delivered, t(10));
+        table.advance_backend_marker(bs, t(42)).unwrap();
+        assert_eq!(table.backend(bs).unwrap().last_seen, t(42));
+    }
+
+    #[test]
+    fn removing_last_frontend_orphans_backend() {
+        let mut table = SubscriptionTable::new();
+        let bs = BackendSubId::new(1);
+        table.add_backend(bs, "C", params("x"), t(0)).unwrap();
+        let a = table.add_frontend(SubscriberId::new(1), bs, t(0)).unwrap();
+        let b = table.add_frontend(SubscriberId::new(2), bs, t(0)).unwrap();
+        let (backend, orphaned) = table.remove_frontend(SubscriberId::new(1), a).unwrap();
+        assert_eq!(backend, bs);
+        assert!(!orphaned);
+        let (_, orphaned) = table.remove_frontend(SubscriberId::new(2), b).unwrap();
+        assert!(orphaned);
+        assert_eq!(table.backend_count(), 0);
+        // The merge key is free again.
+        assert!(table.add_backend(BackendSubId::new(2), "C", params("x"), t(1)).is_ok());
+    }
+
+    #[test]
+    fn ownership_is_enforced() {
+        let mut table = SubscriptionTable::new();
+        let bs = BackendSubId::new(1);
+        table.add_backend(bs, "C", ParamBindings::new(), t(0)).unwrap();
+        let fs = table.add_frontend(SubscriberId::new(1), bs, t(0)).unwrap();
+        assert!(matches!(
+            table.remove_frontend(SubscriberId::new(99), fs),
+            Err(BadError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn subscriptions_of_lists_per_subscriber() {
+        let mut table = SubscriptionTable::new();
+        let bs1 = BackendSubId::new(1);
+        let bs2 = BackendSubId::new(2);
+        table.add_backend(bs1, "C", params("a"), t(0)).unwrap();
+        table.add_backend(bs2, "C", params("b"), t(0)).unwrap();
+        let alice = SubscriberId::new(1);
+        let f1 = table.add_frontend(alice, bs1, t(0)).unwrap();
+        let f2 = table.add_frontend(alice, bs2, t(0)).unwrap();
+        let mut got = table.subscriptions_of(alice);
+        got.sort();
+        assert_eq!(got, vec![f1, f2]);
+        assert!(table.subscriptions_of(SubscriberId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_merge_key_is_rejected() {
+        let mut table = SubscriptionTable::new();
+        table.add_backend(BackendSubId::new(1), "C", params("x"), t(0)).unwrap();
+        assert!(table
+            .add_backend(BackendSubId::new(2), "C", params("x"), t(0))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut table = SubscriptionTable::new();
+        assert!(table.add_frontend(SubscriberId::new(1), BackendSubId::new(9), t(0)).is_err());
+        assert!(table.advance_backend_marker(BackendSubId::new(9), t(0)).is_err());
+        assert!(table.advance_frontend_marker(FrontendSubId::new(9), t(0)).is_err());
+        assert!(table.remove_frontend(SubscriberId::new(1), FrontendSubId::new(9)).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Admission control — an extension beyond the paper's eviction/TTL
+//! dichotomy.
+//!
+//! The paper's related-work section points at *admission-based* caching
+//! ("incoming objects are admitted based on certain criteria (and then
+//! evicted or expired)"). This module provides composable admission
+//! rules that gate what enters the cache at all; rejected objects are
+//! delivered straight through and served from the durable result store
+//! on demand, exactly like NC treats everything.
+//!
+//! Admission composes with every eviction/TTL policy: the
+//! [`crate::CacheManager`] consults the configured [`AdmissionControl`]
+//! before inserting.
+
+use std::fmt;
+
+use bad_types::{ByteSize, Timestamp};
+
+use crate::object::NewObject;
+use crate::result_cache::ResultCache;
+
+/// A single admission criterion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionRule {
+    /// Admit only objects destined for at least this many pending
+    /// subscribers — low-fanout objects are cheap to re-fetch relative
+    /// to the space they hold.
+    MinFanout(usize),
+    /// Admit only objects of at most this size — one huge object can
+    /// displace dozens of popular small ones.
+    MaxObjectSize(ByteSize),
+    /// Admit only objects from caches whose subscriber count is at
+    /// least this — a per-cache popularity prefilter.
+    MinCacheSubscribers(usize),
+    /// Admit only if the object is smaller than this fraction of the
+    /// whole budget (guards against working-set monopolization).
+    MaxBudgetFraction {
+        /// Numerator of the fraction.
+        num: u64,
+        /// Denominator of the fraction.
+        den: u64,
+    },
+}
+
+impl AdmissionRule {
+    /// Evaluates the rule for `desc` arriving at `cache`.
+    pub fn admits(
+        &self,
+        cache: &ResultCache,
+        desc: &NewObject,
+        budget: ByteSize,
+        _now: Timestamp,
+    ) -> bool {
+        match *self {
+            AdmissionRule::MinFanout(min) => cache.subscriber_count() >= min,
+            AdmissionRule::MaxObjectSize(max) => desc.size <= max,
+            AdmissionRule::MinCacheSubscribers(min) => cache.subscriber_count() >= min,
+            AdmissionRule::MaxBudgetFraction { num, den } => {
+                // desc.size / budget <= num / den, in integers.
+                (desc.size.as_u64() as u128) * (den as u128)
+                    <= (budget.as_u64() as u128) * (num as u128)
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdmissionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionRule::MinFanout(n) => write!(f, "min-fanout({n})"),
+            AdmissionRule::MaxObjectSize(s) => write!(f, "max-size({s})"),
+            AdmissionRule::MinCacheSubscribers(n) => {
+                write!(f, "min-subscribers({n})")
+            }
+            AdmissionRule::MaxBudgetFraction { num, den } => {
+                write!(f, "max-budget-fraction({num}/{den})")
+            }
+        }
+    }
+}
+
+/// A conjunction of admission rules (all must pass), with counters.
+///
+/// # Examples
+///
+/// ```
+/// use bad_cache::{AdmissionControl, AdmissionRule};
+/// use bad_types::ByteSize;
+///
+/// let control = AdmissionControl::all_of([
+///     AdmissionRule::MaxObjectSize(ByteSize::from_kib(100)),
+///     AdmissionRule::MinFanout(2),
+/// ]);
+/// assert_eq!(control.rules().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdmissionControl {
+    rules: Vec<AdmissionRule>,
+}
+
+impl AdmissionControl {
+    /// Admits everything (the paper's behaviour).
+    pub fn admit_all() -> Self {
+        Self::default()
+    }
+
+    /// Requires every rule to pass.
+    pub fn all_of<I: IntoIterator<Item = AdmissionRule>>(rules: I) -> Self {
+        Self { rules: rules.into_iter().collect() }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AdmissionRule] {
+        &self.rules
+    }
+
+    /// Whether any rule is configured.
+    pub fn is_transparent(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates all rules.
+    pub fn admits(
+        &self,
+        cache: &ResultCache,
+        desc: &NewObject,
+        budget: ByteSize,
+        now: Timestamp,
+    ) -> bool {
+        self.rules.iter().all(|rule| rule.admits(cache, desc, budget, now))
+    }
+}
+
+impl fmt::Display for AdmissionControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rules.is_empty() {
+            return write!(f, "admit-all");
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_types::{BackendSubId, ObjectId, SimDuration, SubscriberId};
+
+    fn cache_with_subs(n: u64) -> ResultCache {
+        let mut cache = ResultCache::new(
+            BackendSubId::new(1),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        for s in 0..n {
+            cache.add_subscriber(SubscriberId::new(s));
+        }
+        cache
+    }
+
+    fn obj(size: u64) -> NewObject {
+        NewObject {
+            id: ObjectId::new(1),
+            ts: Timestamp::from_secs(1),
+            size: ByteSize::new(size),
+            fetch_latency: SimDuration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn min_fanout_gates_on_subscribers() {
+        let rule = AdmissionRule::MinFanout(3);
+        let budget = ByteSize::from_mib(1);
+        assert!(!rule.admits(&cache_with_subs(2), &obj(10), budget, Timestamp::ZERO));
+        assert!(rule.admits(&cache_with_subs(3), &obj(10), budget, Timestamp::ZERO));
+    }
+
+    #[test]
+    fn max_size_gates_on_object_size() {
+        let rule = AdmissionRule::MaxObjectSize(ByteSize::new(100));
+        let budget = ByteSize::from_mib(1);
+        assert!(rule.admits(&cache_with_subs(1), &obj(100), budget, Timestamp::ZERO));
+        assert!(!rule.admits(&cache_with_subs(1), &obj(101), budget, Timestamp::ZERO));
+    }
+
+    #[test]
+    fn budget_fraction_scales_with_budget() {
+        let rule = AdmissionRule::MaxBudgetFraction { num: 1, den: 10 };
+        let now = Timestamp::ZERO;
+        assert!(rule.admits(&cache_with_subs(1), &obj(100), ByteSize::new(1000), now));
+        assert!(!rule.admits(&cache_with_subs(1), &obj(101), ByteSize::new(1000), now));
+        // A bigger budget admits bigger objects.
+        assert!(rule.admits(&cache_with_subs(1), &obj(500), ByteSize::new(5000), now));
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let control = AdmissionControl::all_of([
+            AdmissionRule::MaxObjectSize(ByteSize::new(100)),
+            AdmissionRule::MinFanout(2),
+        ]);
+        let budget = ByteSize::from_mib(1);
+        let now = Timestamp::ZERO;
+        assert!(control.admits(&cache_with_subs(2), &obj(50), budget, now));
+        assert!(!control.admits(&cache_with_subs(1), &obj(50), budget, now));
+        assert!(!control.admits(&cache_with_subs(2), &obj(150), budget, now));
+    }
+
+    #[test]
+    fn admit_all_is_transparent() {
+        let control = AdmissionControl::admit_all();
+        assert!(control.is_transparent());
+        assert!(control.admits(
+            &cache_with_subs(0),
+            &obj(u64::MAX / 2),
+            ByteSize::new(1),
+            Timestamp::ZERO
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(AdmissionControl::admit_all().to_string(), "admit-all");
+        let control = AdmissionControl::all_of([
+            AdmissionRule::MinFanout(2),
+            AdmissionRule::MaxObjectSize(ByteSize::from_kib(1)),
+        ]);
+        assert_eq!(control.to_string(), "min-fanout(2) and max-size(1.00KiB)");
+    }
+}

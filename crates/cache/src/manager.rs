@@ -1,0 +1,703 @@
+//! The broker's aggregate cache manager.
+//!
+//! One [`CacheManager`] owns every per-backend-subscription
+//! [`ResultCache`] of a broker, enforces the shared budget `B` via the
+//! configured policy, runs the periodic TTL recomputation, and feeds
+//! [`CacheMetrics`].
+
+use std::collections::BTreeMap;
+
+use bad_types::{
+    BackendSubId, BadError, ByteSize, Result, SimDuration, SubscriberId, TimeRange,
+    Timestamp,
+};
+
+use crate::admission::AdmissionControl;
+use crate::index::VictimIndex;
+use crate::metrics::CacheMetrics;
+pub use crate::metrics::DropKind as DropReason;
+use crate::object::{CachedObject, NewObject};
+use crate::policy::{EvictionPolicy, PolicyKind, PolicyName};
+use crate::result_cache::{GetPlan, ResultCache};
+use crate::ttl::TtlComputer;
+
+/// Tuning knobs of the cache manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Aggregate budget `B` across all result caches.
+    pub budget: ByteSize,
+    /// Window of the λ/η moving-average rate estimators.
+    pub rate_window: SimDuration,
+    /// How often TTLs are recomputed (TTL/EXP policies).
+    pub ttl_recompute_interval: SimDuration,
+    /// TTL assigned when no cache is growing.
+    pub idle_ttl: SimDuration,
+    /// TTL a fresh cache starts with until the first recomputation.
+    pub initial_ttl: SimDuration,
+    /// Whether victim selection uses the ordered index (`O(log N)`)
+    /// instead of a linear scan (`O(N)`); results are identical.
+    pub use_victim_index: bool,
+    /// Whether fully consumed objects are dropped immediately (the
+    /// paper's behaviour). Disabling this is an ablation: objects then
+    /// only leave via eviction or expiry.
+    pub drop_on_full_consumption: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            budget: ByteSize::from_mib(50),
+            rate_window: SimDuration::from_mins(5),
+            ttl_recompute_interval: SimDuration::from_mins(1),
+            idle_ttl: SimDuration::from_hours(1),
+            initial_ttl: SimDuration::from_secs(30),
+            use_victim_index: true,
+            drop_on_full_consumption: true,
+        }
+    }
+}
+
+/// An object that left the cache, with the cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DroppedObject {
+    /// The cache the object lived in.
+    pub cache: BackendSubId,
+    /// Why it was dropped.
+    pub reason: DropReason,
+    /// The object itself.
+    pub object: CachedObject,
+}
+
+/// All result caches of one broker, under one budget and one policy.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+#[derive(Debug)]
+pub struct CacheManager {
+    policy: Box<dyn EvictionPolicy>,
+    policy_name: PolicyName,
+    config: CacheConfig,
+    admission: AdmissionControl,
+    /// Ordered so that every iteration (TTL recomputation, expiry, the
+    /// linear victim scan) is deterministic — float accumulation order
+    /// matters for bit-exact reproducibility.
+    caches: BTreeMap<BackendSubId, ResultCache>,
+    total_bytes: ByteSize,
+    index: VictimIndex,
+    ttl: TtlComputer,
+    last_ttl_recompute: Timestamp,
+    metrics: CacheMetrics,
+    admission_rejections: u64,
+}
+
+impl CacheManager {
+    /// Creates a manager with the given policy and configuration.
+    pub fn new(policy: PolicyName, config: CacheConfig) -> Self {
+        let mut ttl = TtlComputer::new(config.budget);
+        ttl.recompute_interval = config.ttl_recompute_interval;
+        ttl.idle_ttl = config.idle_ttl;
+        Self {
+            policy: policy.build(),
+            policy_name: policy,
+            config,
+            admission: AdmissionControl::admit_all(),
+            caches: BTreeMap::new(),
+            total_bytes: ByteSize::ZERO,
+            index: VictimIndex::new(),
+            ttl,
+            last_ttl_recompute: Timestamp::ZERO,
+            metrics: CacheMetrics::new(Timestamp::ZERO),
+            admission_rejections: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy_name(&self) -> PolicyName {
+        self.policy_name
+    }
+
+    /// Installs admission control (default: admit everything). Rejected
+    /// objects are not cached; subscribers fetch them from the durable
+    /// result store on demand, like any other miss.
+    pub fn set_admission(&mut self, admission: AdmissionControl) {
+        self.admission = admission;
+    }
+
+    /// The admission control in force.
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// Objects rejected by admission control so far.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections
+    }
+
+    /// How the policy bounds the cache.
+    pub fn kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Whether the broker should prefetch results into the cache on
+    /// cluster notifications (everything except the NC baseline).
+    pub fn caches_results(&self) -> bool {
+        self.policy.kind() != PolicyKind::NoCache
+    }
+
+    /// The aggregate budget `B`.
+    pub fn budget(&self) -> ByteSize {
+        self.config.budget
+    }
+
+    /// Current aggregate size across all caches.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.total_bytes
+    }
+
+    /// Number of result caches.
+    pub fn cache_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Read access to the metrics.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// Records objects fetched from the cluster due to a cache miss
+    /// (called by the broker after it completes the fetch).
+    pub fn record_miss_fetch(&mut self, objects: u64, bytes: ByteSize) {
+        self.metrics.record_misses(objects, bytes);
+    }
+
+    /// Records bytes pulled from the cluster to populate caches (`Vol`).
+    pub fn record_populate(&mut self, bytes: ByteSize) {
+        self.metrics.record_populate(bytes);
+    }
+
+    /// Looks up a cache.
+    pub fn cache(&self, bs: BackendSubId) -> Option<&ResultCache> {
+        self.caches.get(&bs)
+    }
+
+    /// Iterates over all caches.
+    pub fn iter_caches(&self) -> impl Iterator<Item = &ResultCache> {
+        self.caches.values()
+    }
+
+    /// Creates an empty cache for a new backend subscription.
+    ///
+    /// Creating a cache that already exists is a no-op.
+    pub fn create_cache(&mut self, bs: BackendSubId, now: Timestamp) {
+        let config = &self.config;
+        self.caches.entry(bs).or_insert_with(|| {
+            let mut cache = ResultCache::new(bs, now, config.rate_window);
+            cache.set_ttl(config.initial_ttl);
+            cache
+        });
+    }
+
+    /// Tears down a backend subscription's cache, dropping its objects.
+    pub fn remove_cache(&mut self, bs: BackendSubId, now: Timestamp) -> Vec<DroppedObject> {
+        let Some(mut cache) = self.caches.remove(&bs) else {
+            return Vec::new();
+        };
+        self.index.remove(bs);
+        let mut dropped = Vec::new();
+        while let Some(object) = cache.drop_tail() {
+            self.total_bytes -= object.size;
+            self.metrics.record_drop(
+                DropReason::Unsubscribed,
+                object.age(now),
+                self.total_bytes,
+                now,
+            );
+            dropped.push(DroppedObject { cache: bs, reason: DropReason::Unsubscribed, object });
+        }
+        dropped
+    }
+
+    /// Attaches a subscriber to a cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
+    pub fn add_subscriber(&mut self, bs: BackendSubId, sub: SubscriberId) -> Result<()> {
+        let cache = self.cache_mut(bs)?;
+        cache.add_subscriber(sub);
+        Ok(())
+    }
+
+    /// Detaches a subscriber from a cache, dropping objects that were
+    /// only waiting on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
+    pub fn remove_subscriber(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        let cache = self.cache_mut(bs)?;
+        let removed = cache.remove_subscriber(sub);
+        let mut dropped = Vec::new();
+        for object in removed {
+            self.total_bytes -= object.size;
+            self.metrics.record_drop(
+                DropReason::Unsubscribed,
+                object.age(now),
+                self.total_bytes,
+                now,
+            );
+            dropped.push(DroppedObject { cache: bs, reason: DropReason::Unsubscribed, object });
+        }
+        self.reindex(bs, now);
+        Ok(dropped)
+    }
+
+    /// Inserts a freshly produced result into `bs`'s cache (the `PUT`
+    /// routine of Algorithm 1), then evicts until the aggregate size is
+    /// back within budget. Returns the evicted objects.
+    ///
+    /// Under the NC policy nothing is stored and nothing is evicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
+    pub fn insert(
+        &mut self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        if self.policy.kind() == PolicyKind::NoCache {
+            // The baseline broker delivers straight through.
+            self.cache_mut(bs)?; // still validate the subscription
+            return Ok(Vec::new());
+        }
+        if !self.admission.is_transparent() {
+            let budget = self.config.budget;
+            let cache = self
+                .caches
+                .get(&bs)
+                .ok_or_else(|| BadError::not_found("cache", bs.to_string()))?;
+            if !self.admission.admits(cache, &desc, budget, now) {
+                self.admission_rejections += 1;
+                // The object is a hole in this cache's coverage: future
+                // retrievals must fetch it from the cluster.
+                self.cache_mut(bs)?.record_gap(desc.ts);
+                return Ok(Vec::new());
+            }
+        }
+        let cache = self.cache_mut(bs)?;
+        cache.insert(desc, now);
+        self.total_bytes += desc.size;
+        self.metrics.record_insert(desc.size, self.total_bytes, now);
+        self.reindex(bs, now);
+
+        let mut dropped = Vec::new();
+        if self.policy.kind() == PolicyKind::Eviction {
+            while self.total_bytes > self.config.budget {
+                let Some(victim) = self.choose_victim(now) else {
+                    break;
+                };
+                let cache = self.caches.get_mut(&victim).expect("victim exists");
+                let Some(object) = cache.drop_tail() else {
+                    // Stale index entry for an empty cache; fix and retry.
+                    self.index.remove(victim);
+                    continue;
+                };
+                self.total_bytes -= object.size;
+                self.metrics.record_drop(
+                    DropReason::Evicted,
+                    object.age(now),
+                    self.total_bytes,
+                    now,
+                );
+                self.reindex(victim, now);
+                dropped.push(DroppedObject {
+                    cache: victim,
+                    reason: DropReason::Evicted,
+                    object,
+                });
+            }
+        }
+        self.metrics.observe_peak(self.total_bytes);
+        Ok(dropped)
+    }
+
+    /// Plans a range retrieval against `bs`'s cache (Algorithm 1 `GET`)
+    /// and records the cache-served part in the metrics. The caller is
+    /// responsible for fetching `plan.missed` from the cluster and then
+    /// calling [`CacheManager::record_miss_fetch`].
+    ///
+    /// A missing cache (NC policy or unknown subscription) misses the
+    /// whole range.
+    pub fn plan_get(
+        &mut self,
+        bs: BackendSubId,
+        range: TimeRange,
+        now: Timestamp,
+    ) -> GetPlan {
+        let all_missed = |range: TimeRange| GetPlan {
+            cached: Vec::new(),
+            cached_bytes: ByteSize::ZERO,
+            missed: if range.is_empty() { Vec::new() } else { vec![range] },
+        };
+        if self.policy.kind() == PolicyKind::NoCache {
+            return all_missed(range);
+        }
+        let Some(cache) = self.caches.get_mut(&bs) else {
+            return all_missed(range);
+        };
+        let plan = cache.plan_get(range, now);
+        self.metrics.record_hits(plan.cached.len() as u64, plan.cached_bytes);
+        self.reindex(bs, now);
+        plan
+    }
+
+    /// Marks everything up to `up_to` as retrieved by `sub` (the `ACK`
+    /// routine), dropping fully consumed objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
+    pub fn ack_consume(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        let drop_consumed = self.config.drop_on_full_consumption;
+        let cache = self.cache_mut(bs)?;
+        let removed = if drop_consumed {
+            cache.consume_up_to(sub, up_to, now)
+        } else {
+            cache.mark_retrieved_up_to(sub, up_to);
+            Vec::new()
+        };
+        let mut dropped = Vec::new();
+        for object in removed {
+            self.total_bytes -= object.size;
+            self.metrics.record_drop(
+                DropReason::Consumed,
+                object.age(now),
+                self.total_bytes,
+                now,
+            );
+            dropped.push(DroppedObject { cache: bs, reason: DropReason::Consumed, object });
+        }
+        self.reindex(bs, now);
+        Ok(dropped)
+    }
+
+    /// Periodic maintenance: recomputes TTLs on schedule (TTL and EXP
+    /// policies) and expires tails under the TTL policy. The caller
+    /// should invoke this on a regular tick; the work is proportional to
+    /// the number of caches only when something is due.
+    pub fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject> {
+        let mut dropped = Vec::new();
+        if self.policy.uses_ttl()
+            && now.since(self.last_ttl_recompute) >= self.ttl.recompute_interval
+        {
+            self.ttl.recompute(self.caches.values_mut(), now);
+            self.last_ttl_recompute = now;
+            if self.policy.kind() == PolicyKind::Eviction && self.config.use_victim_index
+            {
+                // EXP scores are expiry instants; refresh them all.
+                let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
+                for bs in ids {
+                    self.reindex(bs, now);
+                }
+            }
+        }
+        if self.policy.kind() == PolicyKind::TtlExpiry {
+            let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
+            for bs in ids {
+                let cache = self.caches.get_mut(&bs).expect("listed");
+                for object in cache.expire_tail(now) {
+                    self.total_bytes -= object.size;
+                    self.metrics.record_drop(
+                        DropReason::Expired,
+                        object.age(now),
+                        self.total_bytes,
+                        now,
+                    );
+                    dropped.push(DroppedObject {
+                        cache: bs,
+                        reason: DropReason::Expired,
+                        object,
+                    });
+                }
+            }
+        }
+        self.metrics.observe_peak(self.total_bytes);
+        dropped
+    }
+
+    /// The expected aggregate size `Σ ρ_i · T_i` under current TTLs
+    /// (Fig. 5a overlay).
+    pub fn expected_ttl_size(&self, now: Timestamp) -> ByteSize {
+        self.ttl.expected_total_size(self.caches.values(), now)
+    }
+
+    /// The victim the policy would evict from right now, if any —
+    /// exposed for tests, benchmarks and the ablation comparing indexed
+    /// vs linear selection.
+    pub fn choose_victim(&self, now: Timestamp) -> Option<BackendSubId> {
+        if self.config.use_victim_index {
+            self.index.min()
+        } else {
+            self.linear_victim(now)
+        }
+    }
+
+    /// Linear-scan victim selection over all non-empty caches.
+    pub fn linear_victim(&self, now: Timestamp) -> Option<BackendSubId> {
+        self.caches
+            .values()
+            .filter(|c| !c.is_empty())
+            .map(|c| (self.policy.score(c, now), c.id()))
+            .min_by(|(a, ia), (b, ib)| a.total_cmp(b).then(ia.cmp(ib)))
+            .map(|(_, id)| id)
+    }
+
+    fn reindex(&mut self, bs: BackendSubId, now: Timestamp) {
+        if !self.config.use_victim_index || self.policy.kind() != PolicyKind::Eviction {
+            return;
+        }
+        match self.caches.get(&bs) {
+            Some(cache) if !cache.is_empty() => {
+                self.index.update(bs, self.policy.score(cache, now));
+            }
+            _ => self.index.remove(bs),
+        }
+    }
+
+    fn cache_mut(&mut self, bs: BackendSubId) -> Result<&mut ResultCache> {
+        self.caches
+            .get_mut(&bs)
+            .ok_or_else(|| BadError::not_found("cache", bs.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_types::ObjectId;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    fn obj(id: u64, ts_secs: u64, size: u64) -> NewObject {
+        NewObject {
+            id: ObjectId::new(id),
+            ts: t(ts_secs),
+            size: ByteSize::new(size),
+            fetch_latency: SimDuration::from_millis(500),
+        }
+    }
+
+    fn manager(policy: PolicyName, budget: u64) -> CacheManager {
+        CacheManager::new(
+            policy,
+            CacheConfig { budget: ByteSize::new(budget), ..CacheConfig::default() },
+        )
+    }
+
+    /// Creates `n` caches with one subscriber each.
+    fn with_caches(mgr: &mut CacheManager, n: u64) {
+        for i in 0..n {
+            let bs = BackendSubId::new(i);
+            mgr.create_cache(bs, Timestamp::ZERO);
+            mgr.add_subscriber(bs, SubscriberId::new(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_total_within_budget() {
+        let mut mgr = manager(PolicyName::Lsc, 100);
+        with_caches(&mut mgr, 2);
+        let mut next_id = 0;
+        for sec in 1..=20u64 {
+            for bs in 0..2u64 {
+                mgr.insert(BackendSubId::new(bs), obj(next_id, sec, 30), t(sec)).unwrap();
+                next_id += 1;
+                assert!(mgr.total_bytes() <= ByteSize::new(100));
+            }
+        }
+        assert!(mgr.metrics().evicted_objects > 0);
+    }
+
+    #[test]
+    fn lsc_evicts_fewest_subscriber_tail() {
+        let mut mgr = manager(PolicyName::Lsc, 100);
+        let lonely = BackendSubId::new(1);
+        let popular = BackendSubId::new(2);
+        mgr.create_cache(lonely, Timestamp::ZERO);
+        mgr.create_cache(popular, Timestamp::ZERO);
+        mgr.add_subscriber(lonely, SubscriberId::new(1)).unwrap();
+        for s in 10..15 {
+            mgr.add_subscriber(popular, SubscriberId::new(s)).unwrap();
+        }
+        mgr.insert(lonely, obj(1, 1, 60), t(1)).unwrap();
+        mgr.insert(popular, obj(2, 2, 60), t(2)).unwrap(); // over budget
+        let dropped: Vec<_> = mgr.insert(popular, obj(3, 3, 10), t(3)).unwrap();
+        // The lonely cache's tail went first (fanout 1 < 5).
+        let all: Vec<BackendSubId> = dropped.iter().map(|d| d.cache).collect();
+        assert!(mgr.cache(lonely).unwrap().is_empty() || all.contains(&lonely));
+        assert!(!mgr.cache(popular).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nc_policy_stores_nothing() {
+        let mut mgr = manager(PolicyName::Nc, 1_000_000);
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
+        assert_eq!(mgr.total_bytes(), ByteSize::ZERO);
+        let plan = mgr.plan_get(bs, TimeRange::closed(t(0), t(1)), t(2));
+        assert!(plan.cached.is_empty());
+        assert_eq!(plan.missed, vec![TimeRange::closed(t(0), t(1))]);
+        assert!(!mgr.caches_results());
+    }
+
+    #[test]
+    fn ttl_policy_can_exceed_budget_until_expiry() {
+        let mut mgr = CacheManager::new(
+            PolicyName::Ttl,
+            CacheConfig {
+                budget: ByteSize::new(50),
+                ttl_recompute_interval: SimDuration::from_secs(5),
+                idle_ttl: SimDuration::from_secs(30),
+                ..CacheConfig::default()
+            },
+        );
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        for sec in 1..=5u64 {
+            mgr.insert(bs, obj(sec, sec, 30), t(sec)).unwrap();
+        }
+        // No eviction: TTL caches grow beyond the budget.
+        assert!(mgr.total_bytes() > ByteSize::new(50));
+        // After the idle TTL elapses, maintenance expires the tails.
+        mgr.maintain(t(10)); // recompute TTLs
+        let dropped = mgr.maintain(t(40));
+        assert!(!dropped.is_empty());
+        assert!(dropped.iter().all(|d| d.reason == DropReason::Expired));
+    }
+
+    #[test]
+    fn consumption_drops_do_not_count_as_evictions() {
+        let mut mgr = manager(PolicyName::Lsc, 1000);
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
+        let dropped = mgr.ack_consume(bs, SubscriberId::new(0), t(1), t(2)).unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].reason, DropReason::Consumed);
+        assert_eq!(mgr.metrics().consumed_objects, 1);
+        assert_eq!(mgr.metrics().evicted_objects, 0);
+        assert_eq!(mgr.total_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn plan_get_records_hits() {
+        let mut mgr = manager(PolicyName::Lru, 1000);
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
+        let plan = mgr.plan_get(bs, TimeRange::closed(t(0), t(1)), t(2));
+        assert_eq!(plan.cached.len(), 1);
+        mgr.record_miss_fetch(2, ByteSize::new(50));
+        let m = mgr.metrics();
+        assert_eq!(m.requested_objects, 3);
+        assert_eq!(m.hit_objects, 1);
+        assert_eq!(m.miss_objects, 2);
+        assert_eq!(m.hit_ratio(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn indexed_and_linear_victims_agree() {
+        let mut indexed = manager(PolicyName::Lscz, u64::MAX);
+        let mut linear = CacheManager::new(
+            PolicyName::Lscz,
+            CacheConfig {
+                budget: ByteSize::MAX,
+                use_victim_index: false,
+                ..CacheConfig::default()
+            },
+        );
+        for mgr in [&mut indexed, &mut linear] {
+            with_caches(mgr, 4);
+            for i in 0..4u64 {
+                let bs = BackendSubId::new(i);
+                mgr.insert(bs, obj(i, 1, 10 + i * 37), t(1)).unwrap();
+            }
+        }
+        assert_eq!(indexed.choose_victim(t(2)), linear.choose_victim(t(2)));
+    }
+
+    #[test]
+    fn remove_cache_drops_everything() {
+        let mut mgr = manager(PolicyName::Lsc, 1000);
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
+        mgr.insert(bs, obj(2, 2, 100), t(2)).unwrap();
+        let dropped = mgr.remove_cache(bs, t(3));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(mgr.total_bytes(), ByteSize::ZERO);
+        assert_eq!(mgr.cache_count(), 0);
+        // Unknown cache afterwards: operations error, reads are empty.
+        assert!(mgr.insert(bs, obj(3, 3, 10), t(3)).is_err());
+        assert!(mgr.remove_cache(bs, t(3)).is_empty());
+    }
+
+    #[test]
+    fn unknown_cache_errors() {
+        let mut mgr = manager(PolicyName::Lsc, 1000);
+        let bs = BackendSubId::new(9);
+        assert!(mgr.add_subscriber(bs, SubscriberId::new(1)).is_err());
+        assert!(mgr.ack_consume(bs, SubscriberId::new(1), t(1), t(1)).is_err());
+        assert!(mgr.remove_subscriber(bs, SubscriberId::new(1), t(1)).is_err());
+    }
+
+    #[test]
+    fn oversized_object_evicts_itself_gracefully() {
+        let mut mgr = manager(PolicyName::Lsc, 50);
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        // Object bigger than the whole budget: it is admitted then evicted
+        // immediately; the budget invariant is restored.
+        let dropped = mgr.insert(bs, obj(1, 1, 200), t(1)).unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(mgr.total_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn exp_policy_recomputes_ttls_via_maintain() {
+        let mut mgr = CacheManager::new(
+            PolicyName::Exp,
+            CacheConfig {
+                budget: ByteSize::new(1000),
+                ttl_recompute_interval: SimDuration::from_secs(1),
+                ..CacheConfig::default()
+            },
+        );
+        with_caches(&mut mgr, 1);
+        let bs = BackendSubId::new(0);
+        mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
+        let before = mgr.cache(bs).unwrap().ttl();
+        mgr.maintain(t(10));
+        let after = mgr.cache(bs).unwrap().ttl();
+        // The recomputation replaced the construction default with a
+        // rate-derived TTL bounded by the idle ceiling.
+        assert_ne!(after, before);
+        assert!(after <= mgr.ttl.idle_ttl);
+        assert!(after >= mgr.ttl.min_ttl);
+    }
+}

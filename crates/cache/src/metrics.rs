@@ -1,0 +1,244 @@
+//! Cache-side measurement of every quantity the paper's evaluation plots.
+//!
+//! * **hit ratio** — objects served from cache / objects requested,
+//! * **hit byte / miss byte** — bytes served from cache vs bytes fetched
+//!   from the cluster due to misses,
+//! * **fetch** — total bytes pulled from the cluster (`Vol` + miss bytes),
+//! * **holding time** — how long objects stay cached before being dropped,
+//! * **time-averaged and maximum cache size** (Fig. 5a), where the time
+//!   average weights each size by how long the cache stayed at that size.
+
+use bad_types::{ByteSize, SimDuration, Timestamp};
+
+/// Why an object left the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropKind {
+    /// Every attached subscriber retrieved it.
+    Consumed,
+    /// Evicted by the policy under budget pressure.
+    Evicted,
+    /// Its TTL expired.
+    Expired,
+    /// Its subscription was torn down.
+    Unsubscribed,
+}
+
+/// Aggregate metrics for one broker's cache manager.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMetrics {
+    // --- request/hit accounting -----------------------------------------
+    /// Objects requested by subscribers.
+    pub requested_objects: u64,
+    /// Objects served from the cache.
+    pub hit_objects: u64,
+    /// Objects fetched from the cluster on misses.
+    pub miss_objects: u64,
+    /// Bytes served from the cache.
+    pub hit_bytes: ByteSize,
+    /// Bytes fetched from the cluster due to misses.
+    pub miss_bytes: ByteSize,
+    /// Bytes pulled from the cluster to populate caches (the paper's
+    /// `Vol` component of *fetch*).
+    pub populate_bytes: ByteSize,
+
+    // --- occupancy -------------------------------------------------------
+    /// Objects inserted.
+    pub inserted_objects: u64,
+    /// Bytes inserted.
+    pub inserted_bytes: ByteSize,
+    /// Objects dropped, by cause.
+    pub consumed_objects: u64,
+    /// Objects evicted by the policy.
+    pub evicted_objects: u64,
+    /// Objects expired by TTL.
+    pub expired_objects: u64,
+    /// Objects dropped by unsubscription.
+    pub unsubscribed_objects: u64,
+
+    // --- holding times ----------------------------------------------------
+    holding_total: SimDuration,
+    holding_count: u64,
+
+    // --- size over time ---------------------------------------------------
+    /// `∫ size dt` in byte·microseconds.
+    size_integral: u128,
+    last_size_change: Timestamp,
+    current_size: ByteSize,
+    /// Construction anchor for the size integral, in microseconds.
+    start_micros: u64,
+    /// Largest aggregate size ever observed.
+    pub max_bytes: ByteSize,
+}
+
+impl CacheMetrics {
+    /// Creates zeroed metrics anchored at `start` for the size integral.
+    pub fn new(start: Timestamp) -> Self {
+        Self {
+            last_size_change: start,
+            start_micros: start.as_micros(),
+            ..Self::default()
+        }
+    }
+
+    /// Records objects served from cache during a retrieval.
+    pub fn record_hits(&mut self, objects: u64, bytes: ByteSize) {
+        self.requested_objects += objects;
+        self.hit_objects += objects;
+        self.hit_bytes += bytes;
+    }
+
+    /// Records objects that had to be fetched from the cluster.
+    pub fn record_misses(&mut self, objects: u64, bytes: ByteSize) {
+        self.requested_objects += objects;
+        self.miss_objects += objects;
+        self.miss_bytes += bytes;
+    }
+
+    /// Records bytes pulled from the cluster to populate a cache.
+    pub fn record_populate(&mut self, bytes: ByteSize) {
+        self.populate_bytes += bytes;
+    }
+
+    /// Records an insertion and the new aggregate size.
+    pub fn record_insert(&mut self, bytes: ByteSize, total: ByteSize, now: Timestamp) {
+        self.inserted_objects += 1;
+        self.inserted_bytes += bytes;
+        self.record_size(total, now);
+    }
+
+    /// Records a drop with its cause and residence time.
+    pub fn record_drop(
+        &mut self,
+        kind: DropKind,
+        held_for: SimDuration,
+        total: ByteSize,
+        now: Timestamp,
+    ) {
+        match kind {
+            DropKind::Consumed => self.consumed_objects += 1,
+            DropKind::Evicted => self.evicted_objects += 1,
+            DropKind::Expired => self.expired_objects += 1,
+            DropKind::Unsubscribed => self.unsubscribed_objects += 1,
+        }
+        self.holding_total += held_for;
+        self.holding_count += 1;
+        self.record_size(total, now);
+    }
+
+    /// Updates the time-weighted size integral with a new aggregate size.
+    ///
+    /// The maximum is *not* updated here: operations like `PUT` overshoot
+    /// transiently (append, then evict back under budget), and the
+    /// paper's "maximum cache size" is the largest *settled* size. Call
+    /// [`CacheMetrics::observe_peak`] once an operation completes.
+    pub fn record_size(&mut self, total: ByteSize, now: Timestamp) {
+        let dt = now.since(self.last_size_change);
+        self.size_integral +=
+            self.current_size.as_u64() as u128 * dt.as_micros() as u128;
+        self.last_size_change = self.last_size_change.max(now);
+        self.current_size = total;
+    }
+
+    /// Records a settled aggregate size for the maximum-size metric.
+    pub fn observe_peak(&mut self, total: ByteSize) {
+        self.max_bytes = self.max_bytes.max(total);
+    }
+
+    /// Fraction of requested objects served from the cache, in `[0, 1]`.
+    /// Returns `None` before any request.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        if self.requested_objects == 0 {
+            None
+        } else {
+            Some(self.hit_objects as f64 / self.requested_objects as f64)
+        }
+    }
+
+    /// Total bytes pulled from the data cluster: population + misses.
+    pub fn fetched_bytes(&self) -> ByteSize {
+        self.populate_bytes + self.miss_bytes
+    }
+
+    /// Mean residence time of dropped objects.
+    pub fn mean_holding_time(&self) -> Option<SimDuration> {
+        if self.holding_count == 0 {
+            None
+        } else {
+            Some(self.holding_total / self.holding_count)
+        }
+    }
+
+    /// Time-averaged aggregate cache size from the anchor to `end`.
+    pub fn time_averaged_bytes(&self, end: Timestamp) -> ByteSize {
+        let dt = end.since(self.last_size_change);
+        let integral = self.size_integral
+            + self.current_size.as_u64() as u128 * dt.as_micros() as u128;
+        let span = self.size_integral_span(end);
+        if span == 0 {
+            return self.current_size;
+        }
+        ByteSize::new((integral / span as u128) as u64)
+    }
+
+    fn size_integral_span(&self, end: Timestamp) -> u64 {
+        end.as_micros().saturating_sub(self.start_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_ratio_counts_objects() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        assert_eq!(m.hit_ratio(), None);
+        m.record_hits(3, ByteSize::new(300));
+        m.record_misses(1, ByteSize::new(100));
+        assert_eq!(m.hit_ratio(), Some(0.75));
+        assert_eq!(m.hit_bytes, ByteSize::new(300));
+        assert_eq!(m.miss_bytes, ByteSize::new(100));
+    }
+
+    #[test]
+    fn fetched_is_populate_plus_miss() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        m.record_populate(ByteSize::new(1000));
+        m.record_misses(1, ByteSize::new(50));
+        assert_eq!(m.fetched_bytes(), ByteSize::new(1050));
+    }
+
+    #[test]
+    fn holding_time_averages_drops() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        m.record_drop(DropKind::Evicted, SimDuration::from_secs(10), ByteSize::ZERO, t(1));
+        m.record_drop(DropKind::Consumed, SimDuration::from_secs(20), ByteSize::ZERO, t(2));
+        assert_eq!(m.mean_holding_time(), Some(SimDuration::from_secs(15)));
+        assert_eq!(m.evicted_objects, 1);
+        assert_eq!(m.consumed_objects, 1);
+    }
+
+    #[test]
+    fn time_average_weights_by_duration() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        // Size 100 during [0, 10), size 300 during [10, 20).
+        m.record_size(ByteSize::new(100), t(0));
+        m.record_size(ByteSize::new(300), t(10));
+        let avg = m.time_averaged_bytes(t(20));
+        assert_eq!(avg, ByteSize::new(200));
+        // Max tracks settled sizes only, via observe_peak.
+        assert_eq!(m.max_bytes, ByteSize::ZERO);
+        m.observe_peak(ByteSize::new(300));
+        assert_eq!(m.max_bytes, ByteSize::new(300));
+    }
+
+    #[test]
+    fn time_average_with_no_span_is_current() {
+        let m = CacheMetrics::new(Timestamp::ZERO);
+        assert_eq!(m.time_averaged_bytes(Timestamp::ZERO), ByteSize::ZERO);
+    }
+}

@@ -1,0 +1,497 @@
+//! Caching policies (Table I and Section V of the paper).
+//!
+//! All eviction policies share the same mechanism: when the aggregate
+//! cache exceeds the budget `B`, the manager drops the *tail* object of
+//! the cache whose tail currently has the **minimum score**. The paper
+//! derives this from a 0/1-knapsack relaxation: drop the object with the
+//! least value-to-size ratio `φ_ij / s_ij`, restricted to per-cache tails
+//! so victim selection is linear (or logarithmic with an index) in the
+//! number of caches rather than objects.
+//!
+//! | name | utility `Δ` | value `φ` | dropping criterion |
+//! |------|-------------|-----------|--------------------|
+//! | LSCz | uniform, 1  | `f`       | min `f/s`          |
+//! | LSC  | size, `s`   | `f·s`     | min `f`            |
+//! | LSD  | latency, `l`| `f·l`     | min `f·l/s`        |
+//! | LRU  | —           | —         | least recently accessed cache |
+//! | EXP  | —           | —         | earliest to expire / most expired |
+//! | TTL  | —           | —         | periodic expiration, no eviction |
+//! | NC   | —           | —         | never caches (baseline) |
+
+use std::fmt;
+use std::str::FromStr;
+
+use bad_types::{BadError, Timestamp};
+
+use crate::result_cache::ResultCache;
+
+/// How a policy bounds the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Evicts tail objects when the aggregate size exceeds the budget.
+    Eviction,
+    /// Expires objects on per-cache TTLs; size is bounded in expectation
+    /// only.
+    TtlExpiry,
+    /// Caches nothing at all.
+    NoCache,
+}
+
+/// A victim-scoring policy.
+///
+/// Implementations must be pure functions of the cache state passed in:
+/// the [`crate::CacheManager`] re-scores a cache only when it mutates, so
+/// hidden state or clock dependence (beyond the provided `now`) would
+/// desynchronize the victim index. This trait is object-safe and used as
+/// `Box<dyn EvictionPolicy>`.
+pub trait EvictionPolicy: fmt::Debug + Send {
+    /// The policy's short name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// How this policy bounds the cache.
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Eviction
+    }
+
+    /// The victim score of a cache; the cache with the minimum score
+    /// loses its tail object. Only meaningful for non-empty caches.
+    fn score(&self, cache: &ResultCache, now: Timestamp) -> f64;
+
+    /// Whether the policy needs the periodic TTL recomputation of
+    /// Section IV-B (true for TTL itself and for its eviction flavour
+    /// EXP, whose scores are expiry instants).
+    fn uses_ttl(&self) -> bool {
+        false
+    }
+}
+
+/// Least-recently-used: drop from the cache accessed longest ago.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
+        cache.last_access().as_micros() as f64
+    }
+}
+
+/// Least-subscribed content: drop the tail with the fewest pending
+/// subscribers (`min f`) — maximizes hit *bytes*; an LFU variant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lsc;
+
+impl EvictionPolicy for Lsc {
+    fn name(&self) -> &'static str {
+        "LSC"
+    }
+
+    fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
+        cache.tail().map_or(f64::INFINITY, |t| t.fanout() as f64)
+    }
+}
+
+/// Size-normalized LSC: drop the tail with the fewest pending subscribers
+/// per byte (`min f/s`) — maximizes hit *count* (uniform utility).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lscz;
+
+impl EvictionPolicy for Lscz {
+    fn name(&self) -> &'static str {
+        "LSCz"
+    }
+
+    fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
+        cache.tail().map_or(f64::INFINITY, |t| t.subscribers_per_byte())
+    }
+}
+
+/// Least subscriber delay: drop the tail with the least `f·l/s` —
+/// maximizes the total re-fetch latency avoided (latency utility).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lsd;
+
+impl EvictionPolicy for Lsd {
+    fn name(&self) -> &'static str {
+        "LSD"
+    }
+
+    fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
+        cache.tail().map_or(f64::INFINITY, |t| t.delay_value_per_byte())
+    }
+}
+
+/// Eviction flavour of TTL: drop the object that has already expired
+/// furthest in the past, otherwise the one that will expire soonest.
+/// Both orders coincide with "minimum expiry instant", so the score is
+/// simply the tail's expiry instant, *frozen at insertion time* — later
+/// TTL recomputations do not retroactively extend or shrink an admitted
+/// object's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exp;
+
+impl EvictionPolicy for Exp {
+    fn name(&self) -> &'static str {
+        "EXP"
+    }
+
+    fn uses_ttl(&self) -> bool {
+        true
+    }
+
+    fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
+        cache
+            .tail()
+            .map_or(f64::INFINITY, |t| t.frozen_expiry.as_micros() as f64)
+    }
+}
+
+/// TTL expiration (Section IV-B): no eviction; the manager periodically
+/// expires tails older than each cache's `T_i`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ttl;
+
+impl EvictionPolicy for Ttl {
+    fn name(&self) -> &'static str {
+        "TTL"
+    }
+
+    fn uses_ttl(&self) -> bool {
+        true
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TtlExpiry
+    }
+
+    fn score(&self, _cache: &ResultCache, _now: Timestamp) -> f64 {
+        // Never consulted: TTL caches are not evicted.
+        f64::INFINITY
+    }
+}
+
+/// No-cache baseline (the prototype evaluation's "NC"): every retrieval
+/// goes to the data cluster.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCache;
+
+impl EvictionPolicy for NoCache {
+    fn name(&self) -> &'static str {
+        "NC"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::NoCache
+    }
+
+    fn score(&self, _cache: &ResultCache, _now: Timestamp) -> f64 {
+        f64::INFINITY
+    }
+}
+
+/// Policy selector used in configuration, sweeps and the CLI harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PolicyName {
+    /// [`Lru`]
+    Lru,
+    /// [`Lsc`]
+    Lsc,
+    /// [`Lscz`]
+    Lscz,
+    /// [`Lsd`]
+    Lsd,
+    /// [`Exp`]
+    Exp,
+    /// [`Ttl`]
+    Ttl,
+    /// [`NoCache`]
+    Nc,
+}
+
+impl PolicyName {
+    /// All policies, in the order the paper's figures list them.
+    pub const ALL: [PolicyName; 7] = [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+        PolicyName::Exp,
+        PolicyName::Ttl,
+        PolicyName::Nc,
+    ];
+
+    /// The eviction/TTL policies compared in the simulation figures
+    /// (Figs. 3–5), i.e. everything except the no-cache baseline.
+    pub const SIMULATED: [PolicyName; 6] = [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+        PolicyName::Exp,
+        PolicyName::Ttl,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyName::Lru => Box::new(Lru),
+            PolicyName::Lsc => Box::new(Lsc),
+            PolicyName::Lscz => Box::new(Lscz),
+            PolicyName::Lsd => Box::new(Lsd),
+            PolicyName::Exp => Box::new(Exp),
+            PolicyName::Ttl => Box::new(Ttl),
+            PolicyName::Nc => Box::new(NoCache),
+        }
+    }
+
+    /// The display name used in figures.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyName::Lru => "LRU",
+            PolicyName::Lsc => "LSC",
+            PolicyName::Lscz => "LSCz",
+            PolicyName::Lsd => "LSD",
+            PolicyName::Exp => "EXP",
+            PolicyName::Ttl => "TTL",
+            PolicyName::Nc => "NC",
+        }
+    }
+}
+
+impl fmt::Display for PolicyName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for PolicyName {
+    type Err = BadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(PolicyName::Lru),
+            "lsc" => Ok(PolicyName::Lsc),
+            "lscz" => Ok(PolicyName::Lscz),
+            "lsd" => Ok(PolicyName::Lsd),
+            "exp" => Ok(PolicyName::Exp),
+            "ttl" => Ok(PolicyName::Ttl),
+            "nc" | "nocache" | "none" => Ok(PolicyName::Nc),
+            other => Err(BadError::InvalidArgument(format!(
+                "unknown caching policy `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A row of the paper's Table I / Section V policy listing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyInfo {
+    /// Policy selector.
+    pub name: PolicyName,
+    /// Utility gain `Δ(i,j,k)` of the knapsack derivation, if any.
+    pub utility: &'static str,
+    /// Caching value `φ_ij`, if any.
+    pub value: &'static str,
+    /// Dropping criterion as stated in the paper.
+    pub dropping: &'static str,
+}
+
+/// The policy catalog — the contents of Table I plus the extra schemes of
+/// Section V, used by the `table1` experiment binary.
+pub fn policy_catalog() -> Vec<PolicyInfo> {
+    vec![
+        PolicyInfo {
+            name: PolicyName::Lscz,
+            utility: "uniform, 1",
+            value: "f_ij",
+            dropping: "min f_ij / s_ij",
+        },
+        PolicyInfo {
+            name: PolicyName::Lsc,
+            utility: "size, s_ij",
+            value: "f_ij * s_ij",
+            dropping: "min f_ij",
+        },
+        PolicyInfo {
+            name: PolicyName::Lsd,
+            utility: "latency, l_ij",
+            value: "f_ij * l_ij",
+            dropping: "min f_ij * l_ij / s_ij",
+        },
+        PolicyInfo {
+            name: PolicyName::Lru,
+            utility: "-",
+            value: "-",
+            dropping: "drop from the least recently accessed cache",
+        },
+        PolicyInfo {
+            name: PolicyName::Exp,
+            utility: "-",
+            value: "-",
+            dropping: "earliest object to be expired",
+        },
+        PolicyInfo {
+            name: PolicyName::Ttl,
+            utility: "-",
+            value: "-",
+            dropping: "drop objects when TTL expires",
+        },
+        PolicyInfo {
+            name: PolicyName::Nc,
+            utility: "-",
+            value: "-",
+            dropping: "never caches (baseline)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::NewObject;
+    use bad_types::{BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId};
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    /// Cache with one tail object of given fanout/size/latency.
+    fn cache(id: u64, fanout: u64, size: u64, latency_ms: u64) -> ResultCache {
+        let mut c = ResultCache::new(
+            BackendSubId::new(id),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        for s in 0..fanout {
+            c.add_subscriber(SubscriberId::new(id * 100 + s));
+        }
+        c.insert(
+            NewObject {
+                id: ObjectId::new(id),
+                ts: t(1),
+                size: ByteSize::new(size),
+                fetch_latency: SimDuration::from_millis(latency_ms),
+            },
+            t(1),
+        );
+        c
+    }
+
+    #[test]
+    fn lsc_prefers_fewest_subscribers() {
+        let few = cache(1, 1, 100, 500);
+        let many = cache(2, 9, 100, 500);
+        assert!(Lsc.score(&few, t(2)) < Lsc.score(&many, t(2)));
+    }
+
+    #[test]
+    fn lscz_normalizes_by_size() {
+        // Same fanout; the bigger object has fewer subscribers per byte.
+        let big = cache(1, 2, 1000, 500);
+        let small = cache(2, 2, 10, 500);
+        assert!(Lscz.score(&big, t(2)) < Lscz.score(&small, t(2)));
+    }
+
+    #[test]
+    fn lsd_weighs_refetch_latency() {
+        let cheap = cache(1, 2, 100, 10);
+        let costly = cache(2, 2, 100, 5000);
+        assert!(Lsd.score(&cheap, t(2)) < Lsd.score(&costly, t(2)));
+    }
+
+    #[test]
+    fn lru_prefers_stale_caches() {
+        let mut stale = cache(1, 1, 100, 500);
+        let mut fresh = cache(2, 1, 100, 500);
+        stale.plan_get(bad_types::TimeRange::closed(t(0), t(1)), t(2));
+        fresh.plan_get(bad_types::TimeRange::closed(t(0), t(1)), t(50));
+        assert!(Lru.score(&stale, t(51)) < Lru.score(&fresh, t(51)));
+    }
+
+    #[test]
+    fn exp_orders_by_frozen_expiry_instant() {
+        // Expiry is frozen at insertion with the cache's TTL at that time.
+        let mut soon = ResultCache::new(
+            BackendSubId::new(1),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        soon.add_subscriber(SubscriberId::new(1));
+        soon.set_ttl(SimDuration::from_secs(5));
+        soon.insert(
+            NewObject {
+                id: ObjectId::new(1),
+                ts: t(1),
+                size: ByteSize::new(100),
+                fetch_latency: SimDuration::from_millis(500),
+            },
+            t(1),
+        ); // frozen expiry at t=6
+
+        let mut late = ResultCache::new(
+            BackendSubId::new(2),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        late.add_subscriber(SubscriberId::new(2));
+        late.set_ttl(SimDuration::from_secs(500));
+        late.insert(
+            NewObject {
+                id: ObjectId::new(2),
+                ts: t(1),
+                size: ByteSize::new(100),
+                fetch_latency: SimDuration::from_millis(500),
+            },
+            t(1),
+        ); // frozen expiry at t=501
+
+        assert!(Exp.score(&soon, t(2)) < Exp.score(&late, t(2)));
+        // An already-expired object still has the smallest score.
+        assert!(Exp.score(&soon, t(100)) < Exp.score(&late, t(100)));
+        // Raising the TTL afterwards does not rescue admitted objects.
+        soon.set_ttl(SimDuration::from_hours(2));
+        assert!(Exp.score(&soon, t(100)) < Exp.score(&late, t(100)));
+    }
+
+    #[test]
+    fn empty_caches_never_win_victim_selection() {
+        let empty = ResultCache::new(
+            BackendSubId::new(9),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        for policy in [&Lsc as &dyn EvictionPolicy, &Lscz, &Lsd, &Exp] {
+            assert_eq!(policy.score(&empty, t(1)), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn names_parse_and_display() {
+        for name in PolicyName::ALL {
+            assert_eq!(name.as_str().parse::<PolicyName>().unwrap(), name);
+            assert_eq!(name.build().name(), name.as_str());
+        }
+        assert!("bogus".parse::<PolicyName>().is_err());
+    }
+
+    #[test]
+    fn kinds_are_consistent() {
+        assert_eq!(PolicyName::Ttl.build().kind(), PolicyKind::TtlExpiry);
+        assert_eq!(PolicyName::Nc.build().kind(), PolicyKind::NoCache);
+        for name in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd, PolicyName::Exp] {
+            assert_eq!(name.build().kind(), PolicyKind::Eviction);
+        }
+    }
+
+    #[test]
+    fn catalog_covers_all_policies() {
+        let catalog = policy_catalog();
+        assert_eq!(catalog.len(), PolicyName::ALL.len());
+        for name in PolicyName::ALL {
+            assert!(catalog.iter().any(|info| info.name == name));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Sliding-window byte-rate estimation.
+//!
+//! The TTL computation of Section IV-B needs the broker to "keep track of
+//! the incoming data rate and the consumption rate of each cache (by
+//! calculating moving averages over time)". [`RateEstimator`] implements
+//! that moving average over a fixed time window.
+
+use std::collections::VecDeque;
+
+use bad_types::{SimDuration, Timestamp};
+
+/// A moving-average estimator of a byte rate over a sliding time window.
+///
+/// # Examples
+///
+/// ```
+/// use bad_cache::RateEstimator;
+/// use bad_types::{SimDuration, Timestamp};
+///
+/// let mut est = RateEstimator::new(SimDuration::from_secs(10));
+/// est.record(Timestamp::from_secs(1), 1000);
+/// est.record(Timestamp::from_secs(2), 1000);
+/// // 2000 bytes over a 10 s window => 200 B/s.
+/// assert_eq!(est.rate(Timestamp::from_secs(5)), 200.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    window: SimDuration,
+    /// `(when, bytes)` events inside the window, oldest first.
+    events: VecDeque<(Timestamp, u64)>,
+    /// Running sum of `events` bytes.
+    in_window: u64,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with the given averaging window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "rate window must be positive");
+        Self { window, events: VecDeque::new(), in_window: 0 }
+    }
+
+    /// The averaging window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records `bytes` observed at time `now`.
+    pub fn record(&mut self, now: Timestamp, bytes: u64) {
+        self.prune(now);
+        self.events.push_back((now, bytes));
+        self.in_window += bytes;
+    }
+
+    /// The average rate in bytes/second over the window ending at `now`.
+    pub fn rate(&self, now: Timestamp) -> f64 {
+        let cutoff = now - self.window;
+        let live: u64 = self
+            .events
+            .iter()
+            .filter(|&&(ts, _)| ts > cutoff)
+            .map(|&(_, b)| b)
+            .sum();
+        live as f64 / self.window.as_secs_f64()
+    }
+
+    /// Total bytes currently inside the window (pruned lazily).
+    pub fn bytes_in_window(&mut self, now: Timestamp) -> u64 {
+        self.prune(now);
+        self.in_window
+    }
+
+    fn prune(&mut self, now: Timestamp) {
+        let cutoff = now - self.window;
+        while let Some(&(ts, bytes)) = self.events.front() {
+            if ts <= cutoff {
+                self.events.pop_front();
+                self.in_window -= bytes;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn rate_is_bytes_over_window() {
+        let mut est = RateEstimator::new(SimDuration::from_secs(10));
+        est.record(t(1), 500);
+        est.record(t(3), 500);
+        assert_eq!(est.rate(t(5)), 100.0);
+    }
+
+    #[test]
+    fn old_events_age_out() {
+        let mut est = RateEstimator::new(SimDuration::from_secs(10));
+        est.record(t(1), 1000);
+        assert!(est.rate(t(5)) > 0.0);
+        // At t=20 the event at t=1 is outside the (10, 20] window.
+        assert_eq!(est.rate(t(20)), 0.0);
+        assert_eq!(est.bytes_in_window(t(20)), 0);
+    }
+
+    #[test]
+    fn empty_estimator_has_zero_rate() {
+        let est = RateEstimator::new(SimDuration::from_secs(10));
+        assert_eq!(est.rate(t(100)), 0.0);
+    }
+
+    #[test]
+    fn record_prunes_incrementally() {
+        let mut est = RateEstimator::new(SimDuration::from_secs(2));
+        for sec in 0..100u64 {
+            est.record(t(sec), 10);
+        }
+        // Only the events within the last 2 s remain buffered.
+        assert!(est.events.len() <= 3, "len = {}", est.events.len());
+        assert_eq!(est.rate(t(99)), 10.0); // 20 bytes / 2 s
+    }
+
+    #[test]
+    #[should_panic(expected = "rate window must be positive")]
+    fn zero_window_panics() {
+        RateEstimator::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,178 @@
+//! TTL computation (Section IV-B).
+//!
+//! The broker periodically assigns each cache `i` a TTL
+//!
+//! ```text
+//! T_i = n_i · B / Σ_j n_j · ρ_j          (eq. 7)
+//! ```
+//!
+//! where `n_i` is the number of attached subscribers, `ρ_i = (λ_i − η_i)⁺`
+//! the measured net growth rate, and `B` the aggregate cache budget. The
+//! weights are proportional to subscriber counts (`ω_i = n_i / Σ n_j`),
+//! and by construction `Σ ρ_i · T_i = B` (eq. 5) — so the *expected*
+//! total cache size matches the budget, though the instantaneous size may
+//! exceed it.
+
+use bad_types::{ByteSize, SimDuration, Timestamp};
+
+use crate::result_cache::ResultCache;
+
+/// Computes per-cache TTLs from measured rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TtlComputer {
+    /// Aggregate cache budget `B`.
+    pub budget: ByteSize,
+    /// How often the broker recomputes TTLs (the paper suggests every
+    /// few minutes).
+    pub recompute_interval: SimDuration,
+    /// TTL assigned when no cache is growing (`Σ n_j ρ_j = 0`) — with no
+    /// pressure, objects may live this long by default.
+    pub idle_ttl: SimDuration,
+    /// Lower clamp so a burst cannot drive TTLs to zero.
+    pub min_ttl: SimDuration,
+}
+
+impl TtlComputer {
+    /// Creates a computer with the paper-style defaults: recompute every
+    /// 5 minutes, a 1 h idle TTL and a 1 s floor.
+    pub fn new(budget: ByteSize) -> Self {
+        Self {
+            budget,
+            recompute_interval: SimDuration::from_mins(5),
+            idle_ttl: SimDuration::from_hours(1),
+            min_ttl: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Computes and assigns `T_i` for every cache per eq. (7).
+    ///
+    /// Returns the denominator `Σ_j n_j ρ_j` (bytes/s) that was used; a
+    /// zero denominator means every cache received [`TtlComputer::idle_ttl`].
+    pub fn recompute<'a, I>(&self, caches: I, now: Timestamp) -> f64
+    where
+        I: IntoIterator<Item = &'a mut ResultCache>,
+    {
+        let caches: Vec<&'a mut ResultCache> = caches.into_iter().collect();
+        let denom: f64 = caches
+            .iter()
+            .map(|c| c.subscriber_count() as f64 * c.growth_rate(now))
+            .sum();
+        for cache in caches {
+            let ttl = if denom <= f64::EPSILON {
+                self.idle_ttl
+            } else {
+                let n_i = cache.subscriber_count() as f64;
+                let secs = n_i * self.budget.as_u64() as f64 / denom;
+                SimDuration::from_secs_f64(secs).max(self.min_ttl).min(self.idle_ttl)
+            };
+            cache.set_ttl(ttl);
+        }
+        denom
+    }
+
+    /// The expected aggregate size `Σ ρ_i · T_i` under the *current* TTL
+    /// assignment — the quantity Fig. 5(a) overlays against the budget.
+    pub fn expected_total_size<'a, I>(&self, caches: I, now: Timestamp) -> ByteSize
+    where
+        I: IntoIterator<Item = &'a ResultCache>,
+    {
+        let total: f64 = caches
+            .into_iter()
+            .map(|c| c.growth_rate(now) * c.ttl().as_secs_f64())
+            .sum();
+        ByteSize::new(total.round().max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::NewObject;
+    use bad_types::{BackendSubId, ObjectId, SubscriberId};
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    /// Builds a cache with `subs` subscribers receiving `byte_rate` B/s
+    /// of never-consumed arrivals over 60 s.
+    fn growing_cache(id: u64, subs: u64, byte_rate: u64) -> ResultCache {
+        let mut c = ResultCache::new(
+            BackendSubId::new(id),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        for s in 0..subs {
+            c.add_subscriber(SubscriberId::new(id * 1000 + s));
+        }
+        for sec in 0..300u64 {
+            c.insert(
+                NewObject {
+                    id: ObjectId::new(id * 100_000 + sec),
+                    ts: t(sec),
+                    size: ByteSize::new(byte_rate),
+                    fetch_latency: SimDuration::from_millis(500),
+                },
+                t(sec),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn eq5_holds_sum_rho_ttl_equals_budget() {
+        let budget = ByteSize::from_mib(1);
+        let computer = TtlComputer::new(budget);
+        let mut caches =
+            vec![growing_cache(1, 5, 2000), growing_cache(2, 10, 1000), growing_cache(3, 1, 4000)];
+        let now = t(300);
+        let denom = computer.recompute(caches.iter_mut(), now);
+        assert!(denom > 0.0);
+        let expected = computer.expected_total_size(caches.iter().map(|c| &*c), now);
+        let b = budget.as_u64() as f64;
+        let got = expected.as_u64() as f64;
+        assert!(
+            (got - b).abs() / b < 0.01,
+            "Σρ_iT_i = {got}, budget = {b}"
+        );
+    }
+
+    #[test]
+    fn ttl_is_proportional_to_subscribers() {
+        let computer = TtlComputer::new(ByteSize::from_mib(1));
+        let mut a = growing_cache(1, 2, 1000);
+        let mut b = growing_cache(2, 6, 1000);
+        computer.recompute([&mut a, &mut b], t(300));
+        let ratio = b.ttl().as_secs_f64() / a.ttl().as_secs_f64();
+        assert!((ratio - 3.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn idle_caches_get_idle_ttl() {
+        let computer = TtlComputer::new(ByteSize::from_mib(10));
+        let mut c = ResultCache::new(
+            BackendSubId::new(1),
+            Timestamp::ZERO,
+            SimDuration::from_mins(5),
+        );
+        c.add_subscriber(SubscriberId::new(1));
+        let denom = computer.recompute([&mut c], t(10));
+        assert_eq!(denom, 0.0);
+        assert_eq!(c.ttl(), computer.idle_ttl);
+    }
+
+    #[test]
+    fn ttl_respects_floor_and_ceiling() {
+        // Huge growth, tiny budget -> TTL would be microscopic; clamp.
+        let computer = TtlComputer::new(ByteSize::new(1));
+        let mut c = growing_cache(1, 1, 10_000_000);
+        computer.recompute([&mut c], t(300));
+        assert_eq!(c.ttl(), computer.min_ttl);
+
+        // Tiny growth, huge budget -> TTL capped at idle_ttl.
+        let computer = TtlComputer::new(ByteSize::from_gib(100));
+        let mut c = growing_cache(2, 1, 1);
+        computer.recompute([&mut c], t(300));
+        assert_eq!(c.ttl(), computer.idle_ttl);
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the caching core: budget invariants, victim
+//! index consistency and Algorithm-1 range partitioning under random
+//! operation sequences.
+
+use bad_cache::{CacheConfig, CacheManager, NewObject, PolicyName};
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+use proptest::prelude::*;
+
+/// A randomized operation against the manager.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { cache: u64, size: u64 },
+    Get { cache: u64, from_sec: u64, len_sec: u64 },
+    Ack { cache: u64, sub: u64, up_to_sec: u64 },
+    AddSub { cache: u64, sub: u64 },
+    RemoveSub { cache: u64, sub: u64 },
+    Maintain,
+}
+
+fn arb_op(caches: u64, subs: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..caches, 1u64..5000).prop_map(|(cache, size)| Op::Insert { cache, size }),
+        3 => (0..caches, 0u64..500, 0u64..100)
+            .prop_map(|(cache, from_sec, len_sec)| Op::Get { cache, from_sec, len_sec }),
+        2 => (0..caches, 0..subs, 0u64..500)
+            .prop_map(|(cache, sub, up_to_sec)| Op::Ack { cache, sub, up_to_sec }),
+        1 => (0..caches, 0..subs).prop_map(|(cache, sub)| Op::AddSub { cache, sub }),
+        1 => (0..caches, 0..subs).prop_map(|(cache, sub)| Op::RemoveSub { cache, sub }),
+        1 => Just(Op::Maintain),
+    ]
+}
+
+/// Runs an op sequence against a manager; returns it for inspection.
+fn run_ops(policy: PolicyName, budget: u64, use_index: bool, ops: &[Op]) -> CacheManager {
+    let config = CacheConfig {
+        budget: ByteSize::new(budget),
+        use_victim_index: use_index,
+        ttl_recompute_interval: SimDuration::from_secs(30),
+        ..CacheConfig::default()
+    };
+    let mut mgr = CacheManager::new(policy, config);
+    let n_caches = 4u64;
+    for c in 0..n_caches {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        // Every cache starts with one permanent subscriber so objects are
+        // not instantly consumed.
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c)).unwrap();
+    }
+    let mut next_id = 0u64;
+    let mut next_ts = 1u64;
+    for op in ops {
+        let now = Timestamp::from_secs(next_ts);
+        match *op {
+            Op::Insert { cache, size } => {
+                let desc = NewObject {
+                    id: ObjectId::new(next_id),
+                    ts: now,
+                    size: ByteSize::new(size),
+                    fetch_latency: SimDuration::from_millis(500),
+                };
+                next_id += 1;
+                mgr.insert(BackendSubId::new(cache), desc, now).unwrap();
+            }
+            Op::Get { cache, from_sec, len_sec } => {
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(from_sec),
+                    Timestamp::from_secs(from_sec + len_sec),
+                );
+                let _ = mgr.plan_get(BackendSubId::new(cache), range, now);
+            }
+            Op::Ack { cache, sub, up_to_sec } => {
+                let _ = mgr.ack_consume(
+                    BackendSubId::new(cache),
+                    SubscriberId::new(sub),
+                    Timestamp::from_secs(up_to_sec),
+                    now,
+                );
+            }
+            Op::AddSub { cache, sub } => {
+                mgr.add_subscriber(BackendSubId::new(cache), SubscriberId::new(sub))
+                    .unwrap();
+            }
+            Op::RemoveSub { cache, sub } => {
+                let _ = mgr.remove_subscriber(
+                    BackendSubId::new(cache),
+                    SubscriberId::new(sub),
+                    now,
+                );
+            }
+            Op::Maintain => {
+                mgr.maintain(now);
+            }
+        }
+        next_ts += 1;
+    }
+    mgr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eviction policies never let the aggregate size exceed the budget
+    /// after an insert completes, and the tracked total always equals the
+    /// sum over caches.
+    #[test]
+    fn eviction_respects_budget(
+        ops in prop::collection::vec(arb_op(4, 8), 1..120),
+        policy in prop::sample::select(vec![
+            PolicyName::Lru,
+            PolicyName::Lsc,
+            PolicyName::Lscz,
+            PolicyName::Lsd,
+            PolicyName::Exp,
+        ]),
+    ) {
+        let mgr = run_ops(policy, 10_000, true, &ops);
+        prop_assert!(mgr.total_bytes() <= mgr.budget());
+        let sum: ByteSize = mgr.iter_caches().map(|c| c.total_bytes()).sum();
+        prop_assert_eq!(sum, mgr.total_bytes());
+    }
+
+    /// The ordered victim index and the linear scan always agree on the
+    /// victim's score (they may tie-break differently between caches with
+    /// exactly equal scores).
+    #[test]
+    fn victim_index_agrees_with_linear_scan(
+        ops in prop::collection::vec(arb_op(4, 8), 1..120),
+        policy in prop::sample::select(vec![
+            PolicyName::Lru,
+            PolicyName::Lsc,
+            PolicyName::Lscz,
+            PolicyName::Lsd,
+        ]),
+    ) {
+        let mgr = run_ops(policy, u64::MAX, true, &ops);
+        let now = Timestamp::from_secs(10_000);
+        let indexed = mgr.choose_victim(now);
+        let linear = mgr.linear_victim(now);
+        prop_assert_eq!(indexed.is_some(), linear.is_some());
+        if let (Some(a), Some(b)) = (indexed, linear) {
+            let policy = mgr.policy_name().build();
+            let score_a = policy.score(mgr.cache(a).unwrap(), now);
+            let score_b = policy.score(mgr.cache(b).unwrap(), now);
+            prop_assert_eq!(score_a.total_cmp(&score_b), std::cmp::Ordering::Equal,
+                "indexed={} linear={}", score_a, score_b);
+        }
+    }
+
+    /// Algorithm-1 partition: for any request range, the cached part and
+    /// the missed part are disjoint, ordered, and jointly cover exactly
+    /// the requested interval intersected with what was ever produced.
+    #[test]
+    fn get_plan_partitions_the_range(
+        sizes in prop::collection::vec(1u64..1000, 1..40),
+        evict_count in 0usize..20,
+        from_sec in 0u64..50,
+        len_sec in 0u64..50,
+    ) {
+        let config = CacheConfig {
+            budget: ByteSize::MAX,
+            ..CacheConfig::default()
+        };
+        let mut mgr = CacheManager::new(PolicyName::Lsc, config);
+        let bs = BackendSubId::new(0);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1)).unwrap();
+
+        // Produce objects at t = 1, 2, ... seconds.
+        let mut produced: Vec<(u64, Timestamp)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let ts = Timestamp::from_secs(i as u64 + 1);
+            mgr.insert(bs, NewObject {
+                id: ObjectId::new(i as u64),
+                ts,
+                size: ByteSize::new(size),
+                fetch_latency: SimDuration::from_millis(1),
+            }, ts).unwrap();
+            produced.push((i as u64, ts));
+        }
+        // Force some evictions through a shrunken budget replay: emulate
+        // by consuming... instead, drop tails directly via a tiny second
+        // manager is overkill — here we re-create with small budget.
+        let _ = evict_count;
+
+        let now = Timestamp::from_secs(1000);
+        let range = TimeRange::closed(
+            Timestamp::from_secs(from_sec),
+            Timestamp::from_secs(from_sec + len_sec),
+        );
+        let plan = mgr.plan_get(bs, range, now);
+
+        // Every produced object in the range is either in the cached list
+        // or inside the missed range; nothing is in both.
+        for &(id, ts) in &produced {
+            if !range.contains(ts) { continue; }
+            let in_cached = plan.cached.iter().any(|&(oid, _, _)| oid.as_u64() == id);
+            let in_missed = plan.missed.iter().any(|m| m.contains(ts));
+            prop_assert!(in_cached ^ in_missed || (in_cached && !in_missed),
+                "object {id} at {ts}: cached={in_cached} missed={in_missed}");
+            prop_assert!(in_cached || in_missed,
+                "object {id} at {ts} fell through the partition");
+        }
+        // Cached list is timestamp-ordered.
+        prop_assert!(plan.cached.windows(2).all(|w| w[0].1 <= w[1].1));
+        // cached_bytes is consistent.
+        let total: ByteSize = plan.cached.iter().map(|&(_, _, s)| s).sum();
+        prop_assert_eq!(total, plan.cached_bytes);
+    }
+
+    /// With evictions: replay the same stream against a small budget and
+    /// check the partition again (missed ranges now non-trivial).
+    #[test]
+    fn get_plan_partitions_after_evictions(
+        sizes in prop::collection::vec(1u64..1000, 1..40),
+        from_sec in 0u64..50,
+        len_sec in 0u64..50,
+    ) {
+        let total: u64 = sizes.iter().sum();
+        let config = CacheConfig {
+            budget: ByteSize::new((total / 3).max(1)),
+            ..CacheConfig::default()
+        };
+        let mut mgr = CacheManager::new(PolicyName::Lscz, config);
+        let bs = BackendSubId::new(0);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1)).unwrap();
+
+        let mut produced: Vec<(u64, Timestamp)> = Vec::new();
+        let mut evicted: Vec<u64> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let ts = Timestamp::from_secs(i as u64 + 1);
+            let dropped = mgr.insert(bs, NewObject {
+                id: ObjectId::new(i as u64),
+                ts,
+                size: ByteSize::new(size),
+                fetch_latency: SimDuration::from_millis(1),
+            }, ts).unwrap();
+            evicted.extend(dropped.iter().map(|d| d.object.id.as_u64()));
+            produced.push((i as u64, ts));
+        }
+
+        let now = Timestamp::from_secs(1000);
+        let range = TimeRange::closed(
+            Timestamp::from_secs(from_sec),
+            Timestamp::from_secs(from_sec + len_sec),
+        );
+        let plan = mgr.plan_get(bs, range, now);
+
+        for &(id, ts) in &produced {
+            if !range.contains(ts) { continue; }
+            let in_cached = plan.cached.iter().any(|&(oid, _, _)| oid.as_u64() == id);
+            let in_missed = plan.missed.iter().any(|m| m.contains(ts));
+            // Exactly one of cached/missed holds for every produced object.
+            prop_assert!(in_cached || in_missed,
+                "object {id} at {ts} lost (evicted={})", evicted.contains(&id));
+            prop_assert!(!(in_cached && in_missed),
+                "object {id} at {ts} double-covered");
+            // Evicted objects must be in the missed range, resident ones cached.
+            if evicted.contains(&id) {
+                prop_assert!(in_missed);
+            } else {
+                prop_assert!(in_cached);
+            }
+        }
+    }
+}

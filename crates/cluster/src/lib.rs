@@ -1,0 +1,58 @@
+//! The BAD data cluster, reproduced in-process.
+//!
+//! The original system runs Apache AsterixDB extended with *channels* —
+//! "instantiable versions of queries with parameters that execute
+//! perpetually in the data cluster". This crate provides the same
+//! contract to the broker tier:
+//!
+//! * datasets with open/closed schemas receiving publications
+//!   ([`bad_storage`]),
+//! * **continuous channels** matched on every arriving publication and
+//!   **repetitive channels** executed periodically over records
+//!   accumulated since the last execution ([`bad_query::ChannelMode`]),
+//! * a matching engine with an equality-partition subscription index,
+//! * *enrichment*: matched results can be augmented with related records
+//!   joined from auxiliary datasets — the "enriched notifications" of the
+//!   paper's title,
+//! * per-backend-subscription result datasets with timestamped range
+//!   retrieval, and
+//! * webhook-style notifications to the broker when new results land.
+//!
+//! # Examples
+//!
+//! ```
+//! use bad_cluster::DataCluster;
+//! use bad_storage::Schema;
+//! use bad_query::ParamBindings;
+//! use bad_types::{DataValue, TimeRange, Timestamp};
+//!
+//! let mut cluster = DataCluster::new();
+//! cluster.create_dataset("Reports", Schema::open())?;
+//! cluster.register_channel(
+//!     "channel ByKind(kind: string) from Reports r where r.kind == $kind select r",
+//! )?;
+//! let bs = cluster.subscribe(
+//!     "ByKind",
+//!     ParamBindings::from_pairs([("kind", DataValue::from("fire"))]),
+//!     Timestamp::ZERO,
+//! )?;
+//! let notifications = cluster.publish(
+//!     "Reports",
+//!     Timestamp::from_secs(1),
+//!     DataValue::parse_json(r#"{"kind":"fire","sev":2}"#)?,
+//! )?;
+//! assert_eq!(notifications.len(), 1);
+//! let results = cluster.fetch(bs, TimeRange::closed(Timestamp::ZERO, Timestamp::from_secs(1)));
+//! assert_eq!(results.len(), 1);
+//! # Ok::<(), bad_types::BadError>(())
+//! ```
+
+pub mod cluster;
+pub mod enrichment;
+pub mod matcher;
+pub mod notifier;
+
+pub use cluster::{ClusterStats, DataCluster};
+pub use enrichment::EnrichmentRule;
+pub use matcher::{MatchIndex, SubscriptionEntry};
+pub use notifier::{CollectingSink, Notification, NotificationSink};

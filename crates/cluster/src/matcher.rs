@@ -1,0 +1,302 @@
+//! The publication-matching engine.
+//!
+//! With up to a thousand backend subscriptions per channel, evaluating
+//! every predicate against every publication is wasteful. When a channel
+//! predicate contains a top-level `r.field == $param` conjunct, the
+//! matcher partitions its subscriptions by the *bound value* of that
+//! parameter; a publication then only needs full predicate evaluation
+//! against the partition matching its own field value (plus the residual
+//! subscriptions with no usable equality key).
+
+use std::collections::BTreeMap;
+
+use bad_query::{ChannelSpec, ParamBindings};
+use bad_types::{BackendSubId, DataValue, Result, Timestamp};
+
+/// One backend subscription registered with the matcher.
+#[derive(Clone, Debug)]
+pub struct SubscriptionEntry {
+    /// The subscription id handed back to the broker.
+    pub id: BackendSubId,
+    /// Bound parameter values.
+    pub params: ParamBindings,
+    /// When the subscription was created; publications are only matched
+    /// against subscriptions that already existed.
+    pub created_at: Timestamp,
+}
+
+/// Per-channel subscription index.
+///
+/// # Examples
+///
+/// ```
+/// use bad_cluster::MatchIndex;
+/// use bad_query::{ChannelSpec, ParamBindings};
+/// use bad_types::{BackendSubId, DataValue, Timestamp};
+///
+/// let spec = ChannelSpec::parse(
+///     "channel ByKind(kind: string) from Reports r where r.kind == $kind select r",
+/// )?;
+/// let mut index = MatchIndex::new(&spec);
+/// index.add(BackendSubId::new(1),
+///           ParamBindings::from_pairs([("kind", DataValue::from("fire"))]),
+///           Timestamp::ZERO);
+/// let record = DataValue::parse_json(r#"{"kind":"fire"}"#)?;
+/// let matched = index.matching_subscriptions(&spec, &record)?;
+/// assert_eq!(matched.len(), 1);
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MatchIndex {
+    /// The equality key `(record field, parameter name)` used for
+    /// partitioning, if the channel predicate offers one.
+    key: Option<(String, String)>,
+    /// Partitioned subscriptions, keyed by the canonical JSON of the
+    /// bound parameter value (ordered for deterministic match order).
+    partitions: BTreeMap<String, Vec<SubscriptionEntry>>,
+    /// Subscriptions with no usable equality key value.
+    residual: Vec<SubscriptionEntry>,
+    /// Total number of subscriptions in the index.
+    len: usize,
+    /// Full-predicate evaluations performed (for the index ablation).
+    pub evaluations: u64,
+}
+
+impl MatchIndex {
+    /// Creates an index for one channel, extracting the equality key from
+    /// its predicate.
+    pub fn new(spec: &ChannelSpec) -> Self {
+        let key = spec.equality_param_fields().into_iter().next();
+        Self {
+            key,
+            partitions: BTreeMap::new(),
+            residual: Vec::new(),
+            len: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Creates an index that never partitions (brute-force baseline for
+    /// the matcher ablation).
+    pub fn brute_force() -> Self {
+        Self {
+            key: None,
+            partitions: BTreeMap::new(),
+            residual: Vec::new(),
+            len: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The partition key in use, if any.
+    pub fn partition_key(&self) -> Option<(&str, &str)> {
+        self.key.as_ref().map(|(f, p)| (f.as_str(), p.as_str()))
+    }
+
+    /// Registers a subscription.
+    pub fn add(&mut self, id: BackendSubId, params: ParamBindings, created_at: Timestamp) {
+        let entry = SubscriptionEntry { id, params, created_at };
+        self.len += 1;
+        if let Some((_, param)) = &self.key {
+            if let Some(value) = entry.params.get(param) {
+                self.partitions
+                    .entry(value.to_json_string())
+                    .or_default()
+                    .push(entry);
+                return;
+            }
+        }
+        self.residual.push(entry);
+    }
+
+    /// Removes a subscription by id. Returns whether it was present.
+    pub fn remove(&mut self, id: BackendSubId) -> bool {
+        let all = self
+            .partitions
+            .values_mut()
+            .chain(std::iter::once(&mut self.residual));
+        for list in all {
+            if let Some(pos) = list.iter().position(|e| e.id == id) {
+                list.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns the subscriptions whose predicate matches `record`,
+    /// consulting only the relevant partition plus the residual list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`bad_types::BadError::Type`]) from
+    /// ill-typed predicates; a predicate that merely does not match is
+    /// not an error.
+    pub fn matching_subscriptions(
+        &mut self,
+        spec: &ChannelSpec,
+        record: &DataValue,
+    ) -> Result<Vec<BackendSubId>> {
+        let mut matched = Vec::new();
+        // Candidates: the partition whose key equals the record's field
+        // value, plus residual subscriptions.
+        if let Some((field, _)) = &self.key {
+            if let Some(value) = record.get_path(field) {
+                let key = value.to_json_string();
+                if let Some(list) = self.partitions.get(&key) {
+                    for entry in list {
+                        self.evaluations += 1;
+                        if spec.matches(record, &entry.params)? {
+                            matched.push(entry.id);
+                        }
+                    }
+                }
+            }
+            // A record without the field can still match residuals only.
+        } else {
+            for list in self.partitions.values() {
+                for entry in list {
+                    self.evaluations += 1;
+                    if spec.matches(record, &entry.params)? {
+                        matched.push(entry.id);
+                    }
+                }
+            }
+        }
+        for entry in &self.residual {
+            self.evaluations += 1;
+            if spec.matches(record, &entry.params)? {
+                matched.push(entry.id);
+            }
+        }
+        Ok(matched)
+    }
+
+    /// Iterates over all registered subscriptions.
+    pub fn iter(&self) -> impl Iterator<Item = &SubscriptionEntry> {
+        self.partitions.values().flatten().chain(self.residual.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChannelSpec {
+        ChannelSpec::parse(
+            "channel ByKind(kind: string, min: int) from Reports r \
+             where r.kind == $kind and r.sev >= $min select r",
+        )
+        .unwrap()
+    }
+
+    fn params(kind: &str, min: i64) -> ParamBindings {
+        ParamBindings::from_pairs([
+            ("kind", DataValue::from(kind)),
+            ("min", DataValue::from(min)),
+        ])
+    }
+
+    fn record(kind: &str, sev: i64) -> DataValue {
+        DataValue::object([
+            ("kind", DataValue::from(kind)),
+            ("sev", DataValue::from(sev)),
+        ])
+    }
+
+    #[test]
+    fn partitions_by_equality_value() {
+        let spec = spec();
+        let mut idx = MatchIndex::new(&spec);
+        assert_eq!(idx.partition_key(), Some(("kind", "kind")));
+        idx.add(BackendSubId::new(1), params("fire", 0), Timestamp::ZERO);
+        idx.add(BackendSubId::new(2), params("flood", 0), Timestamp::ZERO);
+        idx.add(BackendSubId::new(3), params("fire", 5), Timestamp::ZERO);
+
+        let got = idx.matching_subscriptions(&spec, &record("fire", 3)).unwrap();
+        assert_eq!(got, vec![BackendSubId::new(1)]);
+        // Only the "fire" partition was evaluated: 2 evaluations, not 3.
+        assert_eq!(idx.evaluations, 2);
+    }
+
+    #[test]
+    fn brute_force_matches_same_set() {
+        let spec = spec();
+        let mut indexed = MatchIndex::new(&spec);
+        let mut brute = MatchIndex::brute_force();
+        for (i, (kind, min)) in
+            [("fire", 0), ("flood", 2), ("fire", 5), ("quake", 1)].iter().enumerate()
+        {
+            indexed.add(BackendSubId::new(i as u64), params(kind, *min), Timestamp::ZERO);
+            brute.add(BackendSubId::new(i as u64), params(kind, *min), Timestamp::ZERO);
+        }
+        for rec in [record("fire", 6), record("flood", 1), record("nope", 9)] {
+            let mut a = indexed.matching_subscriptions(&spec, &rec).unwrap();
+            let mut b = brute.matching_subscriptions(&spec, &rec).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        // The index does strictly fewer predicate evaluations.
+        assert!(indexed.evaluations < brute.evaluations);
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let spec = spec();
+        let mut idx = MatchIndex::new(&spec);
+        idx.add(BackendSubId::new(1), params("fire", 0), Timestamp::ZERO);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(BackendSubId::new(1)));
+        assert!(!idx.remove(BackendSubId::new(1)));
+        assert!(idx.is_empty());
+        let got = idx.matching_subscriptions(&spec, &record("fire", 9)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn record_missing_key_field_skips_partitions() {
+        let spec = spec();
+        let mut idx = MatchIndex::new(&spec);
+        idx.add(BackendSubId::new(1), params("fire", 0), Timestamp::ZERO);
+        let rec = DataValue::object([("sev", DataValue::from(9i64))]);
+        let got = idx.matching_subscriptions(&spec, &rec).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(idx.evaluations, 0);
+    }
+
+    #[test]
+    fn channel_without_equality_key_scans_all() {
+        let spec = ChannelSpec::parse(
+            "channel Sev(min: int) from Reports r where r.sev >= $min select r",
+        )
+        .unwrap();
+        let mut idx = MatchIndex::new(&spec);
+        assert_eq!(idx.partition_key(), None);
+        idx.add(BackendSubId::new(1), ParamBindings::from_pairs([("min", DataValue::from(2i64))]), Timestamp::ZERO);
+        idx.add(BackendSubId::new(2), ParamBindings::from_pairs([("min", DataValue::from(7i64))]), Timestamp::ZERO);
+        let got = idx.matching_subscriptions(&spec, &record("any", 5)).unwrap();
+        assert_eq!(got, vec![BackendSubId::new(1)]);
+        assert_eq!(idx.evaluations, 2);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let spec = spec();
+        let mut idx = MatchIndex::new(&spec);
+        idx.add(BackendSubId::new(1), params("fire", 0), Timestamp::ZERO);
+        idx.add(BackendSubId::new(2), params("flood", 0), Timestamp::ZERO);
+        assert_eq!(idx.iter().count(), 2);
+    }
+}

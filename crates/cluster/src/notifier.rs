@@ -1,0 +1,99 @@
+//! Webhook-style result notifications.
+//!
+//! When a broker subscribes on a client's behalf it "registers a callback
+//! URL ... that the data cluster invokes to notify the broker when
+//! results against that subscription is available". In-process, the
+//! callback is a [`NotificationSink`].
+
+use bad_types::{BackendSubId, ByteSize, Timestamp};
+
+/// One "new results available" callback payload.
+///
+/// Matches the paper's PULL model: the notification carries a resource
+/// handle (here: the subscription id and the latest result timestamp),
+/// and the broker fetches the actual objects afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Notification {
+    /// The backend subscription that gained results.
+    pub backend_sub: BackendSubId,
+    /// Timestamp of the newest result now available.
+    pub latest_ts: Timestamp,
+    /// How many new results this notification covers.
+    pub count: u64,
+    /// Total size of the new results.
+    pub bytes: ByteSize,
+}
+
+/// A receiver for cluster notifications (the broker's webhook).
+pub trait NotificationSink {
+    /// Delivers one notification.
+    fn notify(&mut self, notification: Notification);
+}
+
+/// A sink that simply records notifications (tests, drivers).
+#[derive(Clone, Debug, Default)]
+pub struct CollectingSink {
+    /// Everything received so far, in order.
+    pub received: Vec<Notification>,
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns the notifications received so far.
+    pub fn drain(&mut self) -> Vec<Notification> {
+        std::mem::take(&mut self.received)
+    }
+}
+
+impl NotificationSink for CollectingSink {
+    fn notify(&mut self, notification: Notification) {
+        self.received.push(notification);
+    }
+}
+
+impl<F: FnMut(Notification)> NotificationSink for F {
+    fn notify(&mut self, notification: Notification) {
+        self(notification);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_records_in_order() {
+        let mut sink = CollectingSink::new();
+        for i in 0..3 {
+            sink.notify(Notification {
+                backend_sub: BackendSubId::new(i),
+                latest_ts: Timestamp::from_secs(i),
+                count: 1,
+                bytes: ByteSize::new(10),
+            });
+        }
+        let got = sink.drain();
+        assert_eq!(got.len(), 3);
+        assert!(got.windows(2).all(|w| w[0].backend_sub < w[1].backend_sub));
+        assert!(sink.received.is_empty());
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0u64;
+        {
+            let mut sink = |n: Notification| seen += n.count;
+            sink.notify(Notification {
+                backend_sub: BackendSubId::new(1),
+                latest_ts: Timestamp::ZERO,
+                count: 5,
+                bytes: ByteSize::ZERO,
+            });
+        }
+        assert_eq!(seen, 5);
+    }
+}

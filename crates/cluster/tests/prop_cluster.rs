@@ -1,0 +1,149 @@
+//! Property tests of the data cluster.
+//!
+//! The central one: a *continuous* channel and a *repetitive* channel
+//! with the same predicate match exactly the same set of publications —
+//! they only differ in when results surface and which timestamps they
+//! carry.
+
+use bad_cluster::DataCluster;
+use bad_query::ParamBindings;
+use bad_storage::Schema;
+use bad_types::{DataValue, TimeRange, Timestamp};
+use proptest::prelude::*;
+
+const KINDS: [&str; 4] = ["fire", "flood", "quake", "storm"];
+
+fn record(kind_idx: usize, sev: i64, n: i64) -> DataValue {
+    DataValue::object([
+        ("kind", DataValue::from(KINDS[kind_idx % KINDS.len()])),
+        ("sev", DataValue::from(sev)),
+        ("n", DataValue::from(n)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Continuous and repetitive channels agree on the matched set.
+    #[test]
+    fn continuous_equals_repetitive_modulo_timing(
+        pubs in prop::collection::vec((0usize..4, 1i64..6), 1..40),
+        kind_idx in 0usize..4,
+        minsev in 1i64..6,
+    ) {
+        let mut cluster = DataCluster::new();
+        cluster.create_dataset("Reports", Schema::open()).unwrap();
+        cluster
+            .register_channel(
+                "channel Cont(kind: string, minsev: int) from Reports r \
+                 where r.kind == $kind and r.sev >= $minsev select r.n",
+            )
+            .unwrap();
+        cluster
+            .register_channel(
+                "channel Rep(kind: string, minsev: int) from Reports r \
+                 where r.kind == $kind and r.sev >= $minsev select r.n every 60s",
+            )
+            .unwrap();
+        let params = ParamBindings::from_pairs([
+            ("kind", DataValue::from(KINDS[kind_idx])),
+            ("minsev", DataValue::from(minsev)),
+        ]);
+        let cont = cluster.subscribe("Cont", params.clone(), Timestamp::ZERO).unwrap();
+        let rep = cluster.subscribe("Rep", params, Timestamp::ZERO).unwrap();
+
+        for (i, &(k, sev)) in pubs.iter().enumerate() {
+            let ts = Timestamp::from_secs(i as u64 + 1);
+            cluster.publish("Reports", ts, record(k, sev, i as i64)).unwrap();
+        }
+        // One tick after everything: the repetitive channel catches up.
+        cluster.tick(Timestamp::from_secs(3600)).unwrap();
+
+        let whole = TimeRange::closed(Timestamp::ZERO, Timestamp::from_secs(7200));
+        let mut ns = |bs| -> Vec<i64> {
+            let mut out: Vec<i64> = cluster
+                .fetch(bs, whole)
+                .iter()
+                .map(|o| o.payload.get("n").unwrap().as_i64().unwrap())
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(ns(cont), ns(rep));
+    }
+
+    /// Matched results are exactly the records satisfying the predicate,
+    /// independent of publication order.
+    #[test]
+    fn matching_is_exact_filter(
+        pubs in prop::collection::vec((0usize..4, 1i64..6), 0..40),
+        kind_idx in 0usize..4,
+        minsev in 1i64..6,
+    ) {
+        let mut cluster = DataCluster::new();
+        cluster.create_dataset("Reports", Schema::open()).unwrap();
+        cluster
+            .register_channel(
+                "channel C(kind: string, minsev: int) from Reports r \
+                 where r.kind == $kind and r.sev >= $minsev select r.n",
+            )
+            .unwrap();
+        let params = ParamBindings::from_pairs([
+            ("kind", DataValue::from(KINDS[kind_idx])),
+            ("minsev", DataValue::from(minsev)),
+        ]);
+        let bs = cluster.subscribe("C", params, Timestamp::ZERO).unwrap();
+
+        let mut expected = Vec::new();
+        for (i, &(k, sev)) in pubs.iter().enumerate() {
+            let ts = Timestamp::from_secs(i as u64 + 1);
+            cluster.publish("Reports", ts, record(k, sev, i as i64)).unwrap();
+            if KINDS[k % KINDS.len()] == KINDS[kind_idx] && sev >= minsev {
+                expected.push(i as i64);
+            }
+        }
+        let got: Vec<i64> = cluster
+            .fetch(bs, TimeRange::closed(Timestamp::ZERO, Timestamp::from_secs(7200)))
+            .iter()
+            .map(|o| o.payload.get("n").unwrap().as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Subscriptions only see publications from after they were created,
+    /// never before (continuous channels).
+    #[test]
+    fn no_retroactive_matching(
+        before in prop::collection::vec(1i64..6, 0..10),
+        after in prop::collection::vec(1i64..6, 0..10),
+    ) {
+        let mut cluster = DataCluster::new();
+        cluster.create_dataset("Reports", Schema::open()).unwrap();
+        cluster
+            .register_channel(
+                "channel C(kind: string) from Reports r \
+                 where r.kind == $kind select r",
+            )
+            .unwrap();
+        let mut ts = 0u64;
+        for &sev in &before {
+            ts += 1;
+            cluster.publish("Reports", Timestamp::from_secs(ts), record(0, sev, 0)).unwrap();
+        }
+        let bs = cluster
+            .subscribe(
+                "C",
+                ParamBindings::from_pairs([("kind", DataValue::from(KINDS[0]))]),
+                Timestamp::from_secs(ts),
+            )
+            .unwrap();
+        for &sev in &after {
+            ts += 1;
+            cluster.publish("Reports", Timestamp::from_secs(ts), record(0, sev, 0)).unwrap();
+        }
+        let got = cluster
+            .fetch(bs, TimeRange::closed(Timestamp::ZERO, Timestamp::from_secs(ts + 10)))
+            .len();
+        prop_assert_eq!(got, after.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic network model for the BAD broker tier.
+//!
+//! The evaluation in the paper fixes the network constants (Table II):
+//! broker ↔ data-cluster at 10 MB/s with a 500 ms RTT, and broker ↔
+//! subscriber at 1 MB/s with a 250 ms RTT. Latencies observed by
+//! subscribers are "RTTs among the broker and subscriber (plus) the
+//! processing times as well as the data transfer times". This crate
+//! provides those computations as a pure, deterministic model shared by
+//! the simulator and the prototype harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use bad_net::{Bandwidth, Link, NetworkModel};
+//! use bad_types::{ByteSize, SimDuration};
+//!
+//! let net = NetworkModel::paper_defaults();
+//! // A cache hit only pays the broker->subscriber leg.
+//! let hit = net.delivery_latency(ByteSize::from_kib(100), ByteSize::ZERO);
+//! // A full miss additionally pays the cluster fetch.
+//! let miss = net.delivery_latency(ByteSize::ZERO, ByteSize::from_kib(100));
+//! assert!(miss > hit);
+//! ```
+
+pub mod link;
+
+pub use link::{Bandwidth, Link};
+
+use bad_types::{ByteSize, SimDuration};
+
+/// The two-hop network model of the BAD delivery path, with a fixed
+/// per-request broker processing overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Broker ↔ data-cluster link.
+    pub cluster: Link,
+    /// Broker ↔ subscriber link.
+    pub subscriber: Link,
+    /// Broker-side processing time charged once per request.
+    pub processing: SimDuration,
+}
+
+impl NetworkModel {
+    /// The constants of Table II: cluster link 10 MB/s / 500 ms RTT,
+    /// subscriber link 1 MB/s / 250 ms RTT, 5 ms processing.
+    pub fn paper_defaults() -> Self {
+        Self {
+            cluster: Link::new(
+                SimDuration::from_millis(500),
+                Bandwidth::from_mib_per_sec(10),
+            ),
+            subscriber: Link::new(
+                SimDuration::from_millis(250),
+                Bandwidth::from_mib_per_sec(1),
+            ),
+            processing: SimDuration::from_millis(5),
+        }
+    }
+
+    /// An idealized instant network (useful in unit tests).
+    pub fn instant() -> Self {
+        Self {
+            cluster: Link::new(SimDuration::ZERO, Bandwidth::INFINITE),
+            subscriber: Link::new(SimDuration::ZERO, Bandwidth::INFINITE),
+            processing: SimDuration::ZERO,
+        }
+    }
+
+    /// Time for the broker to fetch `bytes` from the data cluster
+    /// (one RTT handshake plus the transfer).
+    pub fn cluster_fetch_latency(&self, bytes: ByteSize) -> SimDuration {
+        self.cluster.request_latency(bytes)
+    }
+
+    /// Time for a subscriber to retrieve a response of `bytes` from the
+    /// broker.
+    pub fn subscriber_latency(&self, bytes: ByteSize) -> SimDuration {
+        self.subscriber.request_latency(bytes)
+    }
+
+    /// End-to-end latency for a subscriber retrieval in which
+    /// `hit_bytes` were served from the broker cache and `miss_bytes` had
+    /// to be fetched from the data cluster first.
+    ///
+    /// This is the quantity the paper reports as *subscriber latency*:
+    /// the subscriber leg always applies; the cluster leg applies only on
+    /// misses; processing is charged once.
+    pub fn delivery_latency(
+        &self,
+        hit_bytes: ByteSize,
+        miss_bytes: ByteSize,
+    ) -> SimDuration {
+        let mut latency = self.processing
+            + self.subscriber.request_latency(hit_bytes + miss_bytes);
+        if !miss_bytes.is_zero() {
+            latency += self.cluster.request_latency(miss_bytes);
+        }
+        latency
+    }
+
+    /// Latency for the push notification the broker sends when new
+    /// results arrive (a bare RTT on the subscriber link — payload-free).
+    pub fn notify_latency(&self) -> SimDuration {
+        self.subscriber.rtt
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let net = NetworkModel::paper_defaults();
+        assert_eq!(net.cluster.rtt, SimDuration::from_millis(500));
+        assert_eq!(net.subscriber.rtt, SimDuration::from_millis(250));
+        assert_eq!(net.cluster.bandwidth, Bandwidth::from_mib_per_sec(10));
+        assert_eq!(net.subscriber.bandwidth, Bandwidth::from_mib_per_sec(1));
+    }
+
+    #[test]
+    fn hit_is_faster_than_miss() {
+        let net = NetworkModel::paper_defaults();
+        let size = ByteSize::from_kib(250);
+        let hit = net.delivery_latency(size, ByteSize::ZERO);
+        let miss = net.delivery_latency(ByteSize::ZERO, size);
+        assert!(miss > hit);
+        // The gap is exactly the cluster leg.
+        assert_eq!(miss - hit, net.cluster_fetch_latency(size));
+    }
+
+    #[test]
+    fn partial_miss_pays_cluster_leg_once() {
+        let net = NetworkModel::paper_defaults();
+        let latency = net.delivery_latency(ByteSize::from_kib(10), ByteSize::from_kib(20));
+        let expected = net.processing
+            + net.subscriber.request_latency(ByteSize::from_kib(30))
+            + net.cluster.request_latency(ByteSize::from_kib(20));
+        assert_eq!(latency, expected);
+    }
+
+    #[test]
+    fn empty_response_still_pays_rtt() {
+        let net = NetworkModel::paper_defaults();
+        let latency = net.delivery_latency(ByteSize::ZERO, ByteSize::ZERO);
+        assert_eq!(latency, net.processing + net.subscriber.rtt);
+    }
+
+    #[test]
+    fn instant_network_is_free() {
+        let net = NetworkModel::instant();
+        assert_eq!(
+            net.delivery_latency(ByteSize::from_mib(5), ByteSize::from_mib(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(net.notify_latency(), SimDuration::ZERO);
+    }
+}

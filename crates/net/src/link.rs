@@ -1,0 +1,143 @@
+//! Point-to-point link model: fixed RTT plus bandwidth-limited transfer.
+
+use std::fmt;
+
+use bad_types::{ByteSize, SimDuration};
+
+/// Link bandwidth in bytes per second.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Effectively infinite bandwidth: transfers take no time.
+    pub const INFINITE: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero — a zero-bandwidth link would
+    /// make every transfer infinite.
+    pub fn from_bytes_per_sec(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Self(bytes_per_sec)
+    }
+
+    /// Creates a bandwidth from MiB per second.
+    pub fn from_mib_per_sec(mib: u64) -> Self {
+        Self::from_bytes_per_sec(mib * 1024 * 1024)
+    }
+
+    /// Creates a bandwidth from KiB per second.
+    pub fn from_kib_per_sec(kib: u64) -> Self {
+        Self::from_bytes_per_sec(kib * 1024)
+    }
+
+    /// Raw bytes per second.
+    pub const fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Time to push `bytes` through the link.
+    pub fn transfer_time(self, bytes: ByteSize) -> SimDuration {
+        if self.0 == u64::MAX || bytes.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes.as_u64() as f64 / self.0 as f64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}/s", ByteSize::new(self.0))
+        }
+    }
+}
+
+/// A symmetric link with a round-trip time and a bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use bad_net::{Bandwidth, Link};
+/// use bad_types::{ByteSize, SimDuration};
+///
+/// let link = Link::new(SimDuration::from_millis(100), Bandwidth::from_mib_per_sec(1));
+/// let latency = link.request_latency(ByteSize::from_mib(1));
+/// assert_eq!(latency, SimDuration::from_millis(1100));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Round-trip time of the link.
+    pub rtt: SimDuration,
+    /// Usable bandwidth of the link.
+    pub bandwidth: Bandwidth,
+}
+
+impl Link {
+    /// Creates a link from its RTT and bandwidth.
+    pub const fn new(rtt: SimDuration, bandwidth: Bandwidth) -> Self {
+        Self { rtt, bandwidth }
+    }
+
+    /// Latency of a request/response exchange transferring `bytes`:
+    /// one RTT plus the transfer time.
+    pub fn request_latency(&self, bytes: ByteSize) -> SimDuration {
+        self.rtt + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// One-way propagation delay (half the RTT).
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let bw = Bandwidth::from_mib_per_sec(2);
+        let one = bw.transfer_time(ByteSize::from_mib(2));
+        let two = bw.transfer_time(ByteSize::from_mib(4));
+        assert_eq!(one, SimDuration::from_secs(1));
+        assert_eq!(two, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_instant() {
+        assert_eq!(
+            Bandwidth::INFINITE.transfer_time(ByteSize::from_gib(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn zero_bytes_transfer_is_instant() {
+        let bw = Bandwidth::from_kib_per_sec(1);
+        assert_eq!(bw.transfer_time(ByteSize::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        Bandwidth::from_bytes_per_sec(0);
+    }
+
+    #[test]
+    fn request_latency_adds_rtt() {
+        let link = Link::new(
+            SimDuration::from_millis(250),
+            Bandwidth::from_mib_per_sec(1),
+        );
+        assert_eq!(
+            link.request_latency(ByteSize::from_mib(1)),
+            SimDuration::from_millis(1250)
+        );
+        assert_eq!(link.one_way(), SimDuration::from_millis(125));
+    }
+}

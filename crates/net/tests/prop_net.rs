@@ -1,0 +1,70 @@
+//! Property tests of the network model: latency monotonicity and
+//! additivity, for every link configuration.
+
+use bad_net::{Bandwidth, Link, NetworkModel};
+use bad_types::{ByteSize, SimDuration};
+use proptest::prelude::*;
+
+fn arb_link() -> impl Strategy<Value = Link> {
+    (0u64..5000, 1u64..1_000_000).prop_map(|(rtt_ms, kib_per_sec)| {
+        Link::new(SimDuration::from_millis(rtt_ms), Bandwidth::from_kib_per_sec(kib_per_sec))
+    })
+}
+
+fn arb_net() -> impl Strategy<Value = NetworkModel> {
+    (arb_link(), arb_link(), 0u64..100).prop_map(|(cluster, subscriber, proc_ms)| {
+        NetworkModel { cluster, subscriber, processing: SimDuration::from_millis(proc_ms) }
+    })
+}
+
+proptest! {
+    /// Transferring more bytes never takes less time.
+    #[test]
+    fn transfer_time_is_monotone(link in arb_link(), a in 0u64..1 << 30, b in 0u64..1 << 30) {
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(
+            link.bandwidth.transfer_time(ByteSize::new(small))
+                <= link.bandwidth.transfer_time(ByteSize::new(large))
+        );
+    }
+
+    /// A miss is never cheaper than the same bytes served as a hit.
+    #[test]
+    fn miss_dominates_hit(net in arb_net(), bytes in 1u64..1 << 28) {
+        let hit = net.delivery_latency(ByteSize::new(bytes), ByteSize::ZERO);
+        let miss = net.delivery_latency(ByteSize::ZERO, ByteSize::new(bytes));
+        prop_assert!(miss >= hit);
+        // The gap is exactly the cluster leg.
+        prop_assert_eq!(miss - hit, net.cluster_fetch_latency(ByteSize::new(bytes)));
+    }
+
+    /// Delivery latency decomposes: subscriber leg over total bytes, plus
+    /// cluster leg over miss bytes, plus processing.
+    #[test]
+    fn delivery_latency_decomposes(
+        net in arb_net(),
+        hit in 0u64..1 << 26,
+        miss in 0u64..1 << 26,
+    ) {
+        let total = net.delivery_latency(ByteSize::new(hit), ByteSize::new(miss));
+        let mut expected = net.processing
+            + net.subscriber.request_latency(ByteSize::new(hit + miss));
+        if miss > 0 {
+            expected += net.cluster.request_latency(ByteSize::new(miss));
+        }
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Latency grows (weakly) in each argument.
+    #[test]
+    fn delivery_latency_is_monotone(
+        net in arb_net(),
+        hit in 0u64..1 << 26,
+        miss in 0u64..1 << 26,
+        extra in 0u64..1 << 20,
+    ) {
+        let base = net.delivery_latency(ByteSize::new(hit), ByteSize::new(miss));
+        prop_assert!(net.delivery_latency(ByteSize::new(hit + extra), ByteSize::new(miss)) >= base);
+        prop_assert!(net.delivery_latency(ByteSize::new(hit), ByteSize::new(miss + extra)) >= base);
+    }
+}

@@ -1,0 +1,370 @@
+//! Deterministic full-stack prototype harness (regenerates Fig. 7).
+//!
+//! Unlike the Section V simulator (which synthesizes results), this
+//! harness runs the complete pipeline: trace activities are replayed
+//! into the real [`DataCluster`] (BQL parsing, repetitive channel
+//! execution, matching, enrichment, result datasets) fronted by the real
+//! [`Broker`]; "for each setting, we provide the same trace to all
+//! competing caching schemes".
+
+use std::collections::{HashMap, HashSet};
+
+use bad_broker::{Broker, BrokerConfig};
+use bad_cache::{CacheConfig, PolicyName};
+use bad_cluster::{DataCluster, EnrichmentRule};
+use bad_net::NetworkModel;
+use bad_sim::EventQueue;
+use bad_storage::Schema;
+use bad_types::{
+    ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, Timestamp,
+};
+use bad_workload::{Activity, ActivityKind, TraceConfig, TraceGenerator, TABLE_III_CHANNELS};
+
+/// Configuration of a prototype run.
+#[derive(Clone, Debug)]
+pub struct PrototypeConfig {
+    /// Trace generation parameters (subscribers, churn, publications).
+    pub trace: TraceConfig,
+    /// Cache settings; `cache.budget` is the swept quantity of Fig. 7.
+    pub cache: CacheConfig,
+    /// Network constants.
+    pub net: NetworkModel,
+    /// Repetitive-channel execution tick.
+    pub cluster_tick: SimDuration,
+    /// Cache maintenance tick.
+    pub maintain_interval: SimDuration,
+}
+
+impl PrototypeConfig {
+    /// The Section VI setup: 400 subscribers, ~3.5k frontend
+    /// subscriptions, a 1 h trace, publications every ~10 s.
+    pub fn section_vi() -> Self {
+        Self {
+            trace: TraceConfig::default(),
+            cache: CacheConfig { budget: ByteSize::from_kib(100), ..CacheConfig::default() },
+            net: NetworkModel::paper_defaults(),
+            cluster_tick: SimDuration::from_secs(5),
+            maintain_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// A small configuration for tests and doc examples.
+    pub fn smoke() -> Self {
+        Self {
+            trace: TraceConfig {
+                subscribers: 25,
+                subscriptions_per_subscriber: 4,
+                duration: SimDuration::from_mins(10),
+                publish_interval: SimDuration::from_secs(5),
+                ..TraceConfig::default()
+            },
+            cache: CacheConfig { budget: ByteSize::from_kib(64), ..CacheConfig::default() },
+            net: NetworkModel::paper_defaults(),
+            cluster_tick: SimDuration::from_secs(5),
+            maintain_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Returns a copy with a different cache budget (the Fig. 7 sweep).
+    pub fn with_budget(&self, budget: ByteSize) -> Self {
+        let mut out = self.clone();
+        out.cache.budget = budget;
+        out
+    }
+}
+
+/// Measurements of one prototype run (the Fig. 7 quantities).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrototypeReport {
+    /// Caching policy.
+    pub policy: PolicyName,
+    /// Configured budget.
+    pub cache_budget: ByteSize,
+    /// Seed of the trace.
+    pub seed: u64,
+    /// Hit ratio (Fig. 7, left).
+    pub hit_ratio: f64,
+    /// Mean subscriber latency (Fig. 7, middle).
+    pub mean_latency: SimDuration,
+    /// Bytes retrieved from the data cluster (Fig. 7, right).
+    pub fetched_bytes: ByteSize,
+    /// Total result bytes the cluster produced.
+    pub vol_bytes: ByteSize,
+    /// Frontend subscriptions created over the run.
+    pub frontend_subscriptions: u64,
+    /// Peak backend subscriptions.
+    pub backend_subscriptions: u64,
+    /// Retrievals served.
+    pub deliveries: u64,
+    /// Objects delivered.
+    pub delivered_objects: u64,
+    /// Publications ingested.
+    pub publications: u64,
+}
+
+impl PrototypeReport {
+    /// CSV header matching [`PrototypeReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "policy,cache_kb,seed,hit_ratio,latency_ms,fetched_mb,vol_mb,\
+         frontend_subs,backend_subs,deliveries,delivered_objects,publications"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.1},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{}",
+            self.policy,
+            self.cache_budget.as_kib_f64(),
+            self.seed,
+            self.hit_ratio,
+            self.mean_latency.as_millis_f64(),
+            self.fetched_bytes.as_mib_f64(),
+            self.vol_bytes.as_mib_f64(),
+            self.frontend_subscriptions,
+            self.backend_subscriptions,
+            self.deliveries,
+            self.delivered_objects,
+            self.publications,
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Activity(usize),
+    ClusterTick,
+    Maintain,
+    Retrieve { sub: SubscriberId, fs: FrontendSubId },
+}
+
+/// Builds the Section VI cluster: datasets, Table III channels and the
+/// shelter enrichment.
+///
+/// # Errors
+///
+/// Only on programming errors in the built-in channel sources.
+pub fn build_emergency_cluster() -> Result<DataCluster> {
+    let mut cluster = DataCluster::new();
+    cluster.create_dataset("EmergencyReports", Schema::open())?;
+    cluster.create_dataset("Shelters", Schema::open())?;
+    cluster.create_dataset("UserLocations", Schema::open())?;
+    for bql in TABLE_III_CHANNELS {
+        cluster.register_channel(bql)?;
+    }
+    // Enriched notifications: district alerts embed the district's
+    // shelters; severe alerts embed shelters of the report's district.
+    cluster.add_enrichment(EnrichmentRule::join(
+        "DistrictEmergencies",
+        "Shelters",
+        "district",
+        "district",
+        "shelters",
+        3,
+    ))?;
+    cluster.add_enrichment(EnrichmentRule::join(
+        "SevereEmergencies",
+        "Shelters",
+        "district",
+        "district",
+        "shelters",
+        3,
+    ))?;
+    Ok(cluster)
+}
+
+/// Replays the seeded trace against a fresh full stack under `policy`
+/// and reports the Fig. 7 measurements.
+///
+/// # Errors
+///
+/// Propagates trace generation and subscription errors.
+pub fn run_prototype(
+    policy: PolicyName,
+    config: &PrototypeConfig,
+    seed: u64,
+) -> Result<PrototypeReport> {
+    let trace = TraceGenerator::new(config.trace.clone(), seed).generate()?;
+    let mut cluster = build_emergency_cluster()?;
+    let mut broker = Broker::new(policy, BrokerConfig { cache: config.cache, net: config.net });
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (idx, activity) in trace.iter().enumerate() {
+        queue.push(activity.at, Event::Activity(idx));
+    }
+    queue.push(Timestamp::ZERO + config.cluster_tick, Event::ClusterTick);
+    queue.push(Timestamp::ZERO + config.maintain_interval, Event::Maintain);
+
+    let end = Timestamp::ZERO + config.trace.duration;
+    let mut online: HashSet<SubscriberId> = HashSet::new();
+    let mut handle_to_fs: HashMap<u64, FrontendSubId> = HashMap::new();
+    let mut fs_of: HashMap<(SubscriberId, bad_types::BackendSubId), FrontendSubId> =
+        HashMap::new();
+    let mut frontend_subscriptions = 0u64;
+    let mut peak_backends = 0u64;
+
+    while let Some((now, event)) = queue.pop() {
+        if now >= end {
+            break;
+        }
+        match event {
+            Event::Activity(idx) => {
+                let Activity { kind, .. } = &trace[idx];
+                match kind {
+                    ActivityKind::Login(sub) => {
+                        online.insert(*sub);
+                        let _ = broker.get_all_pending(&mut cluster, *sub, now)?;
+                    }
+                    ActivityKind::Logout(sub) => {
+                        online.remove(sub);
+                    }
+                    ActivityKind::Subscribe { subscriber, channel, params, handle } => {
+                        let fs = broker.subscribe(
+                            &mut cluster,
+                            *subscriber,
+                            channel,
+                            params.clone(),
+                            now,
+                        )?;
+                        frontend_subscriptions += 1;
+                        handle_to_fs.insert(*handle, fs);
+                        let backend = broker
+                            .subscriptions()
+                            .frontend(fs)
+                            .expect("just created")
+                            .backend;
+                        fs_of.insert((*subscriber, backend), fs);
+                        peak_backends = peak_backends
+                            .max(broker.subscriptions().backend_count() as u64);
+                    }
+                    ActivityKind::Unsubscribe { subscriber, handle } => {
+                        if let Some(fs) = handle_to_fs.remove(handle) {
+                            // The frontend may already be gone if the trace
+                            // unsubscribed it twice; ignore stale handles.
+                            if let Some(front) = broker.subscriptions().frontend(fs) {
+                                let backend = front.backend;
+                                broker.unsubscribe(&mut cluster, *subscriber, fs, now)?;
+                                fs_of.remove(&(*subscriber, backend));
+                            }
+                        }
+                    }
+                    ActivityKind::PublishReport(record) => {
+                        // Table III channels are repetitive; publications
+                        // surface at the next cluster tick.
+                        cluster.publish("EmergencyReports", now, record.clone())?;
+                    }
+                    ActivityKind::PublishShelter(record) => {
+                        cluster.publish("Shelters", now, record.clone())?;
+                    }
+                }
+            }
+            Event::ClusterTick => {
+                let notifications = cluster.tick(now)?;
+                for notification in notifications {
+                    let outcome = broker.on_notification(&mut cluster, notification, now);
+                    let at = now + config.net.notify_latency();
+                    for sub in outcome.notify {
+                        if online.contains(&sub) {
+                            if let Some(&fs) = fs_of.get(&(sub, notification.backend_sub))
+                            {
+                                queue.push(at, Event::Retrieve { sub, fs });
+                            }
+                        }
+                    }
+                }
+                queue.push(now + config.cluster_tick, Event::ClusterTick);
+            }
+            Event::Maintain => {
+                broker.maintain(now);
+                queue.push(now + config.maintain_interval, Event::Maintain);
+            }
+            Event::Retrieve { sub, fs } => {
+                if online.contains(&sub)
+                    && broker.subscriptions().frontend(fs).is_some()
+                    && broker.has_pending(fs)
+                {
+                    let _ = broker.get_results(&mut cluster, sub, fs, now)?;
+                }
+            }
+        }
+    }
+
+    let metrics = broker.cache().metrics();
+    let delivery = broker.delivery_metrics();
+    let stats = cluster.stats();
+    Ok(PrototypeReport {
+        policy,
+        cache_budget: config.cache.budget,
+        seed,
+        hit_ratio: metrics.hit_ratio().unwrap_or(0.0),
+        mean_latency: delivery.mean_latency().unwrap_or(SimDuration::ZERO),
+        fetched_bytes: metrics.fetched_bytes(),
+        vol_bytes: stats.result_bytes,
+        frontend_subscriptions,
+        backend_subscriptions: peak_backends,
+        deliveries: delivery.deliveries,
+        delivered_objects: delivery.delivered_objects,
+        publications: stats.publications,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_completes_with_activity() {
+        let config = PrototypeConfig::smoke();
+        let report = run_prototype(PolicyName::Lsc, &config, 1).unwrap();
+        assert!(report.publications > 0);
+        assert!(report.frontend_subscriptions > 0);
+        assert!(report.backend_subscriptions > 0);
+        assert!(report.deliveries > 0, "no deliveries happened");
+        assert!(report.delivered_objects > 0);
+        assert!((0.0..=1.0).contains(&report.hit_ratio));
+    }
+
+    #[test]
+    fn merging_keeps_backends_below_frontends() {
+        let config = PrototypeConfig::smoke();
+        let report = run_prototype(PolicyName::Lsc, &config, 2).unwrap();
+        assert!(
+            report.backend_subscriptions < report.frontend_subscriptions,
+            "no merging happened: {} backends vs {} frontends",
+            report.backend_subscriptions,
+            report.frontend_subscriptions
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let config = PrototypeConfig::smoke();
+        let a = run_prototype(PolicyName::Ttl, &config, 3).unwrap();
+        let b = run_prototype(PolicyName::Ttl, &config, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nc_baseline_is_strictly_worse_on_latency() {
+        let config = PrototypeConfig::smoke();
+        let cached = run_prototype(PolicyName::Lsc, &config, 4).unwrap();
+        let nc = run_prototype(PolicyName::Nc, &config, 4).unwrap();
+        assert_eq!(nc.hit_ratio, 0.0);
+        assert!(cached.hit_ratio > 0.0);
+        assert!(
+            cached.mean_latency < nc.mean_latency,
+            "cached {} !< nc {}",
+            cached.mean_latency,
+            nc.mean_latency
+        );
+    }
+
+    #[test]
+    fn csv_row_matches_header() {
+        let config = PrototypeConfig::smoke();
+        let report = run_prototype(PolicyName::Lru, &config, 5).unwrap();
+        assert_eq!(
+            PrototypeReport::csv_header().split(',').count(),
+            report.csv_row().split(',').count()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! The BAD prototype (Section VI), reproduced two ways.
+//!
+//! The paper's prototype is a three-node AsterixDB cluster plus a Tornado
+//! HTTP broker, driven by a replayed subscriber-interaction trace of an
+//! emergency-notification scenario. This crate provides:
+//!
+//! * [`harness`] — a deterministic, virtually-clocked deployment of the
+//!   **full stack** (BQL channels, matching, enrichment, result stores,
+//!   broker, caches) replaying a [`bad_workload::TraceGenerator`] trace.
+//!   This is what regenerates Fig. 7: same trace, every caching scheme.
+//! * [`runtime`] — a genuinely multi-threaded deployment: the data
+//!   cluster and the broker run on their own threads and talk over
+//!   channels, clients block on retrievals, and a [`runtime::VirtualClock`]
+//!   compresses the network model's latencies into real sleeps. This is
+//!   the "it actually runs as a system" configuration used by the
+//!   examples and end-to-end tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use bad_cache::PolicyName;
+//! use bad_proto::{PrototypeConfig, run_prototype};
+//!
+//! let mut config = PrototypeConfig::smoke();
+//! let report = run_prototype(PolicyName::Lsc, &config, 42)?;
+//! assert!(report.deliveries > 0);
+//! # Ok::<(), bad_types::BadError>(())
+//! ```
+
+pub mod harness;
+pub mod runtime;
+
+pub use harness::{run_prototype, PrototypeConfig, PrototypeReport};
+pub use runtime::{BrokerClient, ClientEvent, Deployment, VirtualClock};

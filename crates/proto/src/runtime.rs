@@ -1,0 +1,566 @@
+//! The threaded prototype runtime.
+//!
+//! This is the deployment shape of the paper's Fig. 6: a data-cluster
+//! node and a broker node running independently (here: OS threads
+//! communicating over channels, standing in for REST/AQL calls), clients
+//! that subscribe and retrieve through the broker, and push notifications
+//! flowing back to connected clients (the WebSocket path). A
+//! [`VirtualClock`] maps the network model's virtual latencies onto
+//! (compressed) wall-clock sleeps so an hour-long scenario can run in
+//! seconds without changing any broker logic.
+
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use bad_broker::{Broker, BrokerConfig, ClusterHandle, Delivery, DeliveryMetrics};
+use bad_cache::PolicyName;
+use bad_cluster::{DataCluster, Notification};
+use bad_query::ParamBindings;
+use bad_storage::ResultObject;
+use bad_types::{
+    BackendSubId, BadError, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
+    Timestamp,
+};
+
+/// A wall-clock-backed virtual clock with time compression.
+///
+/// With a compression factor of `60.0`, one real second advances the
+/// virtual clock by one minute, and a virtual 250 ms sleep takes ~4 ms of
+/// real time.
+#[derive(Clone, Debug)]
+pub struct VirtualClock {
+    start: Instant,
+    compression: f64,
+}
+
+impl VirtualClock {
+    /// Creates a clock that compresses time by `compression` (>= 1.0
+    /// makes virtual time run faster than real time).
+    pub fn new(compression: f64) -> Self {
+        Self { start: Instant::now(), compression: compression.max(1e-9) }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        let real = self.start.elapsed().as_secs_f64();
+        Timestamp::ZERO + SimDuration::from_secs_f64(real * self.compression)
+    }
+
+    /// Sleeps for a *virtual* duration (compressed into real time).
+    pub fn sleep(&self, virtual_duration: SimDuration) {
+        let real = virtual_duration.as_secs_f64() / self.compression;
+        if real > 0.0 {
+            thread::sleep(std::time::Duration::from_secs_f64(real));
+        }
+    }
+}
+
+enum ClusterRequest {
+    Subscribe {
+        channel: String,
+        params: ParamBindings,
+        now: Timestamp,
+        reply: Sender<Result<BackendSubId>>,
+    },
+    Unsubscribe {
+        bs: BackendSubId,
+        reply: Sender<Result<()>>,
+    },
+    Fetch {
+        bs: BackendSubId,
+        range: TimeRange,
+        reply: Sender<Vec<ResultObject>>,
+    },
+    Publish {
+        dataset: String,
+        ts: Timestamp,
+        record: bad_types::DataValue,
+        reply: Sender<Result<Vec<Notification>>>,
+    },
+    Tick {
+        now: Timestamp,
+        reply: Sender<Result<Vec<Notification>>>,
+    },
+    Stop,
+}
+
+/// The broker thread's remote handle to the cluster node: each call is a
+/// channel round trip plus the virtual cluster-link RTT.
+struct ClusterClient {
+    tx: Sender<ClusterRequest>,
+    clock: VirtualClock,
+    rtt: SimDuration,
+}
+
+impl ClusterClient {
+    fn roundtrip<T>(&self, build: impl FnOnce(Sender<T>) -> ClusterRequest) -> T
+    where
+        T: Send,
+    {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.clock.sleep(self.rtt);
+        self.tx.send(build(reply_tx)).expect("cluster thread alive");
+        reply_rx.recv().expect("cluster thread replies")
+    }
+}
+
+impl ClusterHandle for ClusterClient {
+    fn cluster_subscribe(
+        &mut self,
+        channel: &str,
+        params: ParamBindings,
+        now: Timestamp,
+    ) -> Result<BackendSubId> {
+        let channel = channel.to_owned();
+        self.roundtrip(|reply| ClusterRequest::Subscribe { channel, params, now, reply })
+    }
+
+    fn cluster_unsubscribe(&mut self, bs: BackendSubId) -> Result<()> {
+        self.roundtrip(|reply| ClusterRequest::Unsubscribe { bs, reply })
+    }
+
+    fn cluster_fetch(&mut self, bs: BackendSubId, range: TimeRange) -> Vec<ResultObject> {
+        self.roundtrip(|reply| ClusterRequest::Fetch { bs, range, reply })
+    }
+}
+
+enum BrokerRequest {
+    RegisterClient {
+        subscriber: SubscriberId,
+        events: Sender<ClientEvent>,
+    },
+    Subscribe {
+        subscriber: SubscriberId,
+        channel: String,
+        params: ParamBindings,
+        reply: Sender<Result<FrontendSubId>>,
+    },
+    Unsubscribe {
+        subscriber: SubscriberId,
+        fs: FrontendSubId,
+        reply: Sender<Result<()>>,
+    },
+    GetResults {
+        subscriber: SubscriberId,
+        fs: FrontendSubId,
+        reply: Sender<Result<Delivery>>,
+    },
+    Notify(Notification),
+    Maintain,
+    Metrics {
+        reply: Sender<(DeliveryMetrics, f64)>,
+    },
+    Stop,
+}
+
+/// A push event delivered to a connected client (the WebSocket path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// New results are available on one of the client's subscriptions.
+    ResultsAvailable {
+        /// The frontend subscription with news.
+        frontend: FrontendSubId,
+        /// Timestamp of the newest result.
+        latest_ts: Timestamp,
+    },
+}
+
+/// A client-side handle to the broker node.
+pub struct BrokerClient {
+    subscriber: SubscriberId,
+    tx: Sender<BrokerRequest>,
+    /// Push notifications from the broker.
+    pub events: Receiver<ClientEvent>,
+    clock: VirtualClock,
+    subscriber_rtt: SimDuration,
+}
+
+impl BrokerClient {
+    /// Subscribes to a parameterized channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker/cluster-side subscription errors.
+    pub fn subscribe(&self, channel: &str, params: ParamBindings) -> Result<FrontendSubId> {
+        let (reply, rx) = bounded(1);
+        self.clock.sleep(self.subscriber_rtt);
+        self.tx
+            .send(BrokerRequest::Subscribe {
+                subscriber: self.subscriber,
+                channel: channel.to_owned(),
+                params,
+                reply,
+            })
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
+        rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))?
+    }
+
+    /// Cancels a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subscription or wrong owner.
+    pub fn unsubscribe(&self, fs: FrontendSubId) -> Result<()> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(BrokerRequest::Unsubscribe { subscriber: self.subscriber, fs, reply })
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
+        rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))?
+    }
+
+    /// Retrieves pending results on one subscription, blocking for the
+    /// (compressed) delivery latency.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subscription or wrong owner.
+    pub fn get_results(&self, fs: FrontendSubId) -> Result<Delivery> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(BrokerRequest::GetResults { subscriber: self.subscriber, fs, reply })
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
+        let delivery =
+            rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))??;
+        // The subscriber experiences the delivery latency.
+        self.clock.sleep(delivery.latency);
+        Ok(delivery)
+    }
+}
+
+/// A running two-node deployment (cluster thread + broker thread).
+pub struct Deployment {
+    cluster_tx: Sender<ClusterRequest>,
+    broker_tx: Sender<BrokerRequest>,
+    clock: VirtualClock,
+    subscriber_rtt: SimDuration,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Deployment {
+    /// Boots the cluster and broker threads.
+    ///
+    /// `build_cluster` constructs the initial cluster state (datasets,
+    /// channels, enrichments); `compression` is the virtual-time speedup.
+    pub fn start(
+        policy: PolicyName,
+        config: BrokerConfig,
+        cluster: DataCluster,
+        compression: f64,
+    ) -> Self {
+        let clock = VirtualClock::new(compression);
+        let (cluster_tx, cluster_rx) = unbounded::<ClusterRequest>();
+        let (broker_tx, broker_rx) = unbounded::<BrokerRequest>();
+
+        let cluster_handle = thread::spawn(move || cluster_node(cluster, cluster_rx));
+
+        let cluster_client = ClusterClient {
+            tx: cluster_tx.clone(),
+            clock: clock.clone(),
+            rtt: config.net.cluster.rtt,
+        };
+        let broker_clock = clock.clone();
+        let broker_handle = thread::spawn(move || {
+            broker_node(policy, config, cluster_client, broker_rx, broker_clock)
+        });
+
+        Self {
+            cluster_tx,
+            broker_tx,
+            clock,
+            subscriber_rtt: config.net.subscriber.rtt,
+            handles: vec![cluster_handle, broker_handle],
+        }
+    }
+
+    /// The deployment's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Creates a connected client for `subscriber`.
+    pub fn client(&self, subscriber: SubscriberId) -> BrokerClient {
+        let (events_tx, events_rx) = unbounded();
+        self.broker_tx
+            .send(BrokerRequest::RegisterClient { subscriber, events: events_tx })
+            .expect("broker thread alive");
+        BrokerClient {
+            subscriber,
+            tx: self.broker_tx.clone(),
+            events: events_rx,
+            clock: self.clock.clone(),
+            subscriber_rtt: self.subscriber_rtt,
+        }
+    }
+
+    /// Publishes a record into the cluster, firing continuous channels.
+    ///
+    /// # Errors
+    ///
+    /// Schema violations or unknown datasets.
+    pub fn publish(
+        &self,
+        dataset: &str,
+        record: bad_types::DataValue,
+    ) -> Result<Vec<Notification>> {
+        let (reply, rx) = bounded(1);
+        let now = self.clock.now();
+        self.cluster_tx
+            .send(ClusterRequest::Publish {
+                dataset: dataset.to_owned(),
+                ts: now,
+                record,
+                reply,
+            })
+            .map_err(|_| BadError::InvalidState("cluster stopped".into()))?;
+        let notifications =
+            rx.recv().map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
+        self.dispatch(&notifications);
+        Ok(notifications)
+    }
+
+    /// Executes due repetitive channels and dispatches their
+    /// notifications to the broker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel evaluation errors.
+    pub fn tick(&self) -> Result<usize> {
+        let (reply, rx) = bounded(1);
+        let now = self.clock.now();
+        self.cluster_tx
+            .send(ClusterRequest::Tick { now, reply })
+            .map_err(|_| BadError::InvalidState("cluster stopped".into()))?;
+        let notifications =
+            rx.recv().map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
+        self.dispatch(&notifications);
+        Ok(notifications.len())
+    }
+
+    /// Runs a cache maintenance pass on the broker.
+    pub fn maintain(&self) {
+        let _ = self.broker_tx.send(BrokerRequest::Maintain);
+    }
+
+    /// Snapshot of the broker's delivery metrics and hit ratio.
+    pub fn broker_metrics(&self) -> (DeliveryMetrics, f64) {
+        let (reply, rx) = bounded(1);
+        self.broker_tx
+            .send(BrokerRequest::Metrics { reply })
+            .expect("broker thread alive");
+        rx.recv().expect("broker thread replies")
+    }
+
+    /// Stops both nodes and joins their threads.
+    pub fn shutdown(mut self) {
+        let _ = self.broker_tx.send(BrokerRequest::Stop);
+        let _ = self.cluster_tx.send(ClusterRequest::Stop);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn dispatch(&self, notifications: &[Notification]) {
+        for n in notifications {
+            let _ = self.broker_tx.send(BrokerRequest::Notify(*n));
+        }
+    }
+}
+
+fn cluster_node(mut cluster: DataCluster, rx: Receiver<ClusterRequest>) {
+    while let Ok(request) = rx.recv() {
+        match request {
+            ClusterRequest::Subscribe { channel, params, now, reply } => {
+                let _ = reply.send(cluster.subscribe(&channel, params, now));
+            }
+            ClusterRequest::Unsubscribe { bs, reply } => {
+                let _ = reply.send(cluster.unsubscribe(bs));
+            }
+            ClusterRequest::Fetch { bs, range, reply } => {
+                let _ = reply.send(cluster.fetch(bs, range));
+            }
+            ClusterRequest::Publish { dataset, ts, record, reply } => {
+                let _ = reply.send(cluster.publish(&dataset, ts, record));
+            }
+            ClusterRequest::Tick { now, reply } => {
+                let _ = reply.send(cluster.tick(now));
+            }
+            ClusterRequest::Stop => break,
+        }
+    }
+}
+
+fn broker_node(
+    policy: PolicyName,
+    config: BrokerConfig,
+    mut cluster: ClusterClient,
+    rx: Receiver<BrokerRequest>,
+    clock: VirtualClock,
+) {
+    let mut broker = Broker::new(policy, config);
+    let mut clients: std::collections::HashMap<SubscriberId, Sender<ClientEvent>> =
+        std::collections::HashMap::new();
+    while let Ok(request) = rx.recv() {
+        let now = clock.now();
+        match request {
+            BrokerRequest::RegisterClient { subscriber, events } => {
+                clients.insert(subscriber, events);
+            }
+            BrokerRequest::Subscribe { subscriber, channel, params, reply } => {
+                let _ = reply
+                    .send(broker.subscribe(&mut cluster, subscriber, &channel, params, now));
+            }
+            BrokerRequest::Unsubscribe { subscriber, fs, reply } => {
+                let _ = reply.send(broker.unsubscribe(&mut cluster, subscriber, fs, now));
+            }
+            BrokerRequest::GetResults { subscriber, fs, reply } => {
+                let _ = reply.send(broker.get_results(&mut cluster, subscriber, fs, now));
+            }
+            BrokerRequest::Notify(notification) => {
+                let outcome = broker.on_notification(&mut cluster, notification, now);
+                for subscriber in outcome.notify {
+                    if let Some(events) = clients.get(&subscriber) {
+                        // Find the frontend sub of this subscriber for the
+                        // notified backend subscription.
+                        let fs = broker
+                            .subscriptions()
+                            .subscriptions_of(subscriber)
+                            .into_iter()
+                            .find(|fs| {
+                                broker
+                                    .subscriptions()
+                                    .frontend(*fs)
+                                    .map(|f| f.backend == notification.backend_sub)
+                                    .unwrap_or(false)
+                            });
+                        if let Some(fs) = fs {
+                            let _ = events.send(ClientEvent::ResultsAvailable {
+                                frontend: fs,
+                                latest_ts: notification.latest_ts,
+                            });
+                        }
+                    }
+                }
+            }
+            BrokerRequest::Maintain => broker.maintain(now),
+            BrokerRequest::Metrics { reply } => {
+                let hit = broker.cache().metrics().hit_ratio().unwrap_or(0.0);
+                let _ = reply.send((broker.delivery_metrics(), hit));
+            }
+            BrokerRequest::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::build_emergency_cluster;
+    use bad_types::DataValue;
+
+    fn deployment(policy: PolicyName) -> Deployment {
+        let cluster = build_emergency_cluster().unwrap();
+        // Strong compression: virtual RTTs cost microseconds of real time.
+        Deployment::start(policy, BrokerConfig::default(), cluster, 100_000.0)
+    }
+
+    #[test]
+    fn end_to_end_publish_subscribe_deliver() {
+        let dep = deployment(PolicyName::Lsc);
+        let alice = dep.client(SubscriberId::new(1));
+        let fs = alice
+            .subscribe(
+                "EmergenciesOfType",
+                ParamBindings::from_pairs([("etype", DataValue::from("flood"))]),
+            )
+            .unwrap();
+
+        dep.publish(
+            "EmergencyReports",
+            DataValue::object([
+                ("kind", DataValue::from("flood")),
+                ("severity", DataValue::from(3i64)),
+                ("district", DataValue::from("district-1")),
+            ]),
+        )
+        .unwrap();
+
+        // Repetitive channels fire on tick; poll until the notification
+        // arrives (bounded by the compressed channel period).
+        let mut notified = None;
+        for _ in 0..200 {
+            dep.tick().unwrap();
+            if let Ok(event) = alice.events.try_recv() {
+                notified = Some(event);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let ClientEvent::ResultsAvailable { frontend, .. } =
+            notified.expect("client was notified");
+        assert_eq!(frontend, fs);
+
+        let delivery = alice.get_results(fs).unwrap();
+        assert!(delivery.total_objects() >= 1);
+        let (metrics, hit) = dep.broker_metrics();
+        assert!(metrics.deliveries >= 1);
+        assert!(hit > 0.0, "first retrieval should hit the cache");
+        dep.shutdown();
+    }
+
+    #[test]
+    fn unsubscribe_via_client() {
+        let dep = deployment(PolicyName::Lru);
+        let bob = dep.client(SubscriberId::new(2));
+        let fs = bob
+            .subscribe(
+                "SevereEmergencies",
+                ParamBindings::from_pairs([("minsev", DataValue::from(4i64))]),
+            )
+            .unwrap();
+        bob.unsubscribe(fs).unwrap();
+        assert!(bob.unsubscribe(fs).is_err());
+        assert!(bob.get_results(fs).is_err());
+        dep.shutdown();
+    }
+
+    #[test]
+    fn clients_share_backend_subscriptions() {
+        let dep = deployment(PolicyName::Lsc);
+        let a = dep.client(SubscriberId::new(1));
+        let b = dep.client(SubscriberId::new(2));
+        let params = ParamBindings::from_pairs([("etype", DataValue::from("fire"))]);
+        let fa = a.subscribe("EmergenciesOfType", params.clone()).unwrap();
+        let fb = b.subscribe("EmergenciesOfType", params).unwrap();
+        assert_ne!(fa, fb);
+        dep.publish(
+            "EmergencyReports",
+            DataValue::object([
+                ("kind", DataValue::from("fire")),
+                ("severity", DataValue::from(2i64)),
+                ("district", DataValue::from("district-0")),
+            ]),
+        )
+        .unwrap();
+        for _ in 0..200 {
+            dep.tick().unwrap();
+            if !a.events.is_empty() && !b.events.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(!a.events.is_empty(), "a not notified");
+        assert!(!b.events.is_empty(), "b not notified");
+        dep.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_compresses_time() {
+        let clock = VirtualClock::new(1000.0);
+        let before = clock.now();
+        clock.sleep(SimDuration::from_secs(1)); // ~1 ms real
+        let after = clock.now();
+        assert!(after - before >= SimDuration::from_millis(900));
+    }
+}

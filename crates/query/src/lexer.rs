@@ -1,0 +1,452 @@
+//! Tokenizer for BQL.
+
+use std::fmt;
+
+use bad_types::{BadError, Result};
+
+/// A lexical token together with its byte offset in the source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The kinds of BQL tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier or keyword (`channel`, `from`, field names, ...).
+    Ident(String),
+    /// A `$`-prefixed parameter reference (without the `$`).
+    Param(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A double-quoted string literal (unescaped).
+    Str(String),
+    /// A duration literal such as `10s`, `5m`, `2h`, `150ms`.
+    Duration(u64, DurationUnit),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// Units accepted in duration literals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DurationUnit {
+    /// Milliseconds (`ms`).
+    Millis,
+    /// Seconds (`s`).
+    Secs,
+    /// Minutes (`m`).
+    Mins,
+    /// Hours (`h`).
+    Hours,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Param(s) => write!(f, "parameter `${s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Duration(n, u) => {
+                let unit = match u {
+                    DurationUnit::Millis => "ms",
+                    DurationUnit::Secs => "s",
+                    DurationUnit::Mins => "m",
+                    DurationUnit::Hours => "h",
+                };
+                write!(f, "duration `{n}{unit}`")
+            }
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenizes a BQL source string.
+///
+/// The returned stream always ends with a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`BadError::Parse`] on unterminated strings, malformed numbers
+/// or unexpected characters. Comments run from `--` to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    let err = |pos: usize, msg: &str| -> BadError {
+        BadError::Parse(format!("bql: {msg} at byte {pos}"))
+    };
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                pos += 1;
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: pos });
+                pos += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: pos });
+                pos += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: pos });
+                pos += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: pos });
+                pos += 1;
+            }
+            b':' => {
+                tokens.push(Token { kind: TokenKind::Colon, offset: pos });
+                pos += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: pos });
+                pos += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: pos });
+                pos += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: pos });
+                pos += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: pos });
+                pos += 1;
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: pos });
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "single `=` (use `==`)"));
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: pos });
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "single `!` (use `not` or `!=`)"));
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: pos });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: pos });
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: pos });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: pos });
+                    pos += 1;
+                }
+            }
+            b'$' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(err(pos, "`$` must be followed by a parameter name"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(src[start..end].to_owned()),
+                    offset: pos,
+                });
+                pos = end;
+            }
+            b'"' => {
+                let start = pos;
+                pos += 1;
+                let mut out = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(pos + 1) {
+                                Some(b'"') => out.push('"'),
+                                Some(b'\\') => out.push('\\'),
+                                Some(b'n') => out.push('\n'),
+                                Some(b't') => out.push('\t'),
+                                _ => return Err(err(pos, "invalid escape in string")),
+                            }
+                            pos += 2;
+                        }
+                        Some(_) => {
+                            // Copy one whole UTF-8 scalar.
+                            let rest = &src[pos..];
+                            let c = rest.chars().next().expect("non-empty");
+                            out.push(c);
+                            pos += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(out), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                if pos + 1 < bytes.len()
+                    && bytes[pos] == b'.'
+                    && bytes[pos + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                // Duration suffix? Only on integer literals.
+                if !is_float {
+                    let n: u64 = src[start..pos]
+                        .parse()
+                        .map_err(|_| err(start, "integer literal out of range"))?;
+                    let unit = if src[pos..].starts_with("ms") {
+                        Some((DurationUnit::Millis, 2))
+                    } else if src[pos..].starts_with('s') {
+                        Some((DurationUnit::Secs, 1))
+                    } else if src[pos..].starts_with('m') {
+                        Some((DurationUnit::Mins, 1))
+                    } else if src[pos..].starts_with('h') {
+                        Some((DurationUnit::Hours, 1))
+                    } else {
+                        None
+                    };
+                    if let Some((unit, len)) = unit {
+                        // A suffix only counts when not followed by more identifier chars.
+                        let after = pos + len;
+                        let next_is_ident = bytes
+                            .get(after)
+                            .map(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                            .unwrap_or(false);
+                        if !next_is_ident {
+                            tokens.push(Token {
+                                kind: TokenKind::Duration(n, unit),
+                                offset: start,
+                            });
+                            pos = after;
+                            continue;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Int(n as i64),
+                        offset: start,
+                    });
+                } else {
+                    let x: f64 = src[start..pos]
+                        .parse()
+                        .map_err(|_| err(start, "invalid float literal"))?;
+                    tokens.push(Token { kind: TokenKind::Float(x), offset: start });
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..pos].to_owned()),
+                    offset: start,
+                });
+            }
+            _ => return Err(err(pos, "unexpected character")),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            kinds("== != < <= > >= + - * / ( ) , . :"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Colon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals() {
+        assert_eq!(
+            kinds(r#"42 2.5 "hi\n" $p ident"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.5),
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Param("p".into()),
+                TokenKind::Ident("ident".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_durations() {
+        assert_eq!(
+            kinds("10s 5m 2h 150ms"),
+            vec![
+                TokenKind::Duration(10, DurationUnit::Secs),
+                TokenKind::Duration(5, DurationUnit::Mins),
+                TokenKind::Duration(2, DurationUnit::Hours),
+                TokenKind::Duration(150, DurationUnit::Millis),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn duration_suffix_requires_boundary() {
+        // `10sec` is not a duration: `s` is followed by more identifier chars.
+        assert_eq!(
+            kinds("10sec"),
+            vec![TokenKind::Int(10), TokenKind::Ident("sec".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment == junk\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("$ x").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn minus_is_a_token_when_not_comment() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Minus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = tokenize("ab  == 7").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+        assert_eq!(toks[2].offset, 7);
+    }
+}

@@ -1,0 +1,52 @@
+//! BQL — the declarative subscription language of the BAD reproduction.
+//!
+//! The BAD platform lets subscribers express interests as *parameterized
+//! channels*: named, reusable queries with typed parameters that run
+//! perpetually inside the data cluster. The original system used
+//! AsterixDB's AQL; this crate provides a compact stand-in with the same
+//! role: a lexer, parser, static validator and evaluator for channel
+//! declarations and their predicates.
+//!
+//! # Grammar sketch
+//!
+//! ```text
+//! channel NearbyReports(etype: string, area: region)
+//! from EmergencyReports r
+//! where r.kind == $etype and within(r.location, $area)
+//! select r
+//! every 10s                      -- optional: repetitive channel
+//! ```
+//!
+//! Omitting `every` yields a *continuous* channel (matched on every
+//! publication as it arrives); `every <duration>` yields a *repetitive*
+//! channel executed periodically over the records accumulated since the
+//! last execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use bad_query::{ChannelSpec, ParamBindings};
+//! use bad_types::DataValue;
+//!
+//! let spec = ChannelSpec::parse(
+//!     "channel Hot(kind: string) from Reports r \
+//!      where r.kind == $kind and r.severity >= 3 select r",
+//! )?;
+//! let mut params = ParamBindings::new();
+//! params.bind("kind", DataValue::from("tornado"));
+//!
+//! let record = DataValue::parse_json(r#"{"kind":"tornado","severity":4}"#)?;
+//! assert!(spec.matches(&record, &params)?);
+//! # Ok::<(), bad_types::BadError>(())
+//! ```
+
+pub mod ast;
+pub mod channel;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Expr, Literal, ParamType, UnOp};
+pub use channel::{ChannelMode, ChannelSpec, ParamBindings, ParamDef, SelectClause};
+pub use eval::EvalContext;
+pub use parser::{parse_channel, parse_expr};

@@ -1,0 +1,116 @@
+//! Property-based tests for the BQL language: the pretty-printer and
+//! parser are exact inverses, and evaluation is total over boolean
+//! predicates built from comparable atoms.
+
+use bad_query::{parse_expr, BinOp, EvalContext, Expr, Literal, ParamBindings};
+use bad_types::DataValue;
+use proptest::prelude::*;
+
+/// Strategy for comparison atoms `r.<field> <cmp> <int>`, which are
+/// always well-typed against integer records.
+fn arb_atom() -> impl Strategy<Value = Expr> {
+    (
+        prop::sample::select(vec!["a", "b", "c", "d"]),
+        prop::sample::select(vec![
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ]),
+        -50i64..50,
+    )
+        .prop_map(|(field, op, k)| {
+            Expr::binary(op, Expr::field([field]), Expr::Literal(Literal::Int(k)))
+        })
+}
+
+/// Strategy for boolean predicate trees over the atoms.
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    arb_atom().prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinOp::And, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinOp::Or, l, r)),
+            inner.prop_map(|e| Expr::Unary {
+                op: bad_query::UnOp::Not,
+                expr: Box::new(e)
+            }),
+        ]
+    })
+}
+
+/// Strategy for integer records with the fields the atoms reference.
+fn arb_record() -> impl Strategy<Value = DataValue> {
+    (-50i64..50, -50i64..50, -50i64..50, -50i64..50).prop_map(|(a, b, c, d)| {
+        DataValue::object([
+            ("a", DataValue::Int(a)),
+            ("b", DataValue::Int(b)),
+            ("c", DataValue::Int(c)),
+            ("d", DataValue::Int(d)),
+        ])
+    })
+}
+
+proptest! {
+    /// Pretty-printing an expression and re-parsing it yields the same AST.
+    #[test]
+    fn print_parse_roundtrip(expr in arb_predicate()) {
+        let printed = expr.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Every generated predicate evaluates to a boolean on every record —
+    /// evaluation is total, no panics, no type errors.
+    #[test]
+    fn evaluation_is_total(expr in arb_predicate(), record in arb_record()) {
+        let params = ParamBindings::new();
+        let ctx = EvalContext::new(&record, &params);
+        let value = ctx.eval(&expr).unwrap();
+        prop_assert!(value.as_bool().is_some());
+    }
+
+    /// De Morgan: `not (p and q)` equals `not p or not q` on every record.
+    #[test]
+    fn de_morgan_holds(p in arb_atom(), q in arb_atom(), record in arb_record()) {
+        let params = ParamBindings::new();
+        let ctx = EvalContext::new(&record, &params);
+        let not = |e: Expr| Expr::Unary { op: bad_query::UnOp::Not, expr: Box::new(e) };
+        let lhs = not(Expr::binary(BinOp::And, p.clone(), q.clone()));
+        let rhs = Expr::binary(BinOp::Or, not(p), not(q));
+        prop_assert_eq!(ctx.eval(&lhs).unwrap(), ctx.eval(&rhs).unwrap());
+    }
+
+    /// Equality extraction only reports constraints that really are
+    /// top-level conjuncts: substituting the bound value makes the
+    /// predicate require that field value.
+    #[test]
+    fn equality_extraction_sound(
+        field in prop::sample::select(vec!["a", "b"]),
+        k in -5i64..5,
+        other in arb_atom(),
+    ) {
+        let eq = Expr::binary(
+            BinOp::Eq,
+            Expr::field([field]),
+            Expr::Param("p".into()),
+        );
+        let expr = Expr::binary(BinOp::And, eq, other);
+        let found = expr.equality_param_fields();
+        prop_assert!(found.contains(&(field.to_string(), "p".to_string())));
+
+        // A record whose `field` differs from the binding can never match.
+        let params = ParamBindings::from_pairs([("p", DataValue::Int(k))]);
+        let record = DataValue::object([
+            ("a", DataValue::Int(k + 1)),
+            ("b", DataValue::Int(k + 1)),
+            ("c", DataValue::Int(0)),
+            ("d", DataValue::Int(0)),
+        ]);
+        let ctx = EvalContext::new(&record, &params);
+        prop_assert_eq!(ctx.eval(&expr).unwrap(), DataValue::Bool(false));
+    }
+}

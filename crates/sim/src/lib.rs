@@ -1,0 +1,44 @@
+//! Discrete-event simulation of the BAD broker tier (Section V).
+//!
+//! The paper evaluates its caching policies with "a discrete event
+//! simulator ... that mimics the behavior of the broker (manages
+//! subscriptions and deliver channel results) as well as the backend
+//! data cluster (generates results at different rates for different
+//! channels)". This crate is that simulator, with one deliberate
+//! difference: rather than *mimicking* the broker, it drives the **real**
+//! broker/cache implementation ([`bad_broker`], [`bad_cache`]) under a
+//! virtual clock, so the simulated numbers measure the actual code.
+//!
+//! * [`engine`] — a minimal deterministic event queue,
+//! * [`backend`] — a synthetic data cluster producing Poisson result
+//!   streams with Table II object sizes, backed by a persistent
+//!   [`bad_storage::ResultStore`],
+//! * [`config`] — the Table II parameter set,
+//! * [`runner`] — the event loop tying subscribers, churn, arrivals and
+//!   the broker together, emitting a [`report::SimReport`] per run,
+//! * [`report`] — per-run metrics and CSV helpers for the figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use bad_cache::PolicyName;
+//! use bad_sim::{SimConfig, Simulation};
+//!
+//! // A deliberately tiny run (the full Table II setup takes minutes).
+//! let config = SimConfig::smoke();
+//! let report = Simulation::new(PolicyName::Lsc, config, 42)?.run();
+//! assert!(report.hit_ratio >= 0.0 && report.hit_ratio <= 1.0);
+//! # Ok::<(), bad_types::BadError>(())
+//! ```
+
+pub mod backend;
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod runner;
+
+pub use backend::SimBackend;
+pub use config::SimConfig;
+pub use engine::EventQueue;
+pub use report::{SimReport, SweepPoint};
+pub use runner::Simulation;

@@ -1,0 +1,174 @@
+//! Per-run measurement reports and figure-series helpers.
+
+use bad_cache::PolicyName;
+use bad_types::{ByteSize, SimDuration};
+
+/// Everything one simulation run measures — the union of the quantities
+/// plotted in Figs. 3, 4 and 5.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// The caching policy.
+    pub policy: PolicyName,
+    /// The configured budget `B`.
+    pub cache_budget: ByteSize,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Fraction of requested objects served from the cache (Fig. 3a).
+    pub hit_ratio: f64,
+    /// Bytes served from the cache (Fig. 3b).
+    pub hit_bytes: ByteSize,
+    /// Bytes fetched from the cluster due to misses (Fig. 3c).
+    pub miss_bytes: ByteSize,
+    /// Total bytes pulled from the cluster: population + misses (Fig. 4a).
+    pub fetched_bytes: ByteSize,
+    /// Total bytes of results the cluster produced — the `Vol` line of
+    /// Fig. 4(a).
+    pub vol_bytes: ByteSize,
+    /// Mean subscriber latency over non-empty retrievals (Fig. 4b).
+    pub mean_latency: SimDuration,
+    /// Mean time objects stayed cached before being dropped (Fig. 4c).
+    pub mean_holding: SimDuration,
+    /// Time-averaged aggregate cache size (Fig. 5a).
+    pub avg_cache_bytes: ByteSize,
+    /// Maximum aggregate cache size ever reached (Fig. 5a).
+    pub max_cache_bytes: ByteSize,
+    /// Time-averaged `Σ ρ_i·T_i` (Fig. 5a overlay; TTL/EXP only).
+    pub expected_ttl_bytes: ByteSize,
+    /// Mean TTL assigned across caches at the end of the run (Fig. 5b).
+    pub mean_ttl: SimDuration,
+    /// Retrievals served.
+    pub deliveries: u64,
+    /// Objects delivered.
+    pub delivered_objects: u64,
+    /// Objects produced by the backend.
+    pub produced_objects: u64,
+}
+
+impl SimReport {
+    /// The CSV header matching [`SimReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "policy,cache_mb,seed,hit_ratio,hit_mb,miss_mb,fetched_mb,vol_mb,\
+         latency_ms,holding_s,avg_cache_mb,max_cache_mb,expected_ttl_mb,\
+         mean_ttl_s,deliveries,delivered_objects,produced_objects"
+    }
+
+    /// One CSV row of the run's measurements.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.2},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.1},{:.1},{:.2},{:.2},{:.2},{:.1},{},{},{}",
+            self.policy,
+            self.cache_budget.as_mib_f64(),
+            self.seed,
+            self.hit_ratio,
+            self.hit_bytes.as_mib_f64(),
+            self.miss_bytes.as_mib_f64(),
+            self.fetched_bytes.as_mib_f64(),
+            self.vol_bytes.as_mib_f64(),
+            self.mean_latency.as_millis_f64(),
+            self.mean_holding.as_secs_f64(),
+            self.avg_cache_bytes.as_mib_f64(),
+            self.max_cache_bytes.as_mib_f64(),
+            self.expected_ttl_bytes.as_mib_f64(),
+            self.mean_ttl.as_secs_f64(),
+            self.deliveries,
+            self.delivered_objects,
+            self.produced_objects,
+        )
+    }
+}
+
+/// The average of several same-configuration runs (the paper averages
+/// ten independent runs per point).
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The policy.
+    pub policy: PolicyName,
+    /// The budget.
+    pub cache_budget: ByteSize,
+    /// Per-seed reports.
+    pub runs: Vec<SimReport>,
+}
+
+impl SweepPoint {
+    /// Mean of a metric across runs.
+    pub fn mean<F: Fn(&SimReport) -> f64>(&self, f: F) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(&f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Mean hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.mean(|r| r.hit_ratio)
+    }
+
+    /// Mean subscriber latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.mean(|r| r.mean_latency.as_millis_f64())
+    }
+
+    /// Mean of any byte-valued field, in MiB.
+    pub fn mib<F: Fn(&SimReport) -> ByteSize>(&self, f: F) -> f64 {
+        self.mean(|r| f(r).as_mib_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_types::Timestamp;
+
+    fn report(policy: PolicyName, hit: f64) -> SimReport {
+        SimReport {
+            policy,
+            cache_budget: ByteSize::from_mib(50),
+            seed: 1,
+            hit_ratio: hit,
+            hit_bytes: ByteSize::from_mib(10),
+            miss_bytes: ByteSize::from_mib(2),
+            fetched_bytes: ByteSize::from_mib(12),
+            vol_bytes: ByteSize::from_mib(10),
+            mean_latency: bad_types::SimDuration::from_millis(400),
+            mean_holding: bad_types::SimDuration::from_secs(30),
+            avg_cache_bytes: ByteSize::from_mib(45),
+            max_cache_bytes: ByteSize::from_mib(50),
+            expected_ttl_bytes: ByteSize::ZERO,
+            mean_ttl: bad_types::SimDuration::ZERO,
+            deliveries: 100,
+            delivered_objects: 200,
+            produced_objects: 50,
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = report(PolicyName::Lsc, 0.5);
+        let header_cols = SimReport::csv_header().split(',').count();
+        let row_cols = r.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        let _ = Timestamp::ZERO;
+    }
+
+    #[test]
+    fn sweep_point_averages() {
+        let point = SweepPoint {
+            policy: PolicyName::Ttl,
+            cache_budget: ByteSize::from_mib(50),
+            runs: vec![report(PolicyName::Ttl, 0.4), report(PolicyName::Ttl, 0.6)],
+        };
+        assert!((point.hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((point.latency_ms() - 400.0).abs() < 1e-9);
+        assert!((point.mib(|r| r.hit_bytes) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sweep_point_is_zero() {
+        let point = SweepPoint {
+            policy: PolicyName::Lru,
+            cache_budget: ByteSize::ZERO,
+            runs: Vec::new(),
+        };
+        assert_eq!(point.hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,471 @@
+//! The simulation event loop.
+//!
+//! One [`Simulation`] wires the real [`Broker`] to the synthetic
+//! [`SimBackend`] and drives them with the Table II workload: Zipf
+//! subscription popularity, lognormal ON/OFF churn and Poisson result
+//! arrivals. Every run is fully determined by `(policy, config, seed)`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Exp};
+
+use bad_broker::{Broker, BrokerConfig};
+use bad_cache::{PolicyKind, PolicyName};
+use bad_query::ParamBindings;
+use bad_types::{
+    BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, Timestamp,
+};
+use bad_workload::{OnOffProcess, ZipfPopularity};
+
+use crate::backend::SimBackend;
+use crate::config::SimConfig;
+use crate::engine::EventQueue;
+use crate::report::SimReport;
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Subscriber joins the system (logs in for the first time and
+    /// makes its subscriptions).
+    Join(u32),
+    /// Subscriber comes back online.
+    ToggleOn(u32),
+    /// Subscriber goes offline.
+    ToggleOff(u32),
+    /// A result stream produces its next object.
+    Arrival(u32),
+    /// A notified subscriber retrieves from one subscription.
+    Retrieve { sub: u32, fs: FrontendSubId },
+    /// Periodic cache maintenance (TTL recompute + expiry).
+    Maintain,
+    /// Periodic `Σ ρ_i·T_i` sampling for Fig. 5(a).
+    Sample,
+    /// A frontend subscription's lifetime ended: move it to a fresh
+    /// Zipf-sampled stream (subscription churn).
+    Resubscribe { sub: u32, fs: FrontendSubId },
+}
+
+struct SubscriberState {
+    online: bool,
+    joined: bool,
+    churn: OnOffProcess,
+    streams: Vec<usize>,
+}
+
+struct StreamState {
+    /// Poisson inter-arrival sampler (fixed per-stream rate).
+    interarrival: Exp<f64>,
+    /// Whether the arrival process has been started.
+    active: bool,
+}
+
+/// One configured simulation run. See the [crate-level example](crate).
+pub struct Simulation {
+    policy: PolicyName,
+    config: SimConfig,
+    seed: u64,
+    broker: Broker,
+    backend: SimBackend,
+    queue: EventQueue<Event>,
+    rng: StdRng,
+    subscribers: Vec<SubscriberState>,
+    streams: Vec<StreamState>,
+    /// `(subscriber, backend sub) -> frontend sub` for notification fan-out.
+    frontends: HashMap<(u32, BackendSubId), FrontendSubId>,
+    /// Running average of `Σ ρ_i·T_i` samples.
+    expected_ttl_sum: f64,
+    expected_ttl_samples: u64,
+    /// Popularity sampler, retained for subscription churn.
+    popularity: ZipfPopularity,
+    /// Subscription lifetime sampler (churn), when enabled.
+    subscription_lifetime: Option<rand_distr::LogNormal<f64>>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a policy, a configuration and a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid workload parameters (Zipf exponent, lognormal
+    /// specs, arrival intervals).
+    pub fn new(policy: PolicyName, config: SimConfig, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut popularity =
+            ZipfPopularity::new(config.unique_subscriptions, config.zipf_exponent, seed ^ 0x21f)?;
+
+        let mut subscribers = Vec::with_capacity(config.subscribers as usize);
+        for k in 0..config.subscribers {
+            let streams = popularity.sample_distinct(
+                config.subscriptions_per_subscriber.min(config.unique_subscriptions),
+            );
+            subscribers.push(SubscriberState {
+                online: false,
+                joined: false,
+                churn: OnOffProcess::new(config.on_duration, config.off_duration, seed ^ (k + 1))?,
+                streams,
+            });
+        }
+
+        let mut streams = Vec::with_capacity(config.unique_subscriptions);
+        for _ in 0..config.unique_subscriptions {
+            let mean = rng
+                .random_range(config.arrival_interval_secs.0..=config.arrival_interval_secs.1);
+            let interarrival = Exp::new(1.0 / mean).map_err(|e| {
+                bad_types::BadError::InvalidArgument(format!("exp: {e}"))
+            })?;
+            streams.push(StreamState { interarrival, active: false });
+        }
+
+        let mut cache = config.cache;
+        cache.budget = config.cache_budget;
+        let mut broker = Broker::new(policy, BrokerConfig { cache, net: config.net });
+        if let Some((num, den)) = config.admission_max_budget_fraction {
+            broker.set_admission(bad_cache::AdmissionControl::all_of([
+                bad_cache::AdmissionRule::MaxBudgetFraction { num, den },
+            ]));
+        }
+
+        let subscription_lifetime = match &config.subscription_lifetime {
+            Some(spec) => Some(spec.build()?),
+            None => None,
+        };
+        Ok(Self {
+            policy,
+            config,
+            seed,
+            broker,
+            backend: SimBackend::new(),
+            queue: EventQueue::new(),
+            rng,
+            subscribers,
+            streams,
+            frontends: HashMap::new(),
+            expected_ttl_sum: 0.0,
+            expected_ttl_samples: 0,
+            popularity,
+            subscription_lifetime,
+        })
+    }
+
+    /// Runs the simulation to completion and reports the measurements.
+    pub fn run(mut self) -> SimReport {
+        let end = Timestamp::ZERO + self.config.duration;
+
+        // Initial events: staggered joins, maintenance and sampling.
+        for k in 0..self.subscribers.len() as u32 {
+            let join_at = Timestamp::ZERO
+                + SimDuration::from_secs_f64(
+                    self.rng
+                        .random_range(0.0..=self.config.join_window.as_secs_f64().max(1.0)),
+                );
+            self.queue.push(join_at, Event::Join(k));
+        }
+        self.queue
+            .push(Timestamp::ZERO + self.config.maintain_interval, Event::Maintain);
+        self.queue
+            .push(Timestamp::ZERO + self.config.sample_interval, Event::Sample);
+
+        while let Some((now, event)) = self.queue.pop() {
+            if now >= end {
+                break;
+            }
+            self.handle(event, now);
+        }
+        self.finish(end)
+    }
+
+    fn handle(&mut self, event: Event, now: Timestamp) {
+        match event {
+            Event::Join(k) => self.on_join(k, now),
+            Event::ToggleOn(k) => self.on_toggle_on(k, now),
+            Event::ToggleOff(k) => self.on_toggle_off(k, now),
+            Event::Arrival(s) => self.on_arrival(s, now),
+            Event::Retrieve { sub, fs } => self.on_retrieve(sub, fs, now),
+            Event::Maintain => {
+                self.broker.maintain(now);
+                self.queue.push(now + self.config.maintain_interval, Event::Maintain);
+            }
+            Event::Sample => {
+                if matches!(
+                    self.broker.cache().kind(),
+                    PolicyKind::TtlExpiry | PolicyKind::Eviction
+                ) {
+                    let expected = self.broker.cache().expected_ttl_size(now);
+                    self.expected_ttl_sum += expected.as_u64() as f64;
+                    self.expected_ttl_samples += 1;
+                }
+                self.queue.push(now + self.config.sample_interval, Event::Sample);
+            }
+            Event::Resubscribe { sub, fs } => self.on_resubscribe(sub, fs, now),
+        }
+    }
+
+    fn on_join(&mut self, k: u32, now: Timestamp) {
+        let streams = self.subscribers[k as usize].streams.clone();
+        for s in streams {
+            self.subscribe_to_stream(k, s, now);
+        }
+        let state = &mut self.subscribers[k as usize];
+        state.joined = true;
+        state.online = true;
+        let on = state.churn.next_on_duration();
+        self.queue.push(now + on, Event::ToggleOff(k));
+    }
+
+    /// Subscribes `k` to stream `s`, activating the stream's arrival
+    /// process if needed and scheduling subscription churn when enabled.
+    fn subscribe_to_stream(&mut self, k: u32, s: usize, now: Timestamp) {
+        let channel = SimBackend::stream_channel(s);
+        let fs = self
+            .broker
+            .subscribe(
+                &mut self.backend,
+                SubscriberId::new(k as u64),
+                &channel,
+                ParamBindings::new(),
+                now,
+            )
+            .expect("synthetic subscribe cannot fail");
+        let bs = self.backend.subscription_of(s).expect("just subscribed");
+        self.frontends.insert((k, bs), fs);
+        if !self.streams[s].active {
+            self.streams[s].active = true;
+            let delay = self.next_interarrival(s);
+            self.queue.push(now + delay, Event::Arrival(s as u32));
+        }
+        if let Some(lifetime) = &self.subscription_lifetime {
+            let secs = lifetime.sample(&mut self.rng).max(1.0);
+            self.queue.push(
+                now + SimDuration::from_secs_f64(secs),
+                Event::Resubscribe { sub: k, fs },
+            );
+        }
+    }
+
+    /// Subscription churn: drop `fs` and subscribe to a fresh
+    /// Zipf-sampled stream.
+    fn on_resubscribe(&mut self, k: u32, fs: FrontendSubId, now: Timestamp) {
+        let Some(frontend) = self.broker.subscriptions().frontend(fs) else {
+            return; // already gone
+        };
+        let bs = frontend.backend;
+        let subscriber = SubscriberId::new(k as u64);
+        if self
+            .broker
+            .unsubscribe(&mut self.backend, subscriber, fs, now)
+            .is_err()
+        {
+            return;
+        }
+        self.frontends.remove(&(k, bs));
+        let new_stream = self.popularity.sample();
+        // Track it so ToggleOn catch-ups keep working.
+        self.subscribers[k as usize].streams.push(new_stream);
+        self.subscribe_to_stream(k, new_stream, now);
+    }
+
+    fn on_toggle_on(&mut self, k: u32, now: Timestamp) {
+        let state = &mut self.subscribers[k as usize];
+        state.online = true;
+        let on = state.churn.next_on_duration();
+        self.queue.push(now + on, Event::ToggleOff(k));
+        // Catch up on everything missed while offline.
+        let _ = self
+            .broker
+            .get_all_pending(&mut self.backend, SubscriberId::new(k as u64), now);
+    }
+
+    fn on_toggle_off(&mut self, k: u32, now: Timestamp) {
+        let state = &mut self.subscribers[k as usize];
+        state.online = false;
+        let off = state.churn.next_off_duration();
+        self.queue.push(now + off, Event::ToggleOn(k));
+    }
+
+    fn on_arrival(&mut self, s: u32, now: Timestamp) {
+        let stream = s as usize;
+        let Some(bs) = self.backend.subscription_of(stream) else {
+            self.streams[stream].active = false;
+            return;
+        };
+        let size = ByteSize::new(self.rng.random_range(
+            self.config.object_size.0.as_u64()..=self.config.object_size.1.as_u64(),
+        ));
+        let notification = self.backend.produce(bs, now, size);
+        let outcome = self.broker.on_notification(&mut self.backend, notification, now);
+        let notify_at = now + self.config.net.notify_latency();
+        for subscriber in outcome.notify {
+            let k = subscriber.as_u64() as u32;
+            if self.subscribers[k as usize].online {
+                if let Some(&fs) = self.frontends.get(&(k, bs)) {
+                    self.queue.push(notify_at, Event::Retrieve { sub: k, fs });
+                }
+            }
+        }
+        let delay = self.next_interarrival(stream);
+        self.queue.push(now + delay, Event::Arrival(s));
+    }
+
+    fn on_retrieve(&mut self, sub: u32, fs: FrontendSubId, now: Timestamp) {
+        if !self.subscribers[sub as usize].online {
+            return;
+        }
+        if !self.broker.has_pending(fs) {
+            return; // already served by a batched earlier retrieval
+        }
+        let _ = self
+            .broker
+            .get_results(&mut self.backend, SubscriberId::new(sub as u64), fs, now);
+    }
+
+    fn next_interarrival(&mut self, stream: usize) -> SimDuration {
+        let secs = self.streams[stream].interarrival.sample(&mut self.rng).max(0.001);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    fn finish(self, end: Timestamp) -> SimReport {
+        let cache = self.broker.cache();
+        let metrics = cache.metrics();
+        let delivery = self.broker.delivery_metrics();
+        let caches: Vec<_> = cache.iter_caches().collect();
+        let mean_ttl = if caches.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(
+                caches.iter().map(|c| c.ttl().as_secs_f64()).sum::<f64>()
+                    / caches.len() as f64,
+            )
+        };
+        let expected_ttl_bytes = if self.expected_ttl_samples == 0 {
+            ByteSize::ZERO
+        } else {
+            ByteSize::new((self.expected_ttl_sum / self.expected_ttl_samples as f64) as u64)
+        };
+        SimReport {
+            policy: self.policy,
+            cache_budget: self.config.cache_budget,
+            seed: self.seed,
+            hit_ratio: metrics.hit_ratio().unwrap_or(0.0),
+            hit_bytes: metrics.hit_bytes,
+            miss_bytes: metrics.miss_bytes,
+            fetched_bytes: metrics.fetched_bytes(),
+            vol_bytes: self.backend.volume(),
+            mean_latency: delivery.mean_latency().unwrap_or(SimDuration::ZERO),
+            mean_holding: metrics.mean_holding_time().unwrap_or(SimDuration::ZERO),
+            avg_cache_bytes: metrics.time_averaged_bytes(end),
+            max_cache_bytes: metrics.max_bytes,
+            expected_ttl_bytes,
+            mean_ttl,
+            deliveries: delivery.deliveries,
+            delivered_objects: delivery.delivered_objects,
+            produced_objects: self.backend.produced_objects(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: PolicyName, budget_kib: u64, seed: u64) -> SimReport {
+        let config = SimConfig::smoke().with_budget(ByteSize::from_kib(budget_kib));
+        Simulation::new(policy, config, seed).unwrap().run()
+    }
+
+    #[test]
+    fn smoke_run_produces_sane_metrics() {
+        let report = run(PolicyName::Lsc, 200, 1);
+        assert!(report.produced_objects > 0);
+        assert!(report.deliveries > 0);
+        assert!((0.0..=1.0).contains(&report.hit_ratio));
+        assert!(report.fetched_bytes >= report.miss_bytes);
+        assert!(report.mean_latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run(PolicyName::Ttl, 200, 7);
+        let b = run(PolicyName::Ttl, 200, 7);
+        assert_eq!(a, b);
+        let c = run(PolicyName::Ttl, 200, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eviction_policies_respect_budget_in_sim() {
+        for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd]
+        {
+            let report = run(policy, 100, 3);
+            assert!(
+                report.max_cache_bytes <= ByteSize::from_kib(100),
+                "{policy}: max {} > budget",
+                report.max_cache_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn nc_never_hits_and_never_caches() {
+        let report = run(PolicyName::Nc, 200, 4);
+        assert_eq!(report.hit_ratio, 0.0);
+        assert_eq!(report.max_cache_bytes, ByteSize::ZERO);
+        assert!(report.miss_bytes > ByteSize::ZERO);
+        assert!(report.delivered_objects > 0);
+    }
+
+    #[test]
+    fn bigger_cache_does_not_hurt_hit_ratio() {
+        let small = run(PolicyName::Lsc, 50, 5);
+        let large = run(PolicyName::Lsc, 5000, 5);
+        assert!(
+            large.hit_ratio >= small.hit_ratio - 0.02,
+            "small {} vs large {}",
+            small.hit_ratio,
+            large.hit_ratio
+        );
+    }
+
+    #[test]
+    fn caching_beats_no_cache_on_latency() {
+        let cached = run(PolicyName::Lsc, 2000, 6);
+        let nc = run(PolicyName::Nc, 2000, 6);
+        assert!(
+            cached.mean_latency < nc.mean_latency,
+            "cached {} !< nc {}",
+            cached.mean_latency,
+            nc.mean_latency
+        );
+        assert!(cached.fetched_bytes < nc.fetched_bytes);
+    }
+
+    #[test]
+    fn subscription_churn_keeps_the_system_consistent() {
+        // Table II lists a per-subscription lifetime; with churn enabled
+        // subscribers keep moving between streams and everything still
+        // delivers, deterministically.
+        let mut config = SimConfig::smoke().with_budget(ByteSize::from_kib(200));
+        config.subscription_lifetime =
+            Some(bad_workload::LognormalSpec::new(60.0, 30.0));
+        let a = Simulation::new(PolicyName::Lsc, config.clone(), 11).unwrap().run();
+        let b = Simulation::new(PolicyName::Lsc, config.clone(), 11).unwrap().run();
+        assert_eq!(a, b, "churny runs stay deterministic");
+        assert!(a.delivered_objects > 0);
+        assert!((0.0..=1.0).contains(&a.hit_ratio));
+        // Churn should not break the fetch decomposition.
+        assert_eq!(a.fetched_bytes, a.vol_bytes + a.miss_bytes);
+        // And the workload really differs from the no-churn baseline.
+        config.subscription_lifetime = None;
+        let still = Simulation::new(PolicyName::Lsc, config, 11).unwrap().run();
+        assert_ne!(a.deliveries, still.deliveries);
+    }
+
+    #[test]
+    fn ttl_policy_tracks_expected_size() {
+        let report = run(PolicyName::Ttl, 200, 9);
+        // TTL caches measure Σρ_i·T_i and assign finite TTLs.
+        assert!(report.expected_ttl_bytes > ByteSize::ZERO);
+        assert!(report.mean_ttl > SimDuration::ZERO);
+        assert!(report.mean_holding > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! Buffered ingestion feeds.
+//!
+//! AsterixDB ingests continuous publication streams through *feeds* that
+//! batch records before committing them to a dataset. [`DataFeed`]
+//! reproduces that shape: publishers push records into the feed, and the
+//! feed flushes them to its target [`Dataset`] either when the buffer
+//! reaches a threshold or when explicitly asked.
+
+use std::fmt;
+
+use bad_types::{DataValue, Result, Timestamp};
+
+use crate::dataset::Dataset;
+
+/// A buffered ingestion front for one dataset.
+///
+/// # Examples
+///
+/// ```
+/// use bad_storage::{DataFeed, Dataset, Schema};
+/// use bad_types::{DataValue, Timestamp};
+///
+/// let mut ds = Dataset::new("Reports", Schema::open());
+/// let mut feed = DataFeed::new(2);
+/// feed.push(Timestamp::from_secs(1), DataValue::object([("a", 1i64.into())]));
+/// assert_eq!(ds.len(), 0); // still buffered
+/// feed.push(Timestamp::from_secs(2), DataValue::object([("a", 2i64.into())]));
+/// let flushed = feed.flush_into(&mut ds)?;
+/// assert_eq!(flushed, 2);
+/// assert_eq!(ds.len(), 2);
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataFeed {
+    buffer: Vec<(Timestamp, DataValue)>,
+    batch_size: usize,
+    total_pushed: u64,
+    total_flushed: u64,
+}
+
+impl DataFeed {
+    /// Creates a feed that signals readiness every `batch_size` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { buffer: Vec::new(), batch_size, total_pushed: 0, total_flushed: 0 }
+    }
+
+    /// Queues a record; returns `true` when the buffer has reached the
+    /// batch size and should be flushed.
+    pub fn push(&mut self, ts: Timestamp, record: DataValue) -> bool {
+        self.buffer.push((ts, record));
+        self.total_pushed += 1;
+        self.buffer.len() >= self.batch_size
+    }
+
+    /// Number of records currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Lifetime count of records pushed into the feed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Lifetime count of records committed to the dataset.
+    pub fn total_flushed(&self) -> u64 {
+        self.total_flushed
+    }
+
+    /// Commits all buffered records to `dataset`, returning how many were
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first schema violation; records before it are
+    /// committed, the offending record and everything after it stay
+    /// buffered so the caller can inspect and drop them.
+    pub fn flush_into(&mut self, dataset: &mut Dataset) -> Result<usize> {
+        let mut written = 0;
+        while !self.buffer.is_empty() {
+            let (ts, record) = self.buffer[0].clone();
+            match dataset.insert(ts, record) {
+                Ok(_) => {
+                    self.buffer.remove(0);
+                    written += 1;
+                    self.total_flushed += 1;
+                }
+                Err(e) => {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    /// Drops the head record of the buffer (after a failed flush).
+    pub fn drop_head(&mut self) -> Option<(Timestamp, DataValue)> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.buffer.remove(0))
+        }
+    }
+}
+
+impl fmt::Display for DataFeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "feed (pending {}, pushed {}, flushed {})",
+            self.buffer.len(),
+            self.total_pushed,
+            self.total_flushed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FieldDef, FieldType, Schema};
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn batching_signals_at_threshold() {
+        let mut feed = DataFeed::new(3);
+        assert!(!feed.push(t(1), DataValue::object([("a", 1i64.into())])));
+        assert!(!feed.push(t(2), DataValue::object([("a", 2i64.into())])));
+        assert!(feed.push(t(3), DataValue::object([("a", 3i64.into())])));
+        assert_eq!(feed.pending(), 3);
+    }
+
+    #[test]
+    fn flush_commits_in_order() {
+        let mut ds = Dataset::new("D", Schema::open());
+        let mut feed = DataFeed::new(10);
+        for sec in 1..=3u64 {
+            feed.push(t(sec), DataValue::object([("n", (sec as i64).into())]));
+        }
+        assert_eq!(feed.flush_into(&mut ds).unwrap(), 3);
+        assert_eq!(feed.pending(), 0);
+        assert_eq!(ds.len(), 3);
+        let ns: Vec<i64> = ds
+            .iter()
+            .map(|r| r.value.get("n").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn failed_flush_preserves_tail() {
+        let mut ds = Dataset::new(
+            "D",
+            Schema::closed([FieldDef::required("n", FieldType::Int)]),
+        );
+        let mut feed = DataFeed::new(10);
+        feed.push(t(1), DataValue::object([("n", 1i64.into())]));
+        feed.push(t(2), DataValue::object([("bad", 1i64.into())]));
+        feed.push(t(3), DataValue::object([("n", 3i64.into())]));
+        assert!(feed.flush_into(&mut ds).is_err());
+        // Good head record went through; bad one and its successor remain.
+        assert_eq!(ds.len(), 1);
+        assert_eq!(feed.pending(), 2);
+        // Drop the offender and retry.
+        let dropped = feed.drop_head().unwrap();
+        assert!(dropped.1.get("bad").is_some());
+        assert_eq!(feed.flush_into(&mut ds).unwrap(), 1);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        DataFeed::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Open and closed dataset schemas.
+//!
+//! BAD datasets accept records "with open or closed schema depending on
+//! whether the data fields and their types are apriori known or not"
+//! (paper, Section III-A). A closed schema rejects records with missing,
+//! mistyped or undeclared fields; an open schema only checks the fields
+//! it declares and lets everything else through.
+
+use std::fmt;
+
+use bad_types::{BadError, DataValue, Result};
+
+/// The declared type of a dataset field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// UTF-8 string.
+    String,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float (integers are accepted and coerced).
+    Float,
+    /// Boolean.
+    Bool,
+    /// A `{lat, lon}` point record.
+    Point,
+    /// Any record (no nested validation).
+    Any,
+}
+
+impl FieldType {
+    /// Checks whether `value` conforms to this type.
+    pub fn accepts(self, value: &DataValue) -> bool {
+        match self {
+            FieldType::String => value.as_str().is_some(),
+            FieldType::Int => value.as_i64().is_some(),
+            FieldType::Float => value.as_f64().is_some(),
+            FieldType::Bool => value.as_bool().is_some(),
+            FieldType::Point => bad_types::GeoPoint::from_value(value).is_some(),
+            FieldType::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FieldType::String => "string",
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Bool => "bool",
+            FieldType::Point => "point",
+            FieldType::Any => "any",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A declared field of a dataset schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name at the top level of the record.
+    pub name: String,
+    /// Declared type.
+    pub ty: FieldType,
+    /// Whether the field may be absent or null.
+    pub optional: bool,
+}
+
+impl FieldDef {
+    /// A required field.
+    pub fn required(name: impl Into<String>, ty: FieldType) -> Self {
+        Self { name: name.into(), ty, optional: false }
+    }
+
+    /// An optional field.
+    pub fn optional(name: impl Into<String>, ty: FieldType) -> Self {
+        Self { name: name.into(), ty, optional: true }
+    }
+}
+
+/// A dataset schema: a set of declared fields plus the open/closed flag.
+///
+/// # Examples
+///
+/// ```
+/// use bad_storage::{FieldDef, FieldType, Schema};
+/// use bad_types::DataValue;
+///
+/// let schema = Schema::closed([
+///     FieldDef::required("kind", FieldType::String),
+///     FieldDef::optional("severity", FieldType::Int),
+/// ]);
+/// let ok = DataValue::parse_json(r#"{"kind":"fire"}"#)?;
+/// assert!(schema.validate(&ok).is_ok());
+/// let bad = DataValue::parse_json(r#"{"kind":"fire","extra":1}"#)?;
+/// assert!(schema.validate(&bad).is_err());
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+    open: bool,
+}
+
+impl Schema {
+    /// A fully open schema: any object record is accepted.
+    pub fn open() -> Self {
+        Self { fields: Vec::new(), open: true }
+    }
+
+    /// An open schema that still validates the given fields when present.
+    pub fn open_with<I: IntoIterator<Item = FieldDef>>(fields: I) -> Self {
+        Self { fields: fields.into_iter().collect(), open: true }
+    }
+
+    /// A closed schema: exactly the declared fields are allowed.
+    pub fn closed<I: IntoIterator<Item = FieldDef>>(fields: I) -> Self {
+        Self { fields: fields.into_iter().collect(), open: false }
+    }
+
+    /// Whether undeclared fields are allowed.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The declared fields.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Validates a record against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadError::Schema`] when the record is not an object, a
+    /// required field is missing or null, a declared field has the wrong
+    /// type, or (for closed schemas) an undeclared field is present.
+    pub fn validate(&self, record: &DataValue) -> Result<()> {
+        let map = record.as_object().ok_or_else(|| {
+            BadError::Schema(format!("record is not an object: {record}"))
+        })?;
+        for def in &self.fields {
+            match map.get(&def.name) {
+                None | Some(DataValue::Null) => {
+                    if !def.optional {
+                        return Err(BadError::Schema(format!(
+                            "required field `{}` is missing",
+                            def.name
+                        )));
+                    }
+                }
+                Some(value) => {
+                    if !def.ty.accepts(value) {
+                        return Err(BadError::Schema(format!(
+                            "field `{}` is not a {}: {value}",
+                            def.name, def.ty
+                        )));
+                    }
+                }
+            }
+        }
+        if !self.open {
+            for key in map.keys() {
+                if !self.fields.iter().any(|d| &d.name == key) {
+                    return Err(BadError::Schema(format!(
+                        "undeclared field `{key}` in closed schema"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(json: &str) -> DataValue {
+        DataValue::parse_json(json).unwrap()
+    }
+
+    #[test]
+    fn open_schema_accepts_any_object() {
+        let s = Schema::open();
+        assert!(s.validate(&record(r#"{"anything":1}"#)).is_ok());
+        assert!(s.validate(&record("{}")).is_ok());
+        assert!(s.validate(&record("[1]")).is_err());
+        assert!(s.validate(&DataValue::from(3i64)).is_err());
+    }
+
+    #[test]
+    fn closed_schema_rejects_undeclared() {
+        let s = Schema::closed([FieldDef::required("a", FieldType::Int)]);
+        assert!(s.validate(&record(r#"{"a":1}"#)).is_ok());
+        assert!(s.validate(&record(r#"{"a":1,"b":2}"#)).is_err());
+    }
+
+    #[test]
+    fn required_fields_must_be_present_and_non_null() {
+        let s = Schema::closed([FieldDef::required("a", FieldType::Int)]);
+        assert!(s.validate(&record("{}")).is_err());
+        assert!(s.validate(&record(r#"{"a":null}"#)).is_err());
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent() {
+        let s = Schema::closed([FieldDef::optional("a", FieldType::Int)]);
+        assert!(s.validate(&record("{}")).is_ok());
+        assert!(s.validate(&record(r#"{"a":null}"#)).is_ok());
+        assert!(s.validate(&record(r#"{"a":"x"}"#)).is_err());
+    }
+
+    #[test]
+    fn open_with_validates_declared_fields() {
+        let s = Schema::open_with([FieldDef::required("kind", FieldType::String)]);
+        assert!(s.validate(&record(r#"{"kind":"x","extra":true}"#)).is_ok());
+        assert!(s.validate(&record(r#"{"kind":5,"extra":true}"#)).is_err());
+    }
+
+    #[test]
+    fn field_types_accept() {
+        assert!(FieldType::Float.accepts(&DataValue::from(1i64)));
+        assert!(FieldType::Float.accepts(&DataValue::from(1.5)));
+        assert!(!FieldType::Int.accepts(&DataValue::from(1.5)));
+        assert!(FieldType::Point
+            .accepts(&bad_types::GeoPoint::new(1.0, 2.0).to_value()));
+        assert!(!FieldType::Point.accepts(&DataValue::from("x")));
+        assert!(FieldType::Any.accepts(&DataValue::Null));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: dataset and result-store range queries agree with a
+//! naive reference model.
+
+use bad_storage::{Dataset, ResultStore, Schema};
+use bad_types::{BackendSubId, ByteSize, DataValue, TimeRange, Timestamp};
+use proptest::prelude::*;
+
+fn ts(micros: u64) -> Timestamp {
+    Timestamp::from_micros(micros)
+}
+
+proptest! {
+    /// `Dataset::range` returns exactly the records a linear scan of
+    /// (timestamp, insertion order) would return, in the same order.
+    #[test]
+    fn dataset_range_matches_naive(
+        stamps in prop::collection::vec(0u64..1000, 0..60),
+        from in 0u64..1000,
+        len in 0u64..1000,
+        closed in any::<bool>(),
+    ) {
+        let mut ds = Dataset::new("D", Schema::open());
+        for (i, &s) in stamps.iter().enumerate() {
+            ds.insert(ts(s), DataValue::object([("i", (i as i64).into())])).unwrap();
+        }
+        let range = if closed {
+            TimeRange::closed(ts(from), ts(from + len))
+        } else {
+            TimeRange::half_open(ts(from), ts(from + len))
+        };
+
+        let got: Vec<i64> = ds
+            .range(range)
+            .map(|r| r.value.get("i").unwrap().as_i64().unwrap())
+            .collect();
+
+        // Reference: stable sort by timestamp, then filter.
+        let mut naive: Vec<(u64, i64)> =
+            stamps.iter().enumerate().map(|(i, &s)| (s, i as i64)).collect();
+        naive.sort_by_key(|&(s, _)| s);
+        let expected: Vec<i64> = naive
+            .into_iter()
+            .filter(|&(s, _)| range.contains(ts(s)))
+            .map(|(_, i)| i)
+            .collect();
+
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `ResultStore::fetch` returns a timestamp-sorted subset equal to the
+    /// naive filter, and `fetch_bytes` equals the sum of fetched sizes.
+    #[test]
+    fn result_store_fetch_matches_naive(
+        stamps in prop::collection::vec((0u64..500, 1u64..1000), 0..50),
+        from in 0u64..500,
+        len in 0u64..500,
+    ) {
+        let mut store = ResultStore::new();
+        let bs = BackendSubId::new(9);
+        for &(s, size) in &stamps {
+            store.append(bs, ts(s), DataValue::Null, Some(ByteSize::new(size)));
+        }
+        let range = TimeRange::closed(ts(from), ts(from + len));
+        let got = store.fetch(bs, range);
+
+        // Sorted by timestamp.
+        prop_assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Same multiset of (ts, size) as the naive filter.
+        let mut got_pairs: Vec<(u64, u64)> =
+            got.iter().map(|o| (o.ts.as_micros(), o.size.as_u64())).collect();
+        let mut expected: Vec<(u64, u64)> = stamps
+            .iter()
+            .copied()
+            .filter(|&(s, _)| range.contains(ts(s)))
+            .collect();
+        got_pairs.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got_pairs, expected);
+
+        let total: ByteSize = got.iter().map(|o| o.size).sum();
+        prop_assert_eq!(store.fetch_bytes(bs, range), total);
+    }
+
+    /// Splitting a fetch interval at any midpoint loses nothing: fetching
+    /// `[a, m)` and `[m, b]` returns the same objects as `[a, b]`.
+    #[test]
+    fn fetch_interval_splitting_is_lossless(
+        stamps in prop::collection::vec(0u64..300, 1..40),
+        a in 0u64..300,
+        mid_off in 0u64..150,
+        rest in 0u64..150,
+    ) {
+        let mut store = ResultStore::new();
+        let bs = BackendSubId::new(1);
+        for &s in &stamps {
+            store.append(bs, ts(s), DataValue::Null, Some(ByteSize::new(1)));
+        }
+        let m = a + mid_off;
+        let b = m + rest;
+        let whole = store.fetch(bs, TimeRange::closed(ts(a), ts(b)));
+        let left = store.fetch(bs, TimeRange::half_open(ts(a), ts(m)));
+        let right = store.fetch(bs, TimeRange::closed(ts(m), ts(b)));
+        let mut combined: Vec<u64> =
+            left.iter().chain(right.iter()).map(|o| o.id.as_u64()).collect();
+        let mut expected: Vec<u64> = whole.iter().map(|o| o.id.as_u64()).collect();
+        combined.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(combined, expected);
+    }
+}

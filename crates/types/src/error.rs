@@ -1,0 +1,103 @@
+//! The common error type for the BAD workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = BadError> = std::result::Result<T, E>;
+
+/// Errors produced by the BAD system.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::BadError;
+///
+/// let err = BadError::not_found("channel", "NearbyTornadoes");
+/// assert_eq!(err.to_string(), "channel not found: NearbyTornadoes");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BadError {
+    /// A text input (JSON document, BQL query) failed to parse.
+    Parse(String),
+    /// A value had the wrong type for the operation.
+    Type(String),
+    /// A referenced entity does not exist.
+    NotFound {
+        /// What kind of entity was looked up (e.g. `"channel"`).
+        kind: &'static str,
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// An entity with the same key already exists.
+    AlreadyExists {
+        /// What kind of entity collided.
+        kind: &'static str,
+        /// The duplicate key.
+        key: String,
+    },
+    /// A record violated a closed dataset schema.
+    Schema(String),
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// The operation is not valid in the current state.
+    InvalidState(String),
+}
+
+impl BadError {
+    /// Shorthand for [`BadError::NotFound`].
+    pub fn not_found(kind: &'static str, key: impl Into<String>) -> Self {
+        BadError::NotFound { kind, key: key.into() }
+    }
+
+    /// Shorthand for [`BadError::AlreadyExists`].
+    pub fn already_exists(kind: &'static str, key: impl Into<String>) -> Self {
+        BadError::AlreadyExists { kind, key: key.into() }
+    }
+}
+
+impl fmt::Display for BadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BadError::Parse(msg) => write!(f, "parse error: {msg}"),
+            BadError::Type(msg) => write!(f, "type error: {msg}"),
+            BadError::NotFound { kind, key } => write!(f, "{kind} not found: {key}"),
+            BadError::AlreadyExists { kind, key } => {
+                write!(f, "{kind} already exists: {key}")
+            }
+            BadError::Schema(msg) => write!(f, "schema violation: {msg}"),
+            BadError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            BadError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl StdError for BadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BadError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            BadError::already_exists("dataset", "Reports").to_string(),
+            "dataset already exists: Reports"
+        );
+        assert_eq!(
+            BadError::Schema("missing field kind".into()).to_string(),
+            "schema violation: missing field kind"
+        );
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_traits<T: StdError + Send + Sync + 'static>() {}
+        assert_traits::<BadError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Geographic primitives for the paper's emergency-notification use case.
+//!
+//! Subscribers in the prototype evaluation (Section VI) subscribe to
+//! emergencies "happening in certain locations"; publications are
+//! geo-tagged. [`GeoPoint`] and [`BoundingBox`] back the `within(...)`
+//! builtin of the BQL subscription language.
+
+use std::fmt;
+
+use crate::value::DataValue;
+
+/// Mean Earth radius in kilometres, used by the haversine distance.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A WGS-84 latitude/longitude pair in degrees.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::GeoPoint;
+///
+/// let uci = GeoPoint::new(33.6405, -117.8443);
+/// let lax = GeoPoint::new(33.9416, -118.4085);
+/// let d = uci.distance_km(lax);
+/// assert!((50.0..70.0).contains(&d));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometres.
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * a.sqrt().asin() * EARTH_RADIUS_KM
+    }
+
+    /// Converts the point to a record `{"lat": .., "lon": ..}`.
+    pub fn to_value(self) -> DataValue {
+        DataValue::object([
+            ("lat", DataValue::Float(self.lat)),
+            ("lon", DataValue::Float(self.lon)),
+        ])
+    }
+
+    /// Reads a point back from a record produced by [`GeoPoint::to_value`].
+    pub fn from_value(value: &DataValue) -> Option<GeoPoint> {
+        let lat = value.get("lat")?.as_f64()?;
+        let lon = value.get("lon")?.as_f64()?;
+        Some(GeoPoint::new(lat, lon))
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+/// An axis-aligned latitude/longitude rectangle.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::{BoundingBox, GeoPoint};
+///
+/// let city = BoundingBox::new(GeoPoint::new(33.6, -118.0), GeoPoint::new(33.9, -117.6));
+/// assert!(city.contains(GeoPoint::new(33.7, -117.8)));
+/// assert!(!city.contains(GeoPoint::new(34.1, -117.8)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoundingBox {
+    /// South-west corner.
+    pub min: GeoPoint,
+    /// North-east corner.
+    pub max: GeoPoint,
+}
+
+impl BoundingBox {
+    /// Creates a box from its south-west and north-east corners.
+    ///
+    /// Corners are normalized so that `min` is always south-west of `max`.
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        Self {
+            min: GeoPoint::new(a.lat.min(b.lat), a.lon.min(b.lon)),
+            max: GeoPoint::new(a.lat.max(b.lat), a.lon.max(b.lon)),
+        }
+    }
+
+    /// Returns `true` when `p` lies inside (or on the edge of) the box.
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lat >= self.min.lat
+            && p.lat <= self.max.lat
+            && p.lon >= self.min.lon
+            && p.lon <= self.max.lon
+    }
+
+    /// Centre point of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min.lat + self.max.lat) / 2.0,
+            (self.min.lon + self.max.lon) / 2.0,
+        )
+    }
+
+    /// Converts the box to a record `{"min": {...}, "max": {...}}`.
+    pub fn to_value(self) -> DataValue {
+        DataValue::object([
+            ("min", self.min.to_value()),
+            ("max", self.max.to_value()),
+        ])
+    }
+
+    /// Reads a box back from a record produced by [`BoundingBox::to_value`].
+    pub fn from_value(value: &DataValue) -> Option<BoundingBox> {
+        let min = GeoPoint::from_value(value.get("min")?)?;
+        let max = GeoPoint::from_value(value.get("max")?)?;
+        Some(BoundingBox { min, max })
+    }
+
+    /// Splits the box into an `n x n` grid of equally-sized cells, row by
+    /// row from the south-west corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn grid(&self, n: u32) -> Vec<BoundingBox> {
+        assert!(n > 0, "grid dimension must be positive");
+        let dlat = (self.max.lat - self.min.lat) / n as f64;
+        let dlon = (self.max.lon - self.min.lon) / n as f64;
+        let mut cells = Vec::with_capacity((n * n) as usize);
+        for row in 0..n {
+            for col in 0..n {
+                let sw = GeoPoint::new(
+                    self.min.lat + dlat * row as f64,
+                    self.min.lon + dlon * col as f64,
+                );
+                let ne = GeoPoint::new(sw.lat + dlat, sw.lon + dlon);
+                cells.push(BoundingBox::new(sw, ne));
+            }
+        }
+        cells
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_zero_to_self() {
+        let p = GeoPoint::new(12.0, 34.0);
+        assert!(p.distance_km(p) < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(33.64, -117.84);
+        let b = GeoPoint::new(37.77, -122.42);
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_sf_la() {
+        let sf = GeoPoint::new(37.7749, -122.4194);
+        let la = GeoPoint::new(34.0522, -118.2437);
+        let d = sf.distance_km(la);
+        assert!((550.0..570.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BoundingBox::new(GeoPoint::new(2.0, 2.0), GeoPoint::new(1.0, 1.0));
+        assert_eq!(b.min, GeoPoint::new(1.0, 1.0));
+        assert_eq!(b.max, GeoPoint::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn bbox_contains_edges() {
+        let b = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0));
+        assert!(b.contains(GeoPoint::new(0.0, 0.0)));
+        assert!(b.contains(GeoPoint::new(1.0, 1.0)));
+        assert!(b.contains(b.center()));
+        assert!(!b.contains(GeoPoint::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn grid_partitions_area() {
+        let b = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(4.0, 4.0));
+        let cells = b.grid(4);
+        assert_eq!(cells.len(), 16);
+        // Every cell center is inside the parent box and inside exactly one cell.
+        for cell in &cells {
+            let c = cell.center();
+            assert!(b.contains(c));
+            let hits = cells.iter().filter(|other| other.contains(c)).count();
+            assert_eq!(hits, 1, "center {c} in {hits} cells");
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let p = GeoPoint::new(3.5, -7.25);
+        assert_eq!(GeoPoint::from_value(&p.to_value()), Some(p));
+        let b = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 2.0));
+        assert_eq!(BoundingBox::from_value(&b.to_value()), Some(b));
+        assert_eq!(GeoPoint::from_value(&DataValue::Null), None);
+    }
+}

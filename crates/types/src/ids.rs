@@ -1,0 +1,170 @@
+//! Strongly-typed identifiers for the entities of the BAD platform.
+//!
+//! Every entity that flows between the data cluster, the brokers and the
+//! subscribers carries its own newtype identifier so that, e.g., a
+//! [`FrontendSubId`] can never be passed where a [`BackendSubId`] is
+//! expected — the distinction between the two is the heart of the broker's
+//! subscription-merging logic.
+
+use std::fmt;
+
+/// Defines a `u64`-backed identifier newtype with the common trait set.
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw integer representation.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer behind this identifier.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// An end user ("BAD client") connected to a broker.
+    SubscriberId,
+    "sub-"
+);
+define_id!(
+    /// A data source publishing records into the data cluster.
+    PublisherId,
+    "pub-"
+);
+define_id!(
+    /// A parameterized channel registered in the data cluster.
+    ChannelId,
+    "ch-"
+);
+define_id!(
+    /// A merged, deduplicated subscription the broker holds against the
+    /// data cluster. Each backend subscription owns one result cache.
+    BackendSubId,
+    "bsub-"
+);
+define_id!(
+    /// An individual subscriber-facing subscription; many frontend
+    /// subscriptions may share one [`BackendSubId`].
+    FrontendSubId,
+    "fsub-"
+);
+define_id!(
+    /// A result object produced by the data cluster for one backend
+    /// subscription.
+    ObjectId,
+    "obj-"
+);
+define_id!(
+    /// A broker node registered with the Broker Coordination Service.
+    BrokerId,
+    "broker-"
+);
+
+/// A monotonically increasing generator for any of the identifier types.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::ids::IdGen;
+/// use bad_types::ObjectId;
+///
+/// let mut gen = IdGen::new();
+/// let a: ObjectId = gen.next_id();
+/// let b: ObjectId = gen.next_id();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Creates a generator starting at zero.
+    pub const fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Creates a generator whose first identifier is `start`.
+    pub const fn starting_at(start: u64) -> Self {
+        Self { next: start }
+    }
+
+    /// Returns the next identifier, converting into any `From<u64>` id type.
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        let raw = self.next;
+        self.next += 1;
+        T::from(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(SubscriberId::new(7).to_string(), "sub-7");
+        assert_eq!(BackendSubId::new(0).to_string(), "bsub-0");
+        assert_eq!(BrokerId::new(3).to_string(), "broker-3");
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let id = ObjectId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id.as_u64(), 42);
+    }
+
+    #[test]
+    fn idgen_is_monotonic() {
+        let mut g = IdGen::new();
+        let ids: Vec<ObjectId> = (0..100).map(|_| g.next_id()).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn idgen_starting_at() {
+        let mut g = IdGen::starting_at(10);
+        let id: ChannelId = g.next_id();
+        assert_eq!(id.as_u64(), 10);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SubscriberId::new(1));
+        set.insert(SubscriberId::new(1));
+        set.insert(SubscriberId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(SubscriberId::new(1) < SubscriberId::new(2));
+    }
+}

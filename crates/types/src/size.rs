@@ -1,0 +1,204 @@
+//! Byte quantities.
+//!
+//! Cache budgets (the paper's `B`), object sizes (`s_ij`) and traffic
+//! volumes are all expressed as [`ByteSize`] so they cannot be confused
+//! with counts or durations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * KIB;
+const GIB: u64 = 1024 * MIB;
+
+/// A non-negative quantity of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::ByteSize;
+///
+/// let budget = ByteSize::from_mib(50);
+/// assert_eq!(budget.as_u64(), 50 * 1024 * 1024);
+/// assert_eq!(budget.to_string(), "50.00MiB");
+/// assert!(budget > ByteSize::from_kib(100));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// The largest representable size.
+    pub const MAX: ByteSize = ByteSize(u64::MAX);
+
+    /// Creates a size from raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size from kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * KIB)
+    }
+
+    /// Creates a size from mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        Self(mib * MIB)
+    }
+
+    /// Creates a size from gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        Self(gib * GIB)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the size as fractional kibibytes.
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / KIB as f64
+    }
+
+    /// Returns the size as fractional mebibytes.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Returns `true` when the size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the smaller of two sizes.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two sizes.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        Self(bytes)
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(size: ByteSize) -> u64 {
+        size.0
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ByteSize::from_kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::from_mib(1), ByteSize::from_kib(1024));
+        assert_eq!(ByteSize::from_gib(1), ByteSize::from_mib(1024));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = ByteSize::new(10);
+        let b = ByteSize::new(25);
+        assert_eq!(a - b, ByteSize::ZERO);
+        assert_eq!(b - a, ByteSize::new(15));
+        assert_eq!(ByteSize::MAX + b, ByteSize::MAX);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, ByteSize::new(35));
+        c -= ByteSize::new(100);
+        assert_eq!(c, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn sum_and_mul() {
+        let total: ByteSize = (1..=4u64).map(ByteSize::new).sum();
+        assert_eq!(total, ByteSize::new(10));
+        assert_eq!(ByteSize::new(3) * 4, ByteSize::new(12));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::new(512).to_string(), "512B");
+        assert_eq!(ByteSize::from_kib(2).to_string(), "2.00KiB");
+        assert_eq!(ByteSize::from_mib(500).to_string(), "500.00MiB");
+        assert_eq!(ByteSize::from_gib(3).to_string(), "3.00GiB");
+    }
+
+    #[test]
+    fn fractional_views() {
+        assert_eq!(ByteSize::from_kib(1).as_kib_f64(), 1.0);
+        assert_eq!(ByteSize::from_mib(2).as_mib_f64(), 2.0);
+        assert_eq!(ByteSize::new(512).as_kib_f64(), 0.5);
+    }
+}

@@ -1,0 +1,407 @@
+//! Virtual time for the BAD system.
+//!
+//! All components — the data cluster, the brokers, the simulator and the
+//! prototype harness — agree on a single microsecond-resolution virtual
+//! clock. Result objects are timestamped with [`Timestamp`]s and retrieved
+//! by [`TimeRange`]s, mirroring the timestamp markers the paper's
+//! Algorithm 1 keeps per frontend and backend subscription.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const MICROS_PER_SEC: u64 = 1_000_000;
+const MICROS_PER_MILLI: u64 = 1_000;
+
+/// A span of virtual time with microsecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::SimDuration;
+///
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// assert_eq!(d * 2, SimDuration::from_secs(3));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self(millis * MICROS_PER_MILLI)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        Self::from_secs(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        Self::from_secs(hours * 3600)
+    }
+
+    /// Creates a duration from fractional seconds, saturating at zero for
+    /// negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Self::ZERO;
+        }
+        Self((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / MICROS_PER_MILLI
+    }
+
+    /// Returns the duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Returns the duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_MILLI as f64
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> Self {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs_f64();
+        if secs >= 3600.0 {
+            write!(f, "{:.2}h", secs / 3600.0)
+        } else if secs >= 60.0 {
+            write!(f, "{:.2}m", secs / 60.0)
+        } else if secs >= 1.0 {
+            write!(f, "{:.3}s", secs)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An instant on the shared virtual clock, measured from the simulation
+/// epoch.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::{SimDuration, Timestamp};
+///
+/// let t0 = Timestamp::ZERO;
+/// let t1 = t0 + SimDuration::from_secs(10);
+/// assert_eq!(t1 - t0, SimDuration::from_secs(10));
+/// assert!(t1 > t0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The simulation epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The largest representable instant.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from whole microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * MICROS_PER_SEC)
+    }
+
+    /// Returns microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Elapsed time since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub const fn since(self, earlier: Timestamp) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two timestamps.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for Timestamp {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign<SimDuration> for Timestamp {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = SimDuration;
+    fn sub(self, rhs: Timestamp) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A half-open or closed interval of timestamps, as used by the broker's
+/// `fetch(bs, ts1, ts2, closed)` call in Algorithm 1 of the paper.
+///
+/// The left end is always inclusive; `closed_right` selects whether the
+/// right end is inclusive.
+///
+/// # Examples
+///
+/// ```
+/// use bad_types::{TimeRange, Timestamp};
+///
+/// let r = TimeRange::closed(Timestamp::from_secs(1), Timestamp::from_secs(5));
+/// assert!(r.contains(Timestamp::from_secs(5)));
+/// let h = TimeRange::half_open(Timestamp::from_secs(1), Timestamp::from_secs(5));
+/// assert!(!h.contains(Timestamp::from_secs(5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub from: Timestamp,
+    /// Upper bound; inclusive iff `closed_right`.
+    pub to: Timestamp,
+    /// Whether `to` itself is part of the range.
+    pub closed_right: bool,
+}
+
+impl TimeRange {
+    /// Creates a range inclusive at both ends: `[from, to]`.
+    pub const fn closed(from: Timestamp, to: Timestamp) -> Self {
+        Self { from, to, closed_right: true }
+    }
+
+    /// Creates a range exclusive on the right: `[from, to)`.
+    pub const fn half_open(from: Timestamp, to: Timestamp) -> Self {
+        Self { from, to, closed_right: false }
+    }
+
+    /// Returns `true` when `ts` lies inside this range.
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        if ts < self.from {
+            return false;
+        }
+        if self.closed_right {
+            ts <= self.to
+        } else {
+            ts < self.to
+        }
+    }
+
+    /// Returns `true` if the range can contain no timestamp at all.
+    pub fn is_empty(&self) -> bool {
+        if self.closed_right {
+            self.to < self.from
+        } else {
+            self.to <= self.from
+        }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let close = if self.closed_right { "]" } else { ")" };
+        write!(f, "[{}, {}{}", self.from, self.to, close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn duration_from_secs_f64_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(3);
+        let b = SimDuration::from_secs(1);
+        assert_eq!(a + b, SimDuration::from_secs(4));
+        assert_eq!(a - b, SimDuration::from_secs(2));
+        assert_eq!(b - a, SimDuration::ZERO); // saturating
+        assert_eq!(a * 2, SimDuration::from_secs(6));
+        assert_eq!(a / 3, SimDuration::from_secs(1));
+        let total: SimDuration = [a, b, b].into_iter().sum();
+        assert_eq!(total, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn timestamp_arithmetic_saturates() {
+        let t = Timestamp::from_secs(1);
+        assert_eq!(t - SimDuration::from_secs(5), Timestamp::ZERO);
+        assert_eq!(Timestamp::ZERO.since(t), SimDuration::ZERO);
+        assert_eq!(Timestamp::MAX + SimDuration::from_secs(1), Timestamp::MAX);
+    }
+
+    #[test]
+    fn range_membership() {
+        let r = TimeRange::closed(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(!r.contains(Timestamp::from_secs(9)));
+        assert!(r.contains(Timestamp::from_secs(10)));
+        assert!(r.contains(Timestamp::from_secs(20)));
+        let h = TimeRange::half_open(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(!h.contains(Timestamp::from_secs(20)));
+        assert!(h.contains(Timestamp::from_secs(19)));
+    }
+
+    #[test]
+    fn range_emptiness() {
+        let t = Timestamp::from_secs(5);
+        assert!(TimeRange::half_open(t, t).is_empty());
+        assert!(!TimeRange::closed(t, t).is_empty());
+        assert!(TimeRange::closed(t, Timestamp::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5us");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.00m");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2.00h");
+        assert_eq!(Timestamp::from_secs(1).to_string(), "t=1.000s");
+        assert_eq!(
+            TimeRange::half_open(Timestamp::ZERO, Timestamp::from_secs(1)).to_string(),
+            "[t=0.000s, t=1.000s)"
+        );
+    }
+}

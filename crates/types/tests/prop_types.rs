@@ -1,0 +1,73 @@
+//! Property-based tests for the foundation types.
+
+use bad_types::{ByteSize, DataValue, SimDuration, TimeRange, Timestamp};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary `DataValue` trees of bounded depth.
+fn arb_value() -> impl Strategy<Value = DataValue> {
+    let leaf = prop_oneof![
+        Just(DataValue::Null),
+        any::<bool>().prop_map(DataValue::Bool),
+        any::<i64>().prop_map(DataValue::Int),
+        // Finite floats only: NaN breaks equality, infinities serialize as null.
+        (-1e12f64..1e12f64).prop_map(DataValue::Float),
+        "[ -~]{0,20}".prop_map(DataValue::Str),
+        // Strings with escapes and unicode.
+        prop::collection::vec(any::<char>(), 0..8)
+            .prop_map(|cs| DataValue::Str(cs.into_iter().collect())),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(DataValue::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(DataValue::Object),
+        ]
+    })
+}
+
+proptest! {
+    /// Printing then parsing a value yields the same value (floats are
+    /// constrained to a range where `{}` formatting round-trips exactly).
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let text = v.to_json_string();
+        let back = DataValue::parse_json(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// The size estimate never panics and grows when a value is wrapped.
+    #[test]
+    fn size_estimate_monotone_under_wrapping(v in arb_value()) {
+        let inner = v.estimated_size();
+        let wrapped = DataValue::object([("w", v)]).estimated_size();
+        prop_assert!(wrapped > inner);
+    }
+
+    /// Timestamp difference inverts addition for in-range values.
+    #[test]
+    fn timestamp_add_sub_roundtrip(base in 0u64..1u64 << 50, delta in 0u64..1u64 << 40) {
+        let t = Timestamp::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    /// A closed range contains both endpoints; a half-open one excludes `to`.
+    #[test]
+    fn range_endpoint_semantics(a in 0u64..1u64 << 40, len in 1u64..1u64 << 30) {
+        let from = Timestamp::from_micros(a);
+        let to = Timestamp::from_micros(a + len);
+        let closed = TimeRange::closed(from, to);
+        let open = TimeRange::half_open(from, to);
+        prop_assert!(closed.contains(from) && closed.contains(to));
+        prop_assert!(open.contains(from) && !open.contains(to));
+        prop_assert!(!closed.is_empty() && !open.is_empty());
+    }
+
+    /// ByteSize saturating arithmetic never underflows.
+    #[test]
+    fn bytesize_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let diff = ByteSize::new(a) - ByteSize::new(b);
+        prop_assert_eq!(diff.as_u64(), a.saturating_sub(b));
+    }
+}

@@ -1,0 +1,182 @@
+//! Subscriber ON/OFF churn.
+//!
+//! "Each subscriber remains ON and OFF for mean durations of 20 and 30
+//! minutes respectively following a lognormal distribution" (Section V).
+//! [`OnOffProcess`] samples those session/absence durations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+
+use bad_types::{Result, SimDuration};
+
+/// A lognormal distribution specified by its *target* mean and standard
+/// deviation (in seconds), rather than by the underlying normal's
+/// parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LognormalSpec {
+    /// Desired mean of the sampled durations, in seconds.
+    pub mean_secs: f64,
+    /// Desired standard deviation of the sampled durations, in seconds.
+    pub std_secs: f64,
+}
+
+impl LognormalSpec {
+    /// Creates a spec.
+    pub const fn new(mean_secs: f64, std_secs: f64) -> Self {
+        Self { mean_secs, std_secs }
+    }
+
+    /// The `(mu, sigma)` of the underlying normal distribution such that
+    /// `exp(N(mu, sigma))` has the requested mean and std.
+    pub fn normal_params(&self) -> (f64, f64) {
+        let m = self.mean_secs;
+        let s = self.std_secs;
+        let variance_ratio = (s * s) / (m * m);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = m.ln() - sigma2 / 2.0;
+        (mu, sigma2.sqrt())
+    }
+
+    /// Builds the sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::InvalidArgument`] for non-positive
+    /// mean or negative std.
+    pub fn build(&self) -> Result<LogNormal<f64>> {
+        if !(self.mean_secs > 0.0) || self.std_secs < 0.0 {
+            return Err(bad_types::BadError::InvalidArgument(format!(
+                "invalid lognormal spec: mean={}, std={}",
+                self.mean_secs, self.std_secs
+            )));
+        }
+        let (mu, sigma) = self.normal_params();
+        LogNormal::new(mu, sigma).map_err(|e| {
+            bad_types::BadError::InvalidArgument(format!("lognormal: {e}"))
+        })
+    }
+}
+
+/// An alternating ON/OFF renewal process for one subscriber.
+///
+/// # Examples
+///
+/// ```
+/// use bad_workload::{LognormalSpec, OnOffProcess};
+///
+/// let mut process = OnOffProcess::new(
+///     LognormalSpec::new(1200.0, 600.0), // ON: mean 20 min
+///     LognormalSpec::new(1800.0, 900.0), // OFF: mean 30 min
+///     42,
+/// )?;
+/// let on = process.next_on_duration();
+/// let off = process.next_off_duration();
+/// assert!(on.as_secs_f64() > 0.0 && off.as_secs_f64() > 0.0);
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Debug)]
+pub struct OnOffProcess {
+    on: LogNormal<f64>,
+    off: LogNormal<f64>,
+    rng: StdRng,
+}
+
+impl OnOffProcess {
+    /// Creates a process with the given ON and OFF duration specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid specs.
+    pub fn new(on: LognormalSpec, off: LognormalSpec, seed: u64) -> Result<Self> {
+        Ok(Self { on: on.build()?, off: off.build()?, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// The paper's defaults: ON mean 20 min, OFF mean 30 min, with
+    /// moderate dispersion.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; kept fallible for
+    /// API symmetry with [`OnOffProcess::new`].
+    pub fn paper_defaults(seed: u64) -> Result<Self> {
+        Self::new(
+            LognormalSpec::new(20.0 * 60.0, 10.0 * 60.0),
+            LognormalSpec::new(30.0 * 60.0, 15.0 * 60.0),
+            seed,
+        )
+    }
+
+    /// Samples the next ON (session) duration.
+    pub fn next_on_duration(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(self.on.sample(&mut self.rng).max(1.0))
+    }
+
+    /// Samples the next OFF (absence) duration.
+    pub fn next_off_duration(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(self.off.sample(&mut self.rng).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_params_reproduce_moments() {
+        let spec = LognormalSpec::new(1200.0, 600.0);
+        let dist = spec.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1200.0).abs() / 1200.0 < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 600.0).abs() / 600.0 < 0.05, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let mut a = OnOffProcess::paper_defaults(1).unwrap();
+        let mut b = OnOffProcess::paper_defaults(1).unwrap();
+        for _ in 0..10 {
+            assert_eq!(a.next_on_duration(), b.next_on_duration());
+            assert_eq!(a.next_off_duration(), b.next_off_duration());
+        }
+        let mut c = OnOffProcess::paper_defaults(2).unwrap();
+        assert_ne!(a.next_on_duration(), c.next_on_duration());
+    }
+
+    #[test]
+    fn paper_defaults_have_expected_means() {
+        let mut p = OnOffProcess::paper_defaults(3).unwrap();
+        let n = 20_000;
+        let on_mean: f64 =
+            (0..n).map(|_| p.next_on_duration().as_secs_f64()).sum::<f64>() / n as f64;
+        let off_mean: f64 =
+            (0..n).map(|_| p.next_off_duration().as_secs_f64()).sum::<f64>() / n as f64;
+        assert!((on_mean - 1200.0).abs() / 1200.0 < 0.05, "on mean = {on_mean}");
+        assert!((off_mean - 1800.0).abs() / 1800.0 < 0.05, "off mean = {off_mean}");
+    }
+
+    #[test]
+    fn invalid_specs_error() {
+        assert!(LognormalSpec::new(0.0, 1.0).build().is_err());
+        assert!(LognormalSpec::new(-5.0, 1.0).build().is_err());
+        assert!(LognormalSpec::new(10.0, -1.0).build().is_err());
+    }
+
+    #[test]
+    fn durations_are_at_least_one_second() {
+        // Tiny mean forces the clamp to engage.
+        let mut p = OnOffProcess::new(
+            LognormalSpec::new(0.01, 0.001),
+            LognormalSpec::new(0.01, 0.001),
+            5,
+        )
+        .unwrap();
+        for _ in 0..100 {
+            assert!(p.next_on_duration() >= SimDuration::from_secs(1));
+        }
+    }
+}

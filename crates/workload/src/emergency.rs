@@ -1,0 +1,340 @@
+//! The emergency-notification use case of the prototype evaluation
+//! (Section VI, Table III).
+//!
+//! "Subscribers are interested about certain type of emergencies, such
+//! as tornado, flood, and shooting, happening in certain locations as
+//! expressed by different repetitive channels"; a publisher emits
+//! "geo-tagged and timestamped emergency reports and shelter information
+//! at an interval of around every 10 seconds (publications are text
+//! strings of size 200-1000 bytes)"; subscribers "randomly move on the
+//! city and publish their locations".
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use bad_query::ParamBindings;
+use bad_types::{BoundingBox, DataValue, GeoPoint, Result};
+
+use crate::popularity::ZipfPopularity;
+
+/// The emergency kinds used across the scenario.
+pub const EMERGENCY_KINDS: [&str; 6] =
+    ["tornado", "flood", "shooting", "fire", "earthquake", "gasleak"];
+
+/// The parameterized channels of the prototype's Table III, as BQL
+/// source, with the periods the paper's scenario uses.
+pub const TABLE_III_CHANNELS: [&str; 5] = [
+    // Emergencies of a given kind anywhere in the city.
+    "channel EmergenciesOfType(etype: string) \
+     from EmergencyReports r \
+     where r.kind == $etype select r every 10s",
+    // Emergencies of a given kind inside an area of interest.
+    "channel EmergenciesNearLocation(etype: string, area: region) \
+     from EmergencyReports r \
+     where r.kind == $etype and within(r.location, $area) select r every 10s",
+    // All emergencies at or above a severity threshold.
+    "channel SevereEmergencies(minsev: int) \
+     from EmergencyReports r \
+     where r.severity >= $minsev select r every 15s",
+    // Shelters available in a given city district.
+    "channel SheltersInDistrict(district: string) \
+     from Shelters s \
+     where s.district == $district select s every 60s",
+    // Everything happening in one district (kind-agnostic).
+    "channel DistrictEmergencies(district: string) \
+     from EmergencyReports r \
+     where r.district == $district select r every 30s",
+];
+
+/// Configuration of the synthetic city.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EmergencyCityConfig {
+    /// The city's bounding box.
+    pub city: BoundingBox,
+    /// The city is divided into a `districts x districts` grid.
+    pub districts: u32,
+    /// Publication payload padding range, in bytes (the paper's
+    /// 200–1000 byte text strings).
+    pub payload_bytes: (usize, usize),
+    /// Zipf exponent of subscription popularity.
+    pub zipf_exponent: f64,
+}
+
+impl Default for EmergencyCityConfig {
+    fn default() -> Self {
+        Self {
+            // Roughly Orange County, CA.
+            city: BoundingBox::new(
+                GeoPoint::new(33.55, -118.05),
+                GeoPoint::new(33.95, -117.55),
+            ),
+            districts: 4,
+            payload_bytes: (200, 1000),
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+/// Generator for the emergency-city publications and subscriptions.
+///
+/// # Examples
+///
+/// ```
+/// use bad_workload::EmergencyCity;
+///
+/// let mut city = EmergencyCity::new(Default::default(), 42)?;
+/// let report = city.next_report();
+/// assert!(report.get("kind").is_some());
+/// let (channel, params) = city.random_interest();
+/// assert!(!channel.is_empty());
+/// let _ = params;
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Debug)]
+pub struct EmergencyCity {
+    config: EmergencyCityConfig,
+    rng: StdRng,
+    interest_popularity: ZipfPopularity,
+    /// Pre-enumerated `(channel, params)` interest space.
+    interests: Vec<(String, ParamBindings)>,
+}
+
+impl EmergencyCity {
+    /// Creates a generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration (e.g. negative Zipf exponent).
+    pub fn new(config: EmergencyCityConfig, seed: u64) -> Result<Self> {
+        let interests = Self::enumerate_interests(&config);
+        let interest_popularity =
+            ZipfPopularity::new(interests.len(), config.zipf_exponent, seed ^ 0x5eed)?;
+        Ok(Self { config, rng: StdRng::seed_from_u64(seed), interest_popularity, interests })
+    }
+
+    /// The full interest space: every distinct `(channel, params)` a
+    /// subscriber may ask for. Its size bounds the number of backend
+    /// subscriptions the broker can end up holding.
+    pub fn interest_count(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// The district grid cells.
+    pub fn district_cells(&self) -> Vec<BoundingBox> {
+        self.config.city.grid(self.config.districts)
+    }
+
+    /// Name of district `i` (row-major in the grid).
+    pub fn district_name(i: usize) -> String {
+        format!("district-{i}")
+    }
+
+    fn enumerate_interests(config: &EmergencyCityConfig) -> Vec<(String, ParamBindings)> {
+        let mut out = Vec::new();
+        let cells = config.city.grid(config.districts);
+        for kind in EMERGENCY_KINDS {
+            out.push((
+                "EmergenciesOfType".to_owned(),
+                ParamBindings::from_pairs([("etype", DataValue::from(kind))]),
+            ));
+            for cell in &cells {
+                out.push((
+                    "EmergenciesNearLocation".to_owned(),
+                    ParamBindings::from_pairs([
+                        ("etype", DataValue::from(kind)),
+                        ("area", cell.to_value()),
+                    ]),
+                ));
+            }
+        }
+        for minsev in 1..=5i64 {
+            out.push((
+                "SevereEmergencies".to_owned(),
+                ParamBindings::from_pairs([("minsev", DataValue::from(minsev))]),
+            ));
+        }
+        for i in 0..cells.len() {
+            out.push((
+                "SheltersInDistrict".to_owned(),
+                ParamBindings::from_pairs([
+                    ("district", DataValue::from(Self::district_name(i))),
+                ]),
+            ));
+            out.push((
+                "DistrictEmergencies".to_owned(),
+                ParamBindings::from_pairs([
+                    ("district", DataValue::from(Self::district_name(i))),
+                ]),
+            ));
+        }
+        out
+    }
+
+    /// Samples a random point inside the city.
+    pub fn random_location(&mut self) -> GeoPoint {
+        let lat = self
+            .rng
+            .random_range(self.config.city.min.lat..=self.config.city.max.lat);
+        let lon = self
+            .rng
+            .random_range(self.config.city.min.lon..=self.config.city.max.lon);
+        GeoPoint::new(lat, lon)
+    }
+
+    /// The district index containing `p` (row-major), if inside the city.
+    pub fn district_of(&self, p: GeoPoint) -> Option<usize> {
+        self.district_cells().iter().position(|c| c.contains(p))
+    }
+
+    /// Generates the next geo-tagged emergency report publication.
+    pub fn next_report(&mut self) -> DataValue {
+        let location = self.random_location();
+        let kind = EMERGENCY_KINDS[self.rng.random_range(0..EMERGENCY_KINDS.len())];
+        let severity = self.rng.random_range(1..=5i64);
+        let district = self
+            .district_of(location)
+            .map(Self::district_name)
+            .unwrap_or_else(|| "outskirts".to_owned());
+        let pad_len =
+            self.rng.random_range(self.config.payload_bytes.0..=self.config.payload_bytes.1);
+        DataValue::object([
+            ("kind", DataValue::from(kind)),
+            ("severity", DataValue::from(severity)),
+            ("location", location.to_value()),
+            ("district", DataValue::from(district)),
+            ("body", DataValue::from("x".repeat(pad_len))),
+        ])
+    }
+
+    /// Generates a shelter-information publication.
+    pub fn next_shelter(&mut self) -> DataValue {
+        let location = self.random_location();
+        let district = self
+            .district_of(location)
+            .map(Self::district_name)
+            .unwrap_or_else(|| "outskirts".to_owned());
+        let capacity = self.rng.random_range(50..=2000i64);
+        DataValue::object([
+            ("name", DataValue::from(format!("shelter-{}", self.rng.random_range(0..10_000u32)))),
+            ("district", DataValue::from(district)),
+            ("location", location.to_value()),
+            ("capacity", DataValue::from(capacity)),
+        ])
+    }
+
+    /// Generates a subscriber location-update publication.
+    pub fn next_user_location(&mut self, user: u64) -> DataValue {
+        DataValue::object([
+            ("user", DataValue::from(user as i64)),
+            ("location", self.random_location().to_value()),
+        ])
+    }
+
+    /// Samples a Zipf-popular `(channel, params)` interest.
+    pub fn random_interest(&mut self) -> (String, ParamBindings) {
+        let idx = self.interest_popularity.sample();
+        self.interests[idx].clone()
+    }
+
+    /// The interest at a fixed index (for deterministic assignment).
+    pub fn interest(&self, idx: usize) -> &(String, ParamBindings) {
+        &self.interests[idx % self.interests.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city() -> EmergencyCity {
+        EmergencyCity::new(EmergencyCityConfig::default(), 7).unwrap()
+    }
+
+    #[test]
+    fn table_iii_channels_parse() {
+        for bql in TABLE_III_CHANNELS {
+            let spec = bad_query::ChannelSpec::parse(bql).unwrap();
+            assert!(matches!(spec.mode(), bad_query::ChannelMode::Repetitive { .. }));
+        }
+    }
+
+    #[test]
+    fn interest_space_is_substantial_and_valid() {
+        let city = city();
+        // 6 kinds * (1 + 16 cells) + 5 sev + 16*2 districts = 139.
+        assert_eq!(city.interest_count(), 139);
+        // Every interest binds parameters that its channel accepts.
+        for (channel, params) in &city.interests {
+            let bql = TABLE_III_CHANNELS
+                .iter()
+                .find(|c| c.contains(&format!("channel {channel}(")))
+                .unwrap_or_else(|| panic!("no channel source for {channel}"));
+            let spec = bad_query::ChannelSpec::parse(bql).unwrap();
+            params.check_against(spec.params()).unwrap();
+        }
+    }
+
+    #[test]
+    fn reports_match_their_channels() {
+        let mut city = city();
+        let spec = bad_query::ChannelSpec::parse(TABLE_III_CHANNELS[0]).unwrap();
+        let mut matched = 0;
+        for _ in 0..200 {
+            let report = city.next_report();
+            let kind = report.get("kind").unwrap().as_str().unwrap().to_owned();
+            let params = ParamBindings::from_pairs([("etype", DataValue::from(kind))]);
+            if spec.matches(&report, &params).unwrap() {
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, 200, "a report always matches its own kind");
+    }
+
+    #[test]
+    fn report_payloads_are_in_size_range() {
+        let mut city = city();
+        for _ in 0..50 {
+            let report = city.next_report();
+            let body = report.get("body").unwrap().as_str().unwrap().len();
+            assert!((200..=1000).contains(&body), "body = {body}");
+            let sev = report.get("severity").unwrap().as_i64().unwrap();
+            assert!((1..=5).contains(&sev));
+        }
+    }
+
+    #[test]
+    fn locations_fall_in_exactly_one_district() {
+        let mut city = city();
+        for _ in 0..100 {
+            let p = city.random_location();
+            let cells = city.district_cells();
+            let containing = cells.iter().filter(|c| c.contains(p)).count();
+            assert!(containing >= 1, "point {p} in {containing} districts");
+        }
+    }
+
+    #[test]
+    fn interests_are_zipf_skewed() {
+        let mut city = city();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let (channel, params) = city.random_interest();
+            *counts.entry((channel, params.canonical_key())).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The most popular interest dwarfs the median one.
+        assert!(freqs[0] > freqs[freqs.len() / 2] * 5, "freqs = {:?}", &freqs[..5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = EmergencyCity::new(EmergencyCityConfig::default(), 11).unwrap();
+        let mut b = EmergencyCity::new(EmergencyCityConfig::default(), 11).unwrap();
+        assert_eq!(a.next_report(), b.next_report());
+        assert_eq!(a.next_shelter(), b.next_shelter());
+        let (ca, pa) = a.random_interest();
+        let (cb, pb) = b.random_interest();
+        assert_eq!((ca, pa.canonical_key()), (cb, pb.canonical_key()));
+    }
+}

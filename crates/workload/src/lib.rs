@@ -1,0 +1,25 @@
+//! Workload and trace generation for the BAD evaluation.
+//!
+//! The paper evaluates caching under two synthetic workloads:
+//!
+//! * the **simulation workload** of Table II — Zipf-popular
+//!   subscriptions, lognormal ON/OFF subscriber churn and Poisson result
+//!   arrivals ([`popularity`], [`churn`]), and
+//! * the **prototype workload** of Section VI — an emergency-notification
+//!   city scenario with geo-tagged publications, shelters, parameterized
+//!   channels (Table III) and "a synthetic but random trace of subscriber
+//!   interactions ... login, logout, subscribe ... and unsubscribe"
+//!   ([`emergency`], [`trace`]).
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+pub mod churn;
+pub mod emergency;
+pub mod popularity;
+pub mod trace;
+pub mod trace_io;
+
+pub use churn::{LognormalSpec, OnOffProcess};
+pub use emergency::{EmergencyCity, EmergencyCityConfig, TABLE_III_CHANNELS};
+pub use popularity::ZipfPopularity;
+pub use trace::{Activity, ActivityKind, TraceConfig, TraceGenerator};

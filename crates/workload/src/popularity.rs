@@ -1,0 +1,179 @@
+//! Zipf-distributed subscription popularity.
+//!
+//! The prototype evaluation observes that "some subscriptions are very
+//! popular (due to Zipfian subscription model we used)"; the simulator
+//! likewise attaches each subscriber's 10 subscriptions to 1000 unique
+//! backend subscriptions under a skewed popularity distribution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+
+use bad_types::Result;
+
+/// A Zipf sampler over item indices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use bad_workload::ZipfPopularity;
+///
+/// let mut pop = ZipfPopularity::new(1000, 1.0, 42)?;
+/// let item = pop.sample();
+/// assert!(item < 1000);
+/// // Low indices are the popular ones.
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+#[derive(Debug)]
+pub struct ZipfPopularity {
+    dist: Zipf<f64>,
+    n: usize,
+    rng: StdRng,
+}
+
+impl ZipfPopularity {
+    /// Creates a sampler over `n` items with exponent `s` (s = 1.0 is the
+    /// classic Zipf; larger is more skewed; 0.0 is uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::InvalidArgument`] for `n == 0` or a
+    /// negative exponent.
+    pub fn new(n: usize, s: f64, seed: u64) -> Result<Self> {
+        if n == 0 {
+            return Err(bad_types::BadError::InvalidArgument(
+                "zipf over zero items".into(),
+            ));
+        }
+        let dist = Zipf::new(n as f64, s).map_err(|e| {
+            bad_types::BadError::InvalidArgument(format!("zipf: {e}"))
+        })?;
+        Ok(Self { dist, n, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the popularity space is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Samples an item index in `0..n`; index 0 is the most popular item.
+    pub fn sample(&mut self) -> usize {
+        let v = self.dist.sample(&mut self.rng) as usize;
+        v.saturating_sub(1).min(self.n - 1)
+    }
+
+    /// Samples `k` *distinct* item indices (a subscriber's subscription
+    /// set — subscribing twice to the same channel is merged anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, k: usize) -> Vec<usize> {
+        assert!(k <= self.n, "cannot sample {k} distinct of {}", self.n);
+        let mut chosen = Vec::with_capacity(k);
+        // Rejection sampling: fine because k << n in the workloads.
+        let mut guard = 0u32;
+        while chosen.len() < k {
+            let item = self.sample();
+            if !chosen.contains(&item) {
+                chosen.push(item);
+            } else {
+                guard += 1;
+                if guard > 10_000 {
+                    // Extremely skewed + large k: fall back to filling with
+                    // the least popular unchosen items.
+                    for item in 0..self.n {
+                        if chosen.len() == k {
+                            break;
+                        }
+                        if !chosen.contains(&item) {
+                            chosen.push(item);
+                        }
+                    }
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut pop = ZipfPopularity::new(50, 1.0, 1).unwrap();
+        for _ in 0..10_000 {
+            assert!(pop.sample() < 50);
+        }
+    }
+
+    #[test]
+    fn low_indices_are_more_popular() {
+        let mut pop = ZipfPopularity::new(100, 1.0, 2).unwrap();
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[pop.sample()] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Head heaviness: top-10 items get a large share under s=1.
+        let head: u32 = counts[..10].iter().sum();
+        let total: u32 = counts.iter().sum();
+        assert!(head as f64 / total as f64 > 0.4, "head share = {head}/{total}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let mut pop = ZipfPopularity::new(10, 0.0, 3).unwrap();
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[pop.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 600.0, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let mut pop = ZipfPopularity::new(20, 1.2, 4).unwrap();
+        for _ in 0..100 {
+            let set = pop.sample_distinct(10);
+            assert_eq!(set.len(), 10);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10);
+        }
+    }
+
+    #[test]
+    fn full_draw_covers_everything() {
+        let mut pop = ZipfPopularity::new(8, 2.0, 5).unwrap();
+        let mut set = pop.sample_distinct(8);
+        set.sort_unstable();
+        assert_eq!(set, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invalid_construction_errors() {
+        assert!(ZipfPopularity::new(0, 1.0, 1).is_err());
+        assert!(ZipfPopularity::new(10, -1.0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfPopularity::new(100, 1.0, 9).unwrap();
+        let mut b = ZipfPopularity::new(100, 1.0, 9).unwrap();
+        let xs: Vec<usize> = (0..50).map(|_| a.sample()).collect();
+        let ys: Vec<usize> = (0..50).map(|_| b.sample()).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,302 @@
+//! Timestamped subscriber-interaction traces.
+//!
+//! The prototype evaluation drives the system with "a synthetic but
+//! random trace of subscribers interaction in the system, namely a
+//! series of timestamped activities such as login, logout, subscribe to
+//! parameterized channels and unsubscribe from the channels ... played
+//! back by a driver program", with the same trace replayed against every
+//! competing caching scheme.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use bad_query::ParamBindings;
+use bad_types::{Result, SimDuration, SubscriberId, Timestamp};
+
+use crate::churn::OnOffProcess;
+use crate::emergency::{EmergencyCity, EmergencyCityConfig};
+
+/// One timestamped activity in a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Activity {
+    /// When the activity happens.
+    pub at: Timestamp,
+    /// What happens.
+    pub kind: ActivityKind,
+}
+
+/// The kinds of trace activities.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ActivityKind {
+    /// A subscriber comes online.
+    Login(SubscriberId),
+    /// A subscriber goes offline.
+    Logout(SubscriberId),
+    /// A subscriber subscribes to a parameterized channel. `handle` is a
+    /// trace-local identifier for pairing with [`ActivityKind::Unsubscribe`].
+    Subscribe {
+        /// Who subscribes.
+        subscriber: SubscriberId,
+        /// Channel name.
+        channel: String,
+        /// Bound parameters.
+        params: ParamBindings,
+        /// Trace-local subscription handle.
+        handle: u64,
+    },
+    /// A subscriber cancels a subscription made earlier in the trace.
+    Unsubscribe {
+        /// Who unsubscribes.
+        subscriber: SubscriberId,
+        /// The handle of the earlier [`ActivityKind::Subscribe`].
+        handle: u64,
+    },
+    /// The publisher emits an emergency report.
+    PublishReport(bad_types::DataValue),
+    /// The publisher emits shelter information.
+    PublishShelter(bad_types::DataValue),
+}
+
+/// Trace generation parameters (defaults follow Section VI: 400
+/// subscribers, ~3500 frontend subscriptions, publications every ~10 s,
+/// one hour).
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Number of subscribers.
+    pub subscribers: u64,
+    /// Subscriptions each subscriber makes over the trace.
+    pub subscriptions_per_subscriber: usize,
+    /// Fraction of subscriptions that are later cancelled within the trace.
+    pub unsubscribe_fraction: f64,
+    /// Trace duration.
+    pub duration: SimDuration,
+    /// Mean interval between publications.
+    pub publish_interval: SimDuration,
+    /// One shelter publication per this many reports.
+    pub shelters_every: u32,
+    /// The city scenario configuration.
+    pub city: EmergencyCityConfig,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            subscribers: 400,
+            subscriptions_per_subscriber: 9, // ~3600 frontend subscriptions
+            unsubscribe_fraction: 0.1,
+            duration: SimDuration::from_hours(1),
+            publish_interval: SimDuration::from_secs(10),
+            shelters_every: 10,
+            city: EmergencyCityConfig::default(),
+        }
+    }
+}
+
+/// Generates reproducible activity traces for the emergency scenario.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(config: TraceConfig, seed: u64) -> Self {
+        Self { config, seed }
+    }
+
+    /// Generates the full trace, sorted by timestamp.
+    ///
+    /// Every subscriber logs in near the beginning, subscribes to
+    /// Zipf-popular interests over the first quarter of the trace, then
+    /// alternates offline/online periods per the churn model; a fraction
+    /// of subscriptions is cancelled mid-trace; the publisher emits
+    /// reports (and periodically shelter records) throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn generate(&self) -> Result<Vec<Activity>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut city = EmergencyCity::new(self.config.city, self.seed ^ 0xc17)?;
+        let mut out: Vec<Activity> = Vec::new();
+        let end = Timestamp::ZERO + self.config.duration;
+        let mut next_handle = 0u64;
+
+        // Publisher stream.
+        let mut t = Timestamp::ZERO;
+        let mut since_shelter = 0u32;
+        loop {
+            let jitter = rng.random_range(0.5..1.5);
+            t += self.config.publish_interval * jitter;
+            if t >= end {
+                break;
+            }
+            since_shelter += 1;
+            if since_shelter >= self.config.shelters_every {
+                since_shelter = 0;
+                out.push(Activity { at: t, kind: ActivityKind::PublishShelter(city.next_shelter()) });
+            } else {
+                out.push(Activity { at: t, kind: ActivityKind::PublishReport(city.next_report()) });
+            }
+        }
+
+        // Subscribers.
+        for s in 0..self.config.subscribers {
+            let subscriber = SubscriberId::new(s);
+            let mut churn = OnOffProcess::paper_defaults(self.seed ^ (s + 1))?;
+            // Stagger logins over the first two minutes.
+            let login = Timestamp::ZERO
+                + SimDuration::from_secs_f64(rng.random_range(0.0..120.0));
+            out.push(Activity { at: login, kind: ActivityKind::Login(subscriber) });
+
+            // Subscriptions spread over the first quarter.
+            let quarter = self.config.duration.as_secs_f64() / 4.0;
+            let mut handles = Vec::new();
+            for _ in 0..self.config.subscriptions_per_subscriber {
+                let at = login
+                    + SimDuration::from_secs_f64(rng.random_range(0.0..quarter));
+                let (channel, params) = city.random_interest();
+                let handle = next_handle;
+                next_handle += 1;
+                handles.push((at, handle));
+                out.push(Activity {
+                    at,
+                    kind: ActivityKind::Subscribe { subscriber, channel, params, handle },
+                });
+            }
+            // Some subscriptions are cancelled in the second half.
+            for (sub_at, handle) in &handles {
+                if rng.random_range(0.0..1.0) < self.config.unsubscribe_fraction {
+                    let half = self.config.duration.as_secs_f64() / 2.0;
+                    let at_secs = rng
+                        .random_range(half..self.config.duration.as_secs_f64());
+                    let at = (Timestamp::ZERO + SimDuration::from_secs_f64(at_secs))
+                        .max(*sub_at + SimDuration::from_secs(1));
+                    if at < end {
+                        out.push(Activity {
+                            at,
+                            kind: ActivityKind::Unsubscribe { subscriber, handle: *handle },
+                        });
+                    }
+                }
+            }
+
+            // Churn: alternate logout/login after the subscription phase.
+            let mut now = login + SimDuration::from_secs_f64(quarter);
+            loop {
+                now += churn.next_on_duration();
+                if now >= end {
+                    break;
+                }
+                out.push(Activity { at: now, kind: ActivityKind::Logout(subscriber) });
+                now += churn.next_off_duration();
+                if now >= end {
+                    break;
+                }
+                out.push(Activity { at: now, kind: ActivityKind::Login(subscriber) });
+            }
+        }
+
+        out.sort_by_key(|a| a.at);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TraceConfig {
+        TraceConfig {
+            subscribers: 20,
+            subscriptions_per_subscriber: 3,
+            duration: SimDuration::from_mins(10),
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_and_bounded() {
+        let trace = TraceGenerator::new(small_config(), 1).generate().unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+        let end = Timestamp::ZERO + SimDuration::from_mins(10);
+        assert!(trace.iter().all(|a| a.at < end));
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = TraceGenerator::new(small_config(), 5).generate().unwrap();
+        let b = TraceGenerator::new(small_config(), 5).generate().unwrap();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(small_config(), 6).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_subscriber_logs_in_and_subscribes() {
+        let config = small_config();
+        let trace = TraceGenerator::new(config.clone(), 2).generate().unwrap();
+        for s in 0..config.subscribers {
+            let subscriber = SubscriberId::new(s);
+            assert!(trace
+                .iter()
+                .any(|a| matches!(a.kind, ActivityKind::Login(x) if x == subscriber)));
+            let subs = trace
+                .iter()
+                .filter(|a| matches!(&a.kind,
+                    ActivityKind::Subscribe { subscriber: x, .. } if *x == subscriber))
+                .count();
+            assert_eq!(subs, config.subscriptions_per_subscriber);
+        }
+    }
+
+    #[test]
+    fn unsubscribes_reference_earlier_subscribes() {
+        let trace = TraceGenerator::new(
+            TraceConfig { unsubscribe_fraction: 0.5, ..small_config() },
+            3,
+        )
+        .generate()
+        .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut unsubs = 0;
+        for activity in &trace {
+            match &activity.kind {
+                ActivityKind::Subscribe { handle, .. } => {
+                    seen.insert(*handle);
+                }
+                ActivityKind::Unsubscribe { handle, .. } => {
+                    unsubs += 1;
+                    assert!(seen.contains(handle), "unsubscribe before subscribe");
+                }
+                _ => {}
+            }
+        }
+        assert!(unsubs > 0);
+    }
+
+    #[test]
+    fn publications_flow_through_whole_trace() {
+        let trace = TraceGenerator::new(small_config(), 4).generate().unwrap();
+        let publications: Vec<Timestamp> = trace
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.kind,
+                    ActivityKind::PublishReport(_) | ActivityKind::PublishShelter(_)
+                )
+            })
+            .map(|a| a.at)
+            .collect();
+        // Roughly one per 10 s over 10 minutes.
+        assert!(publications.len() >= 40, "only {} publications", publications.len());
+        let last = publications.last().unwrap();
+        assert!(last.as_secs_f64() > 8.0 * 60.0);
+        // Shelter publications are interleaved.
+        assert!(trace
+            .iter()
+            .any(|a| matches!(a.kind, ActivityKind::PublishShelter(_))));
+    }
+}

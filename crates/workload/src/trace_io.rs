@@ -1,0 +1,298 @@
+//! Trace persistence.
+//!
+//! The prototype methodology replays "the same trace" against every
+//! caching scheme; persisting traces to disk lets a trace be generated
+//! once, inspected, archived and replayed across processes and machines.
+//! The format is a line-oriented text format (one activity per line)
+//! using the workspace's own JSON printer/parser for records and
+//! parameters — no external serialization dependency.
+//!
+//! ```text
+//! # bad-trace v1
+//! 12000000 login 3
+//! 12500000 subscribe 3 17 EmergenciesOfType {"etype":"flood"}
+//! 13000000 report {"kind":"flood","severity":2,...}
+//! 14000000 unsubscribe 3 17
+//! 15250000 logout 3
+//! 16000000 shelter {"district":"district-2",...}
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use bad_query::ParamBindings;
+use bad_types::{BadError, DataValue, Result, SubscriberId, Timestamp};
+
+use crate::trace::{Activity, ActivityKind};
+
+const HEADER: &str = "# bad-trace v1";
+
+/// Serializes a trace to the line-oriented text format.
+///
+/// # Examples
+///
+/// ```
+/// use bad_workload::{trace_io, TraceConfig, TraceGenerator};
+///
+/// let config = TraceConfig { subscribers: 3, duration: bad_types::SimDuration::from_mins(2),
+///                            ..TraceConfig::default() };
+/// let trace = TraceGenerator::new(config, 7).generate()?;
+/// let text = trace_io::to_string(&trace);
+/// let back = trace_io::from_str(&text)?;
+/// assert_eq!(back, trace);
+/// # Ok::<(), bad_types::BadError>(())
+/// ```
+pub fn to_string(trace: &[Activity]) -> String {
+    let mut out = String::with_capacity(trace.len() * 64);
+    out.push_str(HEADER);
+    out.push('\n');
+    for activity in trace {
+        let at = activity.at.as_micros();
+        match &activity.kind {
+            ActivityKind::Login(sub) => {
+                let _ = writeln!(out, "{at} login {}", sub.as_u64());
+            }
+            ActivityKind::Logout(sub) => {
+                let _ = writeln!(out, "{at} logout {}", sub.as_u64());
+            }
+            ActivityKind::Subscribe { subscriber, channel, params, handle } => {
+                let _ = writeln!(
+                    out,
+                    "{at} subscribe {} {handle} {channel} {}",
+                    subscriber.as_u64(),
+                    params_to_json(params),
+                );
+            }
+            ActivityKind::Unsubscribe { subscriber, handle } => {
+                let _ = writeln!(out, "{at} unsubscribe {} {handle}", subscriber.as_u64());
+            }
+            ActivityKind::PublishReport(record) => {
+                let _ = writeln!(out, "{at} report {}", record.to_json_string());
+            }
+            ActivityKind::PublishShelter(record) => {
+                let _ = writeln!(out, "{at} shelter {}", record.to_json_string());
+            }
+        }
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`BadError::Parse`] on a missing/unknown header, malformed
+/// lines, or invalid embedded JSON.
+pub fn from_str(text: &str) -> Result<Vec<Activity>> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == HEADER => {}
+        _ => {
+            return Err(BadError::Parse(format!(
+                "trace: missing header `{HEADER}`"
+            )))
+        }
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| {
+            BadError::Parse(format!("trace line {}: {e}", lineno + 1))
+        })?);
+    }
+    Ok(out)
+}
+
+/// Writes a trace to a file.
+///
+/// # Errors
+///
+/// Returns [`BadError::InvalidState`] on I/O failure.
+pub fn save(trace: &[Activity], path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), to_string(trace)).map_err(|e| {
+        BadError::InvalidState(format!(
+            "cannot write trace to {}: {e}",
+            path.as_ref().display()
+        ))
+    })
+}
+
+/// Reads a trace from a file.
+///
+/// # Errors
+///
+/// I/O failures ([`BadError::InvalidState`]) and parse errors.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<Activity>> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+        BadError::InvalidState(format!(
+            "cannot read trace from {}: {e}",
+            path.as_ref().display()
+        ))
+    })?;
+    from_str(&text)
+}
+
+fn params_to_json(params: &ParamBindings) -> String {
+    DataValue::object(params.iter().map(|(k, v)| (k, v.clone()))).to_json_string()
+}
+
+fn params_from_json(json: &str) -> Result<ParamBindings> {
+    let value = DataValue::parse_json(json)?;
+    let map = value
+        .as_object()
+        .ok_or_else(|| BadError::Parse("parameters must be a JSON object".into()))?;
+    Ok(ParamBindings::from_pairs(
+        map.iter().map(|(k, v)| (k.clone(), v.clone())),
+    ))
+}
+
+fn parse_line(line: &str) -> Result<Activity> {
+    let err = |msg: &str| BadError::Parse(msg.to_owned());
+    let (at_str, rest) = line.split_once(' ').ok_or_else(|| err("missing timestamp"))?;
+    let at = Timestamp::from_micros(
+        at_str.parse::<u64>().map_err(|_| err("invalid timestamp"))?,
+    );
+    let (verb, rest) = match rest.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (rest, ""),
+    };
+    let kind = match verb {
+        "login" | "logout" => {
+            let sub = SubscriberId::new(
+                rest.trim().parse::<u64>().map_err(|_| err("invalid subscriber id"))?,
+            );
+            if verb == "login" {
+                ActivityKind::Login(sub)
+            } else {
+                ActivityKind::Logout(sub)
+            }
+        }
+        "subscribe" => {
+            let mut parts = rest.splitn(4, ' ');
+            let sub = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| err("invalid subscriber id"))?;
+            let handle = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| err("invalid handle"))?;
+            let channel = parts.next().ok_or_else(|| err("missing channel"))?.to_owned();
+            let params =
+                params_from_json(parts.next().ok_or_else(|| err("missing parameters"))?)?;
+            ActivityKind::Subscribe {
+                subscriber: SubscriberId::new(sub),
+                channel,
+                params,
+                handle,
+            }
+        }
+        "unsubscribe" => {
+            let mut parts = rest.splitn(2, ' ');
+            let sub = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| err("invalid subscriber id"))?;
+            let handle = parts
+                .next()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .ok_or_else(|| err("invalid handle"))?;
+            ActivityKind::Unsubscribe { subscriber: SubscriberId::new(sub), handle }
+        }
+        "report" => ActivityKind::PublishReport(DataValue::parse_json(rest)?),
+        "shelter" => ActivityKind::PublishShelter(DataValue::parse_json(rest)?),
+        other => return Err(err(&format!("unknown activity `{other}`"))),
+    };
+    Ok(Activity { at, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceGenerator};
+    use bad_types::SimDuration;
+
+    fn small_trace(seed: u64) -> Vec<Activity> {
+        TraceGenerator::new(
+            TraceConfig {
+                subscribers: 10,
+                subscriptions_per_subscriber: 3,
+                unsubscribe_fraction: 0.4,
+                duration: SimDuration::from_mins(5),
+                ..TraceConfig::default()
+            },
+            seed,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = small_trace(3);
+        let text = to_string(&trace);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = small_trace(4);
+        let path = std::env::temp_dir().join("bad_trace_io_test.trace");
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, trace);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not a header\n").is_err());
+        assert!(from_str("# bad-trace v1\nxyz login 1").is_err());
+        assert!(from_str("# bad-trace v1\n100 dance 1").is_err());
+        assert!(from_str("# bad-trace v1\n100 subscribe 1").is_err());
+        assert!(from_str("# bad-trace v1\n100 report {broken").is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# bad-trace v1\n\n# a comment\n100 login 7\n";
+        let trace = from_str(text).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(
+            trace[0].kind,
+            ActivityKind::Login(SubscriberId::new(7))
+        );
+        assert_eq!(trace[0].at, Timestamp::from_micros(100));
+    }
+
+    #[test]
+    fn params_with_regions_survive() {
+        use bad_types::{BoundingBox, GeoPoint};
+        let area = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.5, 2.5));
+        let params = ParamBindings::from_pairs([
+            ("etype", DataValue::from("flood")),
+            ("area", area.to_value()),
+        ]);
+        let trace = vec![Activity {
+            at: Timestamp::from_secs(1),
+            kind: ActivityKind::Subscribe {
+                subscriber: SubscriberId::new(1),
+                channel: "EmergenciesNearLocation".into(),
+                params: params.clone(),
+                handle: 9,
+            },
+        }];
+        let back = from_str(&to_string(&trace)).unwrap();
+        match &back[0].kind {
+            ActivityKind::Subscribe { params: p, .. } => {
+                assert_eq!(p.canonical_key(), params.canonical_key());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A tour of BQL, the declarative subscription language: parse channel
+//! declarations, inspect their structure, and evaluate predicates
+//! against records — the substrate everything else builds on.
+//!
+//! Run with: `cargo run -p big-active-data --example bql_tour`
+
+use big_active_data::prelude::*;
+use big_active_data::query::{parse_expr, ChannelMode, EvalContext};
+use big_active_data::types::BadError;
+
+fn main() -> Result<(), BadError> {
+    // --- Channels are parameterized, perpetually-executing queries. ----
+    let spec = ChannelSpec::parse(
+        "channel NearbyEmergencies(etype: string, area: region, minsev: int) \
+         from EmergencyReports r \
+         where r.kind == $etype and within(r.location, $area) and r.severity >= $minsev \
+         select r.kind, r.severity, r.location \
+         every 10s",
+    )?;
+    println!("channel:    {}", spec.name());
+    println!("dataset:    {}", spec.dataset());
+    println!("mode:       {:?}", spec.mode());
+    println!("predicate:  {}", spec.predicate());
+    println!(
+        "parameters: {}",
+        spec.params()
+            .iter()
+            .map(|p| format!("{}: {}", p.name, p.ty))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    assert!(matches!(spec.mode(), ChannelMode::Repetitive { .. }));
+
+    // The matcher extracts equality constraints for partitioned matching.
+    println!("equality keys for the subscription index: {:?}", spec.equality_param_fields());
+
+    // --- Bind parameters and match records. ----------------------------
+    let area = big_active_data::types::BoundingBox::new(
+        GeoPoint::new(33.5, -118.0),
+        GeoPoint::new(34.0, -117.5),
+    );
+    let params = ParamBindings::from_pairs([
+        ("etype", DataValue::from("flood")),
+        ("area", area.to_value()),
+        ("minsev", DataValue::from(3i64)),
+    ]);
+
+    let inside = DataValue::parse_json(
+        r#"{"kind":"flood","severity":4,"location":{"lat":33.7,"lon":-117.8}}"#,
+    )?;
+    let outside = DataValue::parse_json(
+        r#"{"kind":"flood","severity":4,"location":{"lat":36.0,"lon":-117.8}}"#,
+    )?;
+    let mild = DataValue::parse_json(
+        r#"{"kind":"flood","severity":1,"location":{"lat":33.7,"lon":-117.8}}"#,
+    )?;
+
+    for (name, record) in [("inside", &inside), ("outside", &outside), ("mild", &mild)] {
+        println!("record {name:>7}: matches = {}", spec.matches(record, &params)?);
+    }
+    assert!(spec.matches(&inside, &params)?);
+    assert!(!spec.matches(&outside, &params)?);
+    assert!(!spec.matches(&mild, &params)?);
+
+    // The select clause projects matched records.
+    let result = spec.evaluate(&inside, &params)?.expect("matched");
+    println!("projected result: {result}");
+    assert!(result.get("kind").is_some());
+    assert!(result.get("body").is_none()); // projected away
+
+    // --- Standalone expressions evaluate against any record. -----------
+    let expr = parse_expr(
+        "distance(r.location, $origin) < 50.0 and \
+         (contains(lower(r.note), \"help\") or r.priority >= 9)",
+    )?;
+    println!("\nstandalone expression: {expr}");
+    let origin = GeoPoint::new(33.64, -117.84);
+    let params = ParamBindings::from_pairs([("origin", origin.to_value())]);
+    let record = DataValue::parse_json(
+        r#"{"location":{"lat":33.70,"lon":-117.80},"note":"Send HELP now","priority":2}"#,
+    )?;
+    let ctx = EvalContext::new(&record, &params);
+    println!("evaluates to: {}", ctx.eval(&expr)?);
+    assert_eq!(ctx.eval(&expr)?.as_bool(), Some(true));
+
+    // --- Errors are precise. -------------------------------------------
+    for bad in [
+        "channel X() from D r where r.a == $ghost select r", // undeclared param
+        "channel X(a: blob) from D r where r.a == $a select r", // unknown type
+        "r.a ==",                                             // syntax
+    ] {
+        let err = ChannelSpec::parse(bad)
+            .err()
+            .map(|e| e.to_string())
+            .or_else(|| parse_expr(bad).err().map(|e| e.to_string()))
+            .unwrap();
+        println!("rejected: {bad:<55} -> {err}");
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Watch the TTL computation of Section IV-B at work: three caches with
+//! different arrival rates and subscriber counts get TTLs assigned so
+//! that `Σ ρ_i·T_i = B` (eq. 5), with `T_i ∝ n_i` (eq. 7), and the TTLs
+//! re-adapt when a stream's rate changes.
+//!
+//! Run with: `cargo run --example ttl_autotuning`
+
+use big_active_data::cache::{CacheConfig, CacheManager, NewObject, PolicyName};
+use big_active_data::prelude::*;
+use big_active_data::types::ObjectId;
+
+fn main() {
+    let budget = ByteSize::from_mib(1);
+    let mut mgr = CacheManager::new(
+        PolicyName::Ttl,
+        CacheConfig {
+            budget,
+            ttl_recompute_interval: SimDuration::from_secs(30),
+            ..CacheConfig::default()
+        },
+    );
+
+    // Three caches: (subscribers, bytes/sec of arrivals).
+    let profiles: [(u64, u64); 3] = [(2, 2_000), (10, 2_000), (2, 8_000)];
+    for (i, &(subs, _)) in profiles.iter().enumerate() {
+        let bs = BackendSubId::new(i as u64);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..subs {
+            mgr.add_subscriber(bs, SubscriberId::new(i as u64 * 100 + s)).unwrap();
+        }
+    }
+
+    println!("budget B = {budget}\n");
+    println!("phase 1: rates as configured");
+    let mut next_id = 0u64;
+    let feed = |mgr: &mut CacheManager,
+                    rates: &[(u64, u64); 3],
+                    from: u64,
+                    to: u64,
+                    next_id: &mut u64| {
+        for sec in from..to {
+            let now = Timestamp::from_secs(sec);
+            for (i, &(_, rate)) in rates.iter().enumerate() {
+                mgr.insert(
+                    BackendSubId::new(i as u64),
+                    NewObject {
+                        id: ObjectId::new(*next_id),
+                        ts: now,
+                        size: ByteSize::new(rate),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .unwrap();
+                *next_id += 1;
+            }
+            mgr.maintain(now);
+        }
+    };
+
+    feed(&mut mgr, &profiles, 1, 120, &mut next_id);
+    let now = Timestamp::from_secs(120);
+    print_state(&mgr, now, &profiles);
+
+    println!("\nphase 2: cache #2's stream bursts 4x");
+    let bursty: [(u64, u64); 3] = [(2, 2_000), (10, 2_000), (2, 32_000)];
+    feed(&mut mgr, &bursty, 120, 400, &mut next_id);
+    let now = Timestamp::from_secs(400);
+    print_state(&mgr, now, &bursty);
+
+    let expected = mgr.expected_ttl_size(now);
+    println!("\nΣ ρ_i·T_i = {expected} (vs budget {budget}) — eq. (5) holds");
+}
+
+fn print_state(mgr: &CacheManager, now: Timestamp, profiles: &[(u64, u64); 3]) {
+    println!(
+        "{:<7} {:>5} {:>12} {:>12} {:>12}",
+        "cache", "n_i", "rho_i(B/s)", "TTL_i", "resident"
+    );
+    for (i, &(subs, _)) in profiles.iter().enumerate() {
+        let cache = mgr.cache(BackendSubId::new(i as u64)).unwrap();
+        println!(
+            "{:<7} {:>5} {:>12.0} {:>12} {:>12}",
+            format!("#{i}"),
+            subs,
+            cache.growth_rate(now),
+            cache.ttl().to_string(),
+            cache.total_bytes().to_string(),
+        );
+    }
+}
