@@ -14,12 +14,19 @@ use bad_types::{
 
 /// Builds a manager with `caches` result caches of `subs` subscribers.
 fn manager(policy: PolicyName, caches: u64, subs: u64, budget: ByteSize) -> CacheManager {
-    let mut mgr = CacheManager::new(policy, CacheConfig { budget, ..CacheConfig::default() });
+    let mut mgr = CacheManager::new(
+        policy,
+        CacheConfig {
+            budget,
+            ..CacheConfig::default()
+        },
+    );
     for c in 0..caches {
         let bs = BackendSubId::new(c);
         mgr.create_cache(bs, Timestamp::ZERO);
         for s in 0..subs {
-            mgr.add_subscriber(bs, SubscriberId::new(c * 1000 + s)).unwrap();
+            mgr.add_subscriber(bs, SubscriberId::new(c * 1000 + s))
+                .unwrap();
         }
     }
     mgr
@@ -27,7 +34,9 @@ fn manager(policy: PolicyName, caches: u64, subs: u64, budget: ByteSize) -> Cach
 
 fn bench_insert_evict(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_under_pressure");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for policy in [
         PolicyName::Lru,
         PolicyName::Lsc,
@@ -71,7 +80,9 @@ fn bench_insert_evict(c: &mut Criterion) {
 
 fn bench_plan_get(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_get");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for objects in [10usize, 100, 1000] {
         group.bench_with_input(
             BenchmarkId::from_parameter(objects),

@@ -10,7 +10,14 @@ use bad_cluster::MatchIndex;
 use bad_query::{ChannelSpec, ParamBindings};
 use bad_types::{BackendSubId, DataValue, Timestamp};
 
-const KINDS: [&str; 6] = ["tornado", "flood", "shooting", "fire", "earthquake", "gasleak"];
+const KINDS: [&str; 6] = [
+    "tornado",
+    "flood",
+    "shooting",
+    "fire",
+    "earthquake",
+    "gasleak",
+];
 
 fn spec() -> ChannelSpec {
     ChannelSpec::parse(
@@ -43,7 +50,9 @@ fn record(kind: &str, sev: i64) -> DataValue {
 fn bench_matching(c: &mut Criterion) {
     let spec = spec();
     let mut group = c.benchmark_group("match_publication");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     for subs in [100usize, 1000, 5000] {
         let mut indexed = MatchIndex::new(&spec);
         populate(&mut indexed, subs);

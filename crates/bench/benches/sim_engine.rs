@@ -12,7 +12,9 @@ use bad_types::Timestamp;
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     group.bench_function("push_pop_10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
@@ -32,7 +34,9 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_smoke_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_smoke_run");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     for policy in [PolicyName::Lsc, PolicyName::Ttl, PolicyName::Nc] {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy),

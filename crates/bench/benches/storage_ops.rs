@@ -26,7 +26,9 @@ fn populated(objects: u64) -> ResultStore {
 
 fn bench_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("result_store");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("append_1k", |b| {
         b.iter_batched(
             ResultStore::new,
@@ -50,7 +52,9 @@ fn bench_append(c: &mut Criterion) {
 
 fn bench_fetch(c: &mut Criterion) {
     let mut group = c.benchmark_group("result_store_fetch");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     let store = populated(100_000);
     let bs = BackendSubId::new(0);
     for window in [10u64, 1000, 50_000] {

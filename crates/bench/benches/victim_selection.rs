@@ -21,7 +21,8 @@ fn populated_manager(caches: u64, use_index: bool) -> CacheManager {
         let bs = BackendSubId::new(c);
         mgr.create_cache(bs, Timestamp::ZERO);
         for s in 0..=(c % 7) {
-            mgr.add_subscriber(bs, SubscriberId::new(c * 100 + s)).unwrap();
+            mgr.add_subscriber(bs, SubscriberId::new(c * 100 + s))
+                .unwrap();
         }
         let ts = Timestamp::from_secs(c + 1);
         mgr.insert(
@@ -41,21 +42,19 @@ fn populated_manager(caches: u64, use_index: bool) -> CacheManager {
 
 fn bench_victim_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("choose_victim");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     let now = Timestamp::from_secs(1_000_000);
     for caches in [100u64, 1000, 10_000] {
         let indexed = populated_manager(caches, true);
-        group.bench_with_input(
-            BenchmarkId::new("indexed", caches),
-            &indexed,
-            |b, mgr| b.iter(|| black_box(mgr.choose_victim(now))),
-        );
+        group.bench_with_input(BenchmarkId::new("indexed", caches), &indexed, |b, mgr| {
+            b.iter(|| black_box(mgr.choose_victim(now)))
+        });
         let linear = populated_manager(caches, false);
-        group.bench_with_input(
-            BenchmarkId::new("linear", caches),
-            &linear,
-            |b, mgr| b.iter(|| black_box(mgr.linear_victim(now))),
-        );
+        group.bench_with_input(BenchmarkId::new("linear", caches), &linear, |b, mgr| {
+            b.iter(|| black_box(mgr.linear_victim(now)))
+        });
     }
     group.finish();
 }

@@ -14,12 +14,16 @@ use bad_types::ByteSize;
 fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd] {
+    for policy in [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+    ] {
         let mut cells = vec![policy.to_string()];
         let mut csv_cells = vec![policy.to_string()];
         for drop_consumed in [true, false] {
-            let mut config =
-                SimConfig::table_ii_scaled(20).with_budget(ByteSize::from_mib(2));
+            let mut config = SimConfig::table_ii_scaled(20).with_budget(ByteSize::from_mib(2));
             config.cache.drop_on_full_consumption = drop_consumed;
             let report = Simulation::new(policy, config, 1).expect("config").run();
             cells.push(format!("{:.4}", report.hit_ratio));
@@ -32,7 +36,13 @@ fn main() {
     }
     print_table(
         "Ablation: consumption-drop enabled (paper) vs disabled",
-        &["policy", "hit_with", "latency_with", "hit_without", "latency_without"],
+        &[
+            "policy",
+            "hit_with",
+            "latency_with",
+            "hit_without",
+            "latency_without",
+        ],
         &rows,
     );
     let path = write_csv(

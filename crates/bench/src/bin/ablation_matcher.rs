@@ -18,7 +18,9 @@ fn build(partitioned: bool, subscriptions: usize, seed: u64) -> DataCluster {
     if !partitioned {
         cluster.disable_partition_matching();
     }
-    cluster.create_dataset("EmergencyReports", Schema::open()).unwrap();
+    cluster
+        .create_dataset("EmergencyReports", Schema::open())
+        .unwrap();
     cluster
         .register_channel(
             "channel ByKind(etype: string, minsev: int) from EmergencyReports r \
@@ -57,7 +59,9 @@ fn main() {
         let mut city = EmergencyCity::new(EmergencyCityConfig::default(), 99).unwrap();
         for p in 0..publications {
             let ts = Timestamp::from_secs(p as u64 + 1);
-            cluster.publish("EmergencyReports", ts, city.next_report()).unwrap();
+            cluster
+                .publish("EmergencyReports", ts, city.next_report())
+                .unwrap();
         }
     }
     for (label, partitioned) in [("partitioned", true), ("brute-force", false)] {
@@ -66,7 +70,9 @@ fn main() {
         let start = Instant::now();
         for p in 0..publications {
             let ts = Timestamp::from_secs(p as u64 + 1);
-            cluster.publish("EmergencyReports", ts, city.next_report()).unwrap();
+            cluster
+                .publish("EmergencyReports", ts, city.next_report())
+                .unwrap();
         }
         let elapsed = start.elapsed();
         let stats = cluster.stats();
@@ -86,13 +92,22 @@ fn main() {
             stats.results
         ));
     }
-    assert_eq!(results_seen[0], results_seen[1], "index changed the match set!");
+    assert_eq!(
+        results_seen[0], results_seen[1],
+        "index changed the match set!"
+    );
     print_table(
         &format!(
             "Ablation: matcher index vs brute force \
              ({subscriptions} subscriptions, {publications} publications)"
         ),
-        &["matcher", "time", "evaluations", "results", "evals/publication"],
+        &[
+            "matcher",
+            "time",
+            "evaluations",
+            "results",
+            "evals/publication",
+        ],
         &rows,
     );
     let path = write_csv(

@@ -17,7 +17,9 @@ fn main() {
     for interval_secs in [15u64, 30, 60, 300, 900] {
         let mut config = SimConfig::table_ii_scaled(20).with_budget(budget);
         config.cache.ttl_recompute_interval = SimDuration::from_secs(interval_secs);
-        let report = Simulation::new(PolicyName::Ttl, config, 1).expect("config").run();
+        let report = Simulation::new(PolicyName::Ttl, config, 1)
+            .expect("config")
+            .run();
         rows.push(vec![
             format!("{interval_secs}s"),
             format!("{:.4}", report.hit_ratio),
@@ -38,7 +40,14 @@ fn main() {
     }
     print_table(
         &format!("Ablation: TTL recompute interval (budget {budget})"),
-        &["interval", "hit_ratio", "avg_mb", "max_mb", "sum_rho_ttl_mb", "latency_ms"],
+        &[
+            "interval",
+            "hit_ratio",
+            "avg_mb",
+            "max_mb",
+            "sum_rho_ttl_mb",
+            "latency_ms",
+        ],
         &rows,
     );
     let path = write_csv(

@@ -14,13 +14,17 @@ use bad_types::ByteSize;
 fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd] {
+    for policy in [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+    ] {
         let mut cells = vec![policy.to_string()];
         let mut csv_cells = vec![policy.to_string()];
         let mut hit_ratios = Vec::new();
         for use_index in [true, false] {
-            let mut config =
-                SimConfig::table_ii_scaled(20).with_budget(ByteSize::from_mib(2));
+            let mut config = SimConfig::table_ii_scaled(20).with_budget(ByteSize::from_mib(2));
             config.cache.use_victim_index = use_index;
             let start = Instant::now();
             let report = Simulation::new(policy, config, 1).expect("config").run();
@@ -40,7 +44,14 @@ fn main() {
     }
     print_table(
         "Ablation: indexed vs linear victim selection (same decisions, different cost)",
-        &["policy", "indexed_time", "indexed_hit", "linear_time", "linear_hit", "agree"],
+        &[
+            "policy",
+            "indexed_time",
+            "indexed_hit",
+            "linear_time",
+            "linear_hit",
+            "agree",
+        ],
         &rows,
     );
     let path = write_csv(

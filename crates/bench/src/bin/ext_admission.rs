@@ -14,9 +14,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     // max_size as a fraction of the budget; `none` = paper behaviour.
-    for (label, fraction) in
-        [("none", None), ("1/2", Some((1u64, 2u64))), ("1/8", Some((1, 8))), ("1/32", Some((1, 32)))]
-    {
+    for (label, fraction) in [
+        ("none", None),
+        ("1/2", Some((1u64, 2u64))),
+        ("1/8", Some((1, 8))),
+        ("1/32", Some((1, 32))),
+    ] {
         for policy in [PolicyName::Lru, PolicyName::Lsc] {
             let mut config = SimConfig::table_ii_scaled(20).with_budget(budget);
             config.admission_max_budget_fraction = fraction;
@@ -42,7 +45,14 @@ fn main() {
     }
     print_table(
         &format!("Extension: size-based admission control (budget {budget})"),
-        &["policy", "max_size/budget", "hit_ratio", "hit_mb", "latency_ms", "miss_mb"],
+        &[
+            "policy",
+            "max_size/budget",
+            "hit_ratio",
+            "hit_mb",
+            "latency_ms",
+            "miss_mb",
+        ],
         &rows,
     );
     let path = write_csv(

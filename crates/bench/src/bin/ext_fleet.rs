@@ -25,20 +25,23 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut backend = SimBackend::new();
     let config = BrokerConfig {
-        cache: CacheConfig { budget: ByteSize::from_mib(1), ..CacheConfig::default() },
+        cache: CacheConfig {
+            budget: ByteSize::from_mib(1),
+            ..CacheConfig::default()
+        },
         ..BrokerConfig::default()
     };
     let mut fleet = BrokerFleet::new(PolicyName::Lsc, config);
-    let broker_ids: Vec<_> =
-        (0..brokers).map(|i| fleet.add_broker(format!("broker-{i}:8001"))).collect();
+    let broker_ids: Vec<_> = (0..brokers)
+        .map(|i| fleet.add_broker(format!("broker-{i}:8001")))
+        .collect();
 
     // Every subscriber takes 4 Zipf-ish streams (favour low indices).
     let mut handles = Vec::new();
     for k in 0..subscribers {
         for j in 0..4u64 {
-            let stream = ((k * 7 + j * 13) % streams as u64).min(
-                rng.random_range(0..streams as u64),
-            ) as usize;
+            let stream = ((k * 7 + j * 13) % streams as u64)
+                .min(rng.random_range(0..streams as u64)) as usize;
             let handle = fleet
                 .subscribe(
                     &mut backend,
@@ -64,11 +67,11 @@ fn main() {
             let victim = *broker_ids
                 .iter()
                 .filter(|id| fleet.broker(**id).is_some())
-                .max_by_key(|id| {
-                    fleet.broker(**id).unwrap().subscriptions().frontend_count()
-                })
+                .max_by_key(|id| fleet.broker(**id).unwrap().subscriptions().frontend_count())
                 .expect("brokers alive");
-            let migrated = fleet.fail_broker(&mut backend, victim, now).expect("failover");
+            let migrated = fleet
+                .fail_broker(&mut backend, victim, now)
+                .expect("failover");
             eprintln!("round {round}: {victim} failed; migrated {migrated} subscriptions");
             failed_broker = Some(victim);
         }
@@ -85,11 +88,9 @@ fn main() {
         // A random subset of subscriptions retrieves.
         for _ in 0..40 {
             let handle = handles[rng.random_range(0..handles.len())];
-            if let Ok(delivery) = fleet.get_results(
-                &mut backend,
-                handle,
-                now + SimDuration::from_millis(500),
-            ) {
+            if let Ok(delivery) =
+                fleet.get_results(&mut backend, handle, now + SimDuration::from_millis(500))
+            {
                 if round < failure_at {
                     delivered_before += delivery.total_objects();
                 } else {
@@ -112,8 +113,11 @@ fn main() {
             ),
             None => (0, 0, 0.0, 0),
         };
-        let status =
-            if Some(*id) == failed_broker { "FAILED" } else { "alive" };
+        let status = if Some(*id) == failed_broker {
+            "FAILED"
+        } else {
+            "alive"
+        };
         rows.push(vec![
             id.to_string(),
             status.to_owned(),
@@ -122,7 +126,9 @@ fn main() {
             format!("{:.3}", hit),
             deliveries.to_string(),
         ]);
-        csv.push(format!("{id},{status},{fsubs},{bsubs},{hit:.4},{deliveries}"));
+        csv.push(format!(
+            "{id},{status},{fsubs},{bsubs},{hit:.4},{deliveries}"
+        ));
     }
     print_table(
         &format!(
@@ -130,15 +136,27 @@ fn main() {
              ({} migrations total)",
             fleet.migrations()
         ),
-        &["broker", "status", "frontend_subs", "backend_subs", "hit_ratio", "deliveries"],
+        &[
+            "broker",
+            "status",
+            "frontend_subs",
+            "backend_subs",
+            "hit_ratio",
+            "deliveries",
+        ],
         &rows,
     );
     println!(
         "\ndelivery continuity: {delivered_before} objects before the failure, \
          {delivered_after} after (no interruption)"
     );
-    assert!(delivered_after > 0, "fleet stopped delivering after failover");
-    csv.push(format!("continuity,,{delivered_before},{delivered_after},,"));
+    assert!(
+        delivered_after > 0,
+        "fleet stopped delivering after failover"
+    );
+    csv.push(format!(
+        "continuity,,{delivered_before},{delivered_after},,"
+    ));
     let path = write_csv(
         "ext_fleet.csv",
         "broker,status,frontend_subs,backend_subs,hit_ratio,deliveries",

@@ -4,12 +4,12 @@
 //! Usage: `cargo run --release -p bad-bench --bin fig3`
 //! (`BAD_SCALE=1 BAD_SEEDS=10` reproduces the verbatim Table II sweep).
 
-use bad_bench::{load_or_run_sweep, print_table, write_csv, SweepParams};
+use bad_bench::{load_or_run_sweep, print_table, write_csv, write_sweep_bench_json, SweepParams};
 
 fn main() {
     let params = SweepParams::from_env();
     eprintln!("fig3 sweep: {}", params.fingerprint());
-    let points = load_or_run_sweep(&params);
+    let (points, fresh) = load_or_run_sweep(&params);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -32,9 +32,17 @@ fn main() {
     }
     print_table(
         "Fig. 3: hit ratio / hit byte / miss byte vs cache size",
-        &["policy", "cache_mb", "hit_ratio(a)", "hit_mb(b)", "miss_mb(c)"],
+        &[
+            "policy",
+            "cache_mb",
+            "hit_ratio(a)",
+            "hit_mb(b)",
+            "miss_mb(c)",
+        ],
         &rows,
     );
     let path = write_csv("fig3.csv", "policy,cache_mb,hit_ratio,hit_mb,miss_mb", &csv);
     println!("\nwrote {}", path.display());
+    let json = write_sweep_bench_json("fig3", &points, fresh);
+    println!("bench json: {}", json.display());
 }

@@ -4,12 +4,12 @@
 //!
 //! Usage: `cargo run --release -p bad-bench --bin fig4`
 
-use bad_bench::{load_or_run_sweep, print_table, write_csv, SweepParams};
+use bad_bench::{load_or_run_sweep, print_table, write_csv, write_sweep_bench_json, SweepParams};
 
 fn main() {
     let params = SweepParams::from_env();
     eprintln!("fig4 sweep: {}", params.fingerprint());
-    let points = load_or_run_sweep(&params);
+    let (points, fresh) = load_or_run_sweep(&params);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -34,7 +34,14 @@ fn main() {
     }
     print_table(
         "Fig. 4: fetch (+Vol) / subscriber latency / holding time vs cache size",
-        &["policy", "cache_mb", "fetch_mb(a)", "vol_mb(a)", "latency_ms(b)", "holding_s(c)"],
+        &[
+            "policy",
+            "cache_mb",
+            "fetch_mb(a)",
+            "vol_mb(a)",
+            "latency_ms(b)",
+            "holding_s(c)",
+        ],
         &rows,
     );
     let path = write_csv(
@@ -43,4 +50,6 @@ fn main() {
         &csv,
     );
     println!("\nwrote {}", path.display());
+    let json = write_sweep_bench_json("fig4", &points, fresh);
+    println!("bench json: {}", json.display());
 }

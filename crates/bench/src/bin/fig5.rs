@@ -6,13 +6,13 @@
 //!
 //! Usage: `cargo run --release -p bad-bench --bin fig5`
 
-use bad_bench::{load_or_run_sweep, print_table, write_csv, SweepParams};
+use bad_bench::{load_or_run_sweep, print_table, write_csv, write_sweep_bench_json, SweepParams};
 use bad_cache::PolicyName;
 
 fn main() {
     let params = SweepParams::from_env();
     eprintln!("fig5 sweep: {}", params.fingerprint());
-    let points = load_or_run_sweep(&params);
+    let (points, fresh) = load_or_run_sweep(&params);
 
     // (a) cache sizes vs budget.
     let mut rows = Vec::new();
@@ -46,8 +46,11 @@ fn main() {
         &["policy", "allowed_mb", "avg_mb", "max_mb", "sum_rho_ttl_mb"],
         &rows,
     );
-    let path =
-        write_csv("fig5a.csv", "policy,allowed_mb,avg_mb,max_mb,sum_rho_ttl_mb", &csv);
+    let path = write_csv(
+        "fig5a.csv",
+        "policy,allowed_mb,avg_mb,max_mb,sum_rho_ttl_mb",
+        &csv,
+    );
     println!("\nwrote {}", path.display());
 
     // (b) holding time vs TTL for TTL and LSC.
@@ -80,4 +83,6 @@ fn main() {
     );
     let path = write_csv("fig5b.csv", "policy,allowed_mb,holding_s,mean_ttl_s", &csv);
     println!("\nwrote {}", path.display());
+    let json = write_sweep_bench_json("fig5", &points, fresh);
+    println!("bench json: {}", json.display());
 }

@@ -8,13 +8,17 @@
 //! Environment: `BAD_SUBSCRIBERS` (default 400), `BAD_MINUTES` (default
 //! 60), `BAD_SEEDS` (default 2).
 
-use bad_bench::{print_table, write_csv};
+use bad_bench::{print_table, write_bench_json, write_csv};
 use bad_cache::PolicyName;
 use bad_proto::{run_prototype, PrototypeConfig, PrototypeReport};
+use bad_telemetry::json::ObjectWriter;
 use bad_types::{ByteSize, SimDuration};
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -34,8 +38,10 @@ fn main() {
     // The paper highlights that "even a small cache size (100KB) results
     // in high latency drop"; sweep around that regime. NC is budget-
     // independent and reported once.
-    let budgets: Vec<ByteSize> =
-        [25u64, 50, 100, 200, 400, 800].iter().map(|kb| ByteSize::from_kib(*kb)).collect();
+    let budgets: Vec<ByteSize> = [25u64, 50, 100, 200, 400, 800]
+        .iter()
+        .map(|kb| ByteSize::from_kib(*kb))
+        .collect();
     let policies = [
         PolicyName::Lru,
         PolicyName::Lsc,
@@ -47,14 +53,25 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
     let mut push = |reports: Vec<PrototypeReport>| {
         let n = reports.len() as f64;
         let hit = reports.iter().map(|r| r.hit_ratio).sum::<f64>() / n;
-        let latency =
-            reports.iter().map(|r| r.mean_latency.as_millis_f64()).sum::<f64>() / n;
-        let fetched =
-            reports.iter().map(|r| r.fetched_bytes.as_mib_f64()).sum::<f64>() / n;
-        let vol = reports.iter().map(|r| r.vol_bytes.as_mib_f64()).sum::<f64>() / n;
+        let latency = reports
+            .iter()
+            .map(|r| r.mean_latency.as_millis_f64())
+            .sum::<f64>()
+            / n;
+        let fetched = reports
+            .iter()
+            .map(|r| r.fetched_bytes.as_mib_f64())
+            .sum::<f64>()
+            / n;
+        let vol = reports
+            .iter()
+            .map(|r| r.vol_bytes.as_mib_f64())
+            .sum::<f64>()
+            / n;
         let first = &reports[0];
         rows.push(vec![
             first.policy.to_string(),
@@ -77,6 +94,20 @@ fn main() {
             first.frontend_subscriptions,
             first.backend_subscriptions,
         ));
+        let mut json = String::new();
+        {
+            let mut obj = ObjectWriter::new(&mut json);
+            obj.field_str("policy", first.policy.as_str());
+            obj.field_f64("cache_kb", first.cache_budget.as_kib_f64());
+            obj.field_f64("hit_ratio", hit);
+            obj.field_f64("latency_ms", latency);
+            obj.field_f64("fetched_mb", fetched);
+            obj.field_f64("vol_mb", vol);
+            obj.field_u64("frontend_subs", first.frontend_subscriptions);
+            obj.field_u64("backend_subs", first.backend_subscriptions);
+            obj.field_u64("seeds", reports.len() as u64);
+        }
+        json_rows.push(json);
     };
 
     // NC baseline (the far-left bars of Fig. 7).
@@ -122,4 +153,6 @@ fn main() {
         &csv,
     );
     println!("\nwrote {}", path.display());
+    let json = write_bench_json("fig7", &format!("[{}]", json_rows.join(",")));
+    println!("wrote {}", json.display());
 }

@@ -28,7 +28,13 @@ fn main() {
         .collect();
     print_table(
         "Table I: caching policies (utility, value, dropping criterion)",
-        &["name", "utility Δ(i,j,k)", "value φ_ij", "dropping criterion", "kind"],
+        &[
+            "name",
+            "utility Δ(i,j,k)",
+            "value φ_ij",
+            "dropping criterion",
+            "kind",
+        ],
         &rows,
     );
 }

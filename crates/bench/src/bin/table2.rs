@@ -8,14 +8,20 @@ use bad_sim::SimConfig;
 
 fn main() {
     for (title, config) in [
-        ("Table II: simulation settings (verbatim)", SimConfig::table_ii()),
+        (
+            "Table II: simulation settings (verbatim)",
+            SimConfig::table_ii(),
+        ),
         (
             "Table II scaled 10x (as used by the recorded fig3-fig5 sweep)",
             SimConfig::table_ii_scaled(10),
         ),
     ] {
-        let rows: Vec<Vec<String>> =
-            config.describe().into_iter().map(|(k, v)| vec![k, v]).collect();
+        let rows: Vec<Vec<String>> = config
+            .describe()
+            .into_iter()
+            .map(|(k, v)| vec![k, v])
+            .collect();
         print_table(title, &["setting", "value"], &rows);
     }
 }

@@ -108,7 +108,11 @@ pub fn run_sweep(params: &SweepParams) -> Vec<SweepPoint> {
                 );
                 runs.push(report);
             }
-            points.push(SweepPoint { policy, cache_budget: budget, runs });
+            points.push(SweepPoint {
+                policy,
+                cache_budget: budget,
+                runs,
+            });
         }
     }
     points
@@ -116,15 +120,20 @@ pub fn run_sweep(params: &SweepParams) -> Vec<SweepPoint> {
 
 /// Loads a cached sweep CSV if its fingerprint matches, otherwise runs
 /// the sweep and writes the cache.
-pub fn load_or_run_sweep(params: &SweepParams) -> Vec<SweepPoint> {
+///
+/// The second element is `true` when the sweep was freshly simulated.
+/// Cache-loaded rows carry scalars only — their per-epoch
+/// [`SimReport::samples`] series is empty (the CSV does not round-trip
+/// it), which matters to [`write_sweep_bench_json`].
+pub fn load_or_run_sweep(params: &SweepParams) -> (Vec<SweepPoint>, bool) {
     let path = experiments_dir().join("sim_sweep.csv");
     if let Some(points) = try_load_sweep(&path, params) {
         eprintln!("(reusing cached sweep {})", path.display());
-        return points;
+        return (points, false);
     }
     let points = run_sweep(params);
     write_sweep_csv(&path, params, &points);
-    points
+    (points, true)
 }
 
 fn try_load_sweep(path: &Path, params: &SweepParams) -> Option<Vec<SweepPoint>> {
@@ -138,9 +147,10 @@ fn try_load_sweep(path: &Path, params: &SweepParams) -> Option<Vec<SweepPoint>> 
     let mut points: Vec<SweepPoint> = Vec::new();
     for line in lines {
         let report = parse_report_row(line)?;
-        match points.iter_mut().find(|p| {
-            p.policy == report.policy && p.cache_budget == report.cache_budget
-        }) {
+        match points
+            .iter_mut()
+            .find(|p| p.policy == report.policy && p.cache_budget == report.cache_budget)
+        {
             Some(point) => point.runs.push(report),
             None => points.push(SweepPoint {
                 policy: report.policy,
@@ -162,7 +172,9 @@ fn parse_report_row(line: &str) -> Option<SimReport> {
         return None;
     }
     let mib = |s: &str| -> Option<ByteSize> {
-        Some(ByteSize::new((s.parse::<f64>().ok()? * 1024.0 * 1024.0) as u64))
+        Some(ByteSize::new(
+            (s.parse::<f64>().ok()? * 1024.0 * 1024.0) as u64,
+        ))
     };
     Some(SimReport {
         policy: cols[0].trim().parse().ok()?,
@@ -173,9 +185,7 @@ fn parse_report_row(line: &str) -> Option<SimReport> {
         miss_bytes: mib(cols[5])?,
         fetched_bytes: mib(cols[6])?,
         vol_bytes: mib(cols[7])?,
-        mean_latency: bad_types::SimDuration::from_secs_f64(
-            cols[8].parse::<f64>().ok()? / 1000.0,
-        ),
+        mean_latency: bad_types::SimDuration::from_secs_f64(cols[8].parse::<f64>().ok()? / 1000.0),
         mean_holding: bad_types::SimDuration::from_secs_f64(cols[9].parse().ok()?),
         avg_cache_bytes: mib(cols[10])?,
         max_cache_bytes: mib(cols[11])?,
@@ -184,6 +194,9 @@ fn parse_report_row(line: &str) -> Option<SimReport> {
         deliveries: cols[14].parse().ok()?,
         delivered_objects: cols[15].parse().ok()?,
         produced_objects: cols[16].parse().ok()?,
+        // The CSV cache stores scalars only; the epoch series is not
+        // round-tripped.
+        samples: Vec::new(),
     })
 }
 
@@ -200,6 +213,48 @@ fn write_sweep_csv(path: &Path, params: &SweepParams, points: &[SweepPoint]) {
     }
     fs::write(path, out).expect("write sweep csv");
     eprintln!("(sweep cached at {})", path.display());
+}
+
+/// Writes the machine-readable `BENCH_<fig>.json` summary into
+/// `target/experiments/`, so the bench trajectory can be consumed
+/// without a CSV parser.
+pub fn write_bench_json(fig: &str, json: &str) -> PathBuf {
+    let path = experiments_dir().join(format!("BENCH_{fig}.json"));
+    fs::write(&path, json).expect("write bench json");
+    path
+}
+
+/// Writes `BENCH_<fig>.json` for a sweep, unless the points were
+/// loaded from the CSV cache (no epoch samples) and a previous —
+/// richer — file already exists, in which case that file is kept.
+pub fn write_sweep_bench_json(fig: &str, points: &[SweepPoint], fresh: bool) -> PathBuf {
+    let path = experiments_dir().join(format!("BENCH_{fig}.json"));
+    if !fresh && path.exists() {
+        eprintln!(
+            "(keeping {}: cached sweep rows carry no epoch samples)",
+            path.display()
+        );
+        return path;
+    }
+    write_bench_json(fig, &sweep_to_json(points))
+}
+
+/// Renders a sweep (the shared Figs. 3–5 data) as one JSON array of
+/// per-run [`SimReport`]s via [`SimReport::to_json`].
+pub fn sweep_to_json(points: &[SweepPoint]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for point in points {
+        for run in &point.runs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&run.to_json());
+        }
+    }
+    out.push(']');
+    out
 }
 
 /// Writes a small named CSV into `target/experiments/`.
@@ -232,8 +287,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }
@@ -270,5 +331,15 @@ mod tests {
         assert_eq!(parsed.seed, report.seed);
         assert!((parsed.hit_ratio - report.hit_ratio).abs() < 1e-3);
         assert_eq!(parsed.deliveries, report.deliveries);
+
+        // The JSON summary wraps each run's report in one array.
+        let json = sweep_to_json(&[SweepPoint {
+            policy: report.policy,
+            cache_budget: report.cache_budget,
+            runs: vec![report],
+        }]);
+        assert!(json.starts_with("[{") && json.ends_with("}]"));
+        assert!(json.contains(r#""policy":"LSC""#));
+        assert!(json.contains(r#""samples":["#));
     }
 }

@@ -57,8 +57,14 @@ impl BrokerCoordinationService {
     /// Registers a broker and returns its id.
     pub fn register_broker(&mut self, endpoint: impl Into<String>) -> BrokerId {
         let id: BrokerId = self.ids.next_id();
-        self.brokers
-            .insert(id, BrokerRecord { id, endpoint: endpoint.into(), assigned: 0 });
+        self.brokers.insert(
+            id,
+            BrokerRecord {
+                id,
+                endpoint: endpoint.into(),
+                assigned: 0,
+            },
+        );
         id
     }
 
@@ -112,10 +118,11 @@ impl BrokerCoordinationService {
             .values()
             .min_by_key(|b| (b.assigned, b.id))
             .map(|b| b.id)
-            .ok_or_else(|| {
-                BadError::InvalidState("no broker registered with the BCS".into())
-            })?;
-        self.brokers.get_mut(&target).expect("chosen above").assigned += 1;
+            .ok_or_else(|| BadError::InvalidState("no broker registered with the BCS".into()))?;
+        self.brokers
+            .get_mut(&target)
+            .expect("chosen above")
+            .assigned += 1;
         self.assignments.insert(subscriber, target);
         Ok(target)
     }

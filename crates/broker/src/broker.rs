@@ -7,11 +7,11 @@ use bad_net::NetworkModel;
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
 use bad_types::{
-    BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
-    Timestamp,
+    BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
 
 use crate::subscriptions::SubscriptionTable;
+use crate::telemetry::BrokerTelemetry;
 
 /// The broker's view of the data cluster.
 ///
@@ -71,7 +71,10 @@ pub struct BrokerConfig {
 
 impl Default for BrokerConfig {
     fn default() -> Self {
-        Self { cache: CacheConfig::default(), net: NetworkModel::paper_defaults() }
+        Self {
+            cache: CacheConfig::default(),
+            net: NetworkModel::paper_defaults(),
+        }
     }
 }
 
@@ -157,6 +160,7 @@ pub struct Broker {
     cache: CacheManager,
     net: NetworkModel,
     delivery: DeliveryMetrics,
+    telemetry: BrokerTelemetry,
 }
 
 impl Broker {
@@ -167,7 +171,21 @@ impl Broker {
             cache: CacheManager::new(policy, config.cache),
             net: config.net,
             delivery: DeliveryMetrics::default(),
+            telemetry: BrokerTelemetry::detached(),
         }
+    }
+
+    /// Wires this broker (and its cache manager) to a shared metric
+    /// registry and event sink. The default is detached: a private
+    /// registry and the allocation-free null sink.
+    pub fn attach_telemetry(
+        &mut self,
+        registry: &bad_telemetry::Registry,
+        sink: bad_telemetry::SharedSink,
+    ) {
+        self.cache
+            .set_telemetry(bad_cache::CacheTelemetry::new(registry, sink.clone()));
+        self.telemetry = BrokerTelemetry::new(registry, sink);
     }
 
     /// The subscription table (read-only).
@@ -269,10 +287,8 @@ impl Broker {
 
         if self.cache.caches_results() {
             // PULL model: fetch everything newer than our bts marker.
-            let range = TimeRange::closed(
-                since + SimDuration::from_micros(1),
-                notification.latest_ts,
-            );
+            let range =
+                TimeRange::closed(since + SimDuration::from_micros(1), notification.latest_ts);
             let objects = cluster.cluster_fetch(bs, range);
             for object in &objects {
                 let desc = NewObject {
@@ -362,7 +378,8 @@ impl Broker {
         for missed_range in &plan.missed {
             let missed = cluster.cluster_fetch(backend.id, *missed_range);
             let bytes: ByteSize = missed.iter().map(|o| o.size).sum();
-            self.cache.record_miss_fetch(missed.len() as u64, bytes);
+            self.cache
+                .record_miss_fetch(backend.id, missed.len() as u64, bytes, now);
             miss_objects += missed.len() as u64;
             miss_bytes += bytes;
         }
@@ -380,7 +397,9 @@ impl Broker {
 
         // ACK: advance fts and mark consumption in the cache.
         self.subs.advance_frontend_marker(fs, backend.last_seen)?;
-        let _ = self.cache.ack_consume(backend.id, subscriber, backend.last_seen, now);
+        let _ = self
+            .cache
+            .ack_consume(backend.id, subscriber, backend.last_seen, now);
 
         self.delivery.deliveries += 1;
         if delivery.total_objects() > 0 {
@@ -389,6 +408,7 @@ impl Broker {
         }
         self.delivery.delivered_objects += delivery.total_objects();
         self.delivery.delivered_bytes += delivery.total_bytes();
+        self.telemetry.on_retrieval(now, subscriber, &delivery);
         Ok(delivery)
     }
 
@@ -463,13 +483,31 @@ mod tests {
     fn identical_subscriptions_share_one_backend() {
         let (mut cluster, mut broker) = setup();
         broker
-            .subscribe(&mut cluster, SubscriberId::new(1), "ByKind", params("fire"), t(0))
+            .subscribe(
+                &mut cluster,
+                SubscriberId::new(1),
+                "ByKind",
+                params("fire"),
+                t(0),
+            )
             .unwrap();
         broker
-            .subscribe(&mut cluster, SubscriberId::new(2), "ByKind", params("fire"), t(0))
+            .subscribe(
+                &mut cluster,
+                SubscriberId::new(2),
+                "ByKind",
+                params("fire"),
+                t(0),
+            )
             .unwrap();
         broker
-            .subscribe(&mut cluster, SubscriberId::new(3), "ByKind", params("flood"), t(0))
+            .subscribe(
+                &mut cluster,
+                SubscriberId::new(3),
+                "ByKind",
+                params("flood"),
+                t(0),
+            )
             .unwrap();
         assert_eq!(broker.subscriptions().frontend_count(), 3);
         assert_eq!(broker.subscriptions().backend_count(), 2);
@@ -481,8 +519,12 @@ mod tests {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
         let bob = SubscriberId::new(2);
-        broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        broker
+            .subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0))
+            .unwrap();
         let n = publish(&mut cluster, 1, "fire");
         assert_eq!(n.len(), 1);
         let outcome = broker.on_notification(&mut cluster, n[0], t(1));
@@ -499,8 +541,12 @@ mod tests {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
         let bob = SubscriberId::new(2);
-        let fa = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        let fb = broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        let fa = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        let fb = broker
+            .subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0))
+            .unwrap();
         let n = publish(&mut cluster, 1, "fire");
         broker.on_notification(&mut cluster, n[0], t(1));
 
@@ -522,7 +568,9 @@ mod tests {
         config.cache.budget = ByteSize::new(1);
         let mut broker2 = Broker::new(PolicyName::Lsc, config);
         let alice = SubscriberId::new(1);
-        let fs = broker2.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fs = broker2
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
         let n = publish(&mut cluster, 1, "fire");
         broker2.on_notification(&mut cluster, n[0], t(1));
         assert_eq!(broker2.cache().total_bytes(), ByteSize::ZERO); // evicted
@@ -540,7 +588,9 @@ mod tests {
         let (mut cluster, broker) = setup();
         let mut nc = Broker::new(PolicyName::Nc, BrokerConfig::default());
         let alice = SubscriberId::new(1);
-        let fs = nc.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fs = nc
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
         let n = publish(&mut cluster, 1, "fire");
         let outcome = nc.on_notification(&mut cluster, n[0], t(1));
         assert_eq!(outcome.fetched_objects, 0); // no prefetch under NC
@@ -554,24 +604,36 @@ mod tests {
         let (mut cluster, mut broker) = setup();
         let mut nc = Broker::new(PolicyName::Nc, BrokerConfig::default());
         let alice = SubscriberId::new(1);
-        let f_hit =
-            broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        let f_miss = nc.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let f_hit = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        let f_miss = nc
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
         let notifications = publish(&mut cluster, 1, "fire");
         for n in &notifications {
             broker.on_notification(&mut cluster, *n, t(1));
             nc.on_notification(&mut cluster, *n, t(1));
         }
-        let hit = broker.get_results(&mut cluster, alice, f_hit, t(2)).unwrap();
+        let hit = broker
+            .get_results(&mut cluster, alice, f_hit, t(2))
+            .unwrap();
         let miss = nc.get_results(&mut cluster, alice, f_miss, t(2)).unwrap();
-        assert!(hit.latency < miss.latency, "{} !< {}", hit.latency, miss.latency);
+        assert!(
+            hit.latency < miss.latency,
+            "{} !< {}",
+            hit.latency,
+            miss.latency
+        );
     }
 
     #[test]
     fn empty_retrieval_is_cheap_and_idempotent() {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
-        let fs = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fs = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
         assert!(!broker.has_pending(fs));
         let d = broker.get_results(&mut cluster, alice, fs, t(1)).unwrap();
         assert_eq!(d.total_objects(), 0);
@@ -585,8 +647,12 @@ mod tests {
     fn get_all_pending_covers_all_subscriptions() {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
-        broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        broker.subscribe(&mut cluster, alice, "ByKind", params("flood"), t(0)).unwrap();
+        broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        broker
+            .subscribe(&mut cluster, alice, "ByKind", params("flood"), t(0))
+            .unwrap();
         for n in publish(&mut cluster, 1, "fire") {
             broker.on_notification(&mut cluster, n, t(1));
         }
@@ -597,7 +663,10 @@ mod tests {
         assert_eq!(deliveries.len(), 2);
         assert!(deliveries.iter().all(|d| d.total_objects() == 1));
         // Everything consumed; nothing pending.
-        assert!(broker.get_all_pending(&mut cluster, alice, t(4)).unwrap().is_empty());
+        assert!(broker
+            .get_all_pending(&mut cluster, alice, t(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -605,8 +674,12 @@ mod tests {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
         let bob = SubscriberId::new(2);
-        let fa = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        let fb = broker.subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0)).unwrap();
+        let fa = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        let fb = broker
+            .subscribe(&mut cluster, bob, "ByKind", params("fire"), t(0))
+            .unwrap();
         broker.unsubscribe(&mut cluster, alice, fa, t(1)).unwrap();
         // Backend and cluster subscription survive for bob.
         assert_eq!(broker.subscriptions().backend_count(), 1);
@@ -653,7 +726,9 @@ mod tests {
     fn wrong_owner_cannot_retrieve() {
         let (mut cluster, mut broker) = setup();
         let alice = SubscriberId::new(1);
-        let fs = broker.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
+        let fs = broker
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
         assert!(broker
             .get_results(&mut cluster, SubscriberId::new(9), fs, t(1))
             .is_err());

@@ -16,12 +16,13 @@ use std::collections::{BTreeMap, HashMap};
 
 use bad_cluster::Notification;
 use bad_query::ParamBindings;
-use bad_types::{
-    BadError, BrokerId, FrontendSubId, Result, SubscriberId, Timestamp,
-};
+use bad_types::{BadError, BrokerId, FrontendSubId, Result, SubscriberId, Timestamp};
+
+use bad_telemetry::{Registry, SharedSink};
 
 use crate::bcs::BrokerCoordinationService;
 use crate::broker::{Broker, BrokerConfig, ClusterHandle, Delivery, NotificationOutcome};
+use crate::telemetry::BrokerTelemetry;
 
 use bad_cache::PolicyName;
 
@@ -90,6 +91,9 @@ pub struct BrokerFleet {
     next_handle: u64,
     /// Migrations performed (for observability).
     migrations: u64,
+    telemetry: BrokerTelemetry,
+    /// Wiring replicated onto brokers added after `attach_telemetry`.
+    telemetry_wiring: Option<(Registry, SharedSink)>,
 }
 
 impl BrokerFleet {
@@ -103,13 +107,29 @@ impl BrokerFleet {
             subscriptions: HashMap::new(),
             next_handle: 0,
             migrations: 0,
+            telemetry: BrokerTelemetry::detached(),
+            telemetry_wiring: None,
         }
+    }
+
+    /// Wires the fleet (failover events) and every current and future
+    /// broker to a shared registry and event sink.
+    pub fn attach_telemetry(&mut self, registry: &Registry, sink: SharedSink) {
+        self.telemetry = BrokerTelemetry::new(registry, sink.clone());
+        for broker in self.brokers.values_mut() {
+            broker.attach_telemetry(registry, sink.clone());
+        }
+        self.telemetry_wiring = Some((registry.clone(), sink));
     }
 
     /// Registers a new broker node.
     pub fn add_broker(&mut self, endpoint: impl Into<String>) -> BrokerId {
         let id = self.bcs.register_broker(endpoint);
-        self.brokers.insert(id, Broker::new(self.policy, self.config));
+        let mut broker = Broker::new(self.policy, self.config);
+        if let Some((registry, sink)) = &self.telemetry_wiring {
+            broker.attach_telemetry(registry, sink.clone());
+        }
+        self.brokers.insert(id, broker);
         id
     }
 
@@ -185,9 +205,16 @@ impl BrokerFleet {
             .subscriptions
             .remove(&handle)
             .ok_or_else(|| BadError::not_found("fleet subscription", handle.to_string()))?;
-        let broker = self.brokers.get_mut(&sub.broker).expect("registered broker");
+        let broker = self
+            .brokers
+            .get_mut(&sub.broker)
+            .expect("registered broker");
         broker.unsubscribe(cluster, sub.subscriber, sub.frontend, now)?;
-        if !self.subscriptions.values().any(|s| s.subscriber == sub.subscriber) {
+        if !self
+            .subscriptions
+            .values()
+            .any(|s| s.subscriber == sub.subscriber)
+        {
             self.bcs.release(sub.subscriber);
         }
         Ok(())
@@ -202,7 +229,11 @@ impl BrokerFleet {
         now: Timestamp,
     ) -> NotificationOutcome {
         for broker in self.brokers.values_mut() {
-            if broker.subscriptions().backend(notification.backend_sub).is_some() {
+            if broker
+                .subscriptions()
+                .backend(notification.backend_sub)
+                .is_some()
+            {
                 return broker.on_notification(cluster, notification, now);
             }
         }
@@ -225,7 +256,10 @@ impl BrokerFleet {
             .get(&handle)
             .ok_or_else(|| BadError::not_found("fleet subscription", handle.to_string()))?
             .clone();
-        let broker = self.brokers.get_mut(&sub.broker).expect("registered broker");
+        let broker = self
+            .brokers
+            .get_mut(&sub.broker)
+            .expect("registered broker");
         broker.get_results(cluster, sub.subscriber, sub.frontend, now)
     }
 
@@ -284,15 +318,18 @@ impl BrokerFleet {
                 (s.subscriber, s.channel.clone(), s.params.clone())
             };
             let new_broker_id = self.bcs.assign(subscriber)?;
-            let broker = self.brokers.get_mut(&new_broker_id).expect("assigned broker");
-            let frontend =
-                broker.subscribe(cluster, subscriber, &channel, params.clone(), now)?;
+            let broker = self
+                .brokers
+                .get_mut(&new_broker_id)
+                .expect("assigned broker");
+            let frontend = broker.subscribe(cluster, subscriber, &channel, params.clone(), now)?;
             let entry = self.subscriptions.get_mut(&handle).expect("listed above");
             entry.broker = new_broker_id;
             entry.frontend = frontend;
             migrated += 1;
             self.migrations += 1;
         }
+        self.telemetry.on_failover(now, failed, migrated as u64);
         Ok(migrated)
     }
 }
@@ -340,7 +377,13 @@ mod tests {
         let handles: Vec<FleetSubId> = (0..4u64)
             .map(|i| {
                 fleet
-                    .subscribe(&mut cluster, SubscriberId::new(i), "ByKind", params("fire"), t(0))
+                    .subscribe(
+                        &mut cluster,
+                        SubscriberId::new(i),
+                        "ByKind",
+                        params("fire"),
+                        t(0),
+                    )
                     .unwrap()
             })
             .collect();
@@ -357,7 +400,13 @@ mod tests {
         let handles: Vec<FleetSubId> = (0..6u64)
             .map(|i| {
                 fleet
-                    .subscribe(&mut cluster, SubscriberId::new(i), "ByKind", params("fire"), t(0))
+                    .subscribe(
+                        &mut cluster,
+                        SubscriberId::new(i),
+                        "ByKind",
+                        params("fire"),
+                        t(0),
+                    )
                     .unwrap()
             })
             .collect();
@@ -376,7 +425,10 @@ mod tests {
         }
         // No dangling cluster subscriptions: survivors only.
         let survivor = fleet.brokers.values().next().unwrap();
-        assert_eq!(cluster.subscription_count(), survivor.subscriptions().backend_count());
+        assert_eq!(
+            cluster.subscription_count(),
+            survivor.subscriptions().backend_count()
+        );
     }
 
     #[test]
@@ -392,7 +444,13 @@ mod tests {
         let mut fleet = BrokerFleet::new(PolicyName::Lsc, BrokerConfig::default());
         let only = fleet.add_broker("solo");
         fleet
-            .subscribe(&mut cluster, SubscriberId::new(1), "ByKind", params("fire"), t(0))
+            .subscribe(
+                &mut cluster,
+                SubscriberId::new(1),
+                "ByKind",
+                params("fire"),
+                t(0),
+            )
             .unwrap();
         // With nowhere to migrate, the failover reports the problem.
         assert!(fleet.fail_broker(&mut cluster, only, t(1)).is_err());
@@ -402,8 +460,12 @@ mod tests {
     fn unsubscribe_releases_bcs_assignment() {
         let (mut cluster, mut fleet) = setup();
         let alice = SubscriberId::new(1);
-        let h1 = fleet.subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0)).unwrap();
-        let h2 = fleet.subscribe(&mut cluster, alice, "ByKind", params("flood"), t(0)).unwrap();
+        let h1 = fleet
+            .subscribe(&mut cluster, alice, "ByKind", params("fire"), t(0))
+            .unwrap();
+        let h2 = fleet
+            .subscribe(&mut cluster, alice, "ByKind", params("flood"), t(0))
+            .unwrap();
         assert!(fleet.bcs().assignment_of(alice).is_some());
         fleet.unsubscribe(&mut cluster, h1, t(1)).unwrap();
         // Still one live subscription: assignment retained.
@@ -416,7 +478,11 @@ mod tests {
     #[test]
     fn unknown_handles_and_brokers_error() {
         let (mut cluster, mut fleet) = setup();
-        assert!(fleet.get_results(&mut cluster, FleetSubId(99), t(1)).is_err());
-        assert!(fleet.fail_broker(&mut cluster, BrokerId::new(42), t(1)).is_err());
+        assert!(fleet
+            .get_results(&mut cluster, FleetSubId(99), t(1))
+            .is_err());
+        assert!(fleet
+            .fail_broker(&mut cluster, BrokerId::new(42), t(1))
+            .is_err());
     }
 }

@@ -60,6 +60,7 @@ pub mod bcs;
 pub mod broker;
 pub mod failover;
 pub mod subscriptions;
+pub mod telemetry;
 
 pub use bcs::{BrokerCoordinationService, BrokerRecord};
 pub use broker::{
@@ -67,3 +68,4 @@ pub use broker::{
 };
 pub use failover::{BrokerFleet, FleetSubId};
 pub use subscriptions::{BackendEntry, FrontendSub, SubscriptionTable};
+pub use telemetry::BrokerTelemetry;

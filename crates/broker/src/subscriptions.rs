@@ -95,7 +95,10 @@ impl SubscriptionTable {
     ) -> Result<()> {
         let key = (channel.to_owned(), params.canonical_key());
         if self.merge_keys.contains_key(&key) {
-            return Err(BadError::already_exists("backend subscription", format!("{key:?}")));
+            return Err(BadError::already_exists(
+                "backend subscription",
+                format!("{key:?}"),
+            ));
         }
         self.merge_keys.insert(key, id);
         self.backends.insert(
@@ -133,7 +136,13 @@ impl SubscriptionTable {
         entry.frontends.insert(id);
         self.frontends.insert(
             id,
-            FrontendSub { id, subscriber, backend, last_delivered: now, created_at: now },
+            FrontendSub {
+                id,
+                subscriber,
+                backend,
+                last_delivered: now,
+                created_at: now,
+            },
         );
         self.by_subscriber.entry(subscriber).or_default().insert(id);
         Ok(id)
@@ -249,7 +258,9 @@ mod tests {
     fn merging_shares_backends() {
         let mut table = SubscriptionTable::new();
         let bs = BackendSubId::new(7);
-        table.add_backend(bs, "ByKind", params("fire"), t(0)).unwrap();
+        table
+            .add_backend(bs, "ByKind", params("fire"), t(0))
+            .unwrap();
         let a = table.add_frontend(SubscriberId::new(1), bs, t(1)).unwrap();
         let b = table.add_frontend(SubscriberId::new(2), bs, t(2)).unwrap();
         assert_ne!(a, b);
@@ -264,7 +275,9 @@ mod tests {
     fn markers_advance_monotonically() {
         let mut table = SubscriptionTable::new();
         let bs = BackendSubId::new(1);
-        table.add_backend(bs, "C", ParamBindings::new(), t(0)).unwrap();
+        table
+            .add_backend(bs, "C", ParamBindings::new(), t(0))
+            .unwrap();
         let fs = table.add_frontend(SubscriberId::new(1), bs, t(5)).unwrap();
         assert_eq!(table.frontend(fs).unwrap().last_delivered, t(5));
         table.advance_frontend_marker(fs, t(10)).unwrap();
@@ -288,14 +301,18 @@ mod tests {
         assert!(orphaned);
         assert_eq!(table.backend_count(), 0);
         // The merge key is free again.
-        assert!(table.add_backend(BackendSubId::new(2), "C", params("x"), t(1)).is_ok());
+        assert!(table
+            .add_backend(BackendSubId::new(2), "C", params("x"), t(1))
+            .is_ok());
     }
 
     #[test]
     fn ownership_is_enforced() {
         let mut table = SubscriptionTable::new();
         let bs = BackendSubId::new(1);
-        table.add_backend(bs, "C", ParamBindings::new(), t(0)).unwrap();
+        table
+            .add_backend(bs, "C", ParamBindings::new(), t(0))
+            .unwrap();
         let fs = table.add_frontend(SubscriberId::new(1), bs, t(0)).unwrap();
         assert!(matches!(
             table.remove_frontend(SubscriberId::new(99), fs),
@@ -322,7 +339,9 @@ mod tests {
     #[test]
     fn duplicate_merge_key_is_rejected() {
         let mut table = SubscriptionTable::new();
-        table.add_backend(BackendSubId::new(1), "C", params("x"), t(0)).unwrap();
+        table
+            .add_backend(BackendSubId::new(1), "C", params("x"), t(0))
+            .unwrap();
         assert!(table
             .add_backend(BackendSubId::new(2), "C", params("x"), t(0))
             .is_err());
@@ -331,9 +350,17 @@ mod tests {
     #[test]
     fn unknown_ids_error() {
         let mut table = SubscriptionTable::new();
-        assert!(table.add_frontend(SubscriberId::new(1), BackendSubId::new(9), t(0)).is_err());
-        assert!(table.advance_backend_marker(BackendSubId::new(9), t(0)).is_err());
-        assert!(table.advance_frontend_marker(FrontendSubId::new(9), t(0)).is_err());
-        assert!(table.remove_frontend(SubscriberId::new(1), FrontendSubId::new(9)).is_err());
+        assert!(table
+            .add_frontend(SubscriberId::new(1), BackendSubId::new(9), t(0))
+            .is_err());
+        assert!(table
+            .advance_backend_marker(BackendSubId::new(9), t(0))
+            .is_err());
+        assert!(table
+            .advance_frontend_marker(FrontendSubId::new(9), t(0))
+            .is_err());
+        assert!(table
+            .remove_frontend(SubscriberId::new(1), FrontendSubId::new(9))
+            .is_err());
     }
 }

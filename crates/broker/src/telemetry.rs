@@ -1,0 +1,110 @@
+//! Broker-side telemetry: retrieval/delivery counters, a delivery
+//! latency histogram and the failover event hook.
+//!
+//! Mirrors [`bad_cache::CacheTelemetry`]: detached (null-sink) by
+//! default, shared registry + sink when attached via
+//! [`crate::Broker::attach_telemetry`].
+
+use bad_telemetry::{Counter, Event, Histogram, Registry, SharedSink};
+use bad_types::{BrokerId, SubscriberId, Timestamp};
+
+use crate::broker::Delivery;
+
+/// Metric handles + event sink for one [`crate::Broker`] (or a whole
+/// [`crate::BrokerFleet`], for fleet-level failover events).
+#[derive(Clone, Debug)]
+pub struct BrokerTelemetry {
+    sink: SharedSink,
+    retrievals: Counter,
+    deliveries: Counter,
+    delivered_objects: Counter,
+    delivered_bytes: Counter,
+    failovers: Counter,
+    migrated_subscriptions: Counter,
+    delivery_latency_us: Histogram,
+}
+
+impl Default for BrokerTelemetry {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl BrokerTelemetry {
+    /// Registers the broker metric family on `registry` and routes
+    /// events to `sink`.
+    pub fn new(registry: &Registry, sink: SharedSink) -> Self {
+        Self {
+            sink,
+            retrievals: registry.counter("bad_broker_retrievals_total"),
+            deliveries: registry.counter("bad_broker_deliveries_total"),
+            delivered_objects: registry.counter("bad_broker_delivered_objects_total"),
+            delivered_bytes: registry.counter("bad_broker_delivered_bytes_total"),
+            failovers: registry.counter("bad_broker_failovers_total"),
+            migrated_subscriptions: registry.counter("bad_broker_migrated_subscriptions_total"),
+            delivery_latency_us: registry.histogram("bad_broker_delivery_latency_us"),
+        }
+    }
+
+    /// A bundle wired to a throwaway registry and the null sink.
+    pub fn detached() -> Self {
+        Self::new(&Registry::new(), bad_telemetry::null_sink())
+    }
+
+    /// The event sink in force.
+    pub fn sink(&self) -> &SharedSink {
+        &self.sink
+    }
+
+    /// Records one served retrieval: the hit/miss split and, when it
+    /// delivered anything, the delivery itself with its latency.
+    pub(crate) fn on_retrieval(
+        &self,
+        now: Timestamp,
+        subscriber: SubscriberId,
+        delivery: &Delivery,
+    ) {
+        self.retrievals.inc();
+        if delivery.total_objects() > 0 {
+            self.deliveries.inc();
+            self.delivered_objects.add(delivery.total_objects());
+            self.delivered_bytes.add(delivery.total_bytes().as_u64());
+            self.delivery_latency_us
+                .record(delivery.latency.as_micros());
+        }
+        if !self.sink.enabled() {
+            return;
+        }
+        let t_us = now.as_micros();
+        self.sink.record(&Event::BrokerRetrieve {
+            t_us,
+            subscriber: subscriber.as_u64(),
+            hit_objects: delivery.hit_objects,
+            miss_objects: delivery.miss_objects,
+            hit_bytes: delivery.hit_bytes.as_u64(),
+            miss_bytes: delivery.miss_bytes.as_u64(),
+        });
+        if delivery.total_objects() > 0 {
+            self.sink.record(&Event::BrokerDeliver {
+                t_us,
+                subscriber: subscriber.as_u64(),
+                objects: delivery.total_objects(),
+                bytes: delivery.total_bytes().as_u64(),
+                latency_us: delivery.latency.as_micros(),
+            });
+        }
+    }
+
+    /// Records one completed failover.
+    pub(crate) fn on_failover(&self, now: Timestamp, failed: BrokerId, migrated: u64) {
+        self.failovers.inc();
+        self.migrated_subscriptions.add(migrated);
+        if self.sink.enabled() {
+            self.sink.record(&Event::BrokerFailover {
+                t_us: now.as_micros(),
+                failed_broker: failed.as_u64(),
+                migrated,
+            });
+        }
+    }
+}

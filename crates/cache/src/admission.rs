@@ -106,7 +106,9 @@ impl AdmissionControl {
 
     /// Requires every rule to pass.
     pub fn all_of<I: IntoIterator<Item = AdmissionRule>>(rules: I) -> Self {
-        Self { rules: rules.into_iter().collect() }
+        Self {
+            rules: rules.into_iter().collect(),
+        }
     }
 
     /// The configured rules.
@@ -127,7 +129,9 @@ impl AdmissionControl {
         budget: ByteSize,
         now: Timestamp,
     ) -> bool {
-        self.rules.iter().all(|rule| rule.admits(cache, desc, budget, now))
+        self.rules
+            .iter()
+            .all(|rule| rule.admits(cache, desc, budget, now))
     }
 }
 

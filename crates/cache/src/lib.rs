@@ -63,14 +63,16 @@ pub mod object;
 pub mod policy;
 pub mod rate;
 pub mod result_cache;
+pub mod telemetry;
 pub mod ttl;
 
 pub use admission::{AdmissionControl, AdmissionRule};
 pub use index::VictimIndex;
 pub use manager::{CacheConfig, CacheManager, DropReason, DroppedObject};
-pub use metrics::CacheMetrics;
+pub use metrics::{CacheMetrics, DropKind};
 pub use object::{CachedObject, NewObject};
 pub use policy::{policy_catalog, EvictionPolicy, PolicyInfo, PolicyKind, PolicyName};
 pub use rate::RateEstimator;
 pub use result_cache::{GetPlan, ResultCache};
+pub use telemetry::CacheTelemetry;
 pub use ttl::TtlComputer;

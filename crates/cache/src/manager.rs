@@ -8,8 +8,7 @@
 use std::collections::BTreeMap;
 
 use bad_types::{
-    BackendSubId, BadError, ByteSize, Result, SimDuration, SubscriberId, TimeRange,
-    Timestamp,
+    BackendSubId, BadError, ByteSize, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
 
 use crate::admission::AdmissionControl;
@@ -19,6 +18,7 @@ pub use crate::metrics::DropKind as DropReason;
 use crate::object::{CachedObject, NewObject};
 use crate::policy::{EvictionPolicy, PolicyKind, PolicyName};
 use crate::result_cache::{GetPlan, ResultCache};
+use crate::telemetry::CacheTelemetry;
 use crate::ttl::TtlComputer;
 
 /// Tuning knobs of the cache manager.
@@ -86,6 +86,7 @@ pub struct CacheManager {
     ttl: TtlComputer,
     last_ttl_recompute: Timestamp,
     metrics: CacheMetrics,
+    telemetry: CacheTelemetry,
     admission_rejections: u64,
 }
 
@@ -106,8 +107,21 @@ impl CacheManager {
             ttl,
             last_ttl_recompute: Timestamp::ZERO,
             metrics: CacheMetrics::new(Timestamp::ZERO),
+            telemetry: CacheTelemetry::detached(),
             admission_rejections: 0,
         }
+    }
+
+    /// Installs shared telemetry (registry-backed counters plus an
+    /// event sink). The default is a detached bundle with the null
+    /// sink, which keeps every instrumented path allocation-free.
+    pub fn set_telemetry(&mut self, telemetry: CacheTelemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry bundle in force.
+    pub fn telemetry(&self) -> &CacheTelemetry {
+        &self.telemetry
     }
 
     /// The configured policy.
@@ -165,8 +179,15 @@ impl CacheManager {
 
     /// Records objects fetched from the cluster due to a cache miss
     /// (called by the broker after it completes the fetch).
-    pub fn record_miss_fetch(&mut self, objects: u64, bytes: ByteSize) {
+    pub fn record_miss_fetch(
+        &mut self,
+        bs: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+        now: Timestamp,
+    ) {
         self.metrics.record_misses(objects, bytes);
+        self.telemetry.on_misses(now, bs, objects, bytes);
     }
 
     /// Records bytes pulled from the cluster to populate caches (`Vol`).
@@ -211,7 +232,21 @@ impl CacheManager {
                 self.total_bytes,
                 now,
             );
-            dropped.push(DroppedObject { cache: bs, reason: DropReason::Unsubscribed, object });
+            self.telemetry.on_drop(
+                now,
+                bs,
+                DropReason::Unsubscribed,
+                &object,
+                self.total_bytes,
+                self.policy_name.as_str(),
+                0.0,
+                SimDuration::ZERO,
+            );
+            dropped.push(DroppedObject {
+                cache: bs,
+                reason: DropReason::Unsubscribed,
+                object,
+            });
         }
         dropped
     }
@@ -250,7 +285,21 @@ impl CacheManager {
                 self.total_bytes,
                 now,
             );
-            dropped.push(DroppedObject { cache: bs, reason: DropReason::Unsubscribed, object });
+            self.telemetry.on_drop(
+                now,
+                bs,
+                DropReason::Unsubscribed,
+                &object,
+                self.total_bytes,
+                self.policy_name.as_str(),
+                0.0,
+                SimDuration::ZERO,
+            );
+            dropped.push(DroppedObject {
+                cache: bs,
+                reason: DropReason::Unsubscribed,
+                object,
+            });
         }
         self.reindex(bs, now);
         Ok(dropped)
@@ -294,6 +343,8 @@ impl CacheManager {
         cache.insert(desc, now);
         self.total_bytes += desc.size;
         self.metrics.record_insert(desc.size, self.total_bytes, now);
+        self.telemetry
+            .on_insert(now, bs, desc.id, desc.size, self.total_bytes);
         self.reindex(bs, now);
 
         let mut dropped = Vec::new();
@@ -303,6 +354,9 @@ impl CacheManager {
                     break;
                 };
                 let cache = self.caches.get_mut(&victim).expect("victim exists");
+                // The victim cache's φ/s score, captured before the drop
+                // mutates it — this is the quantity the policy minimised.
+                let score = self.policy.score(cache, now);
                 let Some(object) = cache.drop_tail() else {
                     // Stale index entry for an empty cache; fix and retry.
                     self.index.remove(victim);
@@ -314,6 +368,16 @@ impl CacheManager {
                     object.age(now),
                     self.total_bytes,
                     now,
+                );
+                self.telemetry.on_drop(
+                    now,
+                    victim,
+                    DropReason::Evicted,
+                    &object,
+                    self.total_bytes,
+                    self.policy_name.as_str(),
+                    score,
+                    SimDuration::ZERO,
                 );
                 self.reindex(victim, now);
                 dropped.push(DroppedObject {
@@ -334,16 +398,15 @@ impl CacheManager {
     ///
     /// A missing cache (NC policy or unknown subscription) misses the
     /// whole range.
-    pub fn plan_get(
-        &mut self,
-        bs: BackendSubId,
-        range: TimeRange,
-        now: Timestamp,
-    ) -> GetPlan {
+    pub fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
         let all_missed = |range: TimeRange| GetPlan {
             cached: Vec::new(),
             cached_bytes: ByteSize::ZERO,
-            missed: if range.is_empty() { Vec::new() } else { vec![range] },
+            missed: if range.is_empty() {
+                Vec::new()
+            } else {
+                vec![range]
+            },
         };
         if self.policy.kind() == PolicyKind::NoCache {
             return all_missed(range);
@@ -352,7 +415,10 @@ impl CacheManager {
             return all_missed(range);
         };
         let plan = cache.plan_get(range, now);
-        self.metrics.record_hits(plan.cached.len() as u64, plan.cached_bytes);
+        self.metrics
+            .record_hits(plan.cached.len() as u64, plan.cached_bytes);
+        self.telemetry
+            .on_hits(now, bs, plan.cached.len() as u64, plan.cached_bytes);
         self.reindex(bs, now);
         plan
     }
@@ -381,13 +447,23 @@ impl CacheManager {
         let mut dropped = Vec::new();
         for object in removed {
             self.total_bytes -= object.size;
-            self.metrics.record_drop(
-                DropReason::Consumed,
-                object.age(now),
-                self.total_bytes,
+            self.metrics
+                .record_drop(DropReason::Consumed, object.age(now), self.total_bytes, now);
+            self.telemetry.on_drop(
                 now,
+                bs,
+                DropReason::Consumed,
+                &object,
+                self.total_bytes,
+                self.policy_name.as_str(),
+                0.0,
+                SimDuration::ZERO,
             );
-            dropped.push(DroppedObject { cache: bs, reason: DropReason::Consumed, object });
+            dropped.push(DroppedObject {
+                cache: bs,
+                reason: DropReason::Consumed,
+                object,
+            });
         }
         self.reindex(bs, now);
         Ok(dropped)
@@ -404,8 +480,20 @@ impl CacheManager {
         {
             self.ttl.recompute(self.caches.values_mut(), now);
             self.last_ttl_recompute = now;
-            if self.policy.kind() == PolicyKind::Eviction && self.config.use_victim_index
-            {
+            self.telemetry.on_ttl_recompute();
+            if self.telemetry.tracing() {
+                for cache in self.caches.values() {
+                    self.telemetry.on_ttl_retune(
+                        now,
+                        cache.id(),
+                        cache.arrival_rate(now),
+                        cache.consumption_rate(now),
+                        cache.growth_rate(now),
+                        cache.ttl(),
+                    );
+                }
+            }
+            if self.policy.kind() == PolicyKind::Eviction && self.config.use_victim_index {
                 // EXP scores are expiry instants; refresh them all.
                 let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
                 for bs in ids {
@@ -417,6 +505,7 @@ impl CacheManager {
             let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
             for bs in ids {
                 let cache = self.caches.get_mut(&bs).expect("listed");
+                let ttl = cache.ttl();
                 for object in cache.expire_tail(now) {
                     self.total_bytes -= object.size;
                     self.metrics.record_drop(
@@ -424,6 +513,16 @@ impl CacheManager {
                         object.age(now),
                         self.total_bytes,
                         now,
+                    );
+                    self.telemetry.on_drop(
+                        now,
+                        bs,
+                        DropReason::Expired,
+                        &object,
+                        self.total_bytes,
+                        self.policy_name.as_str(),
+                        0.0,
+                        ttl,
                     );
                     dropped.push(DroppedObject {
                         cache: bs,
@@ -504,7 +603,10 @@ mod tests {
     fn manager(policy: PolicyName, budget: u64) -> CacheManager {
         CacheManager::new(
             policy,
-            CacheConfig { budget: ByteSize::new(budget), ..CacheConfig::default() },
+            CacheConfig {
+                budget: ByteSize::new(budget),
+                ..CacheConfig::default()
+            },
         )
     }
 
@@ -524,7 +626,8 @@ mod tests {
         let mut next_id = 0;
         for sec in 1..=20u64 {
             for bs in 0..2u64 {
-                mgr.insert(BackendSubId::new(bs), obj(next_id, sec, 30), t(sec)).unwrap();
+                mgr.insert(BackendSubId::new(bs), obj(next_id, sec, 30), t(sec))
+                    .unwrap();
                 next_id += 1;
                 assert!(mgr.total_bytes() <= ByteSize::new(100));
             }
@@ -596,7 +699,9 @@ mod tests {
         with_caches(&mut mgr, 1);
         let bs = BackendSubId::new(0);
         mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
-        let dropped = mgr.ack_consume(bs, SubscriberId::new(0), t(1), t(2)).unwrap();
+        let dropped = mgr
+            .ack_consume(bs, SubscriberId::new(0), t(1), t(2))
+            .unwrap();
         assert_eq!(dropped.len(), 1);
         assert_eq!(dropped[0].reason, DropReason::Consumed);
         assert_eq!(mgr.metrics().consumed_objects, 1);
@@ -612,7 +717,7 @@ mod tests {
         mgr.insert(bs, obj(1, 1, 100), t(1)).unwrap();
         let plan = mgr.plan_get(bs, TimeRange::closed(t(0), t(1)), t(2));
         assert_eq!(plan.cached.len(), 1);
-        mgr.record_miss_fetch(2, ByteSize::new(50));
+        mgr.record_miss_fetch(bs, 2, ByteSize::new(50), t(2));
         let m = mgr.metrics();
         assert_eq!(m.requested_objects, 3);
         assert_eq!(m.hit_objects, 1);
@@ -662,8 +767,12 @@ mod tests {
         let mut mgr = manager(PolicyName::Lsc, 1000);
         let bs = BackendSubId::new(9);
         assert!(mgr.add_subscriber(bs, SubscriberId::new(1)).is_err());
-        assert!(mgr.ack_consume(bs, SubscriberId::new(1), t(1), t(1)).is_err());
-        assert!(mgr.remove_subscriber(bs, SubscriberId::new(1), t(1)).is_err());
+        assert!(mgr
+            .ack_consume(bs, SubscriberId::new(1), t(1), t(1))
+            .is_err());
+        assert!(mgr
+            .remove_subscriber(bs, SubscriberId::new(1), t(1))
+            .is_err());
     }
 
     #[test]

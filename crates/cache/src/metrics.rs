@@ -8,6 +8,8 @@
 //! * **time-averaged and maximum cache size** (Fig. 5a), where the time
 //!   average weights each size by how long the cache stayed at that size.
 
+use std::fmt;
+
 use bad_types::{ByteSize, SimDuration, Timestamp};
 
 /// Why an object left the cache.
@@ -21,6 +23,26 @@ pub enum DropKind {
     Expired,
     /// Its subscription was torn down.
     Unsubscribed,
+}
+
+impl DropKind {
+    /// The stable lowercase label of this drop cause. The telemetry
+    /// event kinds are derived from it (`cache.<label>`), so traces,
+    /// logs and `Display` all agree on one spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropKind::Consumed => "consume",
+            DropKind::Evicted => "evict",
+            DropKind::Expired => "expire",
+            DropKind::Unsubscribed => "unsubscribe",
+        }
+    }
+}
+
+impl fmt::Display for DropKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Aggregate metrics for one broker's cache manager.
@@ -131,10 +153,18 @@ impl CacheMetrics {
     /// transiently (append, then evict back under budget), and the
     /// paper's "maximum cache size" is the largest *settled* size. Call
     /// [`CacheMetrics::observe_peak`] once an operation completes.
+    ///
+    /// `now` values are allowed to arrive out of order (a failover
+    /// replays another broker's drops, threads race on a shared clock):
+    /// a `now` earlier than the latest one seen contributes zero
+    /// elapsed time instead of rewinding, so the size integral is
+    /// monotonically non-decreasing and the internal clock never moves
+    /// backwards.
     pub fn record_size(&mut self, total: ByteSize, now: Timestamp) {
+        // `Timestamp::since` saturates, so an out-of-order `now` yields
+        // dt == 0 rather than a negative (wrapping) interval.
         let dt = now.since(self.last_size_change);
-        self.size_integral +=
-            self.current_size.as_u64() as u128 * dt.as_micros() as u128;
+        self.size_integral += self.current_size.as_u64() as u128 * dt.as_micros() as u128;
         self.last_size_change = self.last_size_change.max(now);
         self.current_size = total;
     }
@@ -171,8 +201,8 @@ impl CacheMetrics {
     /// Time-averaged aggregate cache size from the anchor to `end`.
     pub fn time_averaged_bytes(&self, end: Timestamp) -> ByteSize {
         let dt = end.since(self.last_size_change);
-        let integral = self.size_integral
-            + self.current_size.as_u64() as u128 * dt.as_micros() as u128;
+        let integral =
+            self.size_integral + self.current_size.as_u64() as u128 * dt.as_micros() as u128;
         let span = self.size_integral_span(end);
         if span == 0 {
             return self.current_size;
@@ -215,8 +245,18 @@ mod tests {
     #[test]
     fn holding_time_averages_drops() {
         let mut m = CacheMetrics::new(Timestamp::ZERO);
-        m.record_drop(DropKind::Evicted, SimDuration::from_secs(10), ByteSize::ZERO, t(1));
-        m.record_drop(DropKind::Consumed, SimDuration::from_secs(20), ByteSize::ZERO, t(2));
+        m.record_drop(
+            DropKind::Evicted,
+            SimDuration::from_secs(10),
+            ByteSize::ZERO,
+            t(1),
+        );
+        m.record_drop(
+            DropKind::Consumed,
+            SimDuration::from_secs(20),
+            ByteSize::ZERO,
+            t(2),
+        );
         assert_eq!(m.mean_holding_time(), Some(SimDuration::from_secs(15)));
         assert_eq!(m.evicted_objects, 1);
         assert_eq!(m.consumed_objects, 1);
@@ -240,5 +280,32 @@ mod tests {
     fn time_average_with_no_span_is_current() {
         let m = CacheMetrics::new(Timestamp::ZERO);
         assert_eq!(m.time_averaged_bytes(Timestamp::ZERO), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_sizes_never_rewind_the_integral() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        m.record_size(ByteSize::new(100), t(10));
+        let after_forward = m.time_averaged_bytes(t(10));
+        // A stale timestamp must contribute zero elapsed time, not a
+        // negative one, and must not move the internal clock backwards.
+        m.record_size(ByteSize::new(500), t(5));
+        assert_eq!(m.last_size_change, t(10));
+        // Size 0 over [0,10), then 500 over [10,20) -> mean 250.
+        assert_eq!(m.time_averaged_bytes(t(20)), ByteSize::new(250));
+        assert!(m.time_averaged_bytes(t(10)) >= after_forward);
+    }
+
+    #[test]
+    fn drop_kind_display_matches_label() {
+        for (kind, label) in [
+            (DropKind::Consumed, "consume"),
+            (DropKind::Evicted, "evict"),
+            (DropKind::Expired, "expire"),
+            (DropKind::Unsubscribed, "unsubscribe"),
+        ] {
+            assert_eq!(kind.label(), label);
+            assert_eq!(kind.to_string(), label);
+        }
     }
 }

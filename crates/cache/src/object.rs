@@ -78,8 +78,7 @@ impl CachedObject {
 
     /// `f_ij · l_ij / s_ij` — the LSD dropping key (latency utility).
     pub fn delay_value_per_byte(&self) -> f64 {
-        self.fanout() as f64 * self.fetch_latency.as_secs_f64()
-            / self.size.as_u64().max(1) as f64
+        self.fanout() as f64 * self.fetch_latency.as_secs_f64() / self.size.as_u64().max(1) as f64
     }
 
     /// How long the object has been resident.
@@ -112,21 +111,35 @@ mod tests {
 
     #[test]
     fn fanout_counts_pending() {
-        let obj = CachedObject::new(desc(100, 500), Timestamp::ZERO, SimDuration::from_secs(60), subs(&[1, 2, 3]));
+        let obj = CachedObject::new(
+            desc(100, 500),
+            Timestamp::ZERO,
+            SimDuration::from_secs(60),
+            subs(&[1, 2, 3]),
+        );
         assert_eq!(obj.fanout(), 3);
     }
 
     #[test]
     fn value_keys_match_table_i() {
-        let obj =
-            CachedObject::new(desc(200, 500), Timestamp::ZERO, SimDuration::from_secs(60), subs(&[1, 2, 3, 4]));
+        let obj = CachedObject::new(
+            desc(200, 500),
+            Timestamp::ZERO,
+            SimDuration::from_secs(60),
+            subs(&[1, 2, 3, 4]),
+        );
         assert_eq!(obj.subscribers_per_byte(), 4.0 / 200.0);
         assert_eq!(obj.delay_value_per_byte(), 4.0 * 0.5 / 200.0);
     }
 
     #[test]
     fn zero_size_does_not_divide_by_zero() {
-        let obj = CachedObject::new(desc(0, 500), Timestamp::ZERO, SimDuration::from_secs(60), subs(&[1]));
+        let obj = CachedObject::new(
+            desc(0, 500),
+            Timestamp::ZERO,
+            SimDuration::from_secs(60),
+            subs(&[1]),
+        );
         assert!(obj.subscribers_per_byte().is_finite());
         assert!(obj.delay_value_per_byte().is_finite());
     }

@@ -105,7 +105,9 @@ impl EvictionPolicy for Lscz {
     }
 
     fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
-        cache.tail().map_or(f64::INFINITY, |t| t.subscribers_per_byte())
+        cache
+            .tail()
+            .map_or(f64::INFINITY, |t| t.subscribers_per_byte())
     }
 }
 
@@ -120,7 +122,9 @@ impl EvictionPolicy for Lsd {
     }
 
     fn score(&self, cache: &ResultCache, _now: Timestamp) -> f64 {
-        cache.tail().map_or(f64::INFINITY, |t| t.delay_value_per_byte())
+        cache
+            .tail()
+            .map_or(f64::INFINITY, |t| t.delay_value_per_byte())
     }
 }
 
@@ -481,7 +485,13 @@ mod tests {
     fn kinds_are_consistent() {
         assert_eq!(PolicyName::Ttl.build().kind(), PolicyKind::TtlExpiry);
         assert_eq!(PolicyName::Nc.build().kind(), PolicyKind::NoCache);
-        for name in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd, PolicyName::Exp] {
+        for name in [
+            PolicyName::Lru,
+            PolicyName::Lsc,
+            PolicyName::Lscz,
+            PolicyName::Lsd,
+            PolicyName::Exp,
+        ] {
             assert_eq!(name.build().kind(), PolicyKind::Eviction);
         }
     }

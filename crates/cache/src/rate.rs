@@ -40,7 +40,11 @@ impl RateEstimator {
     /// Panics if `window` is zero.
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "rate window must be positive");
-        Self { window, events: VecDeque::new(), in_window: 0 }
+        Self {
+            window,
+            events: VecDeque::new(),
+            in_window: 0,
+        }
     }
 
     /// The averaging window.

@@ -40,7 +40,11 @@ pub struct GetPlan {
 impl GetPlan {
     /// A plan in which everything missed.
     pub(crate) fn all_missed(range: TimeRange) -> Self {
-        Self { cached: Vec::new(), cached_bytes: ByteSize::ZERO, missed: vec![range] }
+        Self {
+            cached: Vec::new(),
+            cached_bytes: ByteSize::ZERO,
+            missed: vec![range],
+        }
     }
 
     /// Whether the plan requires no cluster fetch.
@@ -221,7 +225,7 @@ impl ResultCache {
     /// subscription.
     pub fn insert(&mut self, desc: NewObject, now: Timestamp) -> &CachedObject {
         debug_assert!(
-            self.head_ts().map_or(true, |head| desc.ts >= head),
+            self.head_ts().is_none_or(|head| desc.ts >= head),
             "results must arrive in timestamp order"
         );
         self.arrivals.record(now, desc.size.as_u64());
@@ -277,7 +281,11 @@ impl ResultCache {
                 cached_bytes += object.size;
             }
         }
-        GetPlan { cached, cached_bytes, missed }
+        GetPlan {
+            cached,
+            cached_bytes,
+            missed,
+        }
     }
 
     /// Marks every object with `ts ∈ (·, up_to]` as retrieved by `sub`,
@@ -461,7 +469,10 @@ mod tests {
         let missed = plan.missed[0];
         assert_eq!(missed.from, t(1));
         assert!(missed.contains(t(2)), "evicted ts 2 must be refetchable");
-        assert!(!missed.contains(t(3)), "resident ts 3 must not be refetched");
+        assert!(
+            !missed.contains(t(3)),
+            "resident ts 3 must not be refetched"
+        );
         let cached_ts: Vec<Timestamp> = plan.cached.iter().map(|&(_, ts, _)| ts).collect();
         assert_eq!(cached_ts, vec![t(3), t(4)]);
     }
@@ -636,7 +647,10 @@ mod tests {
             c.insert(obj(s, s, 1000), t(s));
         }
         let lambda = c.arrival_rate(t(10));
-        assert!(lambda > 0.0, "arrival rate should be positive, got {lambda}");
+        assert!(
+            lambda > 0.0,
+            "arrival rate should be positive, got {lambda}"
+        );
         // Consume everything: consumption rate becomes positive, growth
         // rate is clamped at >= 0.
         c.consume_up_to(SubscriberId::new(1), t(9), t(10));
@@ -652,8 +666,7 @@ mod tests {
         }
         c.consume_up_to(SubscriberId::new(1), t(4), t(5));
         let now = t(5);
-        let expected =
-            (c.arrival_rate(now) - c.consumption_rate(now)).max(0.0);
+        let expected = (c.arrival_rate(now) - c.consumption_rate(now)).max(0.0);
         assert_eq!(c.growth_rate(now), expected);
     }
 }

@@ -1,0 +1,231 @@
+//! Cache-side telemetry wiring: named counters/gauges/histograms plus
+//! the structured per-decision event stream.
+//!
+//! A [`CacheTelemetry`] bundles the metric handles one broker's cache
+//! manager touches with the [`SharedSink`] its events go to. The
+//! default is fully detached (a private registry and the
+//! allocation-free [`bad_telemetry::NullSink`]), so unconfigured
+//! managers pay one atomic add per counter bump and a single virtual
+//! `enabled()` call per event site.
+
+use bad_telemetry::{Counter, Event, Gauge, Histogram, Registry, SharedSink};
+use bad_types::{BackendSubId, ByteSize, ObjectId, SimDuration, Timestamp};
+
+use crate::metrics::DropKind;
+use crate::object::CachedObject;
+
+/// Metric handles + event sink for one [`crate::CacheManager`].
+#[derive(Clone, Debug)]
+pub struct CacheTelemetry {
+    sink: SharedSink,
+    hit_objects: Counter,
+    miss_objects: Counter,
+    inserted_objects: Counter,
+    consumed_objects: Counter,
+    evicted_objects: Counter,
+    expired_objects: Counter,
+    unsubscribed_objects: Counter,
+    ttl_retunes: Counter,
+    occupancy_bytes: Gauge,
+    object_bytes: Histogram,
+    holding_us: Histogram,
+}
+
+impl Default for CacheTelemetry {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl CacheTelemetry {
+    /// Registers the cache metric family on `registry` and routes
+    /// events to `sink`.
+    pub fn new(registry: &Registry, sink: SharedSink) -> Self {
+        Self {
+            sink,
+            hit_objects: registry.counter("bad_cache_hit_objects_total"),
+            miss_objects: registry.counter("bad_cache_miss_objects_total"),
+            inserted_objects: registry.counter("bad_cache_inserted_objects_total"),
+            consumed_objects: registry.counter("bad_cache_consumed_objects_total"),
+            evicted_objects: registry.counter("bad_cache_evicted_objects_total"),
+            expired_objects: registry.counter("bad_cache_expired_objects_total"),
+            unsubscribed_objects: registry.counter("bad_cache_unsubscribed_objects_total"),
+            ttl_retunes: registry.counter("bad_cache_ttl_retunes_total"),
+            occupancy_bytes: registry.gauge("bad_cache_occupancy_bytes"),
+            object_bytes: registry.histogram("bad_cache_object_bytes"),
+            holding_us: registry.histogram("bad_cache_holding_us"),
+        }
+    }
+
+    /// A telemetry bundle wired to a throwaway registry and the null
+    /// sink — the default for standalone managers and tests.
+    pub fn detached() -> Self {
+        Self::new(&Registry::new(), bad_telemetry::null_sink())
+    }
+
+    /// The event sink in force.
+    pub fn sink(&self) -> &SharedSink {
+        &self.sink
+    }
+
+    /// Whether event construction is worth the trouble at all.
+    pub fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    pub(crate) fn on_insert(
+        &self,
+        now: Timestamp,
+        cache: BackendSubId,
+        object: ObjectId,
+        bytes: ByteSize,
+        total: ByteSize,
+    ) {
+        self.inserted_objects.inc();
+        self.object_bytes.record(bytes.as_u64());
+        self.occupancy_bytes.set(total.as_u64());
+        if self.sink.enabled() {
+            self.sink.record(&Event::CacheInsert {
+                t_us: now.as_micros(),
+                cache: cache.as_u64(),
+                object: object.as_u64(),
+                bytes: bytes.as_u64(),
+                total_bytes: total.as_u64(),
+            });
+        }
+    }
+
+    pub(crate) fn on_hits(
+        &self,
+        now: Timestamp,
+        cache: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+    ) {
+        if objects == 0 {
+            return;
+        }
+        self.hit_objects.add(objects);
+        if self.sink.enabled() {
+            self.sink.record(&Event::CacheHit {
+                t_us: now.as_micros(),
+                cache: cache.as_u64(),
+                objects,
+                bytes: bytes.as_u64(),
+            });
+        }
+    }
+
+    pub(crate) fn on_misses(
+        &self,
+        now: Timestamp,
+        cache: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+    ) {
+        if objects == 0 {
+            return;
+        }
+        self.miss_objects.add(objects);
+        if self.sink.enabled() {
+            self.sink.record(&Event::CacheMiss {
+                t_us: now.as_micros(),
+                cache: cache.as_u64(),
+                objects,
+                bytes: bytes.as_u64(),
+            });
+        }
+    }
+
+    /// Records one dropped object: bumps the per-cause counter, the
+    /// holding-time histogram and the occupancy gauge, then emits the
+    /// event variant whose kind is `cache.<DropKind::label()>`.
+    ///
+    /// `score` is the victim's policy score φ/s (evictions only);
+    /// `ttl` the TTL in force (expiries only).
+    #[allow(clippy::too_many_arguments)] // single fan-in for all four drop causes
+    pub(crate) fn on_drop(
+        &self,
+        now: Timestamp,
+        cache: BackendSubId,
+        kind: DropKind,
+        object: &CachedObject,
+        total: ByteSize,
+        policy: &'static str,
+        score: f64,
+        ttl: SimDuration,
+    ) {
+        match kind {
+            DropKind::Consumed => self.consumed_objects.inc(),
+            DropKind::Evicted => self.evicted_objects.inc(),
+            DropKind::Expired => self.expired_objects.inc(),
+            DropKind::Unsubscribed => self.unsubscribed_objects.inc(),
+        }
+        self.holding_us.record(object.age(now).as_micros());
+        self.occupancy_bytes.set(total.as_u64());
+        if !self.sink.enabled() {
+            return;
+        }
+        let t_us = now.as_micros();
+        let cache = cache.as_u64();
+        let bytes = object.size.as_u64();
+        let event = match kind {
+            DropKind::Consumed => Event::CacheConsume {
+                t_us,
+                cache,
+                objects: 1,
+                bytes,
+            },
+            DropKind::Evicted => Event::CacheEvict {
+                t_us,
+                cache,
+                object: object.id.as_u64(),
+                bytes,
+                policy,
+                score,
+            },
+            DropKind::Expired => Event::CacheExpire {
+                t_us,
+                cache,
+                object: object.id.as_u64(),
+                bytes,
+                ttl_us: ttl.as_micros(),
+            },
+            DropKind::Unsubscribed => Event::CacheUnsubscribe {
+                t_us,
+                cache,
+                objects: 1,
+                bytes,
+            },
+        };
+        self.sink.record(&event);
+    }
+
+    /// One TTL recomputation pass completed (counter only; the
+    /// per-cache [`Event::TtlRetune`] events go through
+    /// [`CacheTelemetry::on_ttl_retune`] when tracing is enabled).
+    pub(crate) fn on_ttl_recompute(&self) {
+        self.ttl_retunes.inc();
+    }
+
+    pub(crate) fn on_ttl_retune(
+        &self,
+        now: Timestamp,
+        cache: BackendSubId,
+        lambda: f64,
+        eta: f64,
+        rho: f64,
+        ttl: SimDuration,
+    ) {
+        if self.sink.enabled() {
+            self.sink.record(&Event::TtlRetune {
+                t_us: now.as_micros(),
+                cache: cache.as_u64(),
+                lambda,
+                eta,
+                rho,
+                ttl_us: ttl.as_micros(),
+            });
+        }
+    }
+}

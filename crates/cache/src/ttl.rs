@@ -63,7 +63,9 @@ impl TtlComputer {
             } else {
                 let n_i = cache.subscriber_count() as f64;
                 let secs = n_i * self.budget.as_u64() as f64 / denom;
-                SimDuration::from_secs_f64(secs).max(self.min_ttl).min(self.idle_ttl)
+                SimDuration::from_secs_f64(secs)
+                    .max(self.min_ttl)
+                    .min(self.idle_ttl)
             };
             cache.set_ttl(ttl);
         }
@@ -123,18 +125,18 @@ mod tests {
     fn eq5_holds_sum_rho_ttl_equals_budget() {
         let budget = ByteSize::from_mib(1);
         let computer = TtlComputer::new(budget);
-        let mut caches =
-            vec![growing_cache(1, 5, 2000), growing_cache(2, 10, 1000), growing_cache(3, 1, 4000)];
+        let mut caches = vec![
+            growing_cache(1, 5, 2000),
+            growing_cache(2, 10, 1000),
+            growing_cache(3, 1, 4000),
+        ];
         let now = t(300);
         let denom = computer.recompute(caches.iter_mut(), now);
         assert!(denom > 0.0);
         let expected = computer.expected_total_size(caches.iter().map(|c| &*c), now);
         let b = budget.as_u64() as f64;
         let got = expected.as_u64() as f64;
-        assert!(
-            (got - b).abs() / b < 0.01,
-            "Σρ_iT_i = {got}, budget = {b}"
-        );
+        assert!((got - b).abs() / b < 0.01, "Σρ_iT_i = {got}, budget = {b}");
     }
 
     #[test]

@@ -11,11 +11,28 @@ use proptest::prelude::*;
 /// A randomized operation against the manager.
 #[derive(Clone, Debug)]
 enum Op {
-    Insert { cache: u64, size: u64 },
-    Get { cache: u64, from_sec: u64, len_sec: u64 },
-    Ack { cache: u64, sub: u64, up_to_sec: u64 },
-    AddSub { cache: u64, sub: u64 },
-    RemoveSub { cache: u64, sub: u64 },
+    Insert {
+        cache: u64,
+        size: u64,
+    },
+    Get {
+        cache: u64,
+        from_sec: u64,
+        len_sec: u64,
+    },
+    Ack {
+        cache: u64,
+        sub: u64,
+        up_to_sec: u64,
+    },
+    AddSub {
+        cache: u64,
+        sub: u64,
+    },
+    RemoveSub {
+        cache: u64,
+        sub: u64,
+    },
     Maintain,
 }
 
@@ -64,14 +81,22 @@ fn run_ops(policy: PolicyName, budget: u64, use_index: bool, ops: &[Op]) -> Cach
                 next_id += 1;
                 mgr.insert(BackendSubId::new(cache), desc, now).unwrap();
             }
-            Op::Get { cache, from_sec, len_sec } => {
+            Op::Get {
+                cache,
+                from_sec,
+                len_sec,
+            } => {
                 let range = TimeRange::closed(
                     Timestamp::from_secs(from_sec),
                     Timestamp::from_secs(from_sec + len_sec),
                 );
                 let _ = mgr.plan_get(BackendSubId::new(cache), range, now);
             }
-            Op::Ack { cache, sub, up_to_sec } => {
+            Op::Ack {
+                cache,
+                sub,
+                up_to_sec,
+            } => {
                 let _ = mgr.ack_consume(
                     BackendSubId::new(cache),
                     SubscriberId::new(sub),
@@ -84,11 +109,8 @@ fn run_ops(policy: PolicyName, budget: u64, use_index: bool, ops: &[Op]) -> Cach
                     .unwrap();
             }
             Op::RemoveSub { cache, sub } => {
-                let _ = mgr.remove_subscriber(
-                    BackendSubId::new(cache),
-                    SubscriberId::new(sub),
-                    now,
-                );
+                let _ =
+                    mgr.remove_subscriber(BackendSubId::new(cache), SubscriberId::new(sub), now);
             }
             Op::Maintain => {
                 mgr.maintain(now);
@@ -208,6 +230,100 @@ proptest! {
         // cached_bytes is consistent.
         let total: ByteSize = plan.cached.iter().map(|&(_, _, s)| s).sum();
         prop_assert_eq!(total, plan.cached_bytes);
+    }
+
+    /// Retrieval accounting: under any op sequence every requested object
+    /// is classified exactly once, so `hit_objects + miss_objects ==
+    /// requested_objects` — and both sides agree with an independent
+    /// tally kept by the harness (hits from the plan's cached list,
+    /// misses from the broker-side `record_miss_fetch` report).
+    #[test]
+    fn hits_plus_misses_cover_requests(
+        ops in prop::collection::vec(arb_op(3, 6), 1..120),
+        policy in prop::sample::select(vec![
+            PolicyName::Lru,
+            PolicyName::Lsc,
+            PolicyName::Exp,
+            PolicyName::Ttl,
+            PolicyName::Nc,
+        ]),
+    ) {
+        let config = CacheConfig {
+            budget: ByteSize::new(5_000),
+            ttl_recompute_interval: SimDuration::from_secs(30),
+            ..CacheConfig::default()
+        };
+        let mut mgr = CacheManager::new(policy, config);
+        let n_caches = 3u64;
+        for c in 0..n_caches {
+            let bs = BackendSubId::new(c);
+            mgr.create_cache(bs, Timestamp::ZERO);
+            mgr.add_subscriber(bs, SubscriberId::new(1000 + c)).unwrap();
+        }
+        let mut produced: Vec<Vec<Timestamp>> = vec![Vec::new(); n_caches as usize];
+        let mut next_id = 0u64;
+        let mut next_ts = 1u64;
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for op in &ops {
+            let now = Timestamp::from_secs(next_ts);
+            match *op {
+                Op::Insert { cache, size } => {
+                    let desc = NewObject {
+                        id: ObjectId::new(next_id),
+                        ts: now,
+                        size: ByteSize::new(size),
+                        fetch_latency: SimDuration::from_millis(500),
+                    };
+                    next_id += 1;
+                    mgr.insert(BackendSubId::new(cache), desc, now).unwrap();
+                    produced[cache as usize].push(now);
+                }
+                Op::Get { cache, from_sec, len_sec } => {
+                    let bs = BackendSubId::new(cache);
+                    let range = TimeRange::closed(
+                        Timestamp::from_secs(from_sec),
+                        Timestamp::from_secs(from_sec + len_sec),
+                    );
+                    let plan = mgr.plan_get(bs, range, now);
+                    hits += plan.cached.len() as u64;
+                    // The broker now fetches the missed sub-ranges from
+                    // the cluster and reports what they held.
+                    let fetched = produced[cache as usize]
+                        .iter()
+                        .filter(|&&ts| plan.missed.iter().any(|m| m.contains(ts)))
+                        .count() as u64;
+                    misses += fetched;
+                    mgr.record_miss_fetch(bs, fetched, ByteSize::new(fetched * 64), now);
+                }
+                Op::Ack { cache, sub, up_to_sec } => {
+                    let _ = mgr.ack_consume(
+                        BackendSubId::new(cache),
+                        SubscriberId::new(sub),
+                        Timestamp::from_secs(up_to_sec),
+                        now,
+                    );
+                }
+                Op::AddSub { cache, sub } => {
+                    mgr.add_subscriber(BackendSubId::new(cache), SubscriberId::new(sub))
+                        .unwrap();
+                }
+                Op::RemoveSub { cache, sub } => {
+                    let _ = mgr.remove_subscriber(
+                        BackendSubId::new(cache),
+                        SubscriberId::new(sub),
+                        now,
+                    );
+                }
+                Op::Maintain => {
+                    mgr.maintain(now);
+                }
+            }
+            next_ts += 1;
+        }
+        let m = mgr.metrics();
+        prop_assert_eq!(m.hit_objects, hits);
+        prop_assert_eq!(m.miss_objects, misses);
+        prop_assert_eq!(m.hit_objects + m.miss_objects, m.requested_objects);
     }
 
     /// With evictions: replay the same stream against a small budget and

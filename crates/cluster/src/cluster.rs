@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use bad_query::{ChannelMode, ChannelSpec, ParamBindings};
 use bad_storage::{Dataset, ResultObject, ResultStore, Schema};
+use bad_telemetry::{Event, SharedSink};
 use bad_types::ids::IdGen;
 use bad_types::{
     BackendSubId, BadError, ByteSize, ChannelId, DataValue, Result, TimeRange, Timestamp,
@@ -54,6 +55,8 @@ pub struct DataCluster {
     /// When true, repetitive-channel results reuse the record timestamp
     /// instead of the execution timestamp (useful for deterministic tests).
     partition_matching: bool,
+    /// Structured event sink (null by default: zero-cost).
+    sink: SharedSink,
 }
 
 impl DataCluster {
@@ -68,7 +71,14 @@ impl DataCluster {
             channel_ids: IdGen::new(),
             stats: ClusterStats::default(),
             partition_matching: true,
+            sink: bad_telemetry::null_sink(),
         }
+    }
+
+    /// Routes `cluster.channel_fire` / `cluster.enrich` events to
+    /// `sink` (default: the null sink, which costs nothing).
+    pub fn set_event_sink(&mut self, sink: SharedSink) {
+        self.sink = sink;
     }
 
     /// Disables the equality-partition matcher index (ablation baseline);
@@ -80,8 +90,7 @@ impl DataCluster {
     /// Activity counters.
     pub fn stats(&self) -> ClusterStats {
         let mut stats = self.stats;
-        stats.evaluations =
-            self.channels.values().map(|c| c.index.evaluations).sum();
+        stats.evaluations = self.channels.values().map(|c| c.index.evaluations).sum();
         stats
     }
 
@@ -94,7 +103,8 @@ impl DataCluster {
         if self.datasets.contains_key(name) {
             return Err(BadError::already_exists("dataset", name));
         }
-        self.datasets.insert(name.to_owned(), Dataset::new(name, schema));
+        self.datasets
+            .insert(name.to_owned(), Dataset::new(name, schema));
         Ok(())
     }
 
@@ -135,7 +145,13 @@ impl DataCluster {
         };
         self.channels.insert(
             spec.name().to_owned(),
-            ChannelRuntime { id, spec, index, last_run: Timestamp::ZERO, enrichments: Vec::new() },
+            ChannelRuntime {
+                id,
+                spec,
+                index,
+                last_run: Timestamp::ZERO,
+                enrichments: Vec::new(),
+            },
         );
         Ok(id)
     }
@@ -253,7 +269,9 @@ impl DataCluster {
         for name in channel_names {
             let matched = {
                 let runtime = self.channels.get_mut(&name).expect("listed");
-                runtime.index.matching_subscriptions(&runtime.spec, &record)?
+                runtime
+                    .index
+                    .matching_subscriptions(&runtime.spec, &record)?
             };
             for bs in matched {
                 let notification = self.emit_result(&name, bs, ts, &record, ts)?;
@@ -276,9 +294,7 @@ impl DataCluster {
             .channels
             .iter()
             .filter_map(|(name, c)| match c.spec.mode() {
-                ChannelMode::Repetitive { period }
-                    if now.since(c.last_run) >= period =>
-                {
+                ChannelMode::Repetitive { period } if now.since(c.last_run) >= period => {
                     Some(name.clone())
                 }
                 _ => None,
@@ -303,7 +319,9 @@ impl DataCluster {
             for (rec_ts, record) in records {
                 let matched = {
                     let runtime = self.channels.get_mut(&name).expect("listed");
-                    runtime.index.matching_subscriptions(&runtime.spec, &record)?
+                    runtime
+                        .index
+                        .matching_subscriptions(&runtime.spec, &record)?
                 };
                 for bs in matched {
                     // Results of a repetitive execution are stamped with
@@ -374,6 +392,23 @@ impl DataCluster {
         };
         self.stats.results += 1;
         self.stats.result_bytes += object.size;
+        if self.sink.enabled() {
+            let t_us = result_ts.as_micros();
+            self.sink.record(&Event::ClusterChannelFire {
+                t_us,
+                channel: runtime.id.as_u64(),
+                subscription: bs.as_u64(),
+                results: 1,
+                bytes: object.size.as_u64(),
+            });
+            if !runtime.enrichments.is_empty() {
+                self.sink.record(&Event::ClusterEnrich {
+                    t_us,
+                    channel: runtime.id.as_u64(),
+                    rules: runtime.enrichments.len() as u64,
+                });
+            }
+        }
         Ok(notification)
     }
 }
@@ -425,7 +460,10 @@ mod tests {
         assert!(none.is_empty());
         let results = cluster.fetch(bs, TimeRange::closed(t(0), t(2)));
         assert_eq!(results.len(), 1);
-        assert_eq!(results[0].payload.get("kind").unwrap().as_str(), Some("fire"));
+        assert_eq!(
+            results[0].payload.get("kind").unwrap().as_str(),
+            Some("fire")
+        );
     }
 
     #[test]
@@ -462,8 +500,14 @@ mod tests {
             )
             .unwrap();
         // Publications do not trigger repetitive channels.
-        assert!(cluster.publish("Reports", t(1), report("fire")).unwrap().is_empty());
-        assert!(cluster.publish("Reports", t(2), report("fire")).unwrap().is_empty());
+        assert!(cluster
+            .publish("Reports", t(1), report("fire"))
+            .unwrap()
+            .is_empty());
+        assert!(cluster
+            .publish("Reports", t(2), report("fire"))
+            .unwrap()
+            .is_empty());
         // The tick at t=10 executes the channel over both records.
         let n = cluster.tick(t(10)).unwrap();
         assert_eq!(n.len(), 1);
@@ -471,7 +515,7 @@ mod tests {
         let results = cluster.fetch(bs, TimeRange::closed(t(0), t(10)));
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|o| o.ts == t(10))); // execution-stamped
-        // Re-ticking immediately produces nothing new.
+                                                        // Re-ticking immediately produces nothing new.
         assert!(cluster.tick(t(11)).unwrap().is_empty());
         // New records are picked up on the next due tick.
         cluster.publish("Reports", t(15), report("fire")).unwrap();
@@ -530,7 +574,12 @@ mod tests {
             .unwrap();
         let results = cluster.fetch(bs, TimeRange::closed(t(0), t(5)));
         assert_eq!(results.len(), 1);
-        let shelters = results[0].payload.get("shelters").unwrap().as_array().unwrap();
+        let shelters = results[0]
+            .payload
+            .get("shelters")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert_eq!(shelters.len(), 1);
         assert_eq!(shelters[0].get("name").unwrap().as_str(), Some("UCI Arena"));
     }
@@ -541,7 +590,10 @@ mod tests {
         cluster.publish("Reports", t(1), report("fire")).unwrap();
         cluster.unsubscribe(bs).unwrap();
         assert!(cluster.fetch(bs, TimeRange::closed(t(0), t(10))).is_empty());
-        assert!(cluster.publish("Reports", t(2), report("fire")).unwrap().is_empty());
+        assert!(cluster
+            .publish("Reports", t(2), report("fire"))
+            .unwrap()
+            .is_empty());
         assert!(cluster.unsubscribe(bs).is_err());
         assert_eq!(cluster.subscription_count(), 0);
     }
@@ -567,7 +619,9 @@ mod tests {
     fn binding_validation_happens_at_subscribe() {
         let (mut cluster, _) = cluster_with_channel();
         // Missing parameter.
-        assert!(cluster.subscribe("ByKind", ParamBindings::new(), t(0)).is_err());
+        assert!(cluster
+            .subscribe("ByKind", ParamBindings::new(), t(0))
+            .is_err());
         // Wrong type.
         assert!(cluster
             .subscribe(

@@ -12,7 +12,7 @@
 //! of the same city embeds `{"shelters": [...]}` into every notification.
 
 use bad_storage::Dataset;
-use bad_types::{DataValue, SimDuration, Timestamp, TimeRange};
+use bad_types::{DataValue, SimDuration, TimeRange, Timestamp};
 
 /// A join-based enrichment attached to one channel.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,8 +193,10 @@ mod tests {
         let result = DataValue::object([("k", DataValue::from("x"))]);
         let enriched = rule.apply(&result, &aux, t(10));
         let embedded = enriched.get("related").unwrap().as_array().unwrap();
-        let ns: Vec<i64> =
-            embedded.iter().map(|v| v.get("n").unwrap().as_i64().unwrap()).collect();
+        let ns: Vec<i64> = embedded
+            .iter()
+            .map(|v| v.get("n").unwrap().as_i64().unwrap())
+            .collect();
         assert_eq!(ns, vec![4, 5]);
     }
 

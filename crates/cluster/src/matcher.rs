@@ -105,7 +105,11 @@ impl MatchIndex {
 
     /// Registers a subscription.
     pub fn add(&mut self, id: BackendSubId, params: ParamBindings, created_at: Timestamp) {
-        let entry = SubscriptionEntry { id, params, created_at };
+        let entry = SubscriptionEntry {
+            id,
+            params,
+            created_at,
+        };
         self.len += 1;
         if let Some((_, param)) = &self.key {
             if let Some(value) = entry.params.get(param) {
@@ -185,7 +189,10 @@ impl MatchIndex {
 
     /// Iterates over all registered subscriptions.
     pub fn iter(&self) -> impl Iterator<Item = &SubscriptionEntry> {
-        self.partitions.values().flatten().chain(self.residual.iter())
+        self.partitions
+            .values()
+            .flatten()
+            .chain(self.residual.iter())
     }
 }
 
@@ -224,7 +231,9 @@ mod tests {
         idx.add(BackendSubId::new(2), params("flood", 0), Timestamp::ZERO);
         idx.add(BackendSubId::new(3), params("fire", 5), Timestamp::ZERO);
 
-        let got = idx.matching_subscriptions(&spec, &record("fire", 3)).unwrap();
+        let got = idx
+            .matching_subscriptions(&spec, &record("fire", 3))
+            .unwrap();
         assert_eq!(got, vec![BackendSubId::new(1)]);
         // Only the "fire" partition was evaluated: 2 evaluations, not 3.
         assert_eq!(idx.evaluations, 2);
@@ -235,11 +244,20 @@ mod tests {
         let spec = spec();
         let mut indexed = MatchIndex::new(&spec);
         let mut brute = MatchIndex::brute_force();
-        for (i, (kind, min)) in
-            [("fire", 0), ("flood", 2), ("fire", 5), ("quake", 1)].iter().enumerate()
+        for (i, (kind, min)) in [("fire", 0), ("flood", 2), ("fire", 5), ("quake", 1)]
+            .iter()
+            .enumerate()
         {
-            indexed.add(BackendSubId::new(i as u64), params(kind, *min), Timestamp::ZERO);
-            brute.add(BackendSubId::new(i as u64), params(kind, *min), Timestamp::ZERO);
+            indexed.add(
+                BackendSubId::new(i as u64),
+                params(kind, *min),
+                Timestamp::ZERO,
+            );
+            brute.add(
+                BackendSubId::new(i as u64),
+                params(kind, *min),
+                Timestamp::ZERO,
+            );
         }
         for rec in [record("fire", 6), record("flood", 1), record("nope", 9)] {
             let mut a = indexed.matching_subscriptions(&spec, &rec).unwrap();
@@ -261,7 +279,9 @@ mod tests {
         assert!(idx.remove(BackendSubId::new(1)));
         assert!(!idx.remove(BackendSubId::new(1)));
         assert!(idx.is_empty());
-        let got = idx.matching_subscriptions(&spec, &record("fire", 9)).unwrap();
+        let got = idx
+            .matching_subscriptions(&spec, &record("fire", 9))
+            .unwrap();
         assert!(got.is_empty());
     }
 
@@ -278,15 +298,24 @@ mod tests {
 
     #[test]
     fn channel_without_equality_key_scans_all() {
-        let spec = ChannelSpec::parse(
-            "channel Sev(min: int) from Reports r where r.sev >= $min select r",
-        )
-        .unwrap();
+        let spec =
+            ChannelSpec::parse("channel Sev(min: int) from Reports r where r.sev >= $min select r")
+                .unwrap();
         let mut idx = MatchIndex::new(&spec);
         assert_eq!(idx.partition_key(), None);
-        idx.add(BackendSubId::new(1), ParamBindings::from_pairs([("min", DataValue::from(2i64))]), Timestamp::ZERO);
-        idx.add(BackendSubId::new(2), ParamBindings::from_pairs([("min", DataValue::from(7i64))]), Timestamp::ZERO);
-        let got = idx.matching_subscriptions(&spec, &record("any", 5)).unwrap();
+        idx.add(
+            BackendSubId::new(1),
+            ParamBindings::from_pairs([("min", DataValue::from(2i64))]),
+            Timestamp::ZERO,
+        );
+        idx.add(
+            BackendSubId::new(2),
+            ParamBindings::from_pairs([("min", DataValue::from(7i64))]),
+            Timestamp::ZERO,
+        );
+        let got = idx
+            .matching_subscriptions(&spec, &record("any", 5))
+            .unwrap();
         assert_eq!(got, vec![BackendSubId::new(1)]);
         assert_eq!(idx.evaluations, 2);
     }

@@ -85,13 +85,8 @@ impl NetworkModel {
     /// This is the quantity the paper reports as *subscriber latency*:
     /// the subscriber leg always applies; the cluster leg applies only on
     /// misses; processing is charged once.
-    pub fn delivery_latency(
-        &self,
-        hit_bytes: ByteSize,
-        miss_bytes: ByteSize,
-    ) -> SimDuration {
-        let mut latency = self.processing
-            + self.subscriber.request_latency(hit_bytes + miss_bytes);
+    pub fn delivery_latency(&self, hit_bytes: ByteSize, miss_bytes: ByteSize) -> SimDuration {
+        let mut latency = self.processing + self.subscriber.request_latency(hit_bytes + miss_bytes);
         if !miss_bytes.is_zero() {
             latency += self.cluster.request_latency(miss_bytes);
         }

@@ -7,13 +7,18 @@ use proptest::prelude::*;
 
 fn arb_link() -> impl Strategy<Value = Link> {
     (0u64..5000, 1u64..1_000_000).prop_map(|(rtt_ms, kib_per_sec)| {
-        Link::new(SimDuration::from_millis(rtt_ms), Bandwidth::from_kib_per_sec(kib_per_sec))
+        Link::new(
+            SimDuration::from_millis(rtt_ms),
+            Bandwidth::from_kib_per_sec(kib_per_sec),
+        )
     })
 }
 
 fn arb_net() -> impl Strategy<Value = NetworkModel> {
-    (arb_link(), arb_link(), 0u64..100).prop_map(|(cluster, subscriber, proc_ms)| {
-        NetworkModel { cluster, subscriber, processing: SimDuration::from_millis(proc_ms) }
+    (arb_link(), arb_link(), 0u64..100).prop_map(|(cluster, subscriber, proc_ms)| NetworkModel {
+        cluster,
+        subscriber,
+        processing: SimDuration::from_millis(proc_ms),
     })
 }
 

@@ -15,9 +15,7 @@ use bad_cluster::{DataCluster, EnrichmentRule};
 use bad_net::NetworkModel;
 use bad_sim::EventQueue;
 use bad_storage::Schema;
-use bad_types::{
-    ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, Timestamp,
-};
+use bad_types::{ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, Timestamp};
 use bad_workload::{Activity, ActivityKind, TraceConfig, TraceGenerator, TABLE_III_CHANNELS};
 
 /// Configuration of a prototype run.
@@ -41,7 +39,10 @@ impl PrototypeConfig {
     pub fn section_vi() -> Self {
         Self {
             trace: TraceConfig::default(),
-            cache: CacheConfig { budget: ByteSize::from_kib(100), ..CacheConfig::default() },
+            cache: CacheConfig {
+                budget: ByteSize::from_kib(100),
+                ..CacheConfig::default()
+            },
             net: NetworkModel::paper_defaults(),
             cluster_tick: SimDuration::from_secs(5),
             maintain_interval: SimDuration::from_secs(1),
@@ -58,7 +59,10 @@ impl PrototypeConfig {
                 publish_interval: SimDuration::from_secs(5),
                 ..TraceConfig::default()
             },
-            cache: CacheConfig { budget: ByteSize::from_kib(64), ..CacheConfig::default() },
+            cache: CacheConfig {
+                budget: ByteSize::from_kib(64),
+                ..CacheConfig::default()
+            },
             net: NetworkModel::paper_defaults(),
             cluster_tick: SimDuration::from_secs(5),
             maintain_interval: SimDuration::from_secs(1),
@@ -134,7 +138,10 @@ enum Event {
     Activity(usize),
     ClusterTick,
     Maintain,
-    Retrieve { sub: SubscriberId, fs: FrontendSubId },
+    Retrieve {
+        sub: SubscriberId,
+        fs: FrontendSubId,
+    },
 }
 
 /// Builds the Section VI cluster: datasets, Table III channels and the
@@ -185,7 +192,13 @@ pub fn run_prototype(
 ) -> Result<PrototypeReport> {
     let trace = TraceGenerator::new(config.trace.clone(), seed).generate()?;
     let mut cluster = build_emergency_cluster()?;
-    let mut broker = Broker::new(policy, BrokerConfig { cache: config.cache, net: config.net });
+    let mut broker = Broker::new(
+        policy,
+        BrokerConfig {
+            cache: config.cache,
+            net: config.net,
+        },
+    );
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (idx, activity) in trace.iter().enumerate() {
@@ -197,8 +210,7 @@ pub fn run_prototype(
     let end = Timestamp::ZERO + config.trace.duration;
     let mut online: HashSet<SubscriberId> = HashSet::new();
     let mut handle_to_fs: HashMap<u64, FrontendSubId> = HashMap::new();
-    let mut fs_of: HashMap<(SubscriberId, bad_types::BackendSubId), FrontendSubId> =
-        HashMap::new();
+    let mut fs_of: HashMap<(SubscriberId, bad_types::BackendSubId), FrontendSubId> = HashMap::new();
     let mut frontend_subscriptions = 0u64;
     let mut peak_backends = 0u64;
 
@@ -217,7 +229,12 @@ pub fn run_prototype(
                     ActivityKind::Logout(sub) => {
                         online.remove(sub);
                     }
-                    ActivityKind::Subscribe { subscriber, channel, params, handle } => {
+                    ActivityKind::Subscribe {
+                        subscriber,
+                        channel,
+                        params,
+                        handle,
+                    } => {
                         let fs = broker.subscribe(
                             &mut cluster,
                             *subscriber,
@@ -233,8 +250,8 @@ pub fn run_prototype(
                             .expect("just created")
                             .backend;
                         fs_of.insert((*subscriber, backend), fs);
-                        peak_backends = peak_backends
-                            .max(broker.subscriptions().backend_count() as u64);
+                        peak_backends =
+                            peak_backends.max(broker.subscriptions().backend_count() as u64);
                     }
                     ActivityKind::Unsubscribe { subscriber, handle } => {
                         if let Some(fs) = handle_to_fs.remove(handle) {
@@ -264,8 +281,7 @@ pub fn run_prototype(
                     let at = now + config.net.notify_latency();
                     for sub in outcome.notify {
                         if online.contains(&sub) {
-                            if let Some(&fs) = fs_of.get(&(sub, notification.backend_sub))
-                            {
+                            if let Some(&fs) = fs_of.get(&(sub, notification.backend_sub)) {
                                 queue.push(at, Event::Retrieve { sub, fs });
                             }
                         }

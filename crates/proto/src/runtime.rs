@@ -19,9 +19,9 @@ use bad_cache::PolicyName;
 use bad_cluster::{DataCluster, Notification};
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
+use bad_telemetry::{Registry, SharedSink};
 use bad_types::{
-    BackendSubId, BadError, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
-    Timestamp,
+    BackendSubId, BadError, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
 
 /// A wall-clock-backed virtual clock with time compression.
@@ -39,7 +39,10 @@ impl VirtualClock {
     /// Creates a clock that compresses time by `compression` (>= 1.0
     /// makes virtual time run faster than real time).
     pub fn new(compression: f64) -> Self {
-        Self { start: Instant::now(), compression: compression.max(1e-9) }
+        Self {
+            start: Instant::now(),
+            compression: compression.max(1e-9),
+        }
     }
 
     /// The current virtual time.
@@ -114,7 +117,12 @@ impl ClusterHandle for ClusterClient {
         now: Timestamp,
     ) -> Result<BackendSubId> {
         let channel = channel.to_owned();
-        self.roundtrip(|reply| ClusterRequest::Subscribe { channel, params, now, reply })
+        self.roundtrip(|reply| ClusterRequest::Subscribe {
+            channel,
+            params,
+            now,
+            reply,
+        })
     }
 
     fn cluster_unsubscribe(&mut self, bs: BackendSubId) -> Result<()> {
@@ -194,7 +202,8 @@ impl BrokerClient {
                 reply,
             })
             .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
-        rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))?
+        rx.recv()
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))?
     }
 
     /// Cancels a subscription.
@@ -205,9 +214,14 @@ impl BrokerClient {
     pub fn unsubscribe(&self, fs: FrontendSubId) -> Result<()> {
         let (reply, rx) = bounded(1);
         self.tx
-            .send(BrokerRequest::Unsubscribe { subscriber: self.subscriber, fs, reply })
+            .send(BrokerRequest::Unsubscribe {
+                subscriber: self.subscriber,
+                fs,
+                reply,
+            })
             .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
-        rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))?
+        rx.recv()
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))?
     }
 
     /// Retrieves pending results on one subscription, blocking for the
@@ -219,10 +233,15 @@ impl BrokerClient {
     pub fn get_results(&self, fs: FrontendSubId) -> Result<Delivery> {
         let (reply, rx) = bounded(1);
         self.tx
-            .send(BrokerRequest::GetResults { subscriber: self.subscriber, fs, reply })
+            .send(BrokerRequest::GetResults {
+                subscriber: self.subscriber,
+                fs,
+                reply,
+            })
             .map_err(|_| BadError::InvalidState("broker stopped".into()))?;
-        let delivery =
-            rx.recv().map_err(|_| BadError::InvalidState("broker stopped".into()))??;
+        let delivery = rx
+            .recv()
+            .map_err(|_| BadError::InvalidState("broker stopped".into()))??;
         // The subscriber experiences the delivery latency.
         self.clock.sleep(delivery.latency);
         Ok(delivery)
@@ -236,6 +255,7 @@ pub struct Deployment {
     clock: VirtualClock,
     subscriber_rtt: SimDuration,
     handles: Vec<JoinHandle<()>>,
+    registry: Registry,
 }
 
 impl Deployment {
@@ -249,10 +269,33 @@ impl Deployment {
         cluster: DataCluster,
         compression: f64,
     ) -> Self {
+        Self::start_traced(
+            policy,
+            config,
+            cluster,
+            compression,
+            bad_telemetry::null_sink(),
+        )
+    }
+
+    /// Like [`Deployment::start`], but routes the structured event
+    /// streams of both nodes (cache/broker events on the broker thread,
+    /// channel-fire/enrich events on the cluster thread) into `sink`.
+    /// Metric counters are registered either way and rendered by
+    /// [`Deployment::metrics_text`].
+    pub fn start_traced(
+        policy: PolicyName,
+        config: BrokerConfig,
+        mut cluster: DataCluster,
+        compression: f64,
+        sink: SharedSink,
+    ) -> Self {
+        let registry = Registry::new();
         let clock = VirtualClock::new(compression);
         let (cluster_tx, cluster_rx) = unbounded::<ClusterRequest>();
         let (broker_tx, broker_rx) = unbounded::<BrokerRequest>();
 
+        cluster.set_event_sink(sink.clone());
         let cluster_handle = thread::spawn(move || cluster_node(cluster, cluster_rx));
 
         let cluster_client = ClusterClient {
@@ -261,8 +304,17 @@ impl Deployment {
             rtt: config.net.cluster.rtt,
         };
         let broker_clock = clock.clone();
+        let broker_registry = registry.clone();
         let broker_handle = thread::spawn(move || {
-            broker_node(policy, config, cluster_client, broker_rx, broker_clock)
+            broker_node(
+                policy,
+                config,
+                cluster_client,
+                broker_rx,
+                broker_clock,
+                broker_registry,
+                sink,
+            )
         });
 
         Self {
@@ -271,7 +323,15 @@ impl Deployment {
             clock,
             subscriber_rtt: config.net.subscriber.rtt,
             handles: vec![cluster_handle, broker_handle],
+            registry,
         }
+    }
+
+    /// Prometheus-text snapshot of every metric family the deployment
+    /// has registered (cache hit/miss/eviction counters, broker
+    /// retrieval/delivery counters, latency/size histograms).
+    pub fn metrics_text(&self) -> String {
+        self.registry.render()
     }
 
     /// The deployment's virtual clock.
@@ -283,7 +343,10 @@ impl Deployment {
     pub fn client(&self, subscriber: SubscriberId) -> BrokerClient {
         let (events_tx, events_rx) = unbounded();
         self.broker_tx
-            .send(BrokerRequest::RegisterClient { subscriber, events: events_tx })
+            .send(BrokerRequest::RegisterClient {
+                subscriber,
+                events: events_tx,
+            })
             .expect("broker thread alive");
         BrokerClient {
             subscriber,
@@ -314,8 +377,9 @@ impl Deployment {
                 reply,
             })
             .map_err(|_| BadError::InvalidState("cluster stopped".into()))?;
-        let notifications =
-            rx.recv().map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
+        let notifications = rx
+            .recv()
+            .map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
         self.dispatch(&notifications);
         Ok(notifications)
     }
@@ -332,8 +396,9 @@ impl Deployment {
         self.cluster_tx
             .send(ClusterRequest::Tick { now, reply })
             .map_err(|_| BadError::InvalidState("cluster stopped".into()))?;
-        let notifications =
-            rx.recv().map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
+        let notifications = rx
+            .recv()
+            .map_err(|_| BadError::InvalidState("cluster stopped".into()))??;
         self.dispatch(&notifications);
         Ok(notifications.len())
     }
@@ -371,7 +436,12 @@ impl Deployment {
 fn cluster_node(mut cluster: DataCluster, rx: Receiver<ClusterRequest>) {
     while let Ok(request) = rx.recv() {
         match request {
-            ClusterRequest::Subscribe { channel, params, now, reply } => {
+            ClusterRequest::Subscribe {
+                channel,
+                params,
+                now,
+                reply,
+            } => {
                 let _ = reply.send(cluster.subscribe(&channel, params, now));
             }
             ClusterRequest::Unsubscribe { bs, reply } => {
@@ -380,7 +450,12 @@ fn cluster_node(mut cluster: DataCluster, rx: Receiver<ClusterRequest>) {
             ClusterRequest::Fetch { bs, range, reply } => {
                 let _ = reply.send(cluster.fetch(bs, range));
             }
-            ClusterRequest::Publish { dataset, ts, record, reply } => {
+            ClusterRequest::Publish {
+                dataset,
+                ts,
+                record,
+                reply,
+            } => {
                 let _ = reply.send(cluster.publish(&dataset, ts, record));
             }
             ClusterRequest::Tick { now, reply } => {
@@ -397,8 +472,11 @@ fn broker_node(
     mut cluster: ClusterClient,
     rx: Receiver<BrokerRequest>,
     clock: VirtualClock,
+    registry: Registry,
+    sink: SharedSink,
 ) {
     let mut broker = Broker::new(policy, config);
+    broker.attach_telemetry(&registry, sink);
     let mut clients: std::collections::HashMap<SubscriberId, Sender<ClientEvent>> =
         std::collections::HashMap::new();
     while let Ok(request) = rx.recv() {
@@ -407,14 +485,27 @@ fn broker_node(
             BrokerRequest::RegisterClient { subscriber, events } => {
                 clients.insert(subscriber, events);
             }
-            BrokerRequest::Subscribe { subscriber, channel, params, reply } => {
-                let _ = reply
-                    .send(broker.subscribe(&mut cluster, subscriber, &channel, params, now));
+            BrokerRequest::Subscribe {
+                subscriber,
+                channel,
+                params,
+                reply,
+            } => {
+                let _ =
+                    reply.send(broker.subscribe(&mut cluster, subscriber, &channel, params, now));
             }
-            BrokerRequest::Unsubscribe { subscriber, fs, reply } => {
+            BrokerRequest::Unsubscribe {
+                subscriber,
+                fs,
+                reply,
+            } => {
                 let _ = reply.send(broker.unsubscribe(&mut cluster, subscriber, fs, now));
             }
-            BrokerRequest::GetResults { subscriber, fs, reply } => {
+            BrokerRequest::GetResults {
+                subscriber,
+                fs,
+                reply,
+            } => {
                 let _ = reply.send(broker.get_results(&mut cluster, subscriber, fs, now));
             }
             BrokerRequest::Notify(notification) => {
@@ -497,8 +588,7 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        let ClientEvent::ResultsAvailable { frontend, .. } =
-            notified.expect("client was notified");
+        let ClientEvent::ResultsAvailable { frontend, .. } = notified.expect("client was notified");
         assert_eq!(frontend, fs);
 
         let delivery = alice.get_results(fs).unwrap();
@@ -552,6 +642,60 @@ mod tests {
         }
         assert!(!a.events.is_empty(), "a not notified");
         assert!(!b.events.is_empty(), "b not notified");
+        dep.shutdown();
+    }
+
+    #[test]
+    fn traced_deployment_streams_events_and_renders_metrics() {
+        let cluster = build_emergency_cluster().unwrap();
+        let ring = std::sync::Arc::new(bad_telemetry::RingBufferSink::new(65536));
+        let dep = Deployment::start_traced(
+            PolicyName::Lsc,
+            BrokerConfig::default(),
+            cluster,
+            100_000.0,
+            ring.clone(),
+        );
+        let alice = dep.client(SubscriberId::new(1));
+        let fs = alice
+            .subscribe(
+                "EmergenciesOfType",
+                ParamBindings::from_pairs([("etype", DataValue::from("flood"))]),
+            )
+            .unwrap();
+        dep.publish(
+            "EmergencyReports",
+            DataValue::object([
+                ("kind", DataValue::from("flood")),
+                ("severity", DataValue::from(3i64)),
+                ("district", DataValue::from("district-2")),
+            ]),
+        )
+        .unwrap();
+        for _ in 0..200 {
+            dep.tick().unwrap();
+            if !alice.events.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let _ = alice.get_results(fs);
+
+        // The Prometheus snapshot renders the hit/miss/eviction counters.
+        let text = dep.metrics_text();
+        assert!(text.contains("bad_cache_hit_objects_total"));
+        assert!(text.contains("bad_cache_miss_objects_total"));
+        assert!(text.contains("bad_cache_evicted_objects_total"));
+        assert!(text.contains("bad_broker_retrievals_total"));
+
+        // And the structured event stream saw both tiers.
+        let events = ring.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, bad_telemetry::Event::ClusterChannelFire { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, bad_telemetry::Event::BrokerRetrieve { .. })));
         dep.shutdown();
     }
 

@@ -155,7 +155,11 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for a binary node.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor for a field path from segments.
@@ -212,28 +216,29 @@ impl Expr {
 
     fn collect_equalities(&self, out: &mut Vec<(String, String)>) {
         match self {
-            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 lhs.collect_equalities(out);
                 rhs.collect_equalities(out);
             }
-            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
-                match (lhs.as_ref(), rhs.as_ref()) {
-                    (Expr::Field(path), Expr::Param(p))
-                    | (Expr::Param(p), Expr::Field(path)) => {
-                        out.push((path.join("."), p.clone()));
-                    }
-                    _ => {}
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Field(path), Expr::Param(p)) | (Expr::Param(p), Expr::Field(path)) => {
+                    out.push((path.join("."), p.clone()));
                 }
-            }
+                _ => {}
+            },
             _ => {}
         }
     }
 
-    fn fmt_with_parens(
-        &self,
-        f: &mut fmt::Formatter<'_>,
-        parent_prec: u8,
-    ) -> fmt::Result {
+    fn fmt_with_parens(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
         match self {
             Expr::Literal(lit) => write!(f, "{lit}"),
             Expr::Field(path) => write!(f, "r.{}", path.join(".")),
@@ -402,7 +407,10 @@ mod tests {
         );
         assert_eq!(
             e.equality_param_fields(),
-            vec![("kind".to_string(), "k".to_string()), ("city".to_string(), "c".to_string())]
+            vec![
+                ("kind".to_string(), "k".to_string()),
+                ("city".to_string(), "c".to_string())
+            ]
         );
     }
 

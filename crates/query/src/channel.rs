@@ -60,10 +60,7 @@ impl SelectClause {
                     .iter()
                     .map(|path| {
                         let key = path.join(".");
-                        let value = record
-                            .get_path(&key)
-                            .cloned()
-                            .unwrap_or(DataValue::Null);
+                        let value = record.get_path(&key).cloned().unwrap_or(DataValue::Null);
                         (key, value)
                     })
                     .collect(),
@@ -251,7 +248,11 @@ impl fmt::Display for ChannelSpec {
             }
             write!(f, "{}: {}", p.name, p.ty)?;
         }
-        write!(f, ") from {} r where {} select ", self.dataset, self.predicate)?;
+        write!(
+            f,
+            ") from {} r where {} select ",
+            self.dataset, self.predicate
+        )?;
         match &self.select {
             SelectClause::All => write!(f, "r")?,
             SelectClause::Fields(fields) => {
@@ -305,7 +306,9 @@ impl ParamBindings {
         K: Into<String>,
         I: IntoIterator<Item = (K, DataValue)>,
     {
-        Self { values: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect() }
+        Self {
+            values: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
     }
 
     /// Binds (or rebinds) a parameter.
@@ -369,18 +372,13 @@ impl ParamBindings {
                 ParamType::Int => value.as_i64().is_some(),
                 ParamType::Float => value.as_f64().is_some(),
                 ParamType::Bool => value.as_bool().is_some(),
-                ParamType::Point => {
-                    bad_types::GeoPoint::from_value(value).is_some()
-                }
-                ParamType::Region => {
-                    bad_types::BoundingBox::from_value(value).is_some()
-                }
+                ParamType::Point => bad_types::GeoPoint::from_value(value).is_some(),
+                ParamType::Region => bad_types::BoundingBox::from_value(value).is_some(),
             };
             if !ok {
                 return Err(BadError::Type(format!(
                     "binding for `${}` is not a {}",
-                    def.name,
-                    def.ty
+                    def.name, def.ty
                 )));
             }
         }
@@ -507,10 +505,7 @@ mod tests {
 
     #[test]
     fn non_boolean_predicate_is_type_error() {
-        let spec = ChannelSpec::parse(
-            "channel C() from DS r where r.count + 1 select r",
-        )
-        .unwrap();
+        let spec = ChannelSpec::parse("channel C() from DS r where r.count + 1 select r").unwrap();
         let rec = DataValue::object([("count", DataValue::from(1i64))]);
         assert!(matches!(
             spec.matches(&rec, &ParamBindings::new()),

@@ -63,9 +63,11 @@ impl<'a> EvalContext<'a> {
                 }
                 Ok(cur.clone())
             }
-            Expr::Param(name) => self.params.get(name).cloned().ok_or_else(|| {
-                BadError::InvalidArgument(format!("unbound parameter `${name}`"))
-            }),
+            Expr::Param(name) => {
+                self.params.get(name).cloned().ok_or_else(|| {
+                    BadError::InvalidArgument(format!("unbound parameter `${name}`"))
+                })
+            }
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr)?;
                 match op {
@@ -76,9 +78,7 @@ impl<'a> EvalContext<'a> {
                     UnOp::Neg => match v {
                         DataValue::Int(i) => Ok(DataValue::Int(-i)),
                         DataValue::Float(f) => Ok(DataValue::Float(-f)),
-                        other => {
-                            Err(BadError::Type(format!("`-` applied to {other}")))
-                        }
+                        other => Err(BadError::Type(format!("`-` applied to {other}"))),
                     },
                 }
             }
@@ -126,9 +126,7 @@ impl<'a> EvalContext<'a> {
                 };
                 Ok(DataValue::Bool(res))
             }
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                arithmetic(op, &l, &r)
-            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arithmetic(op, &l, &r),
             BinOp::And | BinOp::Or => unreachable!("handled above"),
         }
     }
@@ -140,8 +138,7 @@ impl<'a> EvalContext<'a> {
     }
 
     fn eval_call(&self, name: &str, args: &[Expr]) -> Result<DataValue> {
-        let values: Vec<DataValue> =
-            args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+        let values: Vec<DataValue> = args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
         let arity = |n: usize| -> Result<()> {
             if values.len() == n {
                 Ok(())
@@ -160,9 +157,7 @@ impl<'a> EvalContext<'a> {
                 match (point, region) {
                     (Some(p), Some(r)) => Ok(DataValue::Bool(r.contains(p))),
                     // A malformed/missing point simply does not match.
-                    (None, Some(_)) if values[0].is_null() => {
-                        Ok(DataValue::Bool(false))
-                    }
+                    (None, Some(_)) if values[0].is_null() => Ok(DataValue::Bool(false)),
                     _ => Err(BadError::Type(format!(
                         "within() needs a point and a region, got {} and {}",
                         values[0], values[1]
@@ -184,18 +179,14 @@ impl<'a> EvalContext<'a> {
             "contains" => {
                 arity(2)?;
                 match (values[0].as_str(), values[1].as_str()) {
-                    (Some(hay), Some(needle)) => {
-                        Ok(DataValue::Bool(hay.contains(needle)))
-                    }
+                    (Some(hay), Some(needle)) => Ok(DataValue::Bool(hay.contains(needle))),
                     _ => Err(BadError::Type("contains() needs two strings".into())),
                 }
             }
             "startswith" => {
                 arity(2)?;
                 match (values[0].as_str(), values[1].as_str()) {
-                    (Some(hay), Some(prefix)) => {
-                        Ok(DataValue::Bool(hay.starts_with(prefix)))
-                    }
+                    (Some(hay), Some(prefix)) => Ok(DataValue::Bool(hay.starts_with(prefix))),
                     _ => Err(BadError::Type("startswith() needs two strings".into())),
                 }
             }
@@ -250,9 +241,8 @@ fn compare_values(l: &DataValue, r: &DataValue) -> Result<std::cmp::Ordering> {
         (DataValue::Int(_) | DataValue::Float(_), DataValue::Int(_) | DataValue::Float(_)) => {
             let a = l.as_f64().expect("numeric");
             let b = r.as_f64().expect("numeric");
-            a.partial_cmp(&b).ok_or_else(|| {
-                BadError::Type("comparison with NaN is undefined".into())
-            })
+            a.partial_cmp(&b)
+                .ok_or_else(|| BadError::Type("comparison with NaN is undefined".into()))
         }
         (DataValue::Str(a), DataValue::Str(b)) => Ok(a.cmp(b)),
         (DataValue::Bool(a), DataValue::Bool(b)) => Ok(a.cmp(b)),
@@ -316,10 +306,22 @@ mod tests {
 
     #[test]
     fn comparisons_and_coercion() {
-        assert_eq!(eval("r.a == 2", r#"{"a":2}"#).unwrap(), DataValue::Bool(true));
-        assert_eq!(eval("r.a == 2.0", r#"{"a":2}"#).unwrap(), DataValue::Bool(true));
-        assert_eq!(eval("r.a < 2.5", r#"{"a":2}"#).unwrap(), DataValue::Bool(true));
-        assert_eq!(eval("r.a >= 3", r#"{"a":2}"#).unwrap(), DataValue::Bool(false));
+        assert_eq!(
+            eval("r.a == 2", r#"{"a":2}"#).unwrap(),
+            DataValue::Bool(true)
+        );
+        assert_eq!(
+            eval("r.a == 2.0", r#"{"a":2}"#).unwrap(),
+            DataValue::Bool(true)
+        );
+        assert_eq!(
+            eval("r.a < 2.5", r#"{"a":2}"#).unwrap(),
+            DataValue::Bool(true)
+        );
+        assert_eq!(
+            eval("r.a >= 3", r#"{"a":2}"#).unwrap(),
+            DataValue::Bool(false)
+        );
         assert_eq!(
             eval("r.s == \"x\"", r#"{"s":"x"}"#).unwrap(),
             DataValue::Bool(true)
@@ -332,12 +334,24 @@ mod tests {
 
     #[test]
     fn missing_fields_are_null() {
-        assert_eq!(eval("r.ghost == null", "{}").unwrap(), DataValue::Bool(true));
-        assert_eq!(eval("r.ghost != null", "{}").unwrap(), DataValue::Bool(false));
+        assert_eq!(
+            eval("r.ghost == null", "{}").unwrap(),
+            DataValue::Bool(true)
+        );
+        assert_eq!(
+            eval("r.ghost != null", "{}").unwrap(),
+            DataValue::Bool(false)
+        );
         // Ordering against null is false, not an error.
         assert_eq!(eval("r.ghost < 3", "{}").unwrap(), DataValue::Bool(false));
-        assert_eq!(eval("exists(r.ghost)", "{}").unwrap(), DataValue::Bool(false));
-        assert_eq!(eval("exists(r.a)", r#"{"a":1}"#).unwrap(), DataValue::Bool(true));
+        assert_eq!(
+            eval("exists(r.ghost)", "{}").unwrap(),
+            DataValue::Bool(false)
+        );
+        assert_eq!(
+            eval("exists(r.a)", r#"{"a":1}"#).unwrap(),
+            DataValue::Bool(true)
+        );
     }
 
     #[test]
@@ -430,7 +444,10 @@ mod tests {
             eval("lower(r.t) == \"abc\"", r#"{"t":"AbC"}"#).unwrap(),
             DataValue::Bool(true)
         );
-        assert_eq!(eval("len(r.t)", r#"{"t":"abcd"}"#).unwrap(), DataValue::Int(4));
+        assert_eq!(
+            eval("len(r.t)", r#"{"t":"abcd"}"#).unwrap(),
+            DataValue::Int(4)
+        );
     }
 
     #[test]

@@ -141,44 +141,74 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b':' => {
-                tokens.push(Token { kind: TokenKind::Colon, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: pos });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: pos,
+                });
                 pos += 1;
             }
             b'=' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        offset: pos,
+                    });
                     pos += 2;
                 } else {
                     return Err(err(pos, "single `=` (use `==`)"));
@@ -186,7 +216,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             b'!' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: pos,
+                    });
                     pos += 2;
                 } else {
                     return Err(err(pos, "single `!` (use `not` or `!=`)"));
@@ -194,19 +227,31 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             b'<' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: pos,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: pos,
+                    });
                     pos += 1;
                 }
             }
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: pos,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: pos,
+                    });
                     pos += 1;
                 }
             }
@@ -257,7 +302,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = pos;
@@ -265,10 +313,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     pos += 1;
                 }
                 let mut is_float = false;
-                if pos + 1 < bytes.len()
-                    && bytes[pos] == b'.'
-                    && bytes[pos + 1].is_ascii_digit()
-                {
+                if pos + 1 < bytes.len() && bytes[pos] == b'.' && bytes[pos + 1].is_ascii_digit() {
                     is_float = true;
                     pos += 1;
                     while pos < bytes.len() && bytes[pos].is_ascii_digit() {
@@ -315,7 +360,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     let x: f64 = src[start..pos]
                         .parse()
                         .map_err(|_| err(start, "invalid float literal"))?;
-                    tokens.push(Token { kind: TokenKind::Float(x), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Float(x),
+                        offset: start,
+                    });
                 }
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
@@ -333,7 +381,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             _ => return Err(err(pos, "unexpected character")),
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -404,7 +455,11 @@ mod tests {
         // `10sec` is not a duration: `s` is followed by more identifier chars.
         assert_eq!(
             kinds("10sec"),
-            vec![TokenKind::Int(10), TokenKind::Ident("sec".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(10),
+                TokenKind::Ident("sec".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -55,9 +55,8 @@ pub fn parse_channel(src: &str) -> Result<ChannelSpec> {
             let pname = p.expect_ident("parameter name")?;
             p.expect(&TokenKind::Colon)?;
             let tyname = p.expect_ident("parameter type")?;
-            let ty = ParamType::from_keyword(&tyname).ok_or_else(|| {
-                p.error(format!("unknown parameter type `{tyname}`"))
-            })?;
+            let ty = ParamType::from_keyword(&tyname)
+                .ok_or_else(|| p.error(format!("unknown parameter type `{tyname}`")))?;
             if params.iter().any(|d| d.name == pname) {
                 return Err(p.error(format!("duplicate parameter `{pname}`")));
             }
@@ -102,7 +101,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>, var: String) -> Self {
-        Self { tokens, pos: 0, var }
+        Self {
+            tokens,
+            pos: 0,
+            var,
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -266,7 +269,10 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat_keyword("not") {
             let expr = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+            });
         }
         if self.eat(&TokenKind::Minus) {
             let expr = self.parse_unary()?;
@@ -274,7 +280,10 @@ impl Parser {
             return Ok(match expr {
                 Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
                 Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
-                expr => Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) },
+                expr => Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                },
             });
         }
         self.parse_primary()
@@ -292,9 +301,7 @@ impl Parser {
                 Ok(e)
             }
             TokenKind::Ident(s) if s == "true" => Ok(Expr::Literal(Literal::Bool(true))),
-            TokenKind::Ident(s) if s == "false" => {
-                Ok(Expr::Literal(Literal::Bool(false)))
-            }
+            TokenKind::Ident(s) if s == "false" => Ok(Expr::Literal(Literal::Bool(false))),
             TokenKind::Ident(s) if s == "null" => Ok(Expr::Literal(Literal::Null)),
             TokenKind::Ident(s) if s == self.var => {
                 // Field path `var.a.b`.
@@ -339,7 +346,9 @@ mod tests {
         let e = parse_expr("r.a == 1 or r.b == 2 and r.c == 3").unwrap();
         // `and` binds tighter than `or`.
         match e {
-            Expr::Binary { op: BinOp::Or, rhs, .. } => match *rhs {
+            Expr::Binary {
+                op: BinOp::Or, rhs, ..
+            } => match *rhs {
                 Expr::Binary { op: BinOp::And, .. } => {}
                 other => panic!("expected and on rhs, got {other:?}"),
             },
@@ -364,7 +373,10 @@ mod tests {
     #[test]
     fn parses_calls_and_paths() {
         let e = parse_expr("within(r.location, $area) and r.meta.depth > 2").unwrap();
-        assert_eq!(e.to_string(), "within(r.location, $area) and r.meta.depth > 2");
+        assert_eq!(
+            e.to_string(),
+            "within(r.location, $area) and r.meta.depth > 2"
+        );
     }
 
     #[test]
@@ -394,8 +406,7 @@ mod tests {
 
     #[test]
     fn parses_minimal_channel() {
-        let spec =
-            parse_channel("channel C() from DS r where r.x > 0 select r").unwrap();
+        let spec = parse_channel("channel C() from DS r where r.x > 0 select r").unwrap();
         assert_eq!(spec.name(), "C");
         assert_eq!(spec.dataset(), "DS");
         assert!(spec.params().is_empty());
@@ -417,7 +428,9 @@ mod tests {
         assert_eq!(spec.params()[1].ty, ParamType::Region);
         assert_eq!(
             spec.mode(),
-            ChannelMode::Repetitive { period: SimDuration::from_secs(10) }
+            ChannelMode::Repetitive {
+                period: SimDuration::from_secs(10)
+            }
         );
         match spec.select() {
             SelectClause::Fields(fields) => {
@@ -430,30 +443,22 @@ mod tests {
 
     #[test]
     fn channel_variable_renaming_applies_to_predicate() {
-        let spec = parse_channel(
-            "channel C() from DS item where item.x > 0 select item",
-        )
-        .unwrap();
+        let spec = parse_channel("channel C() from DS item where item.x > 0 select item").unwrap();
         assert_eq!(spec.predicate().to_string(), "r.x > 0");
         // The default variable `r` is not in scope once renamed.
-        assert!(parse_channel("channel C() from DS item where r.x > 0 select item")
-            .is_err());
+        assert!(parse_channel("channel C() from DS item where r.x > 0 select item").is_err());
     }
 
     #[test]
     fn channel_rejects_semantic_errors() {
         // Duplicate parameter.
-        assert!(parse_channel(
-            "channel C(a: int, a: int) from DS r where r.x == $a select r"
-        )
-        .is_err());
-        // Unknown type.
-        assert!(parse_channel("channel C(a: blob) from DS r where r.x == $a select r")
-            .is_err());
-        // Undeclared parameter reference (validated in ChannelSpec::new).
         assert!(
-            parse_channel("channel C() from DS r where r.x == $ghost select r").is_err()
+            parse_channel("channel C(a: int, a: int) from DS r where r.x == $a select r").is_err()
         );
+        // Unknown type.
+        assert!(parse_channel("channel C(a: blob) from DS r where r.x == $a select r").is_err());
+        // Undeclared parameter reference (validated in ChannelSpec::new).
+        assert!(parse_channel("channel C() from DS r where r.x == $ghost select r").is_err());
         // Select of foreign variable.
         assert!(parse_channel("channel C() from DS r where r.x > 0 select q").is_err());
     }

@@ -30,10 +30,8 @@ fn arb_atom() -> impl Strategy<Value = Expr> {
 fn arb_predicate() -> impl Strategy<Value = Expr> {
     arb_atom().prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::binary(BinOp::And, l, r)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::binary(BinOp::Or, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinOp::And, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinOp::Or, l, r)),
             inner.prop_map(|e| Expr::Unary {
                 op: bad_query::UnOp::Not,
                 expr: Box::new(e)

@@ -46,14 +46,14 @@ impl SimBackend {
 
     /// Produces one result of `size` for `bs` at time `ts`, persisting it
     /// and returning the notification the cluster would send.
-    pub fn produce(
-        &mut self,
-        bs: BackendSubId,
-        ts: Timestamp,
-        size: ByteSize,
-    ) -> Notification {
+    pub fn produce(&mut self, bs: BackendSubId, ts: Timestamp, size: ByteSize) -> Notification {
         let object = self.store.append(bs, ts, DataValue::Null, Some(size));
-        Notification { backend_sub: bs, latest_ts: object.ts, count: 1, bytes: size }
+        Notification {
+            backend_sub: bs,
+            latest_ts: object.ts,
+            count: 1,
+            bytes: size,
+        }
     }
 
     /// Total bytes of results ever produced (`Vol`).
@@ -148,7 +148,9 @@ mod tests {
         backend.produce(bs, t(1), ByteSize::new(100));
         backend.cluster_unsubscribe(bs).unwrap();
         assert_eq!(backend.subscription_of(0), None);
-        assert!(backend.cluster_fetch(bs, TimeRange::closed(t(0), t(10))).is_empty());
+        assert!(backend
+            .cluster_fetch(bs, TimeRange::closed(t(0), t(10)))
+            .is_empty());
         assert!(backend.cluster_unsubscribe(bs).is_err());
     }
 }

@@ -130,7 +130,10 @@ impl SimConfig {
 
     /// Returns a copy with a different cache budget (sweep helper).
     pub fn with_budget(&self, budget: ByteSize) -> Self {
-        Self { cache_budget: budget, ..self.clone() }
+        Self {
+            cache_budget: budget,
+            ..self.clone()
+        }
     }
 
     /// The rows of Table II as `(setting, value)` strings, for the
@@ -180,8 +183,14 @@ impl SimConfig {
                 "Broker to subscriber bandwidth".into(),
                 format!("{}", self.net.subscriber.bandwidth),
             ),
-            ("RTT (broker to data cluster)".into(), format!("{}", self.net.cluster.rtt)),
-            ("RTT (broker to subscribers)".into(), format!("{}", self.net.subscriber.rtt)),
+            (
+                "RTT (broker to data cluster)".into(),
+                format!("{}", self.net.cluster.rtt),
+            ),
+            (
+                "RTT (broker to subscribers)".into(),
+                format!("{}", self.net.subscriber.rtt),
+            ),
             ("Run length".into(), format!("{}", self.duration)),
         ]
     }
@@ -222,7 +231,9 @@ mod tests {
     fn describe_covers_table_rows() {
         let rows = SimConfig::table_ii().describe();
         assert!(rows.len() >= 12);
-        assert!(rows.iter().any(|(k, v)| k.contains("subscribers") && v == "10000"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("subscribers") && v == "10000"));
     }
 
     #[test]

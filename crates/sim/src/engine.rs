@@ -59,7 +59,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: Timestamp::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Timestamp::ZERO,
+        }
     }
 
     /// The current virtual time (the timestamp of the last popped event).

@@ -1,6 +1,8 @@
 //! Per-run measurement reports and figure-series helpers.
 
 use bad_cache::PolicyName;
+use bad_telemetry::json::ObjectWriter;
+use bad_telemetry::Sample;
 use bad_types::{ByteSize, SimDuration};
 
 /// Everything one simulation run measures — the union of the quantities
@@ -42,6 +44,9 @@ pub struct SimReport {
     pub delivered_objects: u64,
     /// Objects produced by the backend.
     pub produced_objects: u64,
+    /// Per-epoch sampler series (occupancy, hit ratio, `Σ ρ_i·T_i`) —
+    /// the raw data behind the scalar summaries above.
+    pub samples: Vec<Sample>,
 }
 
 impl SimReport {
@@ -74,6 +79,48 @@ impl SimReport {
             self.delivered_objects,
             self.produced_objects,
         )
+    }
+
+    /// Renders the full report — scalars plus the per-epoch sampler
+    /// series — as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut samples = String::with_capacity(2 + 80 * self.samples.len());
+        samples.push('[');
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                samples.push(',');
+            }
+            let mut obj = ObjectWriter::new(&mut samples);
+            obj.field_u64("t_us", s.t_us);
+            obj.field_u64("occupancy_bytes", s.occupancy_bytes);
+            obj.field_f64("hit_ratio", s.hit_ratio);
+            obj.field_f64("expected_ttl_bytes", s.expected_ttl_bytes);
+        }
+        samples.push(']');
+
+        let mut out = String::with_capacity(512 + samples.len());
+        {
+            let mut obj = ObjectWriter::new(&mut out);
+            obj.field_str("policy", self.policy.as_str());
+            obj.field_u64("cache_budget_bytes", self.cache_budget.as_u64());
+            obj.field_u64("seed", self.seed);
+            obj.field_f64("hit_ratio", self.hit_ratio);
+            obj.field_u64("hit_bytes", self.hit_bytes.as_u64());
+            obj.field_u64("miss_bytes", self.miss_bytes.as_u64());
+            obj.field_u64("fetched_bytes", self.fetched_bytes.as_u64());
+            obj.field_u64("vol_bytes", self.vol_bytes.as_u64());
+            obj.field_f64("mean_latency_ms", self.mean_latency.as_millis_f64());
+            obj.field_f64("mean_holding_s", self.mean_holding.as_secs_f64());
+            obj.field_u64("avg_cache_bytes", self.avg_cache_bytes.as_u64());
+            obj.field_u64("max_cache_bytes", self.max_cache_bytes.as_u64());
+            obj.field_u64("expected_ttl_bytes", self.expected_ttl_bytes.as_u64());
+            obj.field_f64("mean_ttl_s", self.mean_ttl.as_secs_f64());
+            obj.field_u64("deliveries", self.deliveries);
+            obj.field_u64("delivered_objects", self.delivered_objects);
+            obj.field_u64("produced_objects", self.produced_objects);
+            obj.field_raw("samples", &samples);
+        }
+        out
     }
 }
 
@@ -138,6 +185,12 @@ mod tests {
             deliveries: 100,
             delivered_objects: 200,
             produced_objects: 50,
+            samples: vec![Sample {
+                t_us: 60_000_000,
+                occupancy_bytes: 4096,
+                hit_ratio: hit,
+                expected_ttl_bytes: 0.0,
+            }],
         }
     }
 
@@ -148,6 +201,18 @@ mod tests {
         let row_cols = r.csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         let _ = Timestamp::ZERO;
+    }
+
+    #[test]
+    fn to_json_includes_scalars_and_series() {
+        let r = report(PolicyName::Lsc, 0.5);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""policy":"LSC""#));
+        assert!(json.contains(r#""hit_ratio":0.5"#));
+        assert!(json.contains(r#""samples":[{"t_us":60000000,"occupancy_bytes":4096"#));
+        // No stray NaN/Infinity tokens — everything stays parseable.
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use rand_distr::{Distribution, Exp};
 use bad_broker::{Broker, BrokerConfig};
 use bad_cache::{PolicyKind, PolicyName};
 use bad_query::ParamBindings;
+use bad_telemetry::{Registry, Sample, Sampler, SharedSink};
 use bad_types::{
     BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, Timestamp,
 };
@@ -73,9 +74,10 @@ pub struct Simulation {
     streams: Vec<StreamState>,
     /// `(subscriber, backend sub) -> frontend sub` for notification fan-out.
     frontends: HashMap<(u32, BackendSubId), FrontendSubId>,
-    /// Running average of `Σ ρ_i·T_i` samples.
-    expected_ttl_sum: f64,
-    expected_ttl_samples: u64,
+    /// Periodic occupancy / hit-ratio / `Σ ρ_i·T_i` snapshots.
+    sampler: Sampler,
+    /// Event sink for epoch samples (null unless telemetry is attached).
+    sink: SharedSink,
     /// Popularity sampler, retained for subscription churn.
     popularity: ZipfPopularity,
     /// Subscription lifetime sampler (churn), when enabled.
@@ -91,13 +93,18 @@ impl Simulation {
     /// specs, arrival intervals).
     pub fn new(policy: PolicyName, config: SimConfig, seed: u64) -> Result<Self> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut popularity =
-            ZipfPopularity::new(config.unique_subscriptions, config.zipf_exponent, seed ^ 0x21f)?;
+        let mut popularity = ZipfPopularity::new(
+            config.unique_subscriptions,
+            config.zipf_exponent,
+            seed ^ 0x21f,
+        )?;
 
         let mut subscribers = Vec::with_capacity(config.subscribers as usize);
         for k in 0..config.subscribers {
             let streams = popularity.sample_distinct(
-                config.subscriptions_per_subscriber.min(config.unique_subscriptions),
+                config
+                    .subscriptions_per_subscriber
+                    .min(config.unique_subscriptions),
             );
             subscribers.push(SubscriberState {
                 online: false,
@@ -109,17 +116,25 @@ impl Simulation {
 
         let mut streams = Vec::with_capacity(config.unique_subscriptions);
         for _ in 0..config.unique_subscriptions {
-            let mean = rng
-                .random_range(config.arrival_interval_secs.0..=config.arrival_interval_secs.1);
-            let interarrival = Exp::new(1.0 / mean).map_err(|e| {
-                bad_types::BadError::InvalidArgument(format!("exp: {e}"))
-            })?;
-            streams.push(StreamState { interarrival, active: false });
+            let mean =
+                rng.random_range(config.arrival_interval_secs.0..=config.arrival_interval_secs.1);
+            let interarrival = Exp::new(1.0 / mean)
+                .map_err(|e| bad_types::BadError::InvalidArgument(format!("exp: {e}")))?;
+            streams.push(StreamState {
+                interarrival,
+                active: false,
+            });
         }
 
         let mut cache = config.cache;
         cache.budget = config.cache_budget;
-        let mut broker = Broker::new(policy, BrokerConfig { cache, net: config.net });
+        let mut broker = Broker::new(
+            policy,
+            BrokerConfig {
+                cache,
+                net: config.net,
+            },
+        );
         if let Some((num, den)) = config.admission_max_budget_fraction {
             broker.set_admission(bad_cache::AdmissionControl::all_of([
                 bad_cache::AdmissionRule::MaxBudgetFraction { num, den },
@@ -130,6 +145,7 @@ impl Simulation {
             Some(spec) => Some(spec.build()?),
             None => None,
         };
+        let sampler = Sampler::new(config.sample_interval.as_micros());
         Ok(Self {
             policy,
             config,
@@ -141,11 +157,19 @@ impl Simulation {
             subscribers,
             streams,
             frontends: HashMap::new(),
-            expected_ttl_sum: 0.0,
-            expected_ttl_samples: 0,
+            sampler,
+            sink: bad_telemetry::null_sink(),
             popularity,
             subscription_lifetime,
         })
+    }
+
+    /// Routes the run's telemetry — cache and broker metric families on
+    /// `registry`, plus the full event stream (including per-epoch
+    /// `sim.epoch_sample` snapshots) into `sink`.
+    pub fn attach_telemetry(&mut self, registry: &Registry, sink: SharedSink) {
+        self.broker.attach_telemetry(registry, sink.clone());
+        self.sink = sink;
     }
 
     /// Runs the simulation to completion and reports the measurements.
@@ -161,8 +185,10 @@ impl Simulation {
                 );
             self.queue.push(join_at, Event::Join(k));
         }
-        self.queue
-            .push(Timestamp::ZERO + self.config.maintain_interval, Event::Maintain);
+        self.queue.push(
+            Timestamp::ZERO + self.config.maintain_interval,
+            Event::Maintain,
+        );
         self.queue
             .push(Timestamp::ZERO + self.config.sample_interval, Event::Sample);
 
@@ -184,18 +210,13 @@ impl Simulation {
             Event::Retrieve { sub, fs } => self.on_retrieve(sub, fs, now),
             Event::Maintain => {
                 self.broker.maintain(now);
-                self.queue.push(now + self.config.maintain_interval, Event::Maintain);
+                self.queue
+                    .push(now + self.config.maintain_interval, Event::Maintain);
             }
             Event::Sample => {
-                if matches!(
-                    self.broker.cache().kind(),
-                    PolicyKind::TtlExpiry | PolicyKind::Eviction
-                ) {
-                    let expected = self.broker.cache().expected_ttl_size(now);
-                    self.expected_ttl_sum += expected.as_u64() as f64;
-                    self.expected_ttl_samples += 1;
-                }
-                self.queue.push(now + self.config.sample_interval, Event::Sample);
+                self.on_sample(now);
+                self.queue
+                    .push(now + self.config.sample_interval, Event::Sample);
             }
             Event::Resubscribe { sub, fs } => self.on_resubscribe(sub, fs, now),
         }
@@ -289,11 +310,14 @@ impl Simulation {
             self.streams[stream].active = false;
             return;
         };
-        let size = ByteSize::new(self.rng.random_range(
-            self.config.object_size.0.as_u64()..=self.config.object_size.1.as_u64(),
-        ));
+        let size =
+            ByteSize::new(self.rng.random_range(
+                self.config.object_size.0.as_u64()..=self.config.object_size.1.as_u64(),
+            ));
         let notification = self.backend.produce(bs, now, size);
-        let outcome = self.broker.on_notification(&mut self.backend, notification, now);
+        let outcome = self
+            .broker
+            .on_notification(&mut self.backend, notification, now);
         let notify_at = now + self.config.net.notify_latency();
         for subscriber in outcome.notify {
             let k = subscriber.as_u64() as u32;
@@ -319,8 +343,39 @@ impl Simulation {
             .get_results(&mut self.backend, SubscriberId::new(sub as u64), fs, now);
     }
 
+    /// One sampler epoch: snapshot occupancy, the cumulative hit ratio
+    /// and (for policies that measure it) `Σ ρ_i·T_i`.
+    fn on_sample(&mut self, now: Timestamp) {
+        let cache = self.broker.cache();
+        let expected_ttl_bytes =
+            if matches!(cache.kind(), PolicyKind::TtlExpiry | PolicyKind::Eviction) {
+                cache.expected_ttl_size(now).as_u64() as f64
+            } else {
+                0.0
+            };
+        let sample = Sample {
+            t_us: now.as_micros(),
+            occupancy_bytes: cache.total_bytes().as_u64(),
+            hit_ratio: cache.metrics().hit_ratio().unwrap_or(0.0),
+            expected_ttl_bytes,
+        };
+        if self.sink.enabled() {
+            self.sink.record(&bad_telemetry::Event::EpochSample {
+                t_us: sample.t_us,
+                broker: 0,
+                occupancy_bytes: sample.occupancy_bytes,
+                hit_ratio: sample.hit_ratio,
+                expected_ttl_bytes: sample.expected_ttl_bytes,
+            });
+        }
+        self.sampler.record(sample);
+    }
+
     fn next_interarrival(&mut self, stream: usize) -> SimDuration {
-        let secs = self.streams[stream].interarrival.sample(&mut self.rng).max(0.001);
+        let secs = self.streams[stream]
+            .interarrival
+            .sample(&mut self.rng)
+            .max(0.001);
         SimDuration::from_secs_f64(secs)
     }
 
@@ -333,15 +388,10 @@ impl Simulation {
             SimDuration::ZERO
         } else {
             SimDuration::from_secs_f64(
-                caches.iter().map(|c| c.ttl().as_secs_f64()).sum::<f64>()
-                    / caches.len() as f64,
+                caches.iter().map(|c| c.ttl().as_secs_f64()).sum::<f64>() / caches.len() as f64,
             )
         };
-        let expected_ttl_bytes = if self.expected_ttl_samples == 0 {
-            ByteSize::ZERO
-        } else {
-            ByteSize::new((self.expected_ttl_sum / self.expected_ttl_samples as f64) as u64)
-        };
+        let expected_ttl_bytes = ByteSize::new(self.sampler.mean_expected_ttl_bytes() as u64);
         SimReport {
             policy: self.policy,
             cache_budget: self.config.cache_budget,
@@ -360,6 +410,7 @@ impl Simulation {
             deliveries: delivery.deliveries,
             delivered_objects: delivery.delivered_objects,
             produced_objects: self.backend.produced_objects(),
+            samples: self.sampler.into_samples(),
         }
     }
 }
@@ -381,6 +432,9 @@ mod tests {
         assert!((0.0..=1.0).contains(&report.hit_ratio));
         assert!(report.fetched_bytes >= report.miss_bytes);
         assert!(report.mean_latency > SimDuration::ZERO);
+        // The sampler series covers the run at the configured interval.
+        assert!(!report.samples.is_empty());
+        assert!(report.samples.windows(2).all(|w| w[0].t_us < w[1].t_us));
     }
 
     #[test]
@@ -394,8 +448,12 @@ mod tests {
 
     #[test]
     fn eviction_policies_respect_budget_in_sim() {
-        for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd]
-        {
+        for policy in [
+            PolicyName::Lru,
+            PolicyName::Lsc,
+            PolicyName::Lscz,
+            PolicyName::Lsd,
+        ] {
             let report = run(policy, 100, 3);
             assert!(
                 report.max_cache_bytes <= ByteSize::from_kib(100),
@@ -445,10 +503,13 @@ mod tests {
         // subscribers keep moving between streams and everything still
         // delivers, deterministically.
         let mut config = SimConfig::smoke().with_budget(ByteSize::from_kib(200));
-        config.subscription_lifetime =
-            Some(bad_workload::LognormalSpec::new(60.0, 30.0));
-        let a = Simulation::new(PolicyName::Lsc, config.clone(), 11).unwrap().run();
-        let b = Simulation::new(PolicyName::Lsc, config.clone(), 11).unwrap().run();
+        config.subscription_lifetime = Some(bad_workload::LognormalSpec::new(60.0, 30.0));
+        let a = Simulation::new(PolicyName::Lsc, config.clone(), 11)
+            .unwrap()
+            .run();
+        let b = Simulation::new(PolicyName::Lsc, config.clone(), 11)
+            .unwrap()
+            .run();
         assert_eq!(a, b, "churny runs stay deterministic");
         assert!(a.delivered_objects > 0);
         assert!((0.0..=1.0).contains(&a.hit_ratio));
@@ -467,5 +528,35 @@ mod tests {
         assert!(report.expected_ttl_bytes > ByteSize::ZERO);
         assert!(report.mean_ttl > SimDuration::ZERO);
         assert!(report.mean_holding > SimDuration::ZERO);
+        // The per-epoch series backs the scalar: its mean is the report value.
+        assert!(report.samples.iter().any(|s| s.expected_ttl_bytes > 0.0));
+    }
+
+    #[test]
+    fn attached_sink_sees_epoch_samples() {
+        use std::sync::Arc;
+
+        let config = SimConfig::smoke().with_budget(ByteSize::from_kib(200));
+        let mut sim = Simulation::new(PolicyName::Ttl, config, 12).unwrap();
+        let registry = Registry::new();
+        // Large enough that no event of the smoke run is ever dropped.
+        let ring = Arc::new(bad_telemetry::RingBufferSink::new(1 << 17));
+        sim.attach_telemetry(&registry, ring.clone());
+        let report = sim.run();
+
+        assert!(
+            ring.len() < 1 << 17,
+            "ring saturated; epoch count would be unreliable"
+        );
+        let epochs = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e, bad_telemetry::Event::EpochSample { .. }))
+            .count();
+        assert_eq!(epochs, report.samples.len());
+        // The metric families registered by the attach are live too.
+        let text = registry.render();
+        assert!(text.contains("bad_cache_hit_objects_total"));
+        assert!(text.contains("bad_broker_retrievals_total"));
     }
 }

@@ -193,10 +193,16 @@ mod tests {
             ds.insert(t(sec), rec(sec as i64)).unwrap();
         }
         let closed = TimeRange::closed(t(2), t(4));
-        let got: Vec<u64> = ds.range(closed).map(|r| r.ts.as_micros() / 1_000_000).collect();
+        let got: Vec<u64> = ds
+            .range(closed)
+            .map(|r| r.ts.as_micros() / 1_000_000)
+            .collect();
         assert_eq!(got, vec![2, 3, 4]);
         let half = TimeRange::half_open(t(2), t(4));
-        let got: Vec<u64> = ds.range(half).map(|r| r.ts.as_micros() / 1_000_000).collect();
+        let got: Vec<u64> = ds
+            .range(half)
+            .map(|r| r.ts.as_micros() / 1_000_000)
+            .collect();
         assert_eq!(got, vec![2, 3]);
     }
 

@@ -46,7 +46,12 @@ impl DataFeed {
     /// Panics if `batch_size` is zero.
     pub fn new(batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { buffer: Vec::new(), batch_size, total_pushed: 0, total_flushed: 0 }
+        Self {
+            buffer: Vec::new(),
+            batch_size,
+            total_pushed: 0,
+            total_flushed: 0,
+        }
     }
 
     /// Queues a record; returns `true` when the buffer has reached the

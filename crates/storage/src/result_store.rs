@@ -70,7 +70,13 @@ impl ResultStore {
     ) -> &ResultObject {
         let id: ObjectId = self.ids.next_id();
         let size = size.unwrap_or_else(|| ByteSize::new(payload.estimated_size()));
-        let object = ResultObject { id, backend_sub: bs, ts, size, payload };
+        let object = ResultObject {
+            id,
+            backend_sub: bs,
+            ts,
+            size,
+            payload,
+        };
         self.total_objects += 1;
         self.total_bytes += size;
         let list = self.stores.entry(bs).or_default();
@@ -198,7 +204,10 @@ mod tests {
         let bs = BackendSubId::new(77);
         assert!(s.fetch(bs, TimeRange::closed(t(0), t(10))).is_empty());
         assert_eq!(s.latest_ts(bs), None);
-        assert_eq!(s.fetch_bytes(bs, TimeRange::closed(t(0), t(10))), ByteSize::ZERO);
+        assert_eq!(
+            s.fetch_bytes(bs, TimeRange::closed(t(0), t(10))),
+            ByteSize::ZERO
+        );
     }
 
     #[test]

@@ -69,12 +69,20 @@ pub struct FieldDef {
 impl FieldDef {
     /// A required field.
     pub fn required(name: impl Into<String>, ty: FieldType) -> Self {
-        Self { name: name.into(), ty, optional: false }
+        Self {
+            name: name.into(),
+            ty,
+            optional: false,
+        }
     }
 
     /// An optional field.
     pub fn optional(name: impl Into<String>, ty: FieldType) -> Self {
-        Self { name: name.into(), ty, optional: true }
+        Self {
+            name: name.into(),
+            ty,
+            optional: true,
+        }
     }
 }
 
@@ -105,17 +113,26 @@ pub struct Schema {
 impl Schema {
     /// A fully open schema: any object record is accepted.
     pub fn open() -> Self {
-        Self { fields: Vec::new(), open: true }
+        Self {
+            fields: Vec::new(),
+            open: true,
+        }
     }
 
     /// An open schema that still validates the given fields when present.
     pub fn open_with<I: IntoIterator<Item = FieldDef>>(fields: I) -> Self {
-        Self { fields: fields.into_iter().collect(), open: true }
+        Self {
+            fields: fields.into_iter().collect(),
+            open: true,
+        }
     }
 
     /// A closed schema: exactly the declared fields are allowed.
     pub fn closed<I: IntoIterator<Item = FieldDef>>(fields: I) -> Self {
-        Self { fields: fields.into_iter().collect(), open: false }
+        Self {
+            fields: fields.into_iter().collect(),
+            open: false,
+        }
     }
 
     /// Whether undeclared fields are allowed.
@@ -136,9 +153,9 @@ impl Schema {
     /// required field is missing or null, a declared field has the wrong
     /// type, or (for closed schemas) an undeclared field is present.
     pub fn validate(&self, record: &DataValue) -> Result<()> {
-        let map = record.as_object().ok_or_else(|| {
-            BadError::Schema(format!("record is not an object: {record}"))
-        })?;
+        let map = record
+            .as_object()
+            .ok_or_else(|| BadError::Schema(format!("record is not an object: {record}")))?;
         for def in &self.fields {
             match map.get(&def.name) {
                 None | Some(DataValue::Null) => {
@@ -229,8 +246,7 @@ mod tests {
         assert!(FieldType::Float.accepts(&DataValue::from(1i64)));
         assert!(FieldType::Float.accepts(&DataValue::from(1.5)));
         assert!(!FieldType::Int.accepts(&DataValue::from(1.5)));
-        assert!(FieldType::Point
-            .accepts(&bad_types::GeoPoint::new(1.0, 2.0).to_value()));
+        assert!(FieldType::Point.accepts(&bad_types::GeoPoint::new(1.0, 2.0).to_value()));
         assert!(!FieldType::Point.accepts(&DataValue::from("x")));
         assert!(FieldType::Any.accepts(&DataValue::Null));
     }

@@ -1,0 +1,579 @@
+//! The structured event layer: a typed taxonomy of per-decision events
+//! and the sinks that record them.
+//!
+//! Every variant is `Copy` (timestamps in virtual microseconds, raw
+//! `u64` ids, `&'static str` labels) so constructing an event never
+//! allocates. Hot paths guard construction behind
+//! [`EventSink::enabled`]:
+//!
+//! ```
+//! use bad_telemetry::{null_sink, Event};
+//! let sink = null_sink();
+//! if sink.enabled() {
+//!     sink.record(&Event::CacheConsume { t_us: 0, cache: 1, objects: 1, bytes: 64 });
+//! }
+//! ```
+//!
+//! The [`NullSink`] default reports `enabled() == false`, so disabled
+//! tracing costs one virtual call per site and nothing else.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::ObjectWriter;
+
+/// One structured telemetry event. Field conventions: `t_us` is the
+/// virtual-time timestamp in microseconds, ids are the raw `u64` of
+/// the typed id newtypes, byte quantities are raw bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// An object was admitted into a backend-subscription cache.
+    CacheInsert {
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        bytes: u64,
+        total_bytes: u64,
+    },
+    /// A retrieval was served (partly) from cache.
+    CacheHit {
+        t_us: u64,
+        cache: u64,
+        objects: u64,
+        bytes: u64,
+    },
+    /// A retrieval missed and had to fetch from the backend.
+    CacheMiss {
+        t_us: u64,
+        cache: u64,
+        objects: u64,
+        bytes: u64,
+    },
+    /// The eviction policy dropped a victim to make room; `score` is
+    /// the victim cache's φ/s utility-per-byte at eviction time.
+    CacheEvict {
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        bytes: u64,
+        policy: &'static str,
+        score: f64,
+    },
+    /// A TTL policy expired an object; `ttl_us` is the TTL in force.
+    CacheExpire {
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        bytes: u64,
+        ttl_us: u64,
+    },
+    /// All pending subscribers consumed an object, releasing it.
+    CacheConsume {
+        t_us: u64,
+        cache: u64,
+        objects: u64,
+        bytes: u64,
+    },
+    /// Objects were dropped because their cache lost its subscribers.
+    CacheUnsubscribe {
+        t_us: u64,
+        cache: u64,
+        objects: u64,
+        bytes: u64,
+    },
+    /// The TTL tuner recomputed a cache's TTL from its measured
+    /// arrival rate λ, consumption rate η and growth rate ρ = (λ−η)⁺.
+    TtlRetune {
+        t_us: u64,
+        cache: u64,
+        lambda: f64,
+        eta: f64,
+        rho: f64,
+        ttl_us: u64,
+    },
+    /// A subscriber retrieval was classified into hits and misses.
+    BrokerRetrieve {
+        t_us: u64,
+        subscriber: u64,
+        hit_objects: u64,
+        miss_objects: u64,
+        hit_bytes: u64,
+        miss_bytes: u64,
+    },
+    /// A batch of results left the broker for a subscriber.
+    BrokerDeliver {
+        t_us: u64,
+        subscriber: u64,
+        objects: u64,
+        bytes: u64,
+        latency_us: u64,
+    },
+    /// A failed broker's subscribers were migrated to survivors.
+    BrokerFailover {
+        t_us: u64,
+        failed_broker: u64,
+        migrated: u64,
+    },
+    /// A continuous/repetitive channel matched and produced results.
+    ClusterChannelFire {
+        t_us: u64,
+        channel: u64,
+        subscription: u64,
+        results: u64,
+        bytes: u64,
+    },
+    /// Enrichment rules ran over a channel's freshly produced results.
+    ClusterEnrich { t_us: u64, channel: u64, rules: u64 },
+    /// One virtual-time sampler epoch (the raw series behind Fig. 5a).
+    EpochSample {
+        t_us: u64,
+        broker: u64,
+        occupancy_bytes: u64,
+        hit_ratio: f64,
+        expected_ttl_bytes: f64,
+    },
+}
+
+impl Event {
+    /// The stable `layer.event` label of this variant, used as the
+    /// JSONL `kind` field and for filtering traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CacheInsert { .. } => "cache.insert",
+            Event::CacheHit { .. } => "cache.hit",
+            Event::CacheMiss { .. } => "cache.miss",
+            Event::CacheEvict { .. } => "cache.evict",
+            Event::CacheExpire { .. } => "cache.expire",
+            Event::CacheConsume { .. } => "cache.consume",
+            Event::CacheUnsubscribe { .. } => "cache.unsubscribe",
+            Event::TtlRetune { .. } => "cache.ttl_retune",
+            Event::BrokerRetrieve { .. } => "broker.retrieve",
+            Event::BrokerDeliver { .. } => "broker.deliver",
+            Event::BrokerFailover { .. } => "broker.failover",
+            Event::ClusterChannelFire { .. } => "cluster.channel_fire",
+            Event::ClusterEnrich { .. } => "cluster.enrich",
+            Event::EpochSample { .. } => "sim.epoch_sample",
+        }
+    }
+
+    /// The event's virtual-time timestamp in microseconds.
+    pub fn t_us(&self) -> u64 {
+        match *self {
+            Event::CacheInsert { t_us, .. }
+            | Event::CacheHit { t_us, .. }
+            | Event::CacheMiss { t_us, .. }
+            | Event::CacheEvict { t_us, .. }
+            | Event::CacheExpire { t_us, .. }
+            | Event::CacheConsume { t_us, .. }
+            | Event::CacheUnsubscribe { t_us, .. }
+            | Event::TtlRetune { t_us, .. }
+            | Event::BrokerRetrieve { t_us, .. }
+            | Event::BrokerDeliver { t_us, .. }
+            | Event::BrokerFailover { t_us, .. }
+            | Event::ClusterChannelFire { t_us, .. }
+            | Event::ClusterEnrich { t_us, .. }
+            | Event::EpochSample { t_us, .. } => t_us,
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) to
+    /// `out`. Every object starts with `kind` and `t_us` so traces are
+    /// greppable without a JSON parser.
+    pub fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field_str("kind", self.kind());
+        obj.field_u64("t_us", self.t_us());
+        match *self {
+            Event::CacheInsert {
+                cache,
+                object,
+                bytes,
+                total_bytes,
+                ..
+            } => {
+                obj.field_u64("cache", cache);
+                obj.field_u64("object", object);
+                obj.field_u64("bytes", bytes);
+                obj.field_u64("total_bytes", total_bytes);
+            }
+            Event::CacheHit {
+                cache,
+                objects,
+                bytes,
+                ..
+            }
+            | Event::CacheMiss {
+                cache,
+                objects,
+                bytes,
+                ..
+            }
+            | Event::CacheConsume {
+                cache,
+                objects,
+                bytes,
+                ..
+            }
+            | Event::CacheUnsubscribe {
+                cache,
+                objects,
+                bytes,
+                ..
+            } => {
+                obj.field_u64("cache", cache);
+                obj.field_u64("objects", objects);
+                obj.field_u64("bytes", bytes);
+            }
+            Event::CacheEvict {
+                cache,
+                object,
+                bytes,
+                policy,
+                score,
+                ..
+            } => {
+                obj.field_u64("cache", cache);
+                obj.field_u64("object", object);
+                obj.field_u64("bytes", bytes);
+                obj.field_str("policy", policy);
+                obj.field_f64("score", score);
+            }
+            Event::CacheExpire {
+                cache,
+                object,
+                bytes,
+                ttl_us,
+                ..
+            } => {
+                obj.field_u64("cache", cache);
+                obj.field_u64("object", object);
+                obj.field_u64("bytes", bytes);
+                obj.field_u64("ttl_us", ttl_us);
+            }
+            Event::TtlRetune {
+                cache,
+                lambda,
+                eta,
+                rho,
+                ttl_us,
+                ..
+            } => {
+                obj.field_u64("cache", cache);
+                obj.field_f64("lambda", lambda);
+                obj.field_f64("eta", eta);
+                obj.field_f64("rho", rho);
+                obj.field_u64("ttl_us", ttl_us);
+            }
+            Event::BrokerRetrieve {
+                subscriber,
+                hit_objects,
+                miss_objects,
+                hit_bytes,
+                miss_bytes,
+                ..
+            } => {
+                obj.field_u64("subscriber", subscriber);
+                obj.field_u64("hit_objects", hit_objects);
+                obj.field_u64("miss_objects", miss_objects);
+                obj.field_u64("hit_bytes", hit_bytes);
+                obj.field_u64("miss_bytes", miss_bytes);
+            }
+            Event::BrokerDeliver {
+                subscriber,
+                objects,
+                bytes,
+                latency_us,
+                ..
+            } => {
+                obj.field_u64("subscriber", subscriber);
+                obj.field_u64("objects", objects);
+                obj.field_u64("bytes", bytes);
+                obj.field_u64("latency_us", latency_us);
+            }
+            Event::BrokerFailover {
+                failed_broker,
+                migrated,
+                ..
+            } => {
+                obj.field_u64("failed_broker", failed_broker);
+                obj.field_u64("migrated", migrated);
+            }
+            Event::ClusterChannelFire {
+                channel,
+                subscription,
+                results,
+                bytes,
+                ..
+            } => {
+                obj.field_u64("channel", channel);
+                obj.field_u64("subscription", subscription);
+                obj.field_u64("results", results);
+                obj.field_u64("bytes", bytes);
+            }
+            Event::ClusterEnrich { channel, rules, .. } => {
+                obj.field_u64("channel", channel);
+                obj.field_u64("rules", rules);
+            }
+            Event::EpochSample {
+                broker,
+                occupancy_bytes,
+                hit_ratio,
+                expected_ttl_bytes,
+                ..
+            } => {
+                obj.field_u64("broker", broker);
+                obj.field_u64("occupancy_bytes", occupancy_bytes);
+                obj.field_f64("hit_ratio", hit_ratio);
+                obj.field_f64("expected_ttl_bytes", expected_ttl_bytes);
+            }
+        }
+    }
+
+    /// Renders this event as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Where structured events go. Implementations must be cheap to call
+/// and safe to share across broker threads.
+pub trait EventSink: Send + Sync + fmt::Debug {
+    /// Whether callers should bother constructing events at all.
+    /// Defaults to `true`; only [`NullSink`] returns `false`. Hot
+    /// paths check this before building an [`Event`].
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: &Event);
+}
+
+/// A shareable handle to any sink.
+pub type SharedSink = Arc<dyn EventSink>;
+
+/// The default sink: drops everything and reports `enabled() == false`
+/// so instrumented code skips event construction entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// A fresh [`NullSink`] handle — the default wiring everywhere.
+pub fn null_sink() -> SharedSink {
+    Arc::new(NullSink)
+}
+
+/// Keeps the newest `capacity` events in memory; ideal for tests and
+/// for post-mortem dumps in long-lived processes.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("ring buffer poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring buffer poisoned").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, event: &Event) {
+        let mut events = self.events.lock().expect("ring buffer poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(*event);
+    }
+}
+
+/// Streams events as JSON Lines to any writer (file, stderr, Vec).
+/// One event per line; lines are valid standalone JSON objects.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(writer),
+        }
+    }
+
+    /// Creates (truncating) a trace file at `path`, buffered.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().map(|mut w| w.flush());
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let _ = self
+            .out
+            .lock()
+            .expect("jsonl sink poisoned")
+            .write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = null_sink();
+        assert!(!sink.enabled());
+        sink.record(&Event::CacheConsume {
+            t_us: 1,
+            cache: 2,
+            objects: 3,
+            bytes: 4,
+        });
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let sink = RingBufferSink::new(2);
+        assert!(sink.enabled());
+        for i in 0..3 {
+            sink.record(&Event::CacheHit {
+                t_us: i,
+                cache: 0,
+                objects: 1,
+                bytes: 1,
+            });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_us(), 1);
+        assert_eq!(events[1].t_us(), 2);
+    }
+
+    #[test]
+    fn evict_event_serializes_policy_and_score() {
+        let event = Event::CacheEvict {
+            t_us: 1_000_000,
+            cache: 7,
+            object: 9,
+            bytes: 512,
+            policy: "lsc",
+            score: 0.125,
+        };
+        assert_eq!(event.kind(), "cache.evict");
+        assert_eq!(
+            event.to_json(),
+            r#"{"kind":"cache.evict","t_us":1000000,"cache":7,"object":9,"bytes":512,"policy":"lsc","score":0.125}"#
+        );
+    }
+
+    #[test]
+    fn ttl_retune_event_serializes_rates() {
+        let event = Event::TtlRetune {
+            t_us: 60_000_000,
+            cache: 3,
+            lambda: 10.0,
+            eta: 4.0,
+            rho: 6.0,
+            ttl_us: 30_000_000,
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"kind":"cache.ttl_retune","t_us":60000000,"cache":3,"lambda":10,"eta":4,"rho":6,"ttl_us":30000000}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Box::new(Shared(buffer.clone())));
+        sink.record(&Event::BrokerFailover {
+            t_us: 5,
+            failed_broker: 1,
+            migrated: 12,
+        });
+        sink.record(&Event::ClusterEnrich {
+            t_us: 6,
+            channel: 2,
+            rules: 1,
+        });
+        sink.flush().unwrap();
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"kind":"broker.failover""#));
+        assert!(lines[1].contains(r#""rules":1"#));
+    }
+}

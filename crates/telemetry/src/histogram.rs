@@ -1,0 +1,213 @@
+//! Log-bucketed histograms with approximate quantile readout.
+//!
+//! Values (latencies in microseconds, sizes in bytes) are binned into
+//! power-of-two buckets: bucket 0 holds exactly zero, bucket `i` holds
+//! `[2^(i-1), 2^i)`. Recording is a handful of relaxed atomic adds, so
+//! the histogram is safe to touch from hot paths; readout walks the 65
+//! buckets and reports each quantile as the upper bound of the bucket
+//! it falls in, clamped to the largest value actually recorded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramData {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cheap, thread-safe, log-bucketed histogram handle.
+///
+/// Cloning shares the underlying buckets, mirroring [`super::Counter`].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    data: Arc<HistogramData>,
+}
+
+/// A point-in-time readout of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Approximate 50th percentile.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::new(HistogramData {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Upper bound of bucket `index` (inclusive).
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let data = &self.data;
+        data.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        data.count.fetch_add(1, Ordering::Relaxed);
+        data.sum.fetch_add(value, Ordering::Relaxed);
+        data.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.data.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> u64 {
+        self.data.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.data.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th observation, clamped
+    /// to the recorded maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.data.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Reads count, sum, max and the p50/p90/p99 quantiles at once.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // Bucket upper bounds over-approximate, never under-approximate.
+        assert!(h.quantile(0.5) >= 500);
+        assert!(h.quantile(0.99) >= 990);
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert_eq!(
+            snap,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn zeros_land_in_bucket_zero() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(8);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Histogram::new();
+        let b = a.clone();
+        a.record(5);
+        b.record(7);
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.max(), 7);
+    }
+}

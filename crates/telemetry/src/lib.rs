@@ -1,0 +1,49 @@
+//! `bad-telemetry` — zero-dependency observability for the BAD
+//! edge-caching system.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the minimal useful subset of `tracing` +
+//! `prometheus` on `std` alone:
+//!
+//! - [`Registry`], [`Counter`], [`Gauge`]: `AtomicU64`-backed named
+//!   metrics cheap enough for hot paths, rendered on demand in the
+//!   Prometheus text exposition format by [`Registry::render`].
+//! - [`Histogram`]: log-bucketed (power-of-two buckets) latency/size
+//!   distributions with `p50/p90/p99/max` readout.
+//! - [`Event`] + [`EventSink`]: a typed taxonomy of per-decision
+//!   events (cache insert/hit/miss/evict/expire/consume/ttl-retune,
+//!   broker retrieve/deliver/failover, cluster channel-fire/enrich,
+//!   sim epoch samples) with [`RingBufferSink`] (tests, post-mortem)
+//!   and [`JsonlSink`] (trace files) implementations. The default
+//!   [`NullSink`] reports `enabled() == false`, so instrumented code
+//!   skips event construction entirely when tracing is off.
+//! - [`Sampler`]: periodic virtual-time snapshots of occupancy, hit
+//!   ratio and the expected TTL-bounded size `Σ ρ_i·T_i`.
+//!
+//! ```
+//! use bad_telemetry::{Event, Registry, RingBufferSink, SharedSink};
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("bad_cache_hit_objects_total");
+//! hits.add(3);
+//!
+//! let ring = Arc::new(RingBufferSink::new(16));
+//! let sink: SharedSink = ring.clone();
+//! if sink.enabled() {
+//!     sink.record(&Event::CacheHit { t_us: 42, cache: 1, objects: 3, bytes: 96 });
+//! }
+//! assert_eq!(ring.len(), 1);
+//! assert!(registry.render().contains("bad_cache_hit_objects_total 3"));
+//! ```
+
+pub mod event;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod sampler;
+
+pub use event::{null_sink, Event, EventSink, JsonlSink, NullSink, RingBufferSink, SharedSink};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry};
+pub use sampler::{Sample, Sampler};

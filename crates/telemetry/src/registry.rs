@@ -1,0 +1,190 @@
+//! A named-metric registry with a Prometheus text exposition renderer.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed:
+//! registration takes a lock on a `BTreeMap`, but every subsequent
+//! increment is a single relaxed atomic op, so hot paths register once
+//! and keep the handle. The registry itself is cheaply cloneable and
+//! all clones share the same metric store.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `u64` (occupancy bytes, queue depth).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The shared metric store. `Clone` is shallow: all clones render the
+/// same metrics, so one registry can span broker, cache and cluster.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Renders every registered metric in the Prometheus text
+    /// exposition format. Counters and gauges are one sample each;
+    /// histograms render as summaries (`{quantile="…"}` samples plus
+    /// `_sum`/`_count`) with an extra `_max` gauge, since log-bucketed
+    /// maxima are exact while quantiles are approximate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, counter) in self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+        {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        for (name, gauge) in self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+        {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.get());
+        }
+        for (name, histogram) in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+        {
+            let snap = histogram.snapshot();
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", snap.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", snap.p90);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", snap.p99);
+            let _ = writeln!(out, "{name}_sum {}", snap.sum);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+            let _ = writeln!(out, "# TYPE {name}_max gauge");
+            let _ = writeln!(out, "{name}_max {}", snap.max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let registry = Registry::new();
+        let a = registry.counter("bad_test_total");
+        let b = registry.counter("bad_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("bad_test_total").get(), 3);
+    }
+
+    #[test]
+    fn clones_render_the_same_store() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        registry.counter("bad_clone_total").add(5);
+        assert!(clone.render().contains("bad_clone_total 5"));
+    }
+
+    #[test]
+    fn render_is_prometheus_text() {
+        let registry = Registry::new();
+        registry.counter("bad_hits_total").add(7);
+        registry.gauge("bad_occupancy_bytes").set(1024);
+        let h = registry.histogram("bad_latency_us");
+        h.record(100);
+        h.record(300);
+        let text = registry.render();
+        assert!(text.contains("# TYPE bad_hits_total counter\nbad_hits_total 7\n"));
+        assert!(text.contains("# TYPE bad_occupancy_bytes gauge\nbad_occupancy_bytes 1024\n"));
+        assert!(text.contains("# TYPE bad_latency_us summary\n"));
+        assert!(text.contains("bad_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("bad_latency_us_sum 400\n"));
+        assert!(text.contains("bad_latency_us_count 2\n"));
+        assert!(text.contains("bad_latency_us_max 300\n"));
+    }
+}

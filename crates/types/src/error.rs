@@ -48,12 +48,18 @@ pub enum BadError {
 impl BadError {
     /// Shorthand for [`BadError::NotFound`].
     pub fn not_found(kind: &'static str, key: impl Into<String>) -> Self {
-        BadError::NotFound { kind, key: key.into() }
+        BadError::NotFound {
+            kind,
+            key: key.into(),
+        }
     }
 
     /// Shorthand for [`BadError::AlreadyExists`].
     pub fn already_exists(kind: &'static str, key: impl Into<String>) -> Self {
-        BadError::AlreadyExists { kind, key: key.into() }
+        BadError::AlreadyExists {
+            kind,
+            key: key.into(),
+        }
     }
 }
 

@@ -44,8 +44,7 @@ impl GeoPoint {
         let lat2 = other.lat.to_radians();
         let dlat = (other.lat - self.lat).to_radians();
         let dlon = (other.lon - self.lon).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * a.sqrt().asin() * EARTH_RADIUS_KM
     }
 
@@ -119,10 +118,7 @@ impl BoundingBox {
 
     /// Converts the box to a record `{"min": {...}, "max": {...}}`.
     pub fn to_value(self) -> DataValue {
-        DataValue::object([
-            ("min", self.min.to_value()),
-            ("max", self.max.to_value()),
-        ])
+        DataValue::object([("min", self.min.to_value()), ("max", self.max.to_value())])
     }
 
     /// Reads a box back from a record produced by [`BoundingBox::to_value`].

@@ -296,12 +296,20 @@ pub struct TimeRange {
 impl TimeRange {
     /// Creates a range inclusive at both ends: `[from, to]`.
     pub const fn closed(from: Timestamp, to: Timestamp) -> Self {
-        Self { from, to, closed_right: true }
+        Self {
+            from,
+            to,
+            closed_right: true,
+        }
     }
 
     /// Creates a range exclusive on the right: `[from, to)`.
     pub const fn half_open(from: Timestamp, to: Timestamp) -> Self {
-        Self { from, to, closed_right: false }
+        Self {
+            from,
+            to,
+            closed_right: false,
+        }
     }
 
     /// Returns `true` when `ts` lies inside this range.
@@ -342,14 +350,20 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
         assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
     fn duration_from_secs_f64_saturates() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

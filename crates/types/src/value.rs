@@ -142,9 +142,7 @@ impl DataValue {
             DataValue::Bool(_) => 5,
             DataValue::Int(_) | DataValue::Float(_) => 8,
             DataValue::Str(s) => 2 + s.len() as u64,
-            DataValue::Array(items) => {
-                2 + items.iter().map(DataValue::estimated_size).sum::<u64>()
-            }
+            DataValue::Array(items) => 2 + items.iter().map(DataValue::estimated_size).sum::<u64>(),
             DataValue::Object(map) => {
                 2 + map
                     .iter()
@@ -299,7 +297,11 @@ struct JsonParser<'a> {
 
 impl<'a> JsonParser<'a> {
     fn new(input: &'a str) -> Self {
-        Self { input, bytes: input.as_bytes(), pos: 0 }
+        Self {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, msg: &str) -> BadError {
@@ -433,8 +435,7 @@ impl<'a> JsonParser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.error("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(code)
@@ -454,7 +455,9 @@ impl<'a> JsonParser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut code: u32 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
@@ -526,19 +529,23 @@ mod tests {
     fn path_lookup() {
         let v = DataValue::object([(
             "location",
-            DataValue::object([("lat", DataValue::from(33.6)), ("lon", DataValue::from(-117.8))]),
+            DataValue::object([
+                ("lat", DataValue::from(33.6)),
+                ("lon", DataValue::from(-117.8)),
+            ]),
         )]);
-        assert_eq!(v.get_path("location.lat").and_then(DataValue::as_f64), Some(33.6));
+        assert_eq!(
+            v.get_path("location.lat").and_then(DataValue::as_f64),
+            Some(33.6)
+        );
         assert_eq!(v.get_path("location.alt"), None);
         assert_eq!(v.get_path("missing.lat"), None);
     }
 
     #[test]
     fn parse_basic_document() {
-        let v = DataValue::parse_json(
-            r#"{"a": 1, "b": [true, null, "s"], "c": {"d": -2.5e1}}"#,
-        )
-        .unwrap();
+        let v = DataValue::parse_json(r#"{"a": 1, "b": [true, null, "s"], "c": {"d": -2.5e1}}"#)
+            .unwrap();
         assert_eq!(v.get_path("a").and_then(DataValue::as_i64), Some(1));
         assert_eq!(v.get_path("c.d").and_then(DataValue::as_f64), Some(-25.0));
         let arr = v.get("b").and_then(DataValue::as_array).unwrap();
@@ -554,7 +561,16 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "{\"a\":}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\" 1}",
+            "1 2",
+            "{\"a\":}",
+        ] {
             assert!(DataValue::parse_json(bad).is_err(), "should fail: {bad:?}");
         }
     }
@@ -573,7 +589,10 @@ mod tests {
             ("i", DataValue::from(-42i64)),
             ("f", DataValue::from(2.5)),
             ("whole_float", DataValue::from(3.0)),
-            ("arr", DataValue::array([DataValue::from(1i64), DataValue::from(false)])),
+            (
+                "arr",
+                DataValue::array([DataValue::from(1i64), DataValue::from(false)]),
+            ),
         ]);
         let text = v.to_json_string();
         assert_eq!(DataValue::parse_json(&text).unwrap(), v);

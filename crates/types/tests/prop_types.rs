@@ -19,8 +19,7 @@ fn arb_value() -> impl Strategy<Value = DataValue> {
     leaf.prop_recursive(3, 32, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(DataValue::Array),
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
-                .prop_map(DataValue::Object),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(DataValue::Object),
         ]
     })
 }

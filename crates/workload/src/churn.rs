@@ -24,7 +24,10 @@ pub struct LognormalSpec {
 impl LognormalSpec {
     /// Creates a spec.
     pub const fn new(mean_secs: f64, std_secs: f64) -> Self {
-        Self { mean_secs, std_secs }
+        Self {
+            mean_secs,
+            std_secs,
+        }
     }
 
     /// The `(mu, sigma)` of the underlying normal distribution such that
@@ -45,16 +48,18 @@ impl LognormalSpec {
     /// Returns [`bad_types::BadError::InvalidArgument`] for non-positive
     /// mean or negative std.
     pub fn build(&self) -> Result<LogNormal<f64>> {
-        if !(self.mean_secs > 0.0) || self.std_secs < 0.0 {
+        // `is_sign_positive`-style shortcuts would admit NaN; spell the
+        // comparison so NaN means are rejected too.
+        let mean_positive = self.mean_secs.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !mean_positive || self.std_secs < 0.0 {
             return Err(bad_types::BadError::InvalidArgument(format!(
                 "invalid lognormal spec: mean={}, std={}",
                 self.mean_secs, self.std_secs
             )));
         }
         let (mu, sigma) = self.normal_params();
-        LogNormal::new(mu, sigma).map_err(|e| {
-            bad_types::BadError::InvalidArgument(format!("lognormal: {e}"))
-        })
+        LogNormal::new(mu, sigma)
+            .map_err(|e| bad_types::BadError::InvalidArgument(format!("lognormal: {e}")))
     }
 }
 
@@ -89,7 +94,11 @@ impl OnOffProcess {
     ///
     /// Propagates invalid specs.
     pub fn new(on: LognormalSpec, off: LognormalSpec, seed: u64) -> Result<Self> {
-        Ok(Self { on: on.build()?, off: off.build()?, rng: StdRng::seed_from_u64(seed) })
+        Ok(Self {
+            on: on.build()?,
+            off: off.build()?,
+            rng: StdRng::seed_from_u64(seed),
+        })
     }
 
     /// The paper's defaults: ON mean 20 min, OFF mean 30 min, with
@@ -132,7 +141,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1200.0).abs() / 1200.0 < 0.02, "mean = {mean}");
-        assert!((var.sqrt() - 600.0).abs() / 600.0 < 0.05, "std = {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 600.0).abs() / 600.0 < 0.05,
+            "std = {}",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -151,12 +164,22 @@ mod tests {
     fn paper_defaults_have_expected_means() {
         let mut p = OnOffProcess::paper_defaults(3).unwrap();
         let n = 20_000;
-        let on_mean: f64 =
-            (0..n).map(|_| p.next_on_duration().as_secs_f64()).sum::<f64>() / n as f64;
-        let off_mean: f64 =
-            (0..n).map(|_| p.next_off_duration().as_secs_f64()).sum::<f64>() / n as f64;
-        assert!((on_mean - 1200.0).abs() / 1200.0 < 0.05, "on mean = {on_mean}");
-        assert!((off_mean - 1800.0).abs() / 1800.0 < 0.05, "off mean = {off_mean}");
+        let on_mean: f64 = (0..n)
+            .map(|_| p.next_on_duration().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let off_mean: f64 = (0..n)
+            .map(|_| p.next_off_duration().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (on_mean - 1200.0).abs() / 1200.0 < 0.05,
+            "on mean = {on_mean}"
+        );
+        assert!(
+            (off_mean - 1800.0).abs() / 1800.0 < 0.05,
+            "off mean = {off_mean}"
+        );
     }
 
     #[test]

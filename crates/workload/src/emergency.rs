@@ -18,8 +18,14 @@ use bad_types::{BoundingBox, DataValue, GeoPoint, Result};
 use crate::popularity::ZipfPopularity;
 
 /// The emergency kinds used across the scenario.
-pub const EMERGENCY_KINDS: [&str; 6] =
-    ["tornado", "flood", "shooting", "fire", "earthquake", "gasleak"];
+pub const EMERGENCY_KINDS: [&str; 6] = [
+    "tornado",
+    "flood",
+    "shooting",
+    "fire",
+    "earthquake",
+    "gasleak",
+];
 
 /// The parameterized channels of the prototype's Table III, as BQL
 /// source, with the periods the paper's scenario uses.
@@ -64,10 +70,7 @@ impl Default for EmergencyCityConfig {
     fn default() -> Self {
         Self {
             // Roughly Orange County, CA.
-            city: BoundingBox::new(
-                GeoPoint::new(33.55, -118.05),
-                GeoPoint::new(33.95, -117.55),
-            ),
+            city: BoundingBox::new(GeoPoint::new(33.55, -118.05), GeoPoint::new(33.95, -117.55)),
             districts: 4,
             payload_bytes: (200, 1000),
             zipf_exponent: 1.0,
@@ -109,7 +112,12 @@ impl EmergencyCity {
         let interests = Self::enumerate_interests(&config);
         let interest_popularity =
             ZipfPopularity::new(interests.len(), config.zipf_exponent, seed ^ 0x5eed)?;
-        Ok(Self { config, rng: StdRng::seed_from_u64(seed), interest_popularity, interests })
+        Ok(Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            interest_popularity,
+            interests,
+        })
     }
 
     /// The full interest space: every distinct `(channel, params)` a
@@ -156,15 +164,11 @@ impl EmergencyCity {
         for i in 0..cells.len() {
             out.push((
                 "SheltersInDistrict".to_owned(),
-                ParamBindings::from_pairs([
-                    ("district", DataValue::from(Self::district_name(i))),
-                ]),
+                ParamBindings::from_pairs([("district", DataValue::from(Self::district_name(i)))]),
             ));
             out.push((
                 "DistrictEmergencies".to_owned(),
-                ParamBindings::from_pairs([
-                    ("district", DataValue::from(Self::district_name(i))),
-                ]),
+                ParamBindings::from_pairs([("district", DataValue::from(Self::district_name(i)))]),
             ));
         }
         out
@@ -195,8 +199,9 @@ impl EmergencyCity {
             .district_of(location)
             .map(Self::district_name)
             .unwrap_or_else(|| "outskirts".to_owned());
-        let pad_len =
-            self.rng.random_range(self.config.payload_bytes.0..=self.config.payload_bytes.1);
+        let pad_len = self
+            .rng
+            .random_range(self.config.payload_bytes.0..=self.config.payload_bytes.1);
         DataValue::object([
             ("kind", DataValue::from(kind)),
             ("severity", DataValue::from(severity)),
@@ -215,7 +220,10 @@ impl EmergencyCity {
             .unwrap_or_else(|| "outskirts".to_owned());
         let capacity = self.rng.random_range(50..=2000i64);
         DataValue::object([
-            ("name", DataValue::from(format!("shelter-{}", self.rng.random_range(0..10_000u32)))),
+            (
+                "name",
+                DataValue::from(format!("shelter-{}", self.rng.random_range(0..10_000u32))),
+            ),
             ("district", DataValue::from(district)),
             ("location", location.to_value()),
             ("capacity", DataValue::from(capacity)),
@@ -254,7 +262,10 @@ mod tests {
     fn table_iii_channels_parse() {
         for bql in TABLE_III_CHANNELS {
             let spec = bad_query::ChannelSpec::parse(bql).unwrap();
-            assert!(matches!(spec.mode(), bad_query::ChannelMode::Repetitive { .. }));
+            assert!(matches!(
+                spec.mode(),
+                bad_query::ChannelMode::Repetitive { .. }
+            ));
         }
     }
 
@@ -319,12 +330,18 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         for _ in 0..20_000 {
             let (channel, params) = city.random_interest();
-            *counts.entry((channel, params.canonical_key())).or_insert(0u32) += 1;
+            *counts
+                .entry((channel, params.canonical_key()))
+                .or_insert(0u32) += 1;
         }
         let mut freqs: Vec<u32> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         // The most popular interest dwarfs the median one.
-        assert!(freqs[0] > freqs[freqs.len() / 2] * 5, "freqs = {:?}", &freqs[..5]);
+        assert!(
+            freqs[0] > freqs[freqs.len() / 2] * 5,
+            "freqs = {:?}",
+            &freqs[..5]
+        );
     }
 
     #[test]

@@ -45,10 +45,13 @@ impl ZipfPopularity {
                 "zipf over zero items".into(),
             ));
         }
-        let dist = Zipf::new(n as f64, s).map_err(|e| {
-            bad_types::BadError::InvalidArgument(format!("zipf: {e}"))
-        })?;
-        Ok(Self { dist, n, rng: StdRng::seed_from_u64(seed) })
+        let dist = Zipf::new(n as f64, s)
+            .map_err(|e| bad_types::BadError::InvalidArgument(format!("zipf: {e}")))?;
+        Ok(Self {
+            dist,
+            n,
+            rng: StdRng::seed_from_u64(seed),
+        })
     }
 
     /// Number of items.
@@ -126,7 +129,10 @@ mod tests {
         // Head heaviness: top-10 items get a large share under s=1.
         let head: u32 = counts[..10].iter().sum();
         let total: u32 = counts.iter().sum();
-        assert!(head as f64 / total as f64 > 0.4, "head share = {head}/{total}");
+        assert!(
+            head as f64 / total as f64 > 0.4,
+            "head share = {head}/{total}"
+        );
     }
 
     #[test]

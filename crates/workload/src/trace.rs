@@ -135,9 +135,15 @@ impl TraceGenerator {
             since_shelter += 1;
             if since_shelter >= self.config.shelters_every {
                 since_shelter = 0;
-                out.push(Activity { at: t, kind: ActivityKind::PublishShelter(city.next_shelter()) });
+                out.push(Activity {
+                    at: t,
+                    kind: ActivityKind::PublishShelter(city.next_shelter()),
+                });
             } else {
-                out.push(Activity { at: t, kind: ActivityKind::PublishReport(city.next_report()) });
+                out.push(Activity {
+                    at: t,
+                    kind: ActivityKind::PublishReport(city.next_report()),
+                });
             }
         }
 
@@ -146,37 +152,45 @@ impl TraceGenerator {
             let subscriber = SubscriberId::new(s);
             let mut churn = OnOffProcess::paper_defaults(self.seed ^ (s + 1))?;
             // Stagger logins over the first two minutes.
-            let login = Timestamp::ZERO
-                + SimDuration::from_secs_f64(rng.random_range(0.0..120.0));
-            out.push(Activity { at: login, kind: ActivityKind::Login(subscriber) });
+            let login = Timestamp::ZERO + SimDuration::from_secs_f64(rng.random_range(0.0..120.0));
+            out.push(Activity {
+                at: login,
+                kind: ActivityKind::Login(subscriber),
+            });
 
             // Subscriptions spread over the first quarter.
             let quarter = self.config.duration.as_secs_f64() / 4.0;
             let mut handles = Vec::new();
             for _ in 0..self.config.subscriptions_per_subscriber {
-                let at = login
-                    + SimDuration::from_secs_f64(rng.random_range(0.0..quarter));
+                let at = login + SimDuration::from_secs_f64(rng.random_range(0.0..quarter));
                 let (channel, params) = city.random_interest();
                 let handle = next_handle;
                 next_handle += 1;
                 handles.push((at, handle));
                 out.push(Activity {
                     at,
-                    kind: ActivityKind::Subscribe { subscriber, channel, params, handle },
+                    kind: ActivityKind::Subscribe {
+                        subscriber,
+                        channel,
+                        params,
+                        handle,
+                    },
                 });
             }
             // Some subscriptions are cancelled in the second half.
             for (sub_at, handle) in &handles {
                 if rng.random_range(0.0..1.0) < self.config.unsubscribe_fraction {
                     let half = self.config.duration.as_secs_f64() / 2.0;
-                    let at_secs = rng
-                        .random_range(half..self.config.duration.as_secs_f64());
+                    let at_secs = rng.random_range(half..self.config.duration.as_secs_f64());
                     let at = (Timestamp::ZERO + SimDuration::from_secs_f64(at_secs))
                         .max(*sub_at + SimDuration::from_secs(1));
                     if at < end {
                         out.push(Activity {
                             at,
-                            kind: ActivityKind::Unsubscribe { subscriber, handle: *handle },
+                            kind: ActivityKind::Unsubscribe {
+                                subscriber,
+                                handle: *handle,
+                            },
                         });
                     }
                 }
@@ -189,12 +203,18 @@ impl TraceGenerator {
                 if now >= end {
                     break;
                 }
-                out.push(Activity { at: now, kind: ActivityKind::Logout(subscriber) });
+                out.push(Activity {
+                    at: now,
+                    kind: ActivityKind::Logout(subscriber),
+                });
                 now += churn.next_off_duration();
                 if now >= end {
                     break;
                 }
-                out.push(Activity { at: now, kind: ActivityKind::Login(subscriber) });
+                out.push(Activity {
+                    at: now,
+                    kind: ActivityKind::Login(subscriber),
+                });
             }
         }
 
@@ -245,8 +265,10 @@ mod tests {
                 .any(|a| matches!(a.kind, ActivityKind::Login(x) if x == subscriber)));
             let subs = trace
                 .iter()
-                .filter(|a| matches!(&a.kind,
-                    ActivityKind::Subscribe { subscriber: x, .. } if *x == subscriber))
+                .filter(|a| {
+                    matches!(&a.kind,
+                    ActivityKind::Subscribe { subscriber: x, .. } if *x == subscriber)
+                })
                 .count();
             assert_eq!(subs, config.subscriptions_per_subscriber);
         }
@@ -255,7 +277,10 @@ mod tests {
     #[test]
     fn unsubscribes_reference_earlier_subscribes() {
         let trace = TraceGenerator::new(
-            TraceConfig { unsubscribe_fraction: 0.5, ..small_config() },
+            TraceConfig {
+                unsubscribe_fraction: 0.5,
+                ..small_config()
+            },
             3,
         )
         .generate()
@@ -291,7 +316,11 @@ mod tests {
             .map(|a| a.at)
             .collect();
         // Roughly one per 10 s over 10 minutes.
-        assert!(publications.len() >= 40, "only {} publications", publications.len());
+        assert!(
+            publications.len() >= 40,
+            "only {} publications",
+            publications.len()
+        );
         let last = publications.last().unwrap();
         assert!(last.as_secs_f64() > 8.0 * 60.0);
         // Shelter publications are interleaved.

@@ -55,7 +55,12 @@ pub fn to_string(trace: &[Activity]) -> String {
             ActivityKind::Logout(sub) => {
                 let _ = writeln!(out, "{at} logout {}", sub.as_u64());
             }
-            ActivityKind::Subscribe { subscriber, channel, params, handle } => {
+            ActivityKind::Subscribe {
+                subscriber,
+                channel,
+                params,
+                handle,
+            } => {
                 let _ = writeln!(
                     out,
                     "{at} subscribe {} {handle} {channel} {}",
@@ -87,11 +92,7 @@ pub fn from_str(text: &str) -> Result<Vec<Activity>> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, header)) if header.trim() == HEADER => {}
-        _ => {
-            return Err(BadError::Parse(format!(
-                "trace: missing header `{HEADER}`"
-            )))
-        }
+        _ => return Err(BadError::Parse(format!("trace: missing header `{HEADER}`"))),
     }
     let mut out = Vec::new();
     for (lineno, line) in lines {
@@ -99,9 +100,10 @@ pub fn from_str(text: &str) -> Result<Vec<Activity>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(parse_line(line).map_err(|e| {
-            BadError::Parse(format!("trace line {}: {e}", lineno + 1))
-        })?);
+        out.push(
+            parse_line(line)
+                .map_err(|e| BadError::Parse(format!("trace line {}: {e}", lineno + 1)))?,
+        );
     }
     Ok(out)
 }
@@ -151,9 +153,13 @@ fn params_from_json(json: &str) -> Result<ParamBindings> {
 
 fn parse_line(line: &str) -> Result<Activity> {
     let err = |msg: &str| BadError::Parse(msg.to_owned());
-    let (at_str, rest) = line.split_once(' ').ok_or_else(|| err("missing timestamp"))?;
+    let (at_str, rest) = line
+        .split_once(' ')
+        .ok_or_else(|| err("missing timestamp"))?;
     let at = Timestamp::from_micros(
-        at_str.parse::<u64>().map_err(|_| err("invalid timestamp"))?,
+        at_str
+            .parse::<u64>()
+            .map_err(|_| err("invalid timestamp"))?,
     );
     let (verb, rest) = match rest.split_once(' ') {
         Some((v, r)) => (v, r),
@@ -162,7 +168,9 @@ fn parse_line(line: &str) -> Result<Activity> {
     let kind = match verb {
         "login" | "logout" => {
             let sub = SubscriberId::new(
-                rest.trim().parse::<u64>().map_err(|_| err("invalid subscriber id"))?,
+                rest.trim()
+                    .parse::<u64>()
+                    .map_err(|_| err("invalid subscriber id"))?,
             );
             if verb == "login" {
                 ActivityKind::Login(sub)
@@ -180,9 +188,11 @@ fn parse_line(line: &str) -> Result<Activity> {
                 .next()
                 .and_then(|s| s.parse::<u64>().ok())
                 .ok_or_else(|| err("invalid handle"))?;
-            let channel = parts.next().ok_or_else(|| err("missing channel"))?.to_owned();
-            let params =
-                params_from_json(parts.next().ok_or_else(|| err("missing parameters"))?)?;
+            let channel = parts
+                .next()
+                .ok_or_else(|| err("missing channel"))?
+                .to_owned();
+            let params = params_from_json(parts.next().ok_or_else(|| err("missing parameters"))?)?;
             ActivityKind::Subscribe {
                 subscriber: SubscriberId::new(sub),
                 channel,
@@ -200,7 +210,10 @@ fn parse_line(line: &str) -> Result<Activity> {
                 .next()
                 .and_then(|s| s.trim().parse::<u64>().ok())
                 .ok_or_else(|| err("invalid handle"))?;
-            ActivityKind::Unsubscribe { subscriber: SubscriberId::new(sub), handle }
+            ActivityKind::Unsubscribe {
+                subscriber: SubscriberId::new(sub),
+                handle,
+            }
         }
         "report" => ActivityKind::PublishReport(DataValue::parse_json(rest)?),
         "shelter" => ActivityKind::PublishShelter(DataValue::parse_json(rest)?),
@@ -263,10 +276,7 @@ mod tests {
         let text = "# bad-trace v1\n\n# a comment\n100 login 7\n";
         let trace = from_str(text).unwrap();
         assert_eq!(trace.len(), 1);
-        assert_eq!(
-            trace[0].kind,
-            ActivityKind::Login(SubscriberId::new(7))
-        );
+        assert_eq!(trace[0].kind, ActivityKind::Login(SubscriberId::new(7)));
         assert_eq!(trace[0].at, Timestamp::from_micros(100));
     }
 

@@ -32,7 +32,10 @@ fn main() -> Result<(), BadError> {
     assert!(matches!(spec.mode(), ChannelMode::Repetitive { .. }));
 
     // The matcher extracts equality constraints for partitioned matching.
-    println!("equality keys for the subscription index: {:?}", spec.equality_param_fields());
+    println!(
+        "equality keys for the subscription index: {:?}",
+        spec.equality_param_fields()
+    );
 
     // --- Bind parameters and match records. ----------------------------
     let area = big_active_data::types::BoundingBox::new(
@@ -56,7 +59,10 @@ fn main() -> Result<(), BadError> {
     )?;
 
     for (name, record) in [("inside", &inside), ("outside", &outside), ("mild", &mild)] {
-        println!("record {name:>7}: matches = {}", spec.matches(record, &params)?);
+        println!(
+            "record {name:>7}: matches = {}",
+            spec.matches(record, &params)?
+        );
     }
     assert!(spec.matches(&inside, &params)?);
     assert!(!spec.matches(&outside, &params)?);
@@ -87,7 +93,7 @@ fn main() -> Result<(), BadError> {
     for bad in [
         "channel X() from D r where r.a == $ghost select r", // undeclared param
         "channel X(a: blob) from D r where r.a == $a select r", // unknown type
-        "r.a ==",                                             // syntax
+        "r.a ==",                                            // syntax
     ] {
         let err = ChannelSpec::parse(bad)
             .err()

@@ -20,8 +20,11 @@ fn main() -> Result<(), BadError> {
     )?;
 
     let mut fleet = BrokerFleet::new(PolicyName::Lsc, BrokerConfig::default());
-    let brokers =
-        [fleet.add_broker("broker-0:8001"), fleet.add_broker("broker-1:8001"), fleet.add_broker("broker-2:8001")];
+    let brokers = [
+        fleet.add_broker("broker-0:8001"),
+        fleet.add_broker("broker-1:8001"),
+        fleet.add_broker("broker-2:8001"),
+    ];
     println!("fleet: {} brokers registered", fleet.broker_count());
 
     // 30 subscribers, interests spread over 5 kinds.
@@ -47,13 +50,16 @@ fn main() -> Result<(), BadError> {
     }
 
     // Phase 1: publish one round; everyone is served.
-    let mut publish_round = |fleet: &mut BrokerFleet, cluster: &mut DataCluster, sec: u64| {
+    let publish_round = |fleet: &mut BrokerFleet, cluster: &mut DataCluster, sec: u64| {
         for kind in kinds {
             let record = DataValue::object([
                 ("kind", DataValue::from(kind)),
                 ("sev", DataValue::from((sec % 5) as i64)),
             ]);
-            for n in cluster.publish("Reports", Timestamp::from_secs(sec), record).unwrap() {
+            for n in cluster
+                .publish("Reports", Timestamp::from_secs(sec), record)
+                .unwrap()
+            {
                 fleet.on_notification(cluster, n, Timestamp::from_secs(sec));
             }
         }
@@ -61,15 +67,19 @@ fn main() -> Result<(), BadError> {
     publish_round(&mut fleet, &mut cluster, 1);
     let mut delivered = 0u64;
     for &handle in &handles {
-        delivered += fleet.get_results(&mut cluster, handle, Timestamp::from_secs(2))?.total_objects();
+        delivered += fleet
+            .get_results(&mut cluster, handle, Timestamp::from_secs(2))?
+            .total_objects();
     }
     println!("\nphase 1: {delivered} objects delivered across 30 subscribers");
 
     // Phase 2: kill the busiest broker.
     let victim = fleet.broker_of(handles[0]).expect("assigned");
     let migrated = fleet.fail_broker(&mut cluster, victim, Timestamp::from_secs(3))?;
-    println!("phase 2: {victim} FAILED; {migrated} subscriptions migrated, {} brokers left",
-        fleet.broker_count());
+    println!(
+        "phase 2: {victim} FAILED; {migrated} subscriptions migrated, {} brokers left",
+        fleet.broker_count()
+    );
 
     // Phase 3: publish again; every subscriber still gets results —
     // through their new brokers, with handles unchanged.
@@ -77,7 +87,10 @@ fn main() -> Result<(), BadError> {
     let mut delivered = 0u64;
     for &handle in &handles {
         let d = fleet.get_results(&mut cluster, handle, Timestamp::from_secs(5))?;
-        assert!(d.total_objects() >= 1, "{handle} lost service after failover");
+        assert!(
+            d.total_objects() >= 1,
+            "{handle} lost service after failover"
+        );
         assert_ne!(fleet.broker_of(handle).unwrap(), victim);
         delivered += d.total_objects();
     }

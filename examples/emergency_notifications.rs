@@ -23,12 +23,7 @@ fn main() -> Result<(), BadError> {
     }
 
     // Boot the two nodes with 10 000x time compression.
-    let deployment = Deployment::start(
-        PolicyName::Ttl,
-        BrokerConfig::default(),
-        cluster,
-        10_000.0,
-    );
+    let deployment = Deployment::start(PolicyName::Ttl, BrokerConfig::default(), cluster, 10_000.0);
 
     // Three residents subscribe to different interests.
     let mut city = EmergencyCity::new(EmergencyCityConfig::default(), 7)?;
@@ -44,7 +39,10 @@ fn main() -> Result<(), BadError> {
     let flood = ParamBindings::from_pairs([("etype", DataValue::from("flood"))]);
     let shared: Vec<_> = clients
         .iter()
-        .map(|c| c.subscribe("EmergenciesOfType", flood.clone()).expect("subscribe"))
+        .map(|c| {
+            c.subscribe("EmergenciesOfType", flood.clone())
+                .expect("subscribe")
+        })
         .collect();
 
     // A publisher emits geo-tagged reports; ticks run the repetitive

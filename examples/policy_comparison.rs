@@ -2,6 +2,13 @@
 //! a miniature of the paper's Figs. 3–4 that runs in a few seconds.
 //!
 //! Run with: `cargo run --release --example policy_comparison`
+//!
+//! The LSC and TTL runs are traced: their structured event streams
+//! (inserts, hits, evictions with victim scores, TTL retunes, epoch
+//! samples, ...) are written as JSON Lines to `BAD_TRACE` (default
+//! `target/experiments/policy_comparison.trace.jsonl`).
+
+use std::sync::Arc;
 
 use big_active_data::cache::PolicyName;
 use big_active_data::prelude::*;
@@ -26,9 +33,23 @@ fn main() -> Result<(), BadError> {
         "policy", "hit_ratio", "latency", "miss_MiB", "avg_cache", "max_cache"
     );
 
+    // Trace the two most instructive runs: LSC (evictions with victim
+    // scores) and TTL (retunes + expiries), into one JSONL file.
+    let trace_path = std::env::var("BAD_TRACE")
+        .unwrap_or_else(|_| "target/experiments/policy_comparison.trace.jsonl".to_owned());
+    if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+        std::fs::create_dir_all(parent).expect("create trace directory");
+    }
+    let jsonl = Arc::new(JsonlSink::create(&trace_path).expect("create trace file"));
+    let registry = Registry::new();
+
     let mut results = Vec::new();
     for policy in PolicyName::ALL {
-        let report = Simulation::new(policy, config.clone(), 42)?.run();
+        let mut sim = Simulation::new(policy, config.clone(), 42)?;
+        if matches!(policy, PolicyName::Lsc | PolicyName::Ttl) {
+            sim.attach_telemetry(&registry, jsonl.clone());
+        }
+        let report = sim.run();
         println!(
             "{:<6} {:>9.3} {:>10} {:>11.2} {:>12} {:>12}",
             policy.to_string(),
@@ -67,5 +88,40 @@ fn main() -> Result<(), BadError> {
         by(PolicyName::Lsc).mean_latency,
         by(PolicyName::Nc).mean_latency
     );
+
+    // Summarize the captured trace.
+    jsonl.flush().expect("flush trace");
+    let trace = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let count_kind = |kind: &str| {
+        let needle = format!("\"kind\":\"{kind}\"");
+        trace.lines().filter(|line| line.contains(&needle)).count()
+    };
+    println!(
+        "\ntrace: {} events -> {}",
+        trace.lines().count(),
+        trace_path
+    );
+    println!(
+        "  cache.evict (victim score φ/s):  {}",
+        count_kind("cache.evict")
+    );
+    println!(
+        "  cache.ttl_retune (λ, η, ρ, T):   {}",
+        count_kind("cache.ttl_retune")
+    );
+    println!(
+        "  cache.expire (TTL expiries):     {}",
+        count_kind("cache.expire")
+    );
+    println!(
+        "  sim.epoch_sample (Fig. 5a data): {}",
+        count_kind("sim.epoch_sample")
+    );
+    println!("\ncounters (LSC + TTL runs combined):");
+    for line in registry.render().lines() {
+        if line.contains("_objects_total") && !line.starts_with('#') {
+            println!("  {line}");
+        }
+    }
     Ok(())
 }

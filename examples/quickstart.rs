@@ -25,7 +25,13 @@ fn main() -> Result<(), big_active_data::types::BadError> {
     let alice = SubscriberId::new(1);
     let bob = SubscriberId::new(2);
     let params = ParamBindings::from_pairs([("kind", DataValue::from("flood"))]);
-    let fs_alice = broker.subscribe(&mut cluster, alice, "ByKind", params.clone(), Timestamp::ZERO)?;
+    let fs_alice = broker.subscribe(
+        &mut cluster,
+        alice,
+        "ByKind",
+        params.clone(),
+        Timestamp::ZERO,
+    )?;
     let fs_bob = broker.subscribe(&mut cluster, bob, "ByKind", params, Timestamp::ZERO)?;
     println!(
         "subscriptions: {} frontend -> {} backend (merged)",
@@ -77,7 +83,9 @@ fn main() -> Result<(), big_active_data::types::BadError> {
 
     // --- 6. The same retrieval without a cache pays the cluster RTT. ---
     let hit_latency = delivery.latency;
-    let miss_latency = broker.net().delivery_latency(ByteSize::ZERO, delivery.total_bytes());
+    let miss_latency = broker
+        .net()
+        .delivery_latency(ByteSize::ZERO, delivery.total_bytes());
     println!("hit latency {hit_latency} vs miss latency {miss_latency}");
     assert!(hit_latency < miss_latency);
     Ok(())

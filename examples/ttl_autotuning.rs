@@ -26,37 +26,35 @@ fn main() {
         let bs = BackendSubId::new(i as u64);
         mgr.create_cache(bs, Timestamp::ZERO);
         for s in 0..subs {
-            mgr.add_subscriber(bs, SubscriberId::new(i as u64 * 100 + s)).unwrap();
+            mgr.add_subscriber(bs, SubscriberId::new(i as u64 * 100 + s))
+                .unwrap();
         }
     }
 
     println!("budget B = {budget}\n");
     println!("phase 1: rates as configured");
     let mut next_id = 0u64;
-    let feed = |mgr: &mut CacheManager,
-                    rates: &[(u64, u64); 3],
-                    from: u64,
-                    to: u64,
-                    next_id: &mut u64| {
-        for sec in from..to {
-            let now = Timestamp::from_secs(sec);
-            for (i, &(_, rate)) in rates.iter().enumerate() {
-                mgr.insert(
-                    BackendSubId::new(i as u64),
-                    NewObject {
-                        id: ObjectId::new(*next_id),
-                        ts: now,
-                        size: ByteSize::new(rate),
-                        fetch_latency: SimDuration::from_millis(500),
-                    },
-                    now,
-                )
-                .unwrap();
-                *next_id += 1;
+    let feed =
+        |mgr: &mut CacheManager, rates: &[(u64, u64); 3], from: u64, to: u64, next_id: &mut u64| {
+            for sec in from..to {
+                let now = Timestamp::from_secs(sec);
+                for (i, &(_, rate)) in rates.iter().enumerate() {
+                    mgr.insert(
+                        BackendSubId::new(i as u64),
+                        NewObject {
+                            id: ObjectId::new(*next_id),
+                            ts: now,
+                            size: ByteSize::new(rate),
+                            fetch_latency: SimDuration::from_millis(500),
+                        },
+                        now,
+                    )
+                    .unwrap();
+                    *next_id += 1;
+                }
+                mgr.maintain(now);
             }
-            mgr.maintain(now);
-        }
-    };
+        };
 
     feed(&mut mgr, &profiles, 1, 120, &mut next_id);
     let now = Timestamp::from_secs(120);

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, lints.
+#
+# Requires registry access (or a warm cargo cache) for the external
+# deps; see ROADMAP.md for the offline per-crate fallback.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -105,7 +105,10 @@ fn flag_policy(flags: &HashMap<String, String>) -> Result<PolicyName, BadError> 
 }
 
 fn cmd_policies() -> Result<(), BadError> {
-    println!("{:<6} {:<14} {:<13} {}", "name", "utility", "value", "dropping criterion");
+    println!(
+        "{:<6} {:<14} {:<13} dropping criterion",
+        "name", "utility", "value"
+    );
     for info in policy_catalog() {
         println!(
             "{:<6} {:<14} {:<13} {}",
@@ -146,10 +149,7 @@ fn cmd_sim(args: &[String]) -> Result<(), BadError> {
     }
     eprintln!(
         "sim: policy={policy} subscribers={} streams={} budget={} duration={} seed={seed}",
-        config.subscribers,
-        config.unique_subscriptions,
-        config.cache_budget,
-        config.duration
+        config.subscribers, config.unique_subscriptions, config.cache_budget, config.duration
     );
     let report = Simulation::new(policy, config, seed)?.run();
     print_sim_report(&report);
@@ -226,9 +226,9 @@ fn cmd_trace(args: &[String]) -> Result<(), BadError> {
             Ok(())
         }
         Some("info") => {
-            let path = args.get(1).ok_or_else(|| {
-                BadError::InvalidArgument("trace info needs a FILE".into())
-            })?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| BadError::InvalidArgument("trace info needs a FILE".into()))?;
             let trace = trace_io::load(path)?;
             let mut logins = 0u64;
             let mut logouts = 0u64;

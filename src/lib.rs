@@ -19,6 +19,7 @@
 //! | [`workload`] | `bad-workload` | Zipf popularity, churn, traces, emergency city |
 //! | [`sim`] | `bad-sim` | Section V discrete-event evaluation |
 //! | [`proto`] | `bad-proto` | Section VI full-stack prototype (DES + threads) |
+//! | [`telemetry`] | `bad-telemetry` | zero-dependency counters, histograms, structured events |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use bad_proto as proto;
 pub use bad_query as query;
 pub use bad_sim as sim;
 pub use bad_storage as storage;
+pub use bad_telemetry as telemetry;
 pub use bad_types as types;
 pub use bad_workload as workload;
 
@@ -71,9 +73,10 @@ pub mod prelude {
     pub use bad_query::{ChannelSpec, ParamBindings};
     pub use bad_sim::{SimConfig, Simulation};
     pub use bad_storage::{Dataset, ResultStore, Schema};
+    pub use bad_telemetry::{Event, JsonlSink, Registry, RingBufferSink, SharedSink};
     pub use bad_types::{
-        BackendSubId, ByteSize, DataValue, FrontendSubId, GeoPoint, SimDuration,
-        SubscriberId, TimeRange, Timestamp,
+        BackendSubId, ByteSize, DataValue, FrontendSubId, GeoPoint, SimDuration, SubscriberId,
+        TimeRange, Timestamp,
     };
     pub use bad_workload::{EmergencyCity, TraceConfig, TraceGenerator};
 }

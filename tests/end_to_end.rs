@@ -69,7 +69,10 @@ fn publish_to_delivery_with_enrichment() {
 
     // Publish two matching reports and one that does not match.
     for (sec, city) in [(3u64, "irvine"), (4, "tustin"), (5, "irvine")] {
-        for n in cluster.publish("Reports", t(sec), report(city, sec as i64)).unwrap() {
+        for n in cluster
+            .publish("Reports", t(sec), report(city, sec as i64))
+            .unwrap()
+        {
             broker.on_notification(&mut cluster, n, t(sec));
         }
     }
@@ -109,7 +112,10 @@ fn eviction_causes_misses_that_are_refetched_exactly_once() {
 
     // Three results; the tiny budget evicts the older ones.
     for sec in [1u64, 2, 3] {
-        for n in cluster.publish("Reports", t(sec), report("irvine", sec as i64)).unwrap() {
+        for n in cluster
+            .publish("Reports", t(sec), report("irvine", sec as i64))
+            .unwrap()
+        {
             broker.on_notification(&mut cluster, n, t(sec));
         }
     }
@@ -131,10 +137,14 @@ fn eviction_causes_misses_that_are_refetched_exactly_once() {
 fn bcs_routes_subscribers_across_brokers() {
     let mut cluster = city_cluster();
     let mut bcs = BrokerCoordinationService::new();
-    let broker_ids = [bcs.register_broker("broker-a"), bcs.register_broker("broker-b")];
-    let mut brokers =
-        vec![Broker::new(PolicyName::Lsc, BrokerConfig::default()),
-             Broker::new(PolicyName::Lsc, BrokerConfig::default())];
+    let broker_ids = [
+        bcs.register_broker("broker-a"),
+        bcs.register_broker("broker-b"),
+    ];
+    let mut brokers = [
+        Broker::new(PolicyName::Lsc, BrokerConfig::default()),
+        Broker::new(PolicyName::Lsc, BrokerConfig::default()),
+    ];
 
     // Four subscribers get spread across the two brokers.
     let mut fss = Vec::new();
@@ -160,7 +170,9 @@ fn bcs_routes_subscribers_across_brokers() {
     assert_eq!(cluster.subscription_count(), 2);
 
     // A publication reaches subscribers on both brokers.
-    let notifications = cluster.publish("Reports", t(1), report("irvine", 1)).unwrap();
+    let notifications = cluster
+        .publish("Reports", t(1), report("irvine", 1))
+        .unwrap();
     assert_eq!(notifications.len(), 2);
     for n in notifications {
         for broker in brokers.iter_mut() {
@@ -168,8 +180,9 @@ fn bcs_routes_subscribers_across_brokers() {
         }
     }
     for (idx, subscriber, fs) in fss {
-        let delivery =
-            brokers[idx].get_results(&mut cluster, subscriber, fs, t(2)).unwrap();
+        let delivery = brokers[idx]
+            .get_results(&mut cluster, subscriber, fs, t(2))
+            .unwrap();
         assert_eq!(delivery.total_objects(), 1, "{subscriber} got the alert");
     }
 }
@@ -197,7 +210,10 @@ fn repetitive_channels_deliver_in_batches() {
         .unwrap();
 
     for sec in [5u64, 10, 15] {
-        assert!(cluster.publish("Reports", t(sec), report("irvine", sec as i64)).unwrap().is_empty());
+        assert!(cluster
+            .publish("Reports", t(sec), report("irvine", sec as i64))
+            .unwrap()
+            .is_empty());
     }
     // Nothing delivered until the channel executes.
     assert!(!broker.has_pending(fs));

@@ -58,7 +58,13 @@ fn hit_ratio_increases_with_cache_size() {
 #[test]
 fn eviction_bounded_ttl_unbounded() {
     let budget = ByteSize::from_kib(512);
-    for policy in [PolicyName::Lru, PolicyName::Lsc, PolicyName::Lscz, PolicyName::Lsd, PolicyName::Exp] {
+    for policy in [
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Lscz,
+        PolicyName::Lsd,
+        PolicyName::Exp,
+    ] {
         let report = run(policy, budget, 3);
         assert!(
             report.max_cache_bytes <= budget,

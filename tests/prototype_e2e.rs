@@ -1,17 +1,22 @@
 //! End-to-end tests of the prototype deployments: the deterministic
 //! full-stack harness and the threaded runtime.
 
+use big_active_data::broker::BrokerConfig;
 use big_active_data::cache::PolicyName;
 use big_active_data::prelude::*;
 use big_active_data::proto::harness::build_emergency_cluster;
 use big_active_data::proto::ClientEvent;
-use big_active_data::broker::BrokerConfig;
 
 #[test]
 fn harness_prototype_replays_trace_for_all_policies() {
     let config = PrototypeConfig::smoke();
     let mut reports = Vec::new();
-    for policy in [PolicyName::Nc, PolicyName::Lru, PolicyName::Lsc, PolicyName::Ttl] {
+    for policy in [
+        PolicyName::Nc,
+        PolicyName::Lru,
+        PolicyName::Lsc,
+        PolicyName::Ttl,
+    ] {
         let report = run_prototype(policy, &config, 11).unwrap();
         assert!(report.deliveries > 0, "{policy}: nothing delivered");
         reports.push(report);
@@ -19,7 +24,10 @@ fn harness_prototype_replays_trace_for_all_policies() {
     // Same trace: identical publication counts and subscription shapes.
     for pair in reports.windows(2) {
         assert_eq!(pair[0].publications, pair[1].publications);
-        assert_eq!(pair[0].frontend_subscriptions, pair[1].frontend_subscriptions);
+        assert_eq!(
+            pair[0].frontend_subscriptions,
+            pair[1].frontend_subscriptions
+        );
     }
     // NC is the latency/fetch worst case.
     let nc = &reports[0];
@@ -32,15 +40,16 @@ fn harness_prototype_replays_trace_for_all_policies() {
 #[test]
 fn threaded_deployment_serves_many_clients() {
     let cluster = build_emergency_cluster().unwrap();
-    let deployment =
-        Deployment::start(PolicyName::Lsc, BrokerConfig::default(), cluster, 50_000.0);
+    let deployment = Deployment::start(PolicyName::Lsc, BrokerConfig::default(), cluster, 50_000.0);
 
     // Ten clients share one hot interest.
     let params = ParamBindings::from_pairs([("etype", DataValue::from("tornado"))]);
     let clients: Vec<_> = (0..10)
         .map(|i| {
             let client = deployment.client(SubscriberId::new(i));
-            let fs = client.subscribe("EmergenciesOfType", params.clone()).unwrap();
+            let fs = client
+                .subscribe("EmergenciesOfType", params.clone())
+                .unwrap();
             (client, fs)
         })
         .collect();
@@ -70,8 +79,7 @@ fn threaded_deployment_serves_many_clients() {
 
     let mut total = 0u64;
     for (client, fs) in &clients {
-        let ClientEvent::ResultsAvailable { frontend, .. } =
-            client.events.recv().unwrap();
+        let ClientEvent::ResultsAvailable { frontend, .. } = client.events.recv().unwrap();
         assert_eq!(frontend, *fs);
         total += client.get_results(*fs).unwrap().total_objects();
     }
@@ -88,8 +96,7 @@ fn threaded_deployment_serves_many_clients() {
 #[test]
 fn threaded_deployment_survives_churny_clients() {
     let cluster = build_emergency_cluster().unwrap();
-    let deployment =
-        Deployment::start(PolicyName::Ttl, BrokerConfig::default(), cluster, 50_000.0);
+    let deployment = Deployment::start(PolicyName::Ttl, BrokerConfig::default(), cluster, 50_000.0);
     for i in 0..20u64 {
         let client = deployment.client(SubscriberId::new(i));
         let fs = client
