@@ -1,7 +1,9 @@
 //! The broker engine: subscription management, cache-mediated delivery
 //! and cluster interaction, independent of any particular runtime.
 
-use bad_cache::{CacheConfig, CacheManager, GetPlan, NewObject, PolicyName};
+use std::sync::Arc;
+
+use bad_cache::{CacheConfig, GetPlan, NewObject, PolicyName, ShardedCacheManager};
 use bad_cluster::{DataCluster, Notification};
 use bad_net::NetworkModel;
 use bad_query::ParamBindings;
@@ -67,6 +69,11 @@ pub struct BrokerConfig {
     pub cache: CacheConfig,
     /// The network model used for latency accounting.
     pub net: NetworkModel,
+    /// Number of lock-striped cache shards. `1` (the default) keeps
+    /// eviction/expiry decisions byte-for-byte identical to the
+    /// paper's monolithic cache manager; more shards let runtime
+    /// worker threads operate on the cache concurrently.
+    pub shards: usize,
 }
 
 impl Default for BrokerConfig {
@@ -74,6 +81,7 @@ impl Default for BrokerConfig {
         Self {
             cache: CacheConfig::default(),
             net: NetworkModel::paper_defaults(),
+            shards: 1,
         }
     }
 }
@@ -157,7 +165,7 @@ impl DeliveryMetrics {
 #[derive(Debug)]
 pub struct Broker {
     subs: SubscriptionTable,
-    cache: CacheManager,
+    cache: Arc<ShardedCacheManager>,
     net: NetworkModel,
     delivery: DeliveryMetrics,
     telemetry: BrokerTelemetry,
@@ -168,7 +176,11 @@ impl Broker {
     pub fn new(policy: PolicyName, config: BrokerConfig) -> Self {
         Self {
             subs: SubscriptionTable::new(),
-            cache: CacheManager::new(policy, config.cache),
+            cache: Arc::new(ShardedCacheManager::new(
+                policy,
+                config.cache,
+                config.shards,
+            )),
             net: config.net,
             delivery: DeliveryMetrics::default(),
             telemetry: BrokerTelemetry::detached(),
@@ -193,9 +205,15 @@ impl Broker {
         &self.subs
     }
 
-    /// The cache manager (read-only).
-    pub fn cache(&self) -> &CacheManager {
+    /// The (sharded) cache manager (read-only).
+    pub fn cache(&self) -> &ShardedCacheManager {
         &self.cache
+    }
+
+    /// A shared handle to the cache tier, for runtimes that fan cache
+    /// maintenance out to shard worker threads.
+    pub fn cache_handle(&self) -> Arc<ShardedCacheManager> {
+        Arc::clone(&self.cache)
     }
 
     /// Installs admission control on the cache (extension; default is
@@ -302,7 +320,7 @@ impl Broker {
                 // The cache exists as long as the backend entry does.
                 let _ = self.cache.insert(bs, desc, now);
             }
-            self.cache.record_populate(outcome.fetched_bytes);
+            self.cache.record_populate(bs, outcome.fetched_bytes);
             outcome.fetch_latency = self.net.cluster_fetch_latency(outcome.fetched_bytes);
         }
 

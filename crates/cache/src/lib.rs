@@ -19,7 +19,10 @@
 //!   ([`TtlComputer`]),
 //! * an ordered [`VictimIndex`] implementing the paper's `O(log N)`
 //!   victim selection, with a linear-scan fallback for comparison,
-//! * the aggregate [`CacheManager`] gluing it all together, and
+//! * the aggregate [`CacheManager`] gluing it all together,
+//! * a lock-striped [`ShardedCacheManager`] partitioning the caches
+//!   across N mutex-guarded shards for concurrent broker workers
+//!   (`shards = 1` reproduces the monolith byte-for-byte), and
 //! * [`CacheMetrics`] capturing every quantity the evaluation plots
 //!   (hit ratio, hit/miss bytes, holding times, time-averaged and
 //!   maximum cache size).
@@ -63,6 +66,7 @@ pub mod object;
 pub mod policy;
 pub mod rate;
 pub mod result_cache;
+pub mod sharded;
 pub mod telemetry;
 pub mod ttl;
 
@@ -74,5 +78,6 @@ pub use object::{CachedObject, NewObject};
 pub use policy::{policy_catalog, EvictionPolicy, PolicyInfo, PolicyKind, PolicyName};
 pub use rate::RateEstimator;
 pub use result_cache::{GetPlan, ResultCache};
+pub use sharded::ShardedCacheManager;
 pub use telemetry::CacheTelemetry;
 pub use ttl::TtlComputer;

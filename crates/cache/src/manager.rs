@@ -162,6 +162,21 @@ impl CacheManager {
         self.config.budget
     }
 
+    /// The full configuration in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Re-targets the budget `B` — the shard-rebalancing hook of
+    /// [`crate::ShardedCacheManager`]. The TTL computer follows the new
+    /// budget. Shrinking below the current occupancy does not evict
+    /// eagerly; call [`CacheManager::enforce_budget`] (or let the next
+    /// insert do it) to settle back under the new bound.
+    pub fn set_budget(&mut self, budget: ByteSize) {
+        self.config.budget = budget;
+        self.ttl.budget = budget;
+    }
+
     /// Current aggregate size across all caches.
     pub fn total_bytes(&self) -> ByteSize {
         self.total_bytes
@@ -347,48 +362,54 @@ impl CacheManager {
             .on_insert(now, bs, desc.id, desc.size, self.total_bytes);
         self.reindex(bs, now);
 
-        let mut dropped = Vec::new();
-        if self.policy.kind() == PolicyKind::Eviction {
-            while self.total_bytes > self.config.budget {
-                let Some(victim) = self.choose_victim(now) else {
-                    break;
-                };
-                let cache = self.caches.get_mut(&victim).expect("victim exists");
-                // The victim cache's φ/s score, captured before the drop
-                // mutates it — this is the quantity the policy minimised.
-                let score = self.policy.score(cache, now);
-                let Some(object) = cache.drop_tail() else {
-                    // Stale index entry for an empty cache; fix and retry.
-                    self.index.remove(victim);
-                    continue;
-                };
-                self.total_bytes -= object.size;
-                self.metrics.record_drop(
-                    DropReason::Evicted,
-                    object.age(now),
-                    self.total_bytes,
-                    now,
-                );
-                self.telemetry.on_drop(
-                    now,
-                    victim,
-                    DropReason::Evicted,
-                    &object,
-                    self.total_bytes,
-                    self.policy_name.as_str(),
-                    score,
-                    SimDuration::ZERO,
-                );
-                self.reindex(victim, now);
-                dropped.push(DroppedObject {
-                    cache: victim,
-                    reason: DropReason::Evicted,
-                    object,
-                });
-            }
-        }
+        let dropped = self.enforce_budget(now);
         self.metrics.observe_peak(self.total_bytes);
         Ok(dropped)
+    }
+
+    /// Evicts until the aggregate size is back within the budget (the
+    /// tail of the `PUT` routine). A no-op for non-eviction policies or
+    /// when already within budget; also invoked after a shard-budget
+    /// rebalance shrinks this manager's share below its occupancy.
+    pub fn enforce_budget(&mut self, now: Timestamp) -> Vec<DroppedObject> {
+        let mut dropped = Vec::new();
+        if self.policy.kind() != PolicyKind::Eviction {
+            return dropped;
+        }
+        while self.total_bytes > self.config.budget {
+            let Some(victim) = self.choose_victim(now) else {
+                break;
+            };
+            let cache = self.caches.get_mut(&victim).expect("victim exists");
+            // The victim cache's φ/s score, captured before the drop
+            // mutates it — this is the quantity the policy minimised.
+            let score = self.policy.score(cache, now);
+            let Some(object) = cache.drop_tail() else {
+                // Stale index entry for an empty cache; fix and retry.
+                self.index.remove(victim);
+                continue;
+            };
+            self.total_bytes -= object.size;
+            self.metrics
+                .record_drop(DropReason::Evicted, object.age(now), self.total_bytes, now);
+            self.telemetry.on_drop(
+                now,
+                victim,
+                DropReason::Evicted,
+                &object,
+                self.total_bytes,
+                self.policy_name.as_str(),
+                score,
+                SimDuration::ZERO,
+            );
+            self.reindex(victim, now);
+            dropped.push(DroppedObject {
+                cache: victim,
+                reason: DropReason::Evicted,
+                object,
+            });
+        }
+        dropped
     }
 
     /// Plans a range retrieval against `bs`'s cache (Algorithm 1 `GET`)

@@ -46,7 +46,7 @@ impl fmt::Display for DropKind {
 }
 
 /// Aggregate metrics for one broker's cache manager.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CacheMetrics {
     // --- request/hit accounting -----------------------------------------
     /// Objects requested by subscribers.
@@ -174,6 +174,46 @@ impl CacheMetrics {
         self.max_bytes = self.max_bytes.max(total);
     }
 
+    /// Folds another manager's metrics into this one — the shard
+    /// aggregation of [`crate::ShardedCacheManager`].
+    ///
+    /// Counters, byte totals, holding times and size integrals add; the
+    /// integral anchor becomes the earliest of the two and the internal
+    /// clock the latest. `max_bytes` becomes the *sum* of the per-shard
+    /// peaks: the shards hit their peaks at different instants, so the
+    /// sum is an upper bound on the true aggregate peak — and since the
+    /// per-shard budgets sum to the global budget, the reported maximum
+    /// still respects the `max ≤ B` invariant for eviction policies.
+    pub fn merge(&mut self, other: &CacheMetrics) {
+        self.requested_objects += other.requested_objects;
+        self.hit_objects += other.hit_objects;
+        self.miss_objects += other.miss_objects;
+        self.hit_bytes += other.hit_bytes;
+        self.miss_bytes += other.miss_bytes;
+        self.populate_bytes += other.populate_bytes;
+        self.inserted_objects += other.inserted_objects;
+        self.inserted_bytes += other.inserted_bytes;
+        self.consumed_objects += other.consumed_objects;
+        self.evicted_objects += other.evicted_objects;
+        self.expired_objects += other.expired_objects;
+        self.unsubscribed_objects += other.unsubscribed_objects;
+        self.holding_total += other.holding_total;
+        self.holding_count += other.holding_count;
+        self.size_integral += other.size_integral;
+        self.current_size += other.current_size;
+        self.last_size_change = self.last_size_change.max(other.last_size_change);
+        self.start_micros = self.start_micros.min(other.start_micros);
+        self.max_bytes += other.max_bytes;
+    }
+
+    /// The raw time-weighted size integral `∫ size dt` accumulated so
+    /// far, in byte·microseconds. Monotonically non-decreasing (see
+    /// [`CacheMetrics::record_size`]); exposed so generative tests can
+    /// assert that invariant across arbitrary operation sequences.
+    pub fn size_integral(&self) -> u128 {
+        self.size_integral
+    }
+
     /// Fraction of requested objects served from the cache, in `[0, 1]`.
     /// Returns `None` before any request.
     pub fn hit_ratio(&self) -> Option<f64> {
@@ -294,6 +334,51 @@ mod tests {
         // Size 0 over [0,10), then 500 over [10,20) -> mean 250.
         assert_eq!(m.time_averaged_bytes(t(20)), ByteSize::new(250));
         assert!(m.time_averaged_bytes(t(10)) >= after_forward);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_earliest_anchor() {
+        let mut a = CacheMetrics::new(Timestamp::ZERO);
+        a.record_hits(3, ByteSize::new(300));
+        a.record_insert(ByteSize::new(100), ByteSize::new(100), t(5));
+        a.observe_peak(ByteSize::new(100));
+        let mut b = CacheMetrics::new(Timestamp::ZERO);
+        b.record_misses(2, ByteSize::new(200));
+        b.record_insert(ByteSize::new(50), ByteSize::new(50), t(10));
+        b.record_drop(
+            DropKind::Evicted,
+            SimDuration::from_secs(4),
+            ByteSize::ZERO,
+            t(12),
+        );
+        b.observe_peak(ByteSize::new(50));
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.requested_objects, 5);
+        assert_eq!(merged.hit_objects, 3);
+        assert_eq!(merged.miss_objects, 2);
+        assert_eq!(merged.inserted_objects, 2);
+        assert_eq!(merged.inserted_bytes, ByteSize::new(150));
+        assert_eq!(merged.evicted_objects, 1);
+        assert_eq!(merged.max_bytes, ByteSize::new(150));
+        assert_eq!(merged.last_size_change, t(12));
+        assert_eq!(
+            merged.size_integral(),
+            a.size_integral() + b.size_integral()
+        );
+        assert_eq!(merged.mean_holding_time(), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn merge_into_fresh_metrics_is_identity() {
+        let mut m = CacheMetrics::new(Timestamp::ZERO);
+        m.record_hits(1, ByteSize::new(10));
+        m.record_insert(ByteSize::new(20), ByteSize::new(20), t(3));
+        m.observe_peak(ByteSize::new(20));
+        let mut folded = CacheMetrics::new(Timestamp::ZERO);
+        folded.merge(&m);
+        assert_eq!(folded, m);
     }
 
     #[test]

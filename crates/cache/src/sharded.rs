@@ -1,0 +1,608 @@
+//! Lock-striped sharding of the broker cache tier.
+//!
+//! [`ShardedCacheManager`] partitions one broker's result caches across
+//! `N` independent [`CacheManager`] shards, each behind its own
+//! `std::sync::Mutex`. Per-backend-subscription caches are independent
+//! except for the shared budget `B` (the knapsack coupling of Section
+//! IV-A), so a cache's shard is fixed by a hash of its
+//! [`BackendSubId`] and every data-path operation (`insert`,
+//! `plan_get`, `ack_consume`, subscriber churn) takes `&self` and locks
+//! exactly one shard — broker worker threads proceed concurrently as
+//! long as they touch different shards.
+//!
+//! The budget coupling is resolved in two pieces:
+//!
+//! * each shard owns a fixed share of `B` (`B/N`, remainder spread over
+//!   the first shards so the shares sum to `B` exactly) and enforces
+//!   it locally — evictions and the per-shard TTL retune (eq. 5–7) use
+//!   the shard-local `Σ n_j·ρ_j`;
+//! * the periodic [`ShardedCacheManager::maintain`] pass rebalances
+//!   the shares — half of `B` split equally as a per-shard floor, half
+//!   by per-shard occupancy — so a hot shard borrows budget from cold
+//!   ones while the global sum stays exactly `B` and no shard is ever
+//!   starved below `B/2N`.
+//!
+//! With `shards = 1` the single shard owns the whole budget, sees the
+//! global `Σ n_j·ρ_j`, and the rebalance is skipped — every eviction
+//! and expiry decision is byte-for-byte identical to a monolithic
+//! [`CacheManager`]. That parity is the paper-faithful mode (the
+//! ICDCS 2018 evaluation is single-threaded) and is pinned by the
+//! `oracle_parity` integration test for all six policies.
+
+use std::sync::{Mutex, MutexGuard};
+
+use bad_types::{BackendSubId, ByteSize, Result, SubscriberId, TimeRange, Timestamp};
+
+use crate::admission::AdmissionControl;
+use crate::manager::{CacheConfig, CacheManager, DroppedObject};
+use crate::metrics::CacheMetrics;
+use crate::object::NewObject;
+use crate::policy::{PolicyKind, PolicyName};
+use crate::result_cache::{GetPlan, ResultCache};
+use crate::telemetry::CacheTelemetry;
+
+/// A finalizer-quality 64-bit mix (splitmix64) so consecutive
+/// subscription ids spread evenly across shards on every platform.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Splits `budget` into `n` shares that sum to `budget` exactly, the
+/// remainder bytes going to the first shards.
+fn split_budget(budget: ByteSize, n: u64) -> Vec<ByteSize> {
+    let base = budget.as_u64() / n;
+    let remainder = budget.as_u64() % n;
+    (0..n)
+        .map(|i| ByteSize::new(base + u64::from(i < remainder)))
+        .collect()
+}
+
+/// N lock-striped [`CacheManager`] shards under one global budget.
+///
+/// All operations take `&self`; each data-path call locks the single
+/// shard owning the addressed cache. See the [module docs](self) for
+/// the budget model and the `shards = 1` parity guarantee.
+#[derive(Debug)]
+pub struct ShardedCacheManager {
+    shards: Vec<Mutex<CacheManager>>,
+    budget: ByteSize,
+    policy: PolicyName,
+    kind: PolicyKind,
+}
+
+impl ShardedCacheManager {
+    /// Creates `shards.max(1)` shards of `policy`, splitting
+    /// `config.budget` evenly across them.
+    pub fn new(policy: PolicyName, config: CacheConfig, shards: usize) -> Self {
+        let n = shards.max(1) as u64;
+        let shards = split_budget(config.budget, n)
+            .into_iter()
+            .map(|share| {
+                Mutex::new(CacheManager::new(
+                    policy,
+                    CacheConfig {
+                        budget: share,
+                        ..config
+                    },
+                ))
+            })
+            .collect();
+        Self {
+            shards,
+            budget: config.budget,
+            policy,
+            kind: policy.build().kind(),
+        }
+    }
+
+    /// The shard index owning `bs` — a stable hash, so routing is
+    /// deterministic across runs and platforms.
+    pub fn shard_index(&self, bs: BackendSubId) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (mix64(bs.as_u64()) % self.shards.len() as u64) as usize
+        }
+    }
+
+    fn lock(&self, idx: usize) -> MutexGuard<'_, CacheManager> {
+        self.shards[idx].lock().expect("cache shard lock poisoned")
+    }
+
+    fn shard(&self, bs: BackendSubId) -> MutexGuard<'_, CacheManager> {
+        self.lock(self.shard_index(bs))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global budget `B` (the per-shard shares sum to this).
+    pub fn budget(&self) -> ByteSize {
+        self.budget
+    }
+
+    /// The current budget share of one shard.
+    pub fn shard_budget(&self, idx: usize) -> ByteSize {
+        self.lock(idx).budget()
+    }
+
+    /// The configured policy.
+    pub fn policy_name(&self) -> PolicyName {
+        self.policy
+    }
+
+    /// How the policy bounds the cache.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Whether the broker should prefetch results into the cache on
+    /// cluster notifications (everything except the NC baseline).
+    pub fn caches_results(&self) -> bool {
+        self.kind != PolicyKind::NoCache
+    }
+
+    /// Current aggregate size across all shards.
+    pub fn total_bytes(&self) -> ByteSize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).total_bytes())
+            .sum()
+    }
+
+    /// Number of result caches across all shards.
+    pub fn cache_count(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).cache_count())
+            .sum()
+    }
+
+    /// Objects rejected by admission control across all shards.
+    pub fn admission_rejections(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).admission_rejections())
+            .sum()
+    }
+
+    /// Aggregated metrics: the fold of every shard's [`CacheMetrics`]
+    /// via [`CacheMetrics::merge`]. With one shard this is an exact
+    /// clone of the shard's metrics.
+    pub fn metrics(&self) -> CacheMetrics {
+        let mut out = self.lock(0).metrics().clone();
+        for i in 1..self.shards.len() {
+            out.merge(self.lock(i).metrics());
+        }
+        out
+    }
+
+    /// Installs a telemetry bundle on every shard. The bundle's metric
+    /// handles are registry-backed and shared, so per-shard counter
+    /// bumps aggregate automatically; the occupancy gauge becomes
+    /// last-writer-wins across shards (an approximation documented in
+    /// DESIGN.md).
+    pub fn set_telemetry(&self, telemetry: CacheTelemetry) {
+        for i in 0..self.shards.len() {
+            self.lock(i).set_telemetry(telemetry.clone());
+        }
+    }
+
+    /// Installs admission control on every shard.
+    pub fn set_admission(&self, admission: AdmissionControl) {
+        for i in 0..self.shards.len() {
+            self.lock(i).set_admission(admission.clone());
+        }
+    }
+
+    /// Creates an empty cache for a new backend subscription.
+    pub fn create_cache(&self, bs: BackendSubId, now: Timestamp) {
+        self.shard(bs).create_cache(bs, now);
+    }
+
+    /// Tears down a backend subscription's cache, dropping its objects.
+    pub fn remove_cache(&self, bs: BackendSubId, now: Timestamp) -> Vec<DroppedObject> {
+        self.shard(bs).remove_cache(bs, now)
+    }
+
+    /// Attaches a subscriber to a cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::NotFound`] when no cache exists
+    /// for `bs`.
+    pub fn add_subscriber(&self, bs: BackendSubId, sub: SubscriberId) -> Result<()> {
+        self.shard(bs).add_subscriber(bs, sub)
+    }
+
+    /// Detaches a subscriber, dropping objects only waiting on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::NotFound`] when no cache exists
+    /// for `bs`.
+    pub fn remove_subscriber(
+        &self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        self.shard(bs).remove_subscriber(bs, sub, now)
+    }
+
+    /// Inserts a freshly produced result (Algorithm 1 `PUT`), evicting
+    /// within the owning shard until its share is respected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::NotFound`] when no cache exists
+    /// for `bs`.
+    pub fn insert(
+        &self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        self.shard(bs).insert(bs, desc, now)
+    }
+
+    /// Plans a range retrieval (Algorithm 1 `GET`) against the owning
+    /// shard.
+    pub fn plan_get(&self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
+        self.shard(bs).plan_get(bs, range, now)
+    }
+
+    /// Marks everything up to `up_to` as retrieved by `sub` (`ACK`),
+    /// dropping fully consumed objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bad_types::BadError::NotFound`] when no cache exists
+    /// for `bs`.
+    pub fn ack_consume(
+        &self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        self.shard(bs).ack_consume(bs, sub, up_to, now)
+    }
+
+    /// Records objects fetched from the cluster due to a cache miss.
+    pub fn record_miss_fetch(
+        &self,
+        bs: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+        now: Timestamp,
+    ) {
+        self.shard(bs).record_miss_fetch(bs, objects, bytes, now);
+    }
+
+    /// Records bytes pulled from the cluster to populate `bs`'s cache
+    /// (`Vol`), accounted to the owning shard.
+    pub fn record_populate(&self, bs: BackendSubId, bytes: ByteSize) {
+        self.shard(bs).record_populate(bytes);
+    }
+
+    /// Periodic maintenance: runs every shard's TTL retune/expiry pass
+    /// in shard order, then (with more than one shard) rebalances the
+    /// budget shares by occupancy. With one shard this is exactly
+    /// [`CacheManager::maintain`].
+    pub fn maintain(&self, now: Timestamp) -> Vec<DroppedObject> {
+        let mut dropped = Vec::new();
+        for idx in 0..self.shards.len() {
+            dropped.extend(self.maintain_shard(idx, now));
+        }
+        if self.shards.len() > 1 {
+            dropped.extend(self.rebalance(now));
+        }
+        dropped
+    }
+
+    /// Runs one shard's maintenance pass — the unit of work the
+    /// prototype runtime fans out to its shard workers. TTL retuning
+    /// uses the shard-local `Σ n_j·ρ_j` against the shard's budget
+    /// share.
+    pub fn maintain_shard(&self, idx: usize, now: Timestamp) -> Vec<DroppedObject> {
+        self.lock(idx).maintain(now)
+    }
+
+    /// Rebalances the per-shard budget shares: half of `B` is split
+    /// equally (a floor of `B/2N` per shard, so a currently-cold shard
+    /// always keeps real headroom to grow into), the other half in
+    /// proportion to current occupancy (`w_i = occ_i + 1`, so the
+    /// weights never vanish) — a hot shard borrows cold shards'
+    /// proportional half while the exact-sum invariant `Σ share_i = B`
+    /// holds. Shards shrunk below their occupancy evict down
+    /// immediately; the returned drops are those evictions.
+    ///
+    /// Locks one shard at a time — never two at once — so it can run
+    /// concurrently with data-path operations without deadlock.
+    pub fn rebalance(&self, now: Timestamp) -> Vec<DroppedObject> {
+        let n = self.shards.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        let occupancy: Vec<u64> = (0..n)
+            .map(|i| self.lock(i).total_bytes().as_u64())
+            .collect();
+        let weights: Vec<u128> = occupancy.iter().map(|&o| u128::from(o) + 1).collect();
+        let total_weight: u128 = weights.iter().sum();
+        let equal_total = self.budget.as_u64() / 2;
+        let prop_total = u128::from(self.budget.as_u64() - equal_total);
+        let mut shares: Vec<u64> = split_budget(ByteSize::new(equal_total), n as u64)
+            .into_iter()
+            .zip(&weights)
+            .map(|(floor, w)| floor.as_u64() + (prop_total * w / total_weight) as u64)
+            .collect();
+        // Flooring leaves a few bytes unassigned; hand them out in
+        // shard order so the shares sum to B exactly.
+        let mut leftover = self.budget.as_u64() - shares.iter().sum::<u64>();
+        for share in shares.iter_mut() {
+            if leftover == 0 {
+                break;
+            }
+            *share += 1;
+            leftover -= 1;
+        }
+        let mut dropped = Vec::new();
+        for (idx, share) in shares.into_iter().enumerate() {
+            let mut shard = self.lock(idx);
+            if shard.budget() != ByteSize::new(share) {
+                shard.set_budget(ByteSize::new(share));
+                dropped.extend(shard.enforce_budget(now));
+            }
+        }
+        dropped
+    }
+
+    /// The expected aggregate size `Σ ρ_i·T_i` under current TTLs,
+    /// summed across shards (Fig. 5a overlay).
+    pub fn expected_ttl_size(&self, now: Timestamp) -> ByteSize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).expected_ttl_size(now))
+            .sum()
+    }
+
+    /// Visits every result cache across all shards, in shard order then
+    /// id order within a shard. (References cannot escape the shard
+    /// locks, hence the visitor shape instead of an iterator.)
+    pub fn for_each_cache(&self, mut f: impl FnMut(&ResultCache)) {
+        for i in 0..self.shards.len() {
+            let shard = self.lock(i);
+            for cache in shard.iter_caches() {
+                f(cache);
+            }
+        }
+    }
+
+    /// Runs `f` on `bs`'s cache (or `None` when it does not exist)
+    /// while holding the owning shard's lock.
+    pub fn with_cache<R>(&self, bs: BackendSubId, f: impl FnOnce(Option<&ResultCache>) -> R) -> R {
+        let shard = self.shard(bs);
+        f(shard.cache(bs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bad_types::{ObjectId, SimDuration};
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    fn obj(id: u64, ts_secs: u64, size: u64) -> NewObject {
+        NewObject {
+            id: ObjectId::new(id),
+            ts: t(ts_secs),
+            size: ByteSize::new(size),
+            fetch_latency: SimDuration::from_millis(500),
+        }
+    }
+
+    fn sharded(policy: PolicyName, budget: u64, shards: usize) -> ShardedCacheManager {
+        ShardedCacheManager::new(
+            policy,
+            CacheConfig {
+                budget: ByteSize::new(budget),
+                ..CacheConfig::default()
+            },
+            shards,
+        )
+    }
+
+    fn with_caches(mgr: &ShardedCacheManager, n: u64) {
+        for i in 0..n {
+            let bs = BackendSubId::new(i);
+            mgr.create_cache(bs, Timestamp::ZERO);
+            mgr.add_subscriber(bs, SubscriberId::new(1000 + i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_shares_sum_to_global_budget() {
+        for (budget, shards) in [(100u64, 3usize), (7, 4), (1, 8), (1000, 1)] {
+            let mgr = sharded(PolicyName::Lsc, budget, shards);
+            let sum: u64 = (0..mgr.shard_count())
+                .map(|i| mgr.shard_budget(i).as_u64())
+                .sum();
+            assert_eq!(sum, budget, "budget {budget} over {shards} shards");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let mgr = sharded(PolicyName::Lru, 100, 0);
+        assert_eq!(mgr.shard_count(), 1);
+        assert_eq!(mgr.shard_budget(0), ByteSize::new(100));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_single_shard_maps_to_zero() {
+        let one = sharded(PolicyName::Lsc, 100, 1);
+        let four = sharded(PolicyName::Lsc, 100, 4);
+        for i in 0..64u64 {
+            let bs = BackendSubId::new(i);
+            assert_eq!(one.shard_index(bs), 0);
+            assert_eq!(four.shard_index(bs), four.shard_index(bs));
+            assert!(four.shard_index(bs) < 4);
+        }
+    }
+
+    #[test]
+    fn routing_spreads_across_shards() {
+        let mgr = sharded(PolicyName::Lsc, 1000, 4);
+        let mut seen = [false; 4];
+        for i in 0..64u64 {
+            seen[mgr.shard_index(BackendSubId::new(i))] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 ids left a shard empty: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn eviction_respects_per_shard_shares_and_global_budget() {
+        let mgr = sharded(PolicyName::Lsc, 400, 4);
+        with_caches(&mgr, 16);
+        let mut id = 0u64;
+        for sec in 1..=20u64 {
+            for c in 0..16u64 {
+                mgr.insert(BackendSubId::new(c), obj(id, sec, 30), t(sec))
+                    .unwrap();
+                id += 1;
+            }
+            assert!(mgr.total_bytes() <= ByteSize::new(400));
+        }
+        assert!(mgr.metrics().evicted_objects > 0);
+    }
+
+    #[test]
+    fn rebalance_moves_budget_toward_occupied_shards() {
+        let mgr = sharded(PolicyName::Lsc, 400, 4);
+        with_caches(&mgr, 16);
+        // Load exactly one cache heavily; its shard should end up with
+        // most of the budget after a rebalance.
+        let hot = BackendSubId::new(0);
+        let hot_shard = mgr.shard_index(hot);
+        for sec in 1..=10u64 {
+            mgr.insert(hot, obj(sec, sec, 10), t(sec)).unwrap();
+        }
+        mgr.rebalance(t(11));
+        let hot_share = mgr.shard_budget(hot_shard).as_u64();
+        for idx in 0..4 {
+            if idx != hot_shard {
+                assert!(
+                    mgr.shard_budget(idx).as_u64() < hot_share,
+                    "cold shard {idx} kept share >= hot shard's {hot_share}"
+                );
+            }
+            // The equal half guarantees every shard a B/2N floor.
+            assert!(
+                mgr.shard_budget(idx).as_u64() >= 400 / 8,
+                "shard {idx} starved below the B/2N floor"
+            );
+        }
+        let sum: u64 = (0..4).map(|i| mgr.shard_budget(i).as_u64()).sum();
+        assert_eq!(sum, 400);
+    }
+
+    #[test]
+    fn rebalance_shrink_evicts_down_to_the_new_share() {
+        let mgr = sharded(PolicyName::Lru, 100, 2);
+        // Occupy one shard right at the global budget split, then force
+        // a rebalance that shrinks the other; totals stay within B.
+        with_caches(&mgr, 8);
+        let mut id = 0u64;
+        for sec in 1..=10u64 {
+            for c in 0..8u64 {
+                mgr.insert(BackendSubId::new(c), obj(id, sec, 7), t(sec))
+                    .unwrap();
+                id += 1;
+            }
+        }
+        let dropped = mgr.rebalance(t(20));
+        let total: u64 = (0..2).map(|i| mgr.shard_budget(i).as_u64()).sum();
+        assert_eq!(total, 100);
+        assert!(mgr.total_bytes() <= ByteSize::new(100));
+        // Any rebalance evictions are tagged as such.
+        assert!(dropped
+            .iter()
+            .all(|d| d.reason == crate::manager::DropReason::Evicted));
+    }
+
+    #[test]
+    fn single_shard_maintain_skips_rebalance_and_keeps_budget() {
+        let mgr = sharded(PolicyName::Ttl, 1000, 1);
+        with_caches(&mgr, 2);
+        mgr.insert(BackendSubId::new(0), obj(1, 1, 100), t(1))
+            .unwrap();
+        mgr.maintain(t(120));
+        assert_eq!(mgr.shard_budget(0), ByteSize::new(1000));
+    }
+
+    #[test]
+    fn metrics_aggregate_across_shards() {
+        let mgr = sharded(PolicyName::Lru, 10_000, 4);
+        with_caches(&mgr, 8);
+        for c in 0..8u64 {
+            mgr.insert(BackendSubId::new(c), obj(c, 1, 50), t(1))
+                .unwrap();
+        }
+        let m = mgr.metrics();
+        assert_eq!(m.inserted_objects, 8);
+        assert_eq!(m.inserted_bytes, ByteSize::new(400));
+        assert_eq!(mgr.total_bytes(), ByteSize::new(400));
+        assert_eq!(mgr.cache_count(), 8);
+    }
+
+    #[test]
+    fn per_shard_ttl_retune_balances_each_share() {
+        // Satellite: after a retune, every shard satisfies the eq. 5
+        // balance Σ ρ_i·T_i ≈ shard budget against its *own* share (as
+        // long as its TTLs are not clamped).
+        let mgr = ShardedCacheManager::new(
+            PolicyName::Ttl,
+            CacheConfig {
+                budget: ByteSize::from_mib(8),
+                ttl_recompute_interval: SimDuration::from_secs(60),
+                ..CacheConfig::default()
+            },
+            4,
+        );
+        for i in 0..16u64 {
+            let bs = BackendSubId::new(i);
+            mgr.create_cache(bs, Timestamp::ZERO);
+            mgr.add_subscriber(bs, SubscriberId::new(1000 + i)).unwrap();
+        }
+        // Sustained growth on every cache: ~2 KB/s for 5 minutes.
+        let mut id = 0u64;
+        for sec in 1..=300u64 {
+            for i in 0..16u64 {
+                mgr.insert(BackendSubId::new(i), obj(id, sec, 2048), t(sec))
+                    .unwrap();
+                id += 1;
+            }
+        }
+        let now = t(301);
+        for idx in 0..mgr.shard_count() {
+            mgr.maintain_shard(idx, now);
+            let share = mgr.shard_budget(idx).as_u64() as f64;
+            let expected = {
+                let shard = mgr.lock(idx);
+                shard.expected_ttl_size(now).as_u64() as f64
+            };
+            assert!(
+                (expected - share).abs() / share < 0.02,
+                "shard {idx}: Σρ_iT_i = {expected}, share = {share}"
+            );
+        }
+    }
+}

@@ -125,7 +125,7 @@ mod tests {
     fn eq5_holds_sum_rho_ttl_equals_budget() {
         let budget = ByteSize::from_mib(1);
         let computer = TtlComputer::new(budget);
-        let mut caches = vec![
+        let mut caches = [
             growing_cache(1, 5, 2000),
             growing_cache(2, 10, 1000),
             growing_cache(3, 1, 4000),
@@ -133,7 +133,7 @@ mod tests {
         let now = t(300);
         let denom = computer.recompute(caches.iter_mut(), now);
         assert!(denom > 0.0);
-        let expected = computer.expected_total_size(caches.iter().map(|c| &*c), now);
+        let expected = computer.expected_total_size(caches.iter(), now);
         let b = budget.as_u64() as f64;
         let got = expected.as_u64() as f64;
         assert!((got - b).abs() / b < 0.01, "Σρ_iT_i = {got}, budget = {b}");
@@ -161,6 +161,43 @@ mod tests {
         let denom = computer.recompute([&mut c], t(10));
         assert_eq!(denom, 0.0);
         assert_eq!(c.ttl(), computer.idle_ttl);
+    }
+
+    #[test]
+    fn fully_consumed_cache_has_zero_rho_and_gets_idle_ttl() {
+        // η_i ≥ λ_i ⇒ ρ_i = (λ_i − η_i)⁺ = 0: a cache whose sole
+        // subscriber keeps up with arrivals exerts no budget pressure,
+        // so the denominator of eq. 7 vanishes and the idle TTL rules.
+        let computer = TtlComputer::new(ByteSize::from_mib(1));
+        let mut c = growing_cache(1, 1, 2000);
+        c.consume_up_to(SubscriberId::new(1000), t(299), t(300));
+        let now = t(300);
+        assert!(c.consumption_rate(now) >= c.arrival_rate(now));
+        assert_eq!(c.growth_rate(now), 0.0);
+        let denom = computer.recompute([&mut c], now);
+        assert_eq!(denom, 0.0);
+        assert_eq!(c.ttl(), computer.idle_ttl);
+    }
+
+    #[test]
+    fn zero_subscriber_cache_is_excluded_from_the_weights() {
+        // A growing cache with no subscribers contributes n_i·ρ_i = 0
+        // to Σ n_j·ρ_j, so its presence must not move anyone's TTL.
+        let computer = TtlComputer::new(ByteSize::from_mib(1));
+        let now = t(300);
+
+        let mut alone = growing_cache(1, 4, 1000);
+        let denom_alone = computer.recompute([&mut alone], now);
+
+        let mut again = growing_cache(1, 4, 1000);
+        let mut orphan = growing_cache(2, 0, 8000);
+        assert!(orphan.growth_rate(now) > 0.0);
+        let denom_both = computer.recompute([&mut again, &mut orphan], now);
+
+        assert!((denom_alone - denom_both).abs() < 1e-9);
+        assert_eq!(alone.ttl(), again.ttl());
+        // The orphan's own n_i = 0 drives its TTL to the floor.
+        assert_eq!(orphan.ttl(), computer.min_ttl);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Shared std-only generative harness for the cache integration tests.
+//!
+//! `proptest` cannot be fetched in the offline build environments this
+//! repo targets, so the property suites that matter (`gen_harness`,
+//! `oracle_parity`, `stress_sharded`) drive the managers from this
+//! hand-rolled seeded PRNG + operation-sequence generator instead. The
+//! op model (variants, weights and value ranges) mirrors `prop_cache`'s
+//! `arb_op` exactly, so the two suites explore the same state space —
+//! `prop_cache` adds shrinking when the registry is reachable, this
+//! harness keeps the properties running when it is not.
+
+#![allow(dead_code)] // each integration-test crate uses a subset
+
+use bad_cache::{
+    CacheManager, CacheMetrics, DroppedObject, GetPlan, NewObject, ShardedCacheManager,
+};
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+/// A tiny xorshift64* PRNG: deterministic, seedable, no dependencies.
+/// Quality is ample for op-sequence generation (this is not crypto).
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> Self {
+        // xorshift has a single absorbing zero state; nudge away from it.
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[0, n)`. Modulo bias is negligible for the
+    /// small ranges used here.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
+/// A randomized operation against a cache manager — the same model as
+/// `prop_cache::Op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Insert {
+        cache: u64,
+        size: u64,
+    },
+    Get {
+        cache: u64,
+        from_sec: u64,
+        len_sec: u64,
+    },
+    Ack {
+        cache: u64,
+        sub: u64,
+        up_to_sec: u64,
+    },
+    AddSub {
+        cache: u64,
+        sub: u64,
+    },
+    RemoveSub {
+        cache: u64,
+        sub: u64,
+    },
+    Maintain,
+}
+
+/// Generates `len` ops over `caches` caches and `subs` subscriber ids
+/// with `prop_cache`'s weights (Insert 4, Get 3, Ack 2, AddSub 1,
+/// RemoveSub 1, Maintain 1) and value ranges.
+pub fn gen_ops(seed: u64, len: usize, caches: u64, subs: u64) -> Vec<Op> {
+    let mut rng = XorShift64::new(seed);
+    (0..len)
+        .map(|_| match rng.below(12) {
+            0..=3 => Op::Insert {
+                cache: rng.below(caches),
+                size: rng.range(1, 5000),
+            },
+            4..=6 => Op::Get {
+                cache: rng.below(caches),
+                from_sec: rng.below(500),
+                len_sec: rng.below(100),
+            },
+            7..=8 => Op::Ack {
+                cache: rng.below(caches),
+                sub: rng.below(subs),
+                up_to_sec: rng.below(500),
+            },
+            9 => Op::AddSub {
+                cache: rng.below(caches),
+                sub: rng.below(subs),
+            },
+            10 => Op::RemoveSub {
+                cache: rng.below(caches),
+                sub: rng.below(subs),
+            },
+            _ => Op::Maintain,
+        })
+        .collect()
+}
+
+/// The common surface of [`CacheManager`] and [`ShardedCacheManager`]
+/// the harness replays against. The sharded impl delegates its `&mut`
+/// receivers to the `&self` API — the point of the oracle is that both
+/// produce identical observable behaviour.
+pub trait Driver {
+    fn create_cache(&mut self, bs: BackendSubId, now: Timestamp);
+    fn add_subscriber(&mut self, bs: BackendSubId, sub: SubscriberId) -> Result<()>;
+    fn remove_subscriber(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>>;
+    fn insert(
+        &mut self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>>;
+    fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan;
+    fn ack_consume(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>>;
+    fn record_miss_fetch(
+        &mut self,
+        bs: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+        now: Timestamp,
+    );
+    fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject>;
+    fn metrics_snapshot(&self) -> CacheMetrics;
+    fn total_bytes(&self) -> ByteSize;
+    fn budget(&self) -> ByteSize;
+    /// Sum of per-cache sizes — must always equal `total_bytes()`.
+    fn caches_bytes_sum(&self) -> ByteSize;
+}
+
+impl Driver for CacheManager {
+    fn create_cache(&mut self, bs: BackendSubId, now: Timestamp) {
+        CacheManager::create_cache(self, bs, now);
+    }
+    fn add_subscriber(&mut self, bs: BackendSubId, sub: SubscriberId) -> Result<()> {
+        CacheManager::add_subscriber(self, bs, sub)
+    }
+    fn remove_subscriber(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        CacheManager::remove_subscriber(self, bs, sub, now)
+    }
+    fn insert(
+        &mut self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        CacheManager::insert(self, bs, desc, now)
+    }
+    fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
+        CacheManager::plan_get(self, bs, range, now)
+    }
+    fn ack_consume(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        CacheManager::ack_consume(self, bs, sub, up_to, now)
+    }
+    fn record_miss_fetch(
+        &mut self,
+        bs: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+        now: Timestamp,
+    ) {
+        CacheManager::record_miss_fetch(self, bs, objects, bytes, now);
+    }
+    fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject> {
+        CacheManager::maintain(self, now)
+    }
+    fn metrics_snapshot(&self) -> CacheMetrics {
+        self.metrics().clone()
+    }
+    fn total_bytes(&self) -> ByteSize {
+        CacheManager::total_bytes(self)
+    }
+    fn budget(&self) -> ByteSize {
+        CacheManager::budget(self)
+    }
+    fn caches_bytes_sum(&self) -> ByteSize {
+        self.iter_caches().map(|c| c.total_bytes()).sum()
+    }
+}
+
+impl Driver for ShardedCacheManager {
+    fn create_cache(&mut self, bs: BackendSubId, now: Timestamp) {
+        ShardedCacheManager::create_cache(self, bs, now);
+    }
+    fn add_subscriber(&mut self, bs: BackendSubId, sub: SubscriberId) -> Result<()> {
+        ShardedCacheManager::add_subscriber(self, bs, sub)
+    }
+    fn remove_subscriber(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        ShardedCacheManager::remove_subscriber(self, bs, sub, now)
+    }
+    fn insert(
+        &mut self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        ShardedCacheManager::insert(self, bs, desc, now)
+    }
+    fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
+        ShardedCacheManager::plan_get(self, bs, range, now)
+    }
+    fn ack_consume(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        ShardedCacheManager::ack_consume(self, bs, sub, up_to, now)
+    }
+    fn record_miss_fetch(
+        &mut self,
+        bs: BackendSubId,
+        objects: u64,
+        bytes: ByteSize,
+        now: Timestamp,
+    ) {
+        ShardedCacheManager::record_miss_fetch(self, bs, objects, bytes, now);
+    }
+    fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject> {
+        ShardedCacheManager::maintain(self, now)
+    }
+    fn metrics_snapshot(&self) -> CacheMetrics {
+        self.metrics()
+    }
+    fn total_bytes(&self) -> ByteSize {
+        ShardedCacheManager::total_bytes(self)
+    }
+    fn budget(&self) -> ByteSize {
+        ShardedCacheManager::budget(self)
+    }
+    fn caches_bytes_sum(&self) -> ByteSize {
+        let mut sum = ByteSize::ZERO;
+        self.for_each_cache(|c| sum += c.total_bytes());
+        sum
+    }
+}
+
+/// What a replay observed, for cross-manager comparison and for
+/// checking metric accounting against an independent tally.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Replay {
+    /// Every dropped object in manager-reported order.
+    pub dropped: Vec<DroppedObject>,
+    /// Objects served from cache (sum of plan `cached` lengths).
+    pub hits: u64,
+    /// Objects re-fetched from the cluster for missed sub-ranges, as
+    /// reported back via `record_miss_fetch`.
+    pub misses: u64,
+}
+
+/// Sets up `n_caches` caches (each with a permanent subscriber
+/// `1000 + c`, mirroring `prop_cache::run_ops`) and replays `ops`,
+/// invoking `after_op` with the driver after every op.
+pub fn replay_with<D: Driver>(
+    mgr: &mut D,
+    ops: &[Op],
+    n_caches: u64,
+    mut after_op: impl FnMut(&mut D),
+) -> Replay {
+    for c in 0..n_caches {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c))
+            .expect("cache just created");
+    }
+    let mut log = Replay::default();
+    let mut produced: Vec<Vec<Timestamp>> = vec![Vec::new(); n_caches as usize];
+    let mut next_id = 0u64;
+    for (next_ts, op) in (1u64..).zip(ops.iter()) {
+        let now = Timestamp::from_secs(next_ts);
+        match *op {
+            Op::Insert { cache, size } => {
+                let desc = NewObject {
+                    id: ObjectId::new(next_id),
+                    ts: now,
+                    size: ByteSize::new(size),
+                    fetch_latency: SimDuration::from_millis(500),
+                };
+                next_id += 1;
+                let dropped = mgr
+                    .insert(BackendSubId::new(cache), desc, now)
+                    .expect("cache exists");
+                log.dropped.extend(dropped);
+                produced[cache as usize].push(now);
+            }
+            Op::Get {
+                cache,
+                from_sec,
+                len_sec,
+            } => {
+                let bs = BackendSubId::new(cache);
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(from_sec),
+                    Timestamp::from_secs(from_sec + len_sec),
+                );
+                let plan = mgr.plan_get(bs, range, now);
+                log.hits += plan.cached.len() as u64;
+                // The broker fetches the missed sub-ranges from the
+                // cluster and reports back what they held.
+                let fetched = produced[cache as usize]
+                    .iter()
+                    .filter(|&&ts| plan.missed.iter().any(|m| m.contains(ts)))
+                    .count() as u64;
+                log.misses += fetched;
+                mgr.record_miss_fetch(bs, fetched, ByteSize::new(fetched * 64), now);
+            }
+            Op::Ack {
+                cache,
+                sub,
+                up_to_sec,
+            } => {
+                if let Ok(dropped) = mgr.ack_consume(
+                    BackendSubId::new(cache),
+                    SubscriberId::new(sub),
+                    Timestamp::from_secs(up_to_sec),
+                    now,
+                ) {
+                    log.dropped.extend(dropped);
+                }
+            }
+            Op::AddSub { cache, sub } => {
+                mgr.add_subscriber(BackendSubId::new(cache), SubscriberId::new(sub))
+                    .expect("cache exists");
+            }
+            Op::RemoveSub { cache, sub } => {
+                if let Ok(dropped) =
+                    mgr.remove_subscriber(BackendSubId::new(cache), SubscriberId::new(sub), now)
+                {
+                    log.dropped.extend(dropped);
+                }
+            }
+            Op::Maintain => {
+                log.dropped.extend(mgr.maintain(now));
+            }
+        }
+        after_op(mgr);
+    }
+    log
+}
+
+/// [`replay_with`] without a per-op hook.
+pub fn replay<D: Driver>(mgr: &mut D, ops: &[Op], n_caches: u64) -> Replay {
+    replay_with(mgr, ops, n_caches, |_| {})
+}

@@ -1,0 +1,113 @@
+//! Std-only port of the `prop_cache` property suite (see
+//! `tests/common/mod.rs` for why): seeded op sequences instead of
+//! proptest strategies, fixed seed sweeps instead of shrinking.
+//!
+//! Properties covered:
+//! * eviction policies never exceed the budget after any op, and the
+//!   tracked aggregate always equals the sum over caches;
+//! * `hit_objects + miss_objects == requested_objects`, with both
+//!   sides agreeing with an independent harness tally;
+//! * the time-size integral is monotone (time only moves forward).
+
+mod common;
+
+use bad_cache::{CacheConfig, CacheManager, PolicyName, ShardedCacheManager};
+use bad_types::{ByteSize, SimDuration};
+use common::{gen_ops, replay, replay_with, Driver};
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+const OPS_PER_SEED: usize = 200;
+
+fn config(budget: u64) -> CacheConfig {
+    CacheConfig {
+        budget: ByteSize::new(budget),
+        ttl_recompute_interval: SimDuration::from_secs(30),
+        ..CacheConfig::default()
+    }
+}
+
+const EVICTION_POLICIES: [PolicyName; 5] = [
+    PolicyName::Lru,
+    PolicyName::Lsc,
+    PolicyName::Lscz,
+    PolicyName::Lsd,
+    PolicyName::Exp,
+];
+
+#[test]
+fn eviction_respects_budget_after_every_op() {
+    for policy in EVICTION_POLICIES {
+        for seed in SEEDS {
+            let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+            let mut mgr = CacheManager::new(policy, config(10_000));
+            replay_with(&mut mgr, &ops, 4, |mgr| {
+                assert!(
+                    Driver::total_bytes(mgr) <= Driver::budget(mgr),
+                    "{policy:?} seed {seed}: budget exceeded"
+                );
+                assert_eq!(
+                    mgr.caches_bytes_sum(),
+                    Driver::total_bytes(mgr),
+                    "{policy:?} seed {seed}: aggregate drifted from per-cache sum"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn sharded_eviction_respects_budget_after_every_op() {
+    // The per-shard shares sum to B and each shard enforces its own, so
+    // the aggregate bound holds op-by-op for the sharded tier too.
+    for policy in EVICTION_POLICIES {
+        for seed in SEEDS {
+            let ops = gen_ops(seed, OPS_PER_SEED, 8, 8);
+            let mut mgr = ShardedCacheManager::new(policy, config(10_000), 4);
+            replay_with(&mut mgr, &ops, 8, |mgr| {
+                assert!(
+                    Driver::total_bytes(mgr) <= Driver::budget(mgr),
+                    "{policy:?} seed {seed}: budget exceeded across shards"
+                );
+                assert_eq!(mgr.caches_bytes_sum(), Driver::total_bytes(mgr));
+            });
+        }
+    }
+}
+
+#[test]
+fn hits_plus_misses_cover_requests() {
+    for policy in PolicyName::SIMULATED {
+        for seed in SEEDS {
+            let ops = gen_ops(seed, OPS_PER_SEED, 3, 6);
+            let mut mgr = CacheManager::new(policy, config(5_000));
+            let log = replay(&mut mgr, &ops, 3);
+            let m = mgr.metrics();
+            assert_eq!(m.hit_objects, log.hits, "{policy:?} seed {seed}");
+            assert_eq!(m.miss_objects, log.misses, "{policy:?} seed {seed}");
+            assert_eq!(
+                m.hit_objects + m.miss_objects,
+                m.requested_objects,
+                "{policy:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn size_integral_is_monotone() {
+    for policy in PolicyName::SIMULATED {
+        for seed in SEEDS {
+            let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+            let mut mgr = CacheManager::new(policy, config(10_000));
+            let mut prev = 0u128;
+            replay_with(&mut mgr, &ops, 4, |mgr| {
+                let integral = mgr.metrics_snapshot().size_integral();
+                assert!(
+                    integral >= prev,
+                    "{policy:?} seed {seed}: integral went backwards"
+                );
+                prev = integral;
+            });
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Concurrency stress: 8 std threads hammer a [`ShardedCacheManager`]
+//! with mixed operations and the aggregate accounting must still
+//! balance — no deadlock, `hit_objects + miss_objects ==
+//! requested_objects` across shards, and `total_bytes ≤ B` after a
+//! final global `maintain`.
+//!
+//! Threads partition insert/get ownership of the cache ids (thread `t`
+//! owns caches with `c % THREADS == t`) so every cache sees
+//! timestamp-ordered inserts from a single writer, matching the
+//! broker's per-backend-subscription ordering; acks and subscriber
+//! churn cross thread boundaries freely, so shard locks still see
+//! plenty of cross-thread contention.
+
+mod common;
+
+use std::sync::Arc;
+use std::thread;
+
+use bad_cache::{CacheConfig, PolicyName, ShardedCacheManager};
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+use common::XorShift64;
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 10_000;
+const CACHES: u64 = 32;
+const BUDGET: u64 = 1_000_000;
+
+struct Tally {
+    hits: u64,
+    misses: u64,
+}
+
+fn worker(mgr: Arc<ShardedCacheManager>, t: u64) -> Tally {
+    let mut rng = XorShift64::new(0xBAD_CAFE ^ (t + 1));
+    // Produced timestamps for each cache this thread owns, for the
+    // broker-side miss-fetch report.
+    let owned: Vec<u64> = (0..CACHES).filter(|c| c % THREADS == t).collect();
+    let mut produced: Vec<Vec<Timestamp>> = vec![Vec::new(); owned.len()];
+    let mut tally = Tally { hits: 0, misses: 0 };
+    for i in 0..OPS_PER_THREAD {
+        let now = Timestamp::from_secs(i + 1);
+        match rng.below(12) {
+            // Insert into an owned cache: single writer per cache keeps
+            // its timeline append-only.
+            0..=4 => {
+                let pick = (rng.below(owned.len() as u64)) as usize;
+                let bs = BackendSubId::new(owned[pick]);
+                mgr.insert(
+                    bs,
+                    bad_cache::NewObject {
+                        id: ObjectId::new(t * 1_000_000 + i),
+                        ts: now,
+                        size: ByteSize::new(rng.range(1, 5000)),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .expect("cache exists");
+                produced[pick].push(now);
+            }
+            // Get on an owned cache (the tally needs its produced set).
+            5..=8 => {
+                let pick = (rng.below(owned.len() as u64)) as usize;
+                let bs = BackendSubId::new(owned[pick]);
+                let from = rng.below(OPS_PER_THREAD);
+                let len = rng.below(100);
+                let range =
+                    TimeRange::closed(Timestamp::from_secs(from), Timestamp::from_secs(from + len));
+                let plan = mgr.plan_get(bs, range, now);
+                tally.hits += plan.cached.len() as u64;
+                let fetched = produced[pick]
+                    .iter()
+                    .filter(|&&ts| plan.missed.iter().any(|m| m.contains(ts)))
+                    .count() as u64;
+                tally.misses += fetched;
+                mgr.record_miss_fetch(bs, fetched, ByteSize::new(fetched * 64), now);
+            }
+            // Ack from the permanent subscriber of any cache.
+            9..=10 => {
+                let c = rng.below(CACHES);
+                let _ = mgr.ack_consume(
+                    BackendSubId::new(c),
+                    SubscriberId::new(1000 + c),
+                    Timestamp::from_secs(rng.below(OPS_PER_THREAD)),
+                    now,
+                );
+            }
+            // Subscriber churn on any cache (never the permanent subs).
+            _ => {
+                let c = BackendSubId::new(rng.below(CACHES));
+                let sub = SubscriberId::new(t * 100 + rng.below(4));
+                if rng.below(2) == 0 {
+                    mgr.add_subscriber(c, sub).expect("cache exists");
+                } else {
+                    let _ = mgr.remove_subscriber(c, sub, now);
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn run_stress(shards: usize) {
+    let mgr = Arc::new(ShardedCacheManager::new(
+        PolicyName::Lsc,
+        CacheConfig {
+            budget: ByteSize::new(BUDGET),
+            ttl_recompute_interval: SimDuration::from_secs(30),
+            ..CacheConfig::default()
+        },
+        shards,
+    ));
+    for c in 0..CACHES {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c))
+            .expect("cache just created");
+    }
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || worker(mgr, t))
+        })
+        .collect();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for handle in handles {
+        let tally = handle.join().expect("worker panicked");
+        hits += tally.hits;
+        misses += tally.misses;
+    }
+
+    mgr.maintain(Timestamp::from_secs(2 * OPS_PER_THREAD));
+
+    let m = mgr.metrics();
+    assert_eq!(m.hit_objects, hits, "{shards} shards: hit accounting");
+    assert_eq!(m.miss_objects, misses, "{shards} shards: miss accounting");
+    assert_eq!(
+        m.hit_objects + m.miss_objects,
+        m.requested_objects,
+        "{shards} shards: requests not exactly partitioned"
+    );
+    assert!(
+        mgr.total_bytes() <= ByteSize::new(BUDGET),
+        "{shards} shards: {} bytes resident over budget {BUDGET}",
+        mgr.total_bytes().as_u64()
+    );
+}
+
+#[test]
+fn eight_threads_four_shards_accounting_balances() {
+    run_stress(4);
+}
+
+#[test]
+fn eight_threads_eight_shards_accounting_balances() {
+    run_stress(8);
+}

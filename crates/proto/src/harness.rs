@@ -31,6 +31,9 @@ pub struct PrototypeConfig {
     pub cluster_tick: SimDuration,
     /// Cache maintenance tick.
     pub maintain_interval: SimDuration,
+    /// Lock-striped cache shards per broker (`1` = paper-faithful
+    /// monolithic behaviour).
+    pub shards: usize,
 }
 
 impl PrototypeConfig {
@@ -46,6 +49,7 @@ impl PrototypeConfig {
             net: NetworkModel::paper_defaults(),
             cluster_tick: SimDuration::from_secs(5),
             maintain_interval: SimDuration::from_secs(1),
+            shards: 1,
         }
     }
 
@@ -66,6 +70,7 @@ impl PrototypeConfig {
             net: NetworkModel::paper_defaults(),
             cluster_tick: SimDuration::from_secs(5),
             maintain_interval: SimDuration::from_secs(1),
+            shards: 1,
         }
     }
 
@@ -197,6 +202,7 @@ pub fn run_prototype(
         BrokerConfig {
             cache: config.cache,
             net: config.net,
+            shards: config.shards,
         },
     );
 

@@ -56,6 +56,13 @@ pub struct SimConfig {
     /// each frontend subscription lives this long, then moves to a fresh
     /// Zipf-sampled stream. `None` keeps subscriptions for the whole run.
     pub subscription_lifetime: Option<LognormalSpec>,
+    /// Number of lock-striped cache shards in each broker. The
+    /// deterministic engine is single-threaded, so `1` (exact paper
+    /// reproduction — the sharded manager is then byte-for-byte
+    /// identical to the monolith) is the only setting that makes sense
+    /// here; the knob exists so sweep configs can be shared with the
+    /// threaded prototype.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -81,6 +88,7 @@ impl SimConfig {
             cache: CacheConfig::default(),
             admission_max_budget_fraction: None,
             subscription_lifetime: None,
+            shards: 1,
         }
     }
 
@@ -125,6 +133,7 @@ impl SimConfig {
             cache: CacheConfig::default(),
             admission_max_budget_fraction: None,
             subscription_lifetime: None,
+            shards: 1,
         }
     }
 

@@ -133,6 +133,7 @@ impl Simulation {
             BrokerConfig {
                 cache,
                 net: config.net,
+                shards: config.shards,
             },
         );
         if let Some((num, den)) = config.admission_max_budget_fraction {
@@ -383,13 +384,15 @@ impl Simulation {
         let cache = self.broker.cache();
         let metrics = cache.metrics();
         let delivery = self.broker.delivery_metrics();
-        let caches: Vec<_> = cache.iter_caches().collect();
-        let mean_ttl = if caches.is_empty() {
+        let (mut ttl_sum, mut ttl_count) = (0.0f64, 0usize);
+        cache.for_each_cache(|c| {
+            ttl_sum += c.ttl().as_secs_f64();
+            ttl_count += 1;
+        });
+        let mean_ttl = if ttl_count == 0 {
             SimDuration::ZERO
         } else {
-            SimDuration::from_secs_f64(
-                caches.iter().map(|c| c.ttl().as_secs_f64()).sum::<f64>() / caches.len() as f64,
-            )
+            SimDuration::from_secs_f64(ttl_sum / ttl_count as f64)
         };
         let expected_ttl_bytes = ByteSize::new(self.sampler.mean_expected_ttl_bytes() as u64);
         SimReport {
