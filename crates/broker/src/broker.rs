@@ -195,9 +195,25 @@ impl Broker {
         registry: &bad_telemetry::Registry,
         sink: bad_telemetry::SharedSink,
     ) {
-        self.cache
-            .set_telemetry(bad_cache::CacheTelemetry::new(registry, sink.clone()));
-        self.telemetry = BrokerTelemetry::new(registry, sink);
+        self.attach_telemetry_traced(registry, sink, bad_telemetry::Tracer::disabled());
+    }
+
+    /// Like [`Broker::attach_telemetry`], but additionally threads a
+    /// lifecycle [`bad_telemetry::Tracer`] through the broker *and* its
+    /// cache manager, so retrievals, inserts and drops emit causally
+    /// linked spans (see `bad_telemetry::trace`).
+    pub fn attach_telemetry_traced(
+        &mut self,
+        registry: &bad_telemetry::Registry,
+        sink: bad_telemetry::SharedSink,
+        tracer: bad_telemetry::SharedTracer,
+    ) {
+        self.cache.set_telemetry(bad_cache::CacheTelemetry::traced(
+            registry,
+            sink.clone(),
+            Arc::clone(&tracer),
+        ));
+        self.telemetry = BrokerTelemetry::traced(registry, sink, tracer);
     }
 
     /// The subscription table (read-only).
@@ -391,6 +407,22 @@ impl Broker {
         );
         let plan: GetPlan = self.cache.plan_get(backend.id, range, now);
 
+        let tracer = Arc::clone(self.telemetry.tracer());
+        if tracer.enabled() {
+            // One hit span per cached object: the end-to-end lag a
+            // subscriber observes is produce→deliver.
+            for &(object, ts, size) in &plan.cached {
+                tracer.on_retrieve_hit(
+                    now.as_micros(),
+                    backend.id.as_u64(),
+                    object.as_u64(),
+                    subscriber.as_u64(),
+                    size.as_u64(),
+                    now.as_micros().saturating_sub(ts.as_micros()),
+                );
+            }
+        }
+
         let mut miss_objects = 0u64;
         let mut miss_bytes = ByteSize::ZERO;
         for missed_range in &plan.missed {
@@ -398,6 +430,26 @@ impl Broker {
             let bytes: ByteSize = missed.iter().map(|o| o.size).sum();
             self.cache
                 .record_miss_fetch(backend.id, missed.len() as u64, bytes, now);
+            if tracer.enabled() {
+                for object in &missed {
+                    tracer.on_retrieve_miss(
+                        now.as_micros(),
+                        backend.id.as_u64(),
+                        object.id.as_u64(),
+                        subscriber.as_u64(),
+                        object.size.as_u64(),
+                        now.as_micros().saturating_sub(object.ts.as_micros()),
+                    );
+                    tracer.on_backend_fetch(
+                        now.as_micros(),
+                        backend.id.as_u64(),
+                        object.id.as_u64(),
+                        subscriber.as_u64(),
+                        object.size.as_u64(),
+                        self.net.cluster_fetch_latency(object.size).as_micros(),
+                    );
+                }
+            }
             miss_objects += missed.len() as u64;
             miss_bytes += bytes;
         }

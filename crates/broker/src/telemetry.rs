@@ -5,7 +5,7 @@
 //! default, shared registry + sink when attached via
 //! [`crate::Broker::attach_telemetry`].
 
-use bad_telemetry::{Counter, Event, Histogram, Registry, SharedSink};
+use bad_telemetry::{Counter, Event, Histogram, Registry, SharedSink, SharedTracer, Tracer};
 use bad_types::{BrokerId, SubscriberId, Timestamp};
 
 use crate::broker::Delivery;
@@ -15,6 +15,7 @@ use crate::broker::Delivery;
 #[derive(Clone, Debug)]
 pub struct BrokerTelemetry {
     sink: SharedSink,
+    tracer: SharedTracer,
     retrievals: Counter,
     deliveries: Counter,
     delivered_objects: Counter,
@@ -32,10 +33,18 @@ impl Default for BrokerTelemetry {
 
 impl BrokerTelemetry {
     /// Registers the broker metric family on `registry` and routes
-    /// events to `sink`.
+    /// events to `sink`. Lifecycle tracing stays off; use
+    /// [`BrokerTelemetry::traced`] to thread a live tracer through.
     pub fn new(registry: &Registry, sink: SharedSink) -> Self {
+        Self::traced(registry, sink, Tracer::disabled())
+    }
+
+    /// Like [`BrokerTelemetry::new`], but retrieval paths also emit
+    /// lifecycle spans (hit / miss / backend fetch) through `tracer`.
+    pub fn traced(registry: &Registry, sink: SharedSink, tracer: SharedTracer) -> Self {
         Self {
             sink,
+            tracer,
             retrievals: registry.counter("bad_broker_retrievals_total"),
             deliveries: registry.counter("bad_broker_deliveries_total"),
             delivered_objects: registry.counter("bad_broker_delivered_objects_total"),
@@ -54,6 +63,12 @@ impl BrokerTelemetry {
     /// The event sink in force.
     pub fn sink(&self) -> &SharedSink {
         &self.sink
+    }
+
+    /// The lifecycle tracer in force ([`Tracer::disabled`] unless
+    /// constructed via [`BrokerTelemetry::traced`]).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
     }
 
     /// Records one served retrieval: the hit/miss split and, when it

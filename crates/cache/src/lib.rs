@@ -78,6 +78,6 @@ pub use object::{CachedObject, NewObject};
 pub use policy::{policy_catalog, EvictionPolicy, PolicyInfo, PolicyKind, PolicyName};
 pub use rate::RateEstimator;
 pub use result_cache::{GetPlan, ResultCache};
-pub use sharded::ShardedCacheManager;
+pub use sharded::{ShardHealth, ShardedCacheManager};
 pub use telemetry::CacheTelemetry;
 pub use ttl::TtlComputer;

@@ -359,7 +359,7 @@ impl CacheManager {
         self.total_bytes += desc.size;
         self.metrics.record_insert(desc.size, self.total_bytes, now);
         self.telemetry
-            .on_insert(now, bs, desc.id, desc.size, self.total_bytes);
+            .on_insert(now, bs, desc.id, desc.ts, desc.size, self.total_bytes);
         self.reindex(bs, now);
 
         let dropped = self.enforce_budget(now);

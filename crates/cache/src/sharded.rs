@@ -60,6 +60,20 @@ fn split_budget(budget: ByteSize, n: u64) -> Vec<ByteSize> {
         .collect()
 }
 
+/// One shard's point-in-time occupancy, as reported by
+/// [`ShardedCacheManager::shard_health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub index: usize,
+    /// Bytes currently resident in the shard.
+    pub occupancy_bytes: u64,
+    /// The shard's current budget share.
+    pub budget_bytes: u64,
+    /// Result caches owned by the shard.
+    pub caches: usize,
+}
+
 /// N lock-striped [`CacheManager`] shards under one global budget.
 ///
 /// All operations take `&self`; each data-path call locks the single
@@ -166,6 +180,24 @@ impl ShardedCacheManager {
         (0..self.shards.len())
             .map(|i| self.lock(i).admission_rejections())
             .sum()
+    }
+
+    /// Point-in-time occupancy of every shard — the payload behind the
+    /// scrape endpoint's `/healthz` and the runtime's shard-imbalance
+    /// anomaly check. Locks one shard at a time, so the rows are each
+    /// internally consistent but not a global atomic snapshot.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        (0..self.shards.len())
+            .map(|idx| {
+                let shard = self.lock(idx);
+                ShardHealth {
+                    index: idx,
+                    occupancy_bytes: shard.total_bytes().as_u64(),
+                    budget_bytes: shard.budget().as_u64(),
+                    caches: shard.cache_count(),
+                }
+            })
+            .collect()
     }
 
     /// Aggregated metrics: the fold of every shard's [`CacheMetrics`]

@@ -8,7 +8,9 @@
 //! managers pay one atomic add per counter bump and a single virtual
 //! `enabled()` call per event site.
 
-use bad_telemetry::{Counter, Event, Gauge, Histogram, Registry, SharedSink};
+use bad_telemetry::{
+    Counter, Event, Gauge, Histogram, Registry, SharedSink, SharedTracer, SpanKind, Tracer,
+};
 use bad_types::{BackendSubId, ByteSize, ObjectId, SimDuration, Timestamp};
 
 use crate::metrics::DropKind;
@@ -18,6 +20,7 @@ use crate::object::CachedObject;
 #[derive(Clone, Debug)]
 pub struct CacheTelemetry {
     sink: SharedSink,
+    tracer: SharedTracer,
     hit_objects: Counter,
     miss_objects: Counter,
     inserted_objects: Counter,
@@ -39,10 +42,18 @@ impl Default for CacheTelemetry {
 
 impl CacheTelemetry {
     /// Registers the cache metric family on `registry` and routes
-    /// events to `sink`.
+    /// events to `sink`. Lifecycle tracing stays off; use
+    /// [`CacheTelemetry::traced`] to thread a live tracer through.
     pub fn new(registry: &Registry, sink: SharedSink) -> Self {
+        Self::traced(registry, sink, Tracer::disabled())
+    }
+
+    /// Like [`CacheTelemetry::new`], but also emits lifecycle spans
+    /// (insert / drop / expire / fully-consumed) through `tracer`.
+    pub fn traced(registry: &Registry, sink: SharedSink, tracer: SharedTracer) -> Self {
         Self {
             sink,
+            tracer,
             hit_objects: registry.counter("bad_cache_hit_objects_total"),
             miss_objects: registry.counter("bad_cache_miss_objects_total"),
             inserted_objects: registry.counter("bad_cache_inserted_objects_total"),
@@ -68,16 +79,26 @@ impl CacheTelemetry {
         &self.sink
     }
 
+    /// The lifecycle tracer in force ([`Tracer::disabled`] unless
+    /// constructed via [`CacheTelemetry::traced`]).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
+    }
+
     /// Whether event construction is worth the trouble at all.
     pub fn tracing(&self) -> bool {
         self.sink.enabled()
     }
 
+    /// `produced` is the object's result timestamp; the tracer turns
+    /// the difference into the produce→insert stage lag.
+    #[allow(clippy::too_many_arguments)] // mirrors the insert call's full context
     pub(crate) fn on_insert(
         &self,
         now: Timestamp,
         cache: BackendSubId,
         object: ObjectId,
+        produced: Timestamp,
         bytes: ByteSize,
         total: ByteSize,
     ) {
@@ -92,6 +113,16 @@ impl CacheTelemetry {
                 bytes: bytes.as_u64(),
                 total_bytes: total.as_u64(),
             });
+        }
+        if self.tracer.enabled() {
+            let lag_us = now.as_micros().saturating_sub(produced.as_micros());
+            self.tracer.on_cache_insert(
+                now.as_micros(),
+                cache.as_u64(),
+                object.as_u64(),
+                bytes.as_u64(),
+                lag_us,
+            );
         }
     }
 
@@ -161,8 +192,28 @@ impl CacheTelemetry {
             DropKind::Expired => self.expired_objects.inc(),
             DropKind::Unsubscribed => self.unsubscribed_objects.inc(),
         }
-        self.holding_us.record(object.age(now).as_micros());
+        let age_us = object.age(now).as_micros();
+        self.holding_us.record(age_us);
         self.occupancy_bytes.set(total.as_u64());
+        if self.tracer.enabled() {
+            let (span_kind, drop_label) = match kind {
+                DropKind::Consumed => (SpanKind::FullyConsumed, "consume"),
+                DropKind::Evicted => (SpanKind::Drop, "evict"),
+                DropKind::Expired => (SpanKind::Expire, "expire"),
+                DropKind::Unsubscribed => (SpanKind::Drop, "unsubscribe"),
+            };
+            self.tracer.on_drop(
+                now.as_micros(),
+                cache.as_u64(),
+                object.id.as_u64(),
+                object.size.as_u64(),
+                span_kind,
+                drop_label,
+                policy,
+                score,
+                age_us,
+            );
+        }
         if !self.sink.enabled() {
             return;
         }

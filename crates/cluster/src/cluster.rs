@@ -57,6 +57,9 @@ pub struct DataCluster {
     partition_matching: bool,
     /// Structured event sink (null by default: zero-cost).
     sink: SharedSink,
+    /// Lifecycle tracer emitting `result_produced` root spans
+    /// (disabled by default: one branch per result).
+    tracer: bad_telemetry::SharedTracer,
 }
 
 impl DataCluster {
@@ -72,6 +75,7 @@ impl DataCluster {
             stats: ClusterStats::default(),
             partition_matching: true,
             sink: bad_telemetry::null_sink(),
+            tracer: bad_telemetry::Tracer::disabled(),
         }
     }
 
@@ -79,6 +83,13 @@ impl DataCluster {
     /// `sink` (default: the null sink, which costs nothing).
     pub fn set_event_sink(&mut self, sink: SharedSink) {
         self.sink = sink;
+    }
+
+    /// Emits a `result_produced` root span for every appended result
+    /// through `tracer` — the cluster end of the notification
+    /// lifecycle (default: the disabled tracer, one branch per result).
+    pub fn set_tracer(&mut self, tracer: bad_telemetry::SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// Disables the equality-partition matcher index (ablation baseline);
@@ -392,6 +403,14 @@ impl DataCluster {
         };
         self.stats.results += 1;
         self.stats.result_bytes += object.size;
+        if self.tracer.enabled() {
+            self.tracer.on_result_produced(
+                result_ts.as_micros(),
+                bs.as_u64(),
+                object.id.as_u64(),
+                object.size.as_u64(),
+            );
+        }
         if self.sink.enabled() {
             let t_us = result_ts.as_micros();
             self.sink.record(&Event::ClusterChannelFire {

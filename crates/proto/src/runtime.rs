@@ -9,17 +9,20 @@
 //! (compressed) wall-clock sleeps so an hour-long scenario can run in
 //! seconds without changing any broker logic.
 
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use bad_broker::{Broker, BrokerConfig, ClusterHandle, Delivery, DeliveryMetrics};
-use bad_cache::PolicyName;
+use bad_cache::{PolicyName, ShardedCacheManager};
 use bad_cluster::{DataCluster, Notification};
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
-use bad_telemetry::{Registry, SharedSink};
+use bad_telemetry::{
+    FlightRecorder, Registry, ScrapeServer, SharedSink, SharedTracer, TraceConfig, Tracer,
+};
 use bad_types::{
     BackendSubId, BadError, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
@@ -256,6 +259,8 @@ pub struct Deployment {
     subscriber_rtt: SimDuration,
     handles: Vec<JoinHandle<()>>,
     registry: Registry,
+    cache: Arc<ShardedCacheManager>,
+    tracer: SharedTracer,
 }
 
 impl Deployment {
@@ -286,16 +291,62 @@ impl Deployment {
     pub fn start_traced(
         policy: PolicyName,
         config: BrokerConfig,
-        mut cluster: DataCluster,
+        cluster: DataCluster,
         compression: f64,
         sink: SharedSink,
     ) -> Self {
+        Self::boot(
+            policy,
+            config,
+            cluster,
+            compression,
+            sink,
+            Registry::new(),
+            Tracer::disabled(),
+        )
+    }
+
+    /// Like [`Deployment::start_traced`], but also threads a lifecycle
+    /// [`Tracer`] through every tier: the cluster stamps
+    /// `result_produced` root spans, the cache emits insert/drop/expire
+    /// spans, and the broker emits hit/miss/backend-fetch spans — all
+    /// causally linked by deterministic ids (see `bad_telemetry::trace`).
+    /// The maintenance path additionally checks the cache for budget
+    /// overruns and shard imbalance and notes anomalies on the tracer's
+    /// flight recorder. Pair with [`Deployment::serve_scrape`] to expose
+    /// the whole picture over HTTP.
+    pub fn start_observed(
+        policy: PolicyName,
+        config: BrokerConfig,
+        cluster: DataCluster,
+        compression: f64,
+        sink: SharedSink,
+        trace: TraceConfig,
+    ) -> Self {
         let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(
+            FLIGHT_RECORDER_STRIPES,
+            FLIGHT_RECORDER_STRIPE_CAPACITY,
+        ));
+        let tracer = Tracer::new(&registry, sink.clone(), recorder, trace);
+        Self::boot(policy, config, cluster, compression, sink, registry, tracer)
+    }
+
+    fn boot(
+        policy: PolicyName,
+        config: BrokerConfig,
+        mut cluster: DataCluster,
+        compression: f64,
+        sink: SharedSink,
+        registry: Registry,
+        tracer: SharedTracer,
+    ) -> Self {
         let clock = VirtualClock::new(compression);
         let (cluster_tx, cluster_rx) = unbounded::<ClusterRequest>();
         let (broker_tx, broker_rx) = unbounded::<BrokerRequest>();
 
         cluster.set_event_sink(sink.clone());
+        cluster.set_tracer(Arc::clone(&tracer));
         let cluster_handle = thread::spawn(move || cluster_node(cluster, cluster_rx));
 
         let cluster_client = ClusterClient {
@@ -303,17 +354,26 @@ impl Deployment {
             clock: clock.clone(),
             rtt: config.net.cluster.rtt,
         };
+
+        // Build the broker on this thread so the deployment can keep a
+        // shared cache handle (for `/healthz` shard occupancy) before the
+        // broker node takes ownership.
+        let mut broker = Broker::new(policy, config);
+        broker.attach_telemetry_traced(&registry, sink, Arc::clone(&tracer));
+        let cache = broker.cache_handle();
+        registry
+            .gauge("bad_broker_cache_shards")
+            .set(cache.shard_count() as u64);
+
         let broker_clock = clock.clone();
-        let broker_registry = registry.clone();
+        let broker_tracer = Arc::clone(&tracer);
         let broker_handle = thread::spawn(move || {
             broker_node(
-                policy,
-                config,
+                broker,
                 cluster_client,
                 broker_rx,
                 broker_clock,
-                broker_registry,
-                sink,
+                broker_tracer,
             )
         });
 
@@ -324,7 +384,56 @@ impl Deployment {
             subscriber_rtt: config.net.subscriber.rtt,
             handles: vec![cluster_handle, broker_handle],
             registry,
+            cache,
+            tracer,
         }
+    }
+
+    /// Binds a scrape endpoint (use port `0` for an ephemeral port)
+    /// serving `/metrics` (Prometheus text), `/healthz` (per-shard cache
+    /// occupancy JSON) and `/trace/recent` (the flight recorder's span
+    /// ring as JSON).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_scrape(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<ScrapeServer> {
+        let cache = Arc::clone(&self.cache);
+        let recorder = Arc::clone(self.tracer.recorder());
+        let anomaly_recorder = Arc::clone(self.tracer.recorder());
+        let health: bad_telemetry::HealthFn = Arc::new(move || {
+            let shards = cache.shard_health();
+            let total_occupancy: u64 = shards.iter().map(|s| s.occupancy_bytes).sum();
+            let total_budget: u64 = shards.iter().map(|s| s.budget_bytes).sum();
+            let mut rows = String::new();
+            rows.push('[');
+            for (i, shard) in shards.iter().enumerate() {
+                if i > 0 {
+                    rows.push(',');
+                }
+                let mut obj = bad_telemetry::json::ObjectWriter::new(&mut rows);
+                obj.field_u64("index", shard.index as u64);
+                obj.field_u64("occupancy_bytes", shard.occupancy_bytes);
+                obj.field_u64("budget_bytes", shard.budget_bytes);
+                obj.field_u64("caches", shard.caches as u64);
+            }
+            rows.push(']');
+            let mut out = String::with_capacity(128 + rows.len());
+            {
+                let mut obj = bad_telemetry::json::ObjectWriter::new(&mut out);
+                obj.field_str("status", "ok");
+                obj.field_u64("shards", shards.len() as u64);
+                obj.field_u64("occupancy_bytes", total_occupancy);
+                obj.field_u64("budget_bytes", total_budget);
+                obj.field_u64("anomalies", anomaly_recorder.anomalies());
+                obj.field_raw("shard_occupancy", &rows);
+            }
+            out
+        });
+        ScrapeServer::bind(addr, self.registry.clone(), recorder, health)
     }
 
     /// Prometheus-text snapshot of every metric family the deployment
@@ -337,6 +446,12 @@ impl Deployment {
     /// The deployment's virtual clock.
     pub fn clock(&self) -> &VirtualClock {
         &self.clock
+    }
+
+    /// The lifecycle tracer in force ([`Tracer::disabled`] unless the
+    /// deployment was booted via [`Deployment::start_observed`]).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
     }
 
     /// Creates a connected client for `subscriber`.
@@ -492,26 +607,31 @@ fn shard_worker(
     }
 }
 
+/// Occupancy slack before a max/min shard skew counts as an imbalance
+/// anomaly: tiny absolute differences on a near-empty cache are noise.
+const SHARD_IMBALANCE_SLACK_BYTES: u64 = 1 << 20;
+
+/// Flight-recorder geometry for [`Deployment::start_observed`]: eight
+/// lock stripes (producer threads: cluster, broker, shard workers) of
+/// 128 spans each — a ~1k-span ring, enough to reconstruct the recent
+/// lifecycle neighbourhood of any anomaly while keeping the ring's
+/// working set small enough (~140 KiB) that full-rate span emission
+/// stays cache-resident on the data path.
+const FLIGHT_RECORDER_STRIPES: usize = 8;
+const FLIGHT_RECORDER_STRIPE_CAPACITY: usize = 128;
+
 fn broker_node(
-    policy: PolicyName,
-    config: BrokerConfig,
+    mut broker: Broker,
     mut cluster: ClusterClient,
     rx: Receiver<BrokerRequest>,
     clock: VirtualClock,
-    registry: Registry,
-    sink: SharedSink,
+    tracer: SharedTracer,
 ) {
-    let mut broker = Broker::new(policy, config);
-    broker.attach_telemetry(&registry, sink);
-
     // One maintenance worker per cache shard: a Maintain request fans
     // the per-shard TTL retune/expiry passes out in parallel (the whole
     // point of lock striping), then the broker thread runs the global
     // budget rebalance once every shard has reported in.
     let cache = broker.cache_handle();
-    registry
-        .gauge("bad_broker_cache_shards")
-        .set(cache.shard_count() as u64);
     let mut shard_txs: Vec<Sender<ShardJob>> = Vec::with_capacity(cache.shard_count());
     let mut shard_handles = Vec::with_capacity(cache.shard_count());
     for idx in 0..cache.shard_count() {
@@ -591,6 +711,28 @@ fn broker_node(
                     let _ = done_rx.recv();
                 }
                 let _ = broker.cache().rebalance(now);
+                if tracer.enabled() {
+                    // Post-maintenance invariant checks: either anomaly
+                    // dumps the flight recorder's recent spans so the
+                    // run can be reconstructed offline.
+                    let health = cache.shard_health();
+                    let occupancy: u64 = health.iter().map(|s| s.occupancy_bytes).sum();
+                    let budget: u64 = health.iter().map(|s| s.budget_bytes).sum();
+                    if occupancy > budget {
+                        tracer
+                            .recorder()
+                            .note_anomaly("budget_overrun", now.as_micros());
+                    }
+                    if health.len() > 1 {
+                        let max_occ = health.iter().map(|s| s.occupancy_bytes).max().unwrap_or(0);
+                        let min_occ = health.iter().map(|s| s.occupancy_bytes).min().unwrap_or(0);
+                        if max_occ > 4 * min_occ + SHARD_IMBALANCE_SLACK_BYTES {
+                            tracer
+                                .recorder()
+                                .note_anomaly("shard_imbalance", now.as_micros());
+                        }
+                    }
+                }
             }
             BrokerRequest::Metrics { reply } => {
                 let hit = broker.cache().metrics().hit_ratio().unwrap_or(0.0);

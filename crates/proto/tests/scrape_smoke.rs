@@ -1,0 +1,130 @@
+//! Scrape-endpoint smoke test: boots an *observed* deployment (live
+//! lifecycle tracer), drives one publish → notify → retrieve round
+//! through the threaded runtime, then scrapes `/metrics`, `/healthz`
+//! and `/trace/recent` over a real TCP socket like Prometheus would.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bad_broker::BrokerConfig;
+use bad_cache::PolicyName;
+use bad_proto::harness::build_emergency_cluster;
+use bad_proto::Deployment;
+use bad_query::ParamBindings;
+use bad_telemetry::TraceConfig;
+use bad_types::{DataValue, SubscriberId};
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn observed_deployment_serves_metrics_health_and_traces() {
+    let cluster = build_emergency_cluster().unwrap();
+    let config = BrokerConfig {
+        shards: 2,
+        ..BrokerConfig::default()
+    };
+    let dep = Deployment::start_observed(
+        PolicyName::Lsc,
+        config,
+        cluster,
+        100_000.0,
+        bad_telemetry::null_sink(),
+        TraceConfig::default(),
+    );
+
+    let alice = dep.client(SubscriberId::new(1));
+    let fs = alice
+        .subscribe(
+            "EmergenciesOfType",
+            ParamBindings::from_pairs([("etype", DataValue::from("flood"))]),
+        )
+        .unwrap();
+    dep.publish(
+        "EmergencyReports",
+        DataValue::object([
+            ("kind", DataValue::from("flood")),
+            ("severity", DataValue::from(3i64)),
+            ("district", DataValue::from("district-1")),
+        ]),
+    )
+    .unwrap();
+    for _ in 0..200 {
+        dep.tick().unwrap();
+        dep.maintain();
+        if !alice.events.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(!alice.events.is_empty(), "client was not notified");
+    let delivery = alice.get_results(fs).unwrap();
+    assert!(delivery.total_objects() >= 1);
+
+    let server = dep
+        .serve_scrape("127.0.0.1:0")
+        .expect("bind scrape endpoint");
+    let addr = server.local_addr();
+
+    // /metrics: Prometheus text with the span-counter family, the SLO
+    // counters and the pre-existing cache counters, all on one registry.
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(metrics.contains("text/plain"), "{metrics}");
+    assert!(
+        metrics.contains("bad_trace_spans_total{kind=\"result_produced\"}"),
+        "missing produced-span counter:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("bad_trace_spans_total{kind=\"cache_insert\"}"),
+        "missing insert-span counter:\n{metrics}"
+    );
+    assert!(metrics.contains("bad_delivery_latency_slo_violations_total"));
+    assert!(metrics.contains("bad_staleness_slo_violations_total"));
+    assert!(metrics.contains("bad_cache_hit_objects_total"));
+
+    // /healthz: per-shard occupancy, one row per configured shard.
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"shards\":2"), "{health}");
+    assert!(health.contains("\"shard_occupancy\":["), "{health}");
+    assert!(health.contains("\"budget_bytes\""), "{health}");
+
+    // /trace/recent: the flight recorder saw the lifecycle (at minimum
+    // the produced-result root spans and the cache inserts).
+    let traces = http_get(addr, "/trace/recent");
+    assert!(traces.starts_with("HTTP/1.1 200"), "{traces}");
+    assert!(
+        traces.contains("\"kind\":\"result_produced\""),
+        "no produced spans in:\n{traces}"
+    );
+    assert!(
+        traces.contains("\"kind\":\"cache_insert\""),
+        "no insert spans in:\n{traces}"
+    );
+    assert!(
+        traces.contains("\"kind\":\"retrieve_hit\""),
+        "no hit spans in:\n{traces}"
+    );
+
+    // Unknown paths 404 instead of crashing the endpoint.
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    server.shutdown();
+    dep.shutdown();
+}

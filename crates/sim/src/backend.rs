@@ -20,18 +20,38 @@ use std::collections::HashMap;
 ///
 /// Channel names of the form `stream-<i>` map to synthetic streams; the
 /// broker subscribes through the normal [`ClusterHandle`] interface.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SimBackend {
     store: ResultStore,
     ids: IdGen,
     /// channel name -> backend subscription (one sub per stream).
     by_channel: HashMap<String, BackendSubId>,
+    /// Lifecycle tracer stamping `result_produced` root spans with the
+    /// simulator's virtual time (disabled by default).
+    tracer: bad_telemetry::SharedTracer,
+}
+
+impl Default for SimBackend {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SimBackend {
     /// Creates an empty backend.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            store: ResultStore::new(),
+            ids: IdGen::new(),
+            by_channel: HashMap::new(),
+            tracer: bad_telemetry::Tracer::disabled(),
+        }
+    }
+
+    /// Emits a `result_produced` span for every produced result
+    /// through `tracer`, stamped with the result's virtual timestamp.
+    pub fn set_tracer(&mut self, tracer: bad_telemetry::SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// The canonical channel name of stream `i`.
@@ -48,6 +68,14 @@ impl SimBackend {
     /// and returning the notification the cluster would send.
     pub fn produce(&mut self, bs: BackendSubId, ts: Timestamp, size: ByteSize) -> Notification {
         let object = self.store.append(bs, ts, DataValue::Null, Some(size));
+        if self.tracer.enabled() {
+            self.tracer.on_result_produced(
+                ts.as_micros(),
+                bs.as_u64(),
+                object.id.as_u64(),
+                object.size.as_u64(),
+            );
+        }
         Notification {
             backend_sub: bs,
             latest_ts: object.ts,

@@ -173,6 +173,23 @@ impl Simulation {
         self.sink = sink;
     }
 
+    /// Like [`SimRunner::attach_telemetry`], but also threads a
+    /// lifecycle tracer through the synthetic backend (virtual-time
+    /// `result_produced` root spans), the broker and the cache tier,
+    /// so a run's notification lifecycles are reconstructable by
+    /// `TraceId`.
+    pub fn attach_telemetry_traced(
+        &mut self,
+        registry: &Registry,
+        sink: SharedSink,
+        tracer: bad_telemetry::SharedTracer,
+    ) {
+        self.backend.set_tracer(std::sync::Arc::clone(&tracer));
+        self.broker
+            .attach_telemetry_traced(registry, sink.clone(), tracer);
+        self.sink = sink;
+    }
+
     /// Runs the simulation to completion and reports the measurements.
     pub fn run(mut self) -> SimReport {
         let end = Timestamp::ZERO + self.config.duration;

@@ -25,6 +25,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use crate::json::ObjectWriter;
+use crate::trace::{Span, SpanKind};
 
 /// One structured telemetry event. Field conventions: `t_us` is the
 /// virtual-time timestamp in microseconds, ids are the raw `u64` of
@@ -136,6 +137,10 @@ pub enum Event {
         hit_ratio: f64,
         expected_ttl_bytes: f64,
     },
+    /// One notification-lifecycle span (see [`crate::trace`]). Sampled
+    /// spans flow through the same sinks as every other event so one
+    /// JSONL trace interleaves decisions and lifecycles in time order.
+    Span(Span),
 }
 
 impl Event {
@@ -157,6 +162,16 @@ impl Event {
             Event::ClusterChannelFire { .. } => "cluster.channel_fire",
             Event::ClusterEnrich { .. } => "cluster.enrich",
             Event::EpochSample { .. } => "sim.epoch_sample",
+            Event::Span(span) => match span.kind {
+                SpanKind::ResultProduced => "span.result_produced",
+                SpanKind::CacheInsert => "span.cache_insert",
+                SpanKind::RetrieveHit => "span.retrieve_hit",
+                SpanKind::RetrieveMiss => "span.retrieve_miss",
+                SpanKind::BackendFetch => "span.backend_fetch",
+                SpanKind::Drop => "span.drop",
+                SpanKind::Expire => "span.expire",
+                SpanKind::FullyConsumed => "span.fully_consumed",
+            },
         }
     }
 
@@ -177,6 +192,7 @@ impl Event {
             | Event::ClusterChannelFire { t_us, .. }
             | Event::ClusterEnrich { t_us, .. }
             | Event::EpochSample { t_us, .. } => t_us,
+            Event::Span(span) => span.t_us,
         }
     }
 
@@ -329,6 +345,9 @@ impl Event {
                 obj.field_u64("occupancy_bytes", occupancy_bytes);
                 obj.field_f64("hit_ratio", hit_ratio);
                 obj.field_f64("expected_ttl_bytes", expected_ttl_bytes);
+            }
+            Event::Span(span) => {
+                span.write_fields(&mut obj);
             }
         }
     }
@@ -575,5 +594,58 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with(r#"{"kind":"broker.failover""#));
         assert!(lines[1].contains(r#""rules":1"#));
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_tail_on_drop() {
+        // A sim run that ends (or panics and unwinds) without calling
+        // `flush()` must not lose the buffered tail of the trace.
+        let path = std::env::temp_dir().join(format!(
+            "bad-jsonl-drop-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&Event::CacheConsume {
+                t_us: 1,
+                cache: 2,
+                objects: 3,
+                bytes: 4,
+            });
+            // No explicit flush: the event sits in the BufWriter until
+            // the sink is dropped here.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with(r#"{"kind":"cache.consume","t_us":1"#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn span_events_share_the_jsonl_taxonomy() {
+        use crate::trace::{SpanId, SpanKind, TraceId};
+
+        let trace = TraceId::for_object(9);
+        let event = Event::Span(crate::trace::Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::BackendFetch, 5),
+            parent: Some(SpanId::derive(trace, SpanKind::RetrieveMiss, 5)),
+            kind: SpanKind::BackendFetch,
+            t_us: 12,
+            cache: 4,
+            object: 9,
+            subscriber: 5,
+            bytes: 128,
+            lag_us: 900,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+        assert_eq!(event.kind(), "span.backend_fetch");
+        assert_eq!(event.t_us(), 12);
+        let json = event.to_json();
+        assert!(json.starts_with(r#"{"kind":"span.backend_fetch","t_us":12,"trace":"#));
+        assert!(json.contains(r#""lag_us":900"#));
     }
 }

@@ -15,7 +15,6 @@ const BUCKETS: usize = 65;
 #[derive(Debug)]
 struct HistogramData {
     buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -57,13 +56,13 @@ impl Histogram {
         Self {
             data: Arc::new(HistogramData {
                 buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-                count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
             }),
         }
     }
 
+    #[inline]
     fn bucket_index(value: u64) -> usize {
         if value == 0 {
             0
@@ -84,17 +83,29 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// Kept to two relaxed RMWs (bucket + sum): the observation count
+    /// is derived from the buckets at read time, and the max register
+    /// is only touched when the value actually raises it — span
+    /// emission sits on the cache hot path, so every atomic counts.
+    #[inline]
     pub fn record(&self, value: u64) {
         let data = &self.data;
         data.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        data.count.fetch_add(1, Ordering::Relaxed);
         data.sum.fetch_add(value, Ordering::Relaxed);
-        data.max.fetch_max(value, Ordering::Relaxed);
+        if value > data.max.load(Ordering::Relaxed) {
+            data.max.fetch_max(value, Ordering::Relaxed);
+        }
     }
 
-    /// Number of observations so far.
+    /// Number of observations so far (a 65-bucket sum — readout-path
+    /// cost traded for a cheaper `record`).
     pub fn count(&self) -> u64 {
-        self.data.count.load(Ordering::Relaxed)
+        self.data
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Sum of observations so far.
@@ -199,6 +210,49 @@ mod tests {
         h.record(8);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile reads 0, including the extremes.
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        // Out-of-range q clamps rather than panics or wraps.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+
+        // Single observation: q=0.0 still targets the first
+        // observation (target is floored at 1), q=1.0 the last — both
+        // are the same sample, clamped to the exact max.
+        let h = Histogram::new();
+        h.record(700);
+        assert_eq!(h.quantile(0.0), 700);
+        assert_eq!(h.quantile(0.5), 700);
+        assert_eq!(h.quantile(1.0), 700);
+
+        // Saturation: all mass in one bucket reads that bucket's upper
+        // bound clamped to the recorded max, even at q=1.0 with values
+        // in the top bucket.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+
+        // Clamping also binds when a bucket's range exceeds the max
+        // actually recorded: 1025 lands in [1024, 2047], whose upper
+        // bound 2047 must be clamped down to 1025.
+        let h = Histogram::new();
+        h.record(1025);
+        assert_eq!(h.quantile(1.0), 1025);
+
+        // Out-of-range q on a non-empty histogram clamps to the ends.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
     }
 
     #[test]

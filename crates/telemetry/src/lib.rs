@@ -19,6 +19,13 @@
 //!   skips event construction entirely when tracing is off.
 //! - [`Sampler`]: periodic virtual-time snapshots of occupancy, hit
 //!   ratio and the expected TTL-bounded size `Σ ρ_i·T_i`.
+//! - [`trace`]: end-to-end notification lifecycle spans
+//!   ([`TraceId`]/[`SpanId`] derived deterministically via splitmix64,
+//!   causal parent links, per-stage lag + staleness histograms, SLO
+//!   violation counters) with a [`FlightRecorder`] ring for post-mortem
+//!   dumps and a [`Tracer`] emission point shared by every layer.
+//! - [`ScrapeServer`]: a std-only TCP endpoint serving `/metrics`
+//!   (Prometheus text), `/healthz` and `/trace/recent` live.
 //!
 //! ```
 //! use bad_telemetry::{Event, Registry, RingBufferSink, SharedSink};
@@ -42,8 +49,14 @@ pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod sampler;
+pub mod scrape;
+pub mod trace;
 
 pub use event::{null_sink, Event, EventSink, JsonlSink, NullSink, RingBufferSink, SharedSink};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{Counter, Gauge, Registry};
+pub use registry::{escape_label_value, Counter, Gauge, Registry};
 pub use sampler::{Sample, Sampler};
+pub use scrape::{HealthFn, ScrapeServer};
+pub use trace::{
+    FlightRecorder, SharedTracer, SloConfig, Span, SpanId, SpanKind, TraceConfig, TraceId, Tracer,
+};

@@ -21,11 +21,13 @@ pub struct Counter {
 
 impl Counter {
     /// Increments by one.
+    #[inline]
     pub fn inc(&self) {
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increments by `n`.
+    #[inline]
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
@@ -44,6 +46,7 @@ pub struct Gauge {
 
 impl Gauge {
     /// Overwrites the gauge.
+    #[inline]
     pub fn set(&self, v: u64) {
         self.value.store(v, Ordering::Relaxed);
     }
@@ -51,6 +54,74 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline must be escaped or a hostile
+/// value (a policy name, a cache label) would corrupt the scrape text.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the storage/render key `name{k="v",…}` (or just `name` with
+/// no labels), escaping every label value.
+fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut key = String::with_capacity(name.len() + labels.len() * 16);
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        key.push_str(&escape_label_value(v));
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+/// Splits a storage key into its metric base name and the label block
+/// (without braces), if any.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(brace) => (&key[..brace], Some(&key[brace + 1..key.len() - 1])),
+        None => (key, None),
+    }
+}
+
+/// Renders one scalar metric kind (counters or gauges), grouping
+/// labeled series of the same base name under one `# TYPE` header.
+fn render_scalar<T>(
+    out: &mut String,
+    kind: &str,
+    map: &BTreeMap<String, T>,
+    get: impl Fn(&T) -> u64,
+) {
+    let mut families: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (key, metric) in map {
+        let (base, _) = split_key(key);
+        families.entry(base).or_default().push((key, get(metric)));
+    }
+    for (base, series) in &families {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        for (key, value) in series {
+            let _ = writeln!(out, "{key} {value}");
+        }
     }
 }
 
@@ -76,28 +147,45 @@ impl Registry {
 
     /// Returns the counter named `name`, creating it on first use.
     pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Returns the counter `name{labels}`, creating it on first use.
+    /// Label values are escaped; series of one name render under a
+    /// single `# TYPE` header.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let mut map = self
             .inner
             .counters
             .lock()
             .expect("counter registry poisoned");
-        map.entry(name.to_owned()).or_default().clone()
+        map.entry(labeled_key(name, labels)).or_default().clone()
     }
 
     /// Returns the gauge named `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Returns the gauge `name{labels}`, creating it on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let mut map = self.inner.gauges.lock().expect("gauge registry poisoned");
-        map.entry(name.to_owned()).or_default().clone()
+        map.entry(labeled_key(name, labels)).or_default().clone()
     }
 
     /// Returns the histogram named `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Returns the histogram `name{labels}`, creating it on first use.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let mut map = self
             .inner
             .histograms
             .lock()
             .expect("histogram registry poisoned");
-        map.entry(name.to_owned()).or_default().clone()
+        map.entry(labeled_key(name, labels)).or_default().clone()
     }
 
     /// Renders every registered metric in the Prometheus text
@@ -107,42 +195,59 @@ impl Registry {
     /// maxima are exact while quantiles are approximate.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, counter) in self
-            .inner
-            .counters
-            .lock()
-            .expect("counter registry poisoned")
-            .iter()
-        {
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", counter.get());
-        }
-        for (name, gauge) in self
-            .inner
-            .gauges
-            .lock()
-            .expect("gauge registry poisoned")
-            .iter()
-        {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", gauge.get());
-        }
-        for (name, histogram) in self
+        render_scalar(
+            &mut out,
+            "counter",
+            &self
+                .inner
+                .counters
+                .lock()
+                .expect("counter registry poisoned"),
+            Counter::get,
+        );
+        render_scalar(
+            &mut out,
+            "gauge",
+            &self.inner.gauges.lock().expect("gauge registry poisoned"),
+            Gauge::get,
+        );
+        // Group histogram series by base name so labeled variants of
+        // one metric share a single `# TYPE` header. (BTreeMap order
+        // alone is not enough: `'{'` sorts after `'_'`, so a labeled
+        // series would otherwise split its family around `name_sum`.)
+        let histograms = self
             .inner
             .histograms
             .lock()
-            .expect("histogram registry poisoned")
-            .iter()
-        {
-            let snap = histogram.snapshot();
-            let _ = writeln!(out, "# TYPE {name} summary");
-            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", snap.p50);
-            let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", snap.p90);
-            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", snap.p99);
-            let _ = writeln!(out, "{name}_sum {}", snap.sum);
-            let _ = writeln!(out, "{name}_count {}", snap.count);
-            let _ = writeln!(out, "# TYPE {name}_max gauge");
-            let _ = writeln!(out, "{name}_max {}", snap.max);
+            .expect("histogram registry poisoned");
+        let mut families: BTreeMap<&str, Vec<(&str, Option<&str>)>> = BTreeMap::new();
+        for key in histograms.keys() {
+            let (base, labels) = split_key(key);
+            families.entry(base).or_default().push((key, labels));
+        }
+        for (base, series) in &families {
+            let _ = writeln!(out, "# TYPE {base} summary");
+            for (key, labels) in series {
+                let snap = histograms[*key].snapshot();
+                for (q, v) in [("0.5", snap.p50), ("0.9", snap.p90), ("0.99", snap.p99)] {
+                    match labels {
+                        Some(labels) => {
+                            let _ = writeln!(out, "{base}{{{labels},quantile=\"{q}\"}} {v}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+                        }
+                    }
+                }
+                let suffix = labels.map_or(String::new(), |l| format!("{{{l}}}"));
+                let _ = writeln!(out, "{base}_sum{suffix} {}", snap.sum);
+                let _ = writeln!(out, "{base}_count{suffix} {}", snap.count);
+            }
+            let _ = writeln!(out, "# TYPE {base}_max gauge");
+            for (key, labels) in series {
+                let suffix = labels.map_or(String::new(), |l| format!("{{{l}}}"));
+                let _ = writeln!(out, "{base}_max{suffix} {}", histograms[*key].max());
+            }
         }
         out
     }
@@ -186,5 +291,91 @@ mod tests {
         assert!(text.contains("bad_latency_us_sum 400\n"));
         assert!(text.contains("bad_latency_us_count 2\n"));
         assert!(text.contains("bad_latency_us_max 300\n"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let registry = Registry::new();
+        registry
+            .counter_with("bad_spans_total", &[("kind", "insert")])
+            .add(2);
+        registry
+            .counter_with("bad_spans_total", &[("kind", "drop")])
+            .inc();
+        registry.counter("bad_spans_total").add(10);
+        let text = registry.render();
+        assert_eq!(text.matches("# TYPE bad_spans_total counter").count(), 1);
+        assert!(text.contains("bad_spans_total{kind=\"insert\"} 2\n"));
+        assert!(text.contains("bad_spans_total{kind=\"drop\"} 1\n"));
+        assert!(text.contains("\nbad_spans_total 10\n"));
+        // Same name + labels resolves to the same series.
+        assert_eq!(
+            registry
+                .counter_with("bad_spans_total", &[("kind", "insert")])
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn labeled_histograms_merge_quantile_labels() {
+        let registry = Registry::new();
+        let h = registry.histogram_with("bad_lag_us", &[("stage", "insert")]);
+        h.record(10);
+        h.record(20);
+        registry.histogram("bad_lag_us").record(5);
+        let text = registry.render();
+        assert_eq!(text.matches("# TYPE bad_lag_us summary").count(), 1);
+        assert_eq!(text.matches("# TYPE bad_lag_us_max gauge").count(), 1);
+        assert!(text.contains("bad_lag_us{stage=\"insert\",quantile=\"0.5\"}"));
+        assert!(text.contains("bad_lag_us{quantile=\"0.5\"}"));
+        assert!(text.contains("bad_lag_us_sum{stage=\"insert\"} 30\n"));
+        assert!(text.contains("bad_lag_us_count{stage=\"insert\"} 2\n"));
+        assert!(text.contains("bad_lag_us_max{stage=\"insert\"} 20\n"));
+        assert!(text.contains("\nbad_lag_us_sum 5\n"));
+    }
+
+    /// Inverse of [`escape_label_value`], for the round-trip test.
+    fn unescape_label_value(escaped: &str) -> String {
+        let mut out = String::with_capacity(escaped.len());
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_render() {
+        let hostile = "lsc\"z\\phi\nnewline";
+        let registry = Registry::new();
+        registry
+            .counter_with("bad_drop_total", &[("policy", hostile)])
+            .add(3);
+        let text = registry.render();
+        // The scrape text must stay line-oriented: exactly the TYPE
+        // line and one sample line, raw newline escaped away.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "# TYPE bad_drop_total counter");
+        let sample = lines[1];
+        assert!(sample.ends_with(" 3"));
+        // Parse the label value back out and invert the escaping.
+        let start = sample.find("policy=\"").unwrap() + "policy=\"".len();
+        let end = sample.rfind("\"}").unwrap();
+        assert_eq!(unescape_label_value(&sample[start..end]), hostile);
     }
 }

@@ -54,8 +54,13 @@ impl Sampler {
     /// Records one epoch and schedules the next one `interval_us`
     /// after the recorded timestamp (not after the previous deadline,
     /// so a stalled caller doesn't produce a burst of make-up epochs).
+    /// The deadline never moves backwards: an out-of-order sample (a
+    /// broker thread racing virtual time) must not re-arm an epoch
+    /// that already fired.
     pub fn record(&mut self, sample: Sample) {
-        self.next_due_us = sample.t_us.saturating_add(self.interval_us);
+        self.next_due_us = self
+            .next_due_us
+            .max(sample.t_us.saturating_add(self.interval_us));
         self.samples.push(sample);
     }
 
@@ -112,6 +117,24 @@ mod tests {
         // deadlines at t=10/20/30.
         assert!(!sampler.due(44));
         assert!(sampler.due(45));
+    }
+
+    #[test]
+    fn non_monotonic_samples_never_rearm_a_fired_epoch() {
+        let mut sampler = Sampler::new(10);
+        sampler.record(sample(50, 0.0));
+        assert!(!sampler.due(59));
+        assert!(sampler.due(60));
+        // A stale sample arrives out of order: the next deadline must
+        // stay at 60, not jump back to 35 + 10 = 45.
+        sampler.record(sample(35, 0.0));
+        assert!(!sampler.due(45));
+        assert!(sampler.due(60));
+        // And a sample from "time zero" must not make every instant due.
+        sampler.record(sample(0, 0.0));
+        assert!(!sampler.due(59));
+        assert!(sampler.due(60));
+        assert_eq!(sampler.samples().len(), 3);
     }
 
     #[test]

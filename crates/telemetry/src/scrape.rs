@@ -1,0 +1,267 @@
+//! A std-only TCP scrape endpoint: live `/metrics`, `/healthz` and
+//! `/trace/recent` while a runtime is up.
+//!
+//! The server is deliberately minimal — a single accept thread, one
+//! request per connection (`Connection: close`), and just enough
+//! HTTP/1.1 to satisfy Prometheus scrapers and `curl`. Bodies are
+//! rendered per request from the shared [`Registry`], a caller-provided
+//! health closure, and the [`FlightRecorder`], so the endpoint is pure
+//! read-side: it never touches the data path.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bad_telemetry::{FlightRecorder, Registry, ScrapeServer};
+//!
+//! let registry = Registry::new();
+//! registry.counter("bad_up").inc();
+//! let recorder = Arc::new(FlightRecorder::new(1, 16));
+//! let server = ScrapeServer::bind(
+//!     "127.0.0.1:0",
+//!     registry.clone(),
+//!     recorder,
+//!     Arc::new(|| "{\"ok\":true}".to_owned()),
+//! )
+//! .unwrap();
+//! let addr = server.local_addr();
+//! // curl http://{addr}/metrics  |  /healthz  |  /trace/recent
+//! server.shutdown();
+//! # let _ = addr;
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::trace::FlightRecorder;
+
+/// Renders the `/healthz` JSON body; the runtime injects per-shard
+/// occupancy here without `bad-telemetry` depending on the cache tier.
+pub type HealthFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The scrape endpoint handle. Dropping it stops the accept thread.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScrapeServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept thread. The server lives until [`shutdown`](Self::shutdown)
+    /// or drop.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        recorder: Arc<FlightRecorder>,
+        health: HealthFn,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("bad-scrape".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Serve inline: scrapes are rare and tiny, and one
+                    // thread keeps the endpoint's footprint fixed.
+                    let _ = serve_one(stream, &registry, &recorder, &health);
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop is blocked in `incoming()`; poke it awake
+        // with a throwaway connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one request, routes it, writes one response.
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    recorder: &Arc<FlightRecorder>,
+    health: &HealthFn,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") => ("200 OK", "text/plain; version=0.0.4", registry.render()),
+        Some("/healthz") => ("200 OK", "application/json", health()),
+        Some("/trace/recent") => ("200 OK", "application/json", recorder.to_json()),
+        Some(_) => ("404 Not Found", "text/plain; version=0.0.4", String::new()),
+        None => (
+            "400 Bad Request",
+            "text/plain; version=0.0.4",
+            String::new(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Parses the request target out of `GET <path> HTTP/1.1`. Returns
+/// `None` for anything that is not a well-formed GET request line.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    // Read until the end of the request line; scrape requests are a
+    // few hundred bytes, so a small fixed buffer is plenty.
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    loop {
+        if len == buf.len() {
+            return Ok(None);
+        }
+        let n = match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        len += n;
+        if buf[..len].contains(&b'\n') {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf[..len]);
+    let line = text.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn test_server() -> (ScrapeServer, Registry, Arc<FlightRecorder>) {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(2, 32));
+        let server = ScrapeServer::bind(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&recorder),
+            Arc::new(|| r#"{"shards":2}"#.to_owned()),
+        )
+        .unwrap();
+        (server, registry, recorder)
+    }
+
+    #[test]
+    fn serves_metrics_health_and_recent_traces() {
+        let (server, registry, recorder) = test_server();
+        registry.counter("bad_scrape_test_total").add(7);
+        recorder.record(&crate::trace::Span {
+            trace: crate::trace::TraceId::for_object(1),
+            span: crate::trace::SpanId::derive(
+                crate::trace::TraceId::for_object(1),
+                crate::trace::SpanKind::CacheInsert,
+                2,
+            ),
+            parent: None,
+            kind: crate::trace::SpanKind::CacheInsert,
+            t_us: 5,
+            cache: 2,
+            object: 1,
+            subscriber: 0,
+            bytes: 64,
+            lag_us: 1,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain"));
+        assert!(body.contains("bad_scrape_test_total 7"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, r#"{"shards":2}"#);
+
+        let (head, body) = get(addr, "/trace/recent");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.starts_with(r#"[{"kind":"cache_insert","t_us":5"#));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_the_accept_thread() {
+        let (server, _registry, _recorder) = test_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // No listener remains, so a fresh connection is refused.
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        assert!(refused.is_err());
+    }
+}

@@ -1,0 +1,1019 @@
+//! End-to-end notification lifecycle tracing.
+//!
+//! A notification's journey — channel result produced on the cluster,
+//! inserted into a broker cache, retrieved by each of its `n_i`
+//! frontend subscribers (or missed and re-fetched from the backend),
+//! and finally dropped (consumed / evicted / expired) — is recorded as
+//! a set of [`Span`]s sharing one [`TraceId`]. Ids are splitmix64
+//! mixes of the *object id* (never of time), so traces are
+//! deterministic under the simulator's virtual clock and every layer
+//! can derive both its own span id and its causal parent's without
+//! threading ids through call signatures:
+//!
+//! ```text
+//! ResultProduced ─┬─ CacheInsert ─┬─ RetrieveHit   (one per subscriber)
+//!                 │               ├─ Drop / Expire (policy decision, φ/s score)
+//!                 │               └─ FullyConsumed
+//!                 └─ RetrieveMiss ── BackendFetch  (one per missing subscriber)
+//! ```
+//!
+//! The [`Tracer`] is the single emission point: it bumps per-kind span
+//! counters, feeds the stage-latency / staleness histograms and their
+//! SLO-violation counters on *every* span, and forwards the span record
+//! itself to the [`FlightRecorder`] and the event sink only for sampled
+//! traces (`trace_sample_every_n`), keeping the hot path allocation
+//! free. [`Tracer::disabled`] is the default wiring everywhere and
+//! costs one branch per call site.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, SharedSink};
+use crate::histogram::Histogram;
+use crate::json::ObjectWriter;
+use crate::registry::{Counter, Registry};
+
+/// A finalizer-quality 64-bit mix (splitmix64), the same mix the cache
+/// tier uses for shard routing — id derivation must be deterministic
+/// across platforms and runs.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Identifies one notification's lifecycle across all layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The trace of the notification carrying result object `object`.
+    /// Derived from the object id alone — every layer that knows the
+    /// object recovers the same trace, with no id plumbing.
+    #[inline]
+    pub fn for_object(object: u64) -> Self {
+        Self(mix64(object ^ 0xBAD0_0B1E_C71D))
+    }
+
+    /// Raw id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// Derives the id of the `(kind, actor)` span of `trace`. `actor`
+    /// disambiguates per-subscriber spans (retrievals, backend fetches)
+    /// from each other; cache-side spans use the cache id. Because the
+    /// derivation is pure, a child span recomputes its parent's id from
+    /// the same inputs instead of carrying it through the stack.
+    #[inline]
+    pub fn derive(trace: TraceId, kind: SpanKind, actor: u64) -> Self {
+        Self(mix64(trace.0 ^ mix64(((kind as u64) << 56) ^ actor)))
+    }
+
+    /// Raw id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// The lifecycle stage a [`Span`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A channel execution appended the result object (cluster side).
+    ResultProduced = 0,
+    /// The broker admitted the object into a result cache.
+    CacheInsert = 1,
+    /// A subscriber retrieval was served from cache.
+    RetrieveHit = 2,
+    /// A subscriber retrieval missed the cache.
+    RetrieveMiss = 3,
+    /// A miss was re-fetched from the durable backend store.
+    BackendFetch = 4,
+    /// The eviction policy dropped the object (`score` is φ/s).
+    Drop = 5,
+    /// The TTL policy expired the object.
+    Expire = 6,
+    /// Every pending subscriber consumed the object, releasing it.
+    FullyConsumed = 7,
+}
+
+impl SpanKind {
+    /// All kinds, in discriminant order (indexes the per-kind counters).
+    pub const ALL: [SpanKind; 8] = [
+        SpanKind::ResultProduced,
+        SpanKind::CacheInsert,
+        SpanKind::RetrieveHit,
+        SpanKind::RetrieveMiss,
+        SpanKind::BackendFetch,
+        SpanKind::Drop,
+        SpanKind::Expire,
+        SpanKind::FullyConsumed,
+    ];
+
+    /// Stable lowercase label (metric label values, JSON `kind`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::ResultProduced => "result_produced",
+            SpanKind::CacheInsert => "cache_insert",
+            SpanKind::RetrieveHit => "retrieve_hit",
+            SpanKind::RetrieveMiss => "retrieve_miss",
+            SpanKind::BackendFetch => "backend_fetch",
+            SpanKind::Drop => "drop",
+            SpanKind::Expire => "expire",
+            SpanKind::FullyConsumed => "fully_consumed",
+        }
+    }
+}
+
+/// One lifecycle span. `Copy` like [`Event`]: raw ids, a virtual-time
+/// timestamp and `&'static str` labels, so emission never allocates.
+///
+/// `lag_us` is the stage latency: produce→insert lag for
+/// [`SpanKind::CacheInsert`], end-to-end produce→deliver lag for
+/// retrievals, the modeled backend fetch latency for
+/// [`SpanKind::BackendFetch`], and the time-in-cache (staleness) for
+/// the drop kinds. `policy`/`drop_kind`/`score` are only meaningful on
+/// drop spans (empty / 0 elsewhere); `subscriber` is 0 on spans not
+/// attributable to one subscriber.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// The notification lifecycle this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The causal parent, if any (roots have none).
+    pub parent: Option<SpanId>,
+    /// Lifecycle stage.
+    pub kind: SpanKind,
+    /// Virtual-time timestamp in microseconds.
+    pub t_us: u64,
+    /// The backend subscription cache involved.
+    pub cache: u64,
+    /// The result object.
+    pub object: u64,
+    /// The frontend subscriber (0 when not subscriber-specific).
+    pub subscriber: u64,
+    /// Object bytes.
+    pub bytes: u64,
+    /// Stage latency / staleness in microseconds (see type docs).
+    pub lag_us: u64,
+    /// Evicting policy name (drop spans only, else empty).
+    pub policy: &'static str,
+    /// Drop cause label (drop spans only, else empty).
+    pub drop_kind: &'static str,
+    /// The victim cache's φ/s utility-per-byte score (evictions only).
+    pub score: f64,
+}
+
+impl Span {
+    /// Appends this span as one JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field_str("kind", self.kind.label());
+        obj.field_u64("t_us", self.t_us);
+        self.write_fields(&mut obj);
+    }
+
+    /// Appends the span's payload fields (everything after `kind` and
+    /// `t_us`) to an already-open JSON object — shared between the
+    /// standalone rendering above and [`Event::Span`]'s JSONL form.
+    pub fn write_fields(&self, obj: &mut ObjectWriter<'_>) {
+        obj.field_u64("trace", self.trace.as_u64());
+        obj.field_u64("span", self.span.as_u64());
+        if let Some(parent) = self.parent {
+            obj.field_u64("parent", parent.as_u64());
+        }
+        obj.field_u64("cache", self.cache);
+        obj.field_u64("object", self.object);
+        if self.subscriber != 0 {
+            obj.field_u64("subscriber", self.subscriber);
+        }
+        obj.field_u64("bytes", self.bytes);
+        obj.field_u64("lag_us", self.lag_us);
+        if !self.drop_kind.is_empty() {
+            obj.field_str("drop_kind", self.drop_kind);
+            obj.field_str("policy", self.policy);
+            obj.field_f64("score", self.score);
+        }
+    }
+
+    /// Renders this span as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Per-stage latency / staleness SLO thresholds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Produce→deliver deadline for retrievals (hit or miss), in
+    /// microseconds of virtual time.
+    pub delivery_latency_us: u64,
+    /// Maximum time-in-cache before full consumption, in microseconds.
+    pub staleness_us: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            delivery_latency_us: 30_000_000,
+            staleness_us: 600_000_000,
+        }
+    }
+}
+
+/// Tracer tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Trace sampling: 0 emits no span records (metrics and SLO
+    /// accounting still run), 1 records every trace, `n` records the
+    /// traces whose id is divisible by `n` — whole lifecycles are
+    /// sampled atomically, never individual spans.
+    pub trace_sample_every_n: u64,
+    /// SLO thresholds.
+    pub slo: SloConfig,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            trace_sample_every_n: 1,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// How many anomaly dumps a recorder writes before going quiet (the
+/// recorder keeps counting anomalies either way).
+const MAX_ANOMALY_DUMPS: u64 = 8;
+
+/// A lock-striped ring of recent spans — the post-mortem buffer behind
+/// the scrape endpoint's `/trace/recent` and the JSONL anomaly dumps.
+///
+/// Writers `try_lock` their stripe and drop the span on contention
+/// rather than block the data path; `contended_drops` counts how often
+/// that happened. Rings are pre-sized at construction, so steady-state
+/// recording never allocates.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Stripe>,
+    capacity: usize,
+    contended_drops: AtomicU64,
+    anomalies: AtomicU64,
+    dumps_written: AtomicU64,
+    /// Mirrors `dump_path.is_some()` so the hot anomaly path can skip
+    /// the mutex entirely when nothing will ever be written.
+    dumps_enabled: AtomicBool,
+    dump_path: Mutex<Option<PathBuf>>,
+}
+
+/// One flight-recorder ring: writers claim the next slot by bumping
+/// `head` (one relaxed add), then overwrite that slot in place. Claims
+/// are FIFO, so the ring always holds the most recent `capacity` spans
+/// and overwrites oldest-first; locking is per *slot*, never per ring,
+/// so two writers only collide when the ring has fully wrapped between
+/// them.
+#[derive(Debug)]
+struct Stripe {
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<Span>>>,
+}
+
+impl FlightRecorder {
+    /// Creates `stripes.max(1)` rings of `capacity.max(1)` spans each
+    /// (both rounded up to powers of two so `record` routes and wraps
+    /// with masks instead of divisions). Wire one stripe per cache
+    /// shard so shard workers rarely contend.
+    pub fn new(stripes: usize, capacity: usize) -> Self {
+        let stripes = stripes.max(1).next_power_of_two();
+        let capacity = capacity.max(1).next_power_of_two();
+        Self {
+            stripes: (0..stripes)
+                .map(|_| Stripe {
+                    head: AtomicU64::new(0),
+                    slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                })
+                .collect(),
+            capacity,
+            contended_drops: AtomicU64::new(0),
+            anomalies: AtomicU64::new(0),
+            dumps_written: AtomicU64::new(0),
+            dumps_enabled: AtomicBool::new(false),
+            dump_path: Mutex::new(None),
+        }
+    }
+
+    /// Routes anomaly dumps to a JSONL file at `path` (append mode; at
+    /// most [`MAX_ANOMALY_DUMPS`] dumps per recorder). Without a path,
+    /// anomalies are counted but nothing is written.
+    pub fn set_dump_path(&self, path: impl Into<PathBuf>) {
+        *self.dump_path.lock().expect("dump path poisoned") = Some(path.into());
+        self.dumps_enabled.store(true, Ordering::Release);
+    }
+
+    /// Records one span into its trace's stripe, overwriting the oldest
+    /// slot on overflow. Drops the span instead of blocking in the
+    /// (ring-has-wrapped) case where another writer still holds the
+    /// claimed slot.
+    #[inline]
+    pub fn record(&self, span: &Span) {
+        // Trace ids are already splitmix64 outputs, so their low bits
+        // route directly; stripe count and capacity are powers of two.
+        let stripe = &self.stripes[span.trace.as_u64() as usize & (self.stripes.len() - 1)];
+        let slot = stripe.head.fetch_add(1, Ordering::Relaxed) as usize & (self.capacity - 1);
+        match stripe.slots[slot].try_lock() {
+            Ok(mut held) => *held = Some(*span),
+            Err(_) => {
+                self.contended_drops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Spans dropped because their stripe was contended.
+    pub fn contended_drops(&self) -> u64 {
+        self.contended_drops.load(Ordering::Relaxed)
+    }
+
+    /// Anomalies noted so far.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies.load(Ordering::Relaxed)
+    }
+
+    /// Buffered spans across all stripes, merged oldest first.
+    pub fn recent(&self) -> Vec<Span> {
+        let mut out: Vec<Span> = Vec::new();
+        for stripe in &self.stripes {
+            for slot in &stripe.slots {
+                if let Some(span) = *slot.lock().expect("flight slot poisoned") {
+                    out.push(span);
+                }
+            }
+        }
+        out.sort_by_key(|s| (s.t_us, s.trace, s.span));
+        out
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .flat_map(|s| &s.slots)
+            .filter(|slot| slot.lock().expect("flight slot poisoned").is_some())
+            .count()
+    }
+
+    /// Whether no span is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The buffered spans as a JSON array (the `/trace/recent` body).
+    pub fn to_json(&self) -> String {
+        let spans = self.recent();
+        let mut out = String::with_capacity(64 + spans.len() * 160);
+        out.push('[');
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            span.write_json(&mut out);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Notes an anomaly (SLO violation, budget overrun, shard
+    /// imbalance). When a dump path is configured and the dump cap is
+    /// not yet exhausted, appends a JSONL block — one header line
+    /// naming the anomaly, then every buffered span, one per line.
+    pub fn note_anomaly(&self, reason: &str, t_us: u64) {
+        self.anomalies.fetch_add(1, Ordering::Relaxed);
+        // Anomalies can fire per object on the data path (e.g. every
+        // stale consumption); without a dump path this must stay one
+        // relaxed add plus one load — never a mutex.
+        if !self.dumps_enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let path = self.dump_path.lock().expect("dump path poisoned").clone();
+        let Some(path) = path else {
+            return;
+        };
+        if self.dumps_written.fetch_add(1, Ordering::Relaxed) >= MAX_ANOMALY_DUMPS {
+            return;
+        }
+        let spans = self.recent();
+        let mut text = String::with_capacity(96 + spans.len() * 160);
+        {
+            let mut header = ObjectWriter::new(&mut text);
+            header.field_str("kind", "anomaly");
+            header.field_str("reason", reason);
+            header.field_u64("t_us", t_us);
+            header.field_u64("spans", spans.len() as u64);
+        }
+        text.push('\n');
+        for span in &spans {
+            span.write_json(&mut text);
+            text.push('\n');
+        }
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = file.write_all(text.as_bytes());
+        }
+    }
+}
+
+/// The lifecycle-span emission point, shared by cluster, cache, broker
+/// and sim. See the [module docs](self) for the span taxonomy.
+#[derive(Debug)]
+pub struct Tracer {
+    on: bool,
+    trace_sample_every_n: u64,
+    slo: SloConfig,
+    sink: SharedSink,
+    recorder: Arc<FlightRecorder>,
+    spans_total: [Counter; 8],
+    insert_lag_us: Histogram,
+    delivery_lag_us: Histogram,
+    staleness_us: Histogram,
+    delivery_slo_violations: Counter,
+    staleness_slo_violations: Counter,
+}
+
+/// A shareable tracer handle — the shape every layer stores.
+pub type SharedTracer = Arc<Tracer>;
+
+impl Tracer {
+    /// Registers the trace metric family on `registry` (per-kind
+    /// labeled span counters, stage-lag histograms, SLO violation
+    /// counters), records sampled spans into `recorder`, and forwards
+    /// them to `sink` when it is enabled.
+    pub fn new(
+        registry: &Registry,
+        sink: SharedSink,
+        recorder: Arc<FlightRecorder>,
+        config: TraceConfig,
+    ) -> SharedTracer {
+        let spans_total = SpanKind::ALL
+            .map(|kind| registry.counter_with("bad_trace_spans_total", &[("kind", kind.label())]));
+        Arc::new(Self {
+            on: true,
+            trace_sample_every_n: config.trace_sample_every_n,
+            slo: config.slo,
+            sink,
+            recorder,
+            spans_total,
+            insert_lag_us: registry.histogram("bad_trace_insert_lag_us"),
+            delivery_lag_us: registry.histogram("bad_trace_delivery_lag_us"),
+            staleness_us: registry.histogram("bad_trace_staleness_us"),
+            delivery_slo_violations: registry.counter("bad_delivery_latency_slo_violations_total"),
+            staleness_slo_violations: registry.counter("bad_staleness_slo_violations_total"),
+        })
+    }
+
+    /// The default wiring: every emission helper returns after one
+    /// branch, nothing is registered anywhere.
+    pub fn disabled() -> SharedTracer {
+        Arc::new(Self {
+            on: false,
+            trace_sample_every_n: 0,
+            slo: SloConfig::default(),
+            sink: crate::event::null_sink(),
+            recorder: Arc::new(FlightRecorder::new(1, 1)),
+            spans_total: std::array::from_fn(|_| Counter::default()),
+            insert_lag_us: Histogram::new(),
+            delivery_lag_us: Histogram::new(),
+            staleness_us: Histogram::new(),
+            delivery_slo_violations: Counter::default(),
+            staleness_slo_violations: Counter::default(),
+        })
+    }
+
+    /// Whether emission helpers do anything — hot paths check this
+    /// before looping over per-object spans.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The flight recorder spans land in.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The SLO thresholds in force.
+    pub fn slo(&self) -> SloConfig {
+        self.slo
+    }
+
+    /// Whether `trace`'s span records are kept (metrics always are).
+    #[inline]
+    pub fn sampled(&self, trace: TraceId) -> bool {
+        match self.trace_sample_every_n {
+            0 => false,
+            1 => true,
+            n => trace.as_u64().is_multiple_of(n),
+        }
+    }
+
+    /// Forwards one *sampled* span to the recorder and the sink. The
+    /// per-kind counter and the stage metrics are bumped by the caller
+    /// *before* the sampling decision, so unsampled traces never pay
+    /// for span construction or id derivation.
+    #[inline]
+    fn emit(&self, span: Span) {
+        self.recorder.record(&span);
+        if self.sink.enabled() {
+            self.sink.record(&Event::Span(span));
+        }
+    }
+
+    /// A channel execution appended result `object` for `cache` — the
+    /// root span of the notification's trace.
+    pub fn on_result_produced(&self, t_us: u64, cache: u64, object: u64, bytes: u64) {
+        if !self.on {
+            return;
+        }
+        self.spans_total[SpanKind::ResultProduced as usize].inc();
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::ResultProduced, cache),
+            parent: None,
+            kind: SpanKind::ResultProduced,
+            t_us,
+            cache,
+            object,
+            subscriber: 0,
+            bytes,
+            lag_us: 0,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+    }
+
+    /// The broker admitted `object` into `cache`; `lag_us` is the
+    /// produce→insert lag.
+    pub fn on_cache_insert(&self, t_us: u64, cache: u64, object: u64, bytes: u64, lag_us: u64) {
+        if !self.on {
+            return;
+        }
+        self.spans_total[SpanKind::CacheInsert as usize].inc();
+        self.insert_lag_us.record(lag_us);
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::CacheInsert, cache),
+            parent: Some(SpanId::derive(trace, SpanKind::ResultProduced, cache)),
+            kind: SpanKind::CacheInsert,
+            t_us,
+            cache,
+            object,
+            subscriber: 0,
+            bytes,
+            lag_us,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+    }
+
+    /// `subscriber`'s retrieval was served `object` from `cache`;
+    /// `lag_us` is the end-to-end produce→deliver lag, checked against
+    /// the delivery SLO.
+    pub fn on_retrieve_hit(
+        &self,
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        subscriber: u64,
+        bytes: u64,
+        lag_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        self.spans_total[SpanKind::RetrieveHit as usize].inc();
+        self.check_delivery_slo(t_us, lag_us);
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::RetrieveHit, subscriber),
+            parent: Some(SpanId::derive(trace, SpanKind::CacheInsert, cache)),
+            kind: SpanKind::RetrieveHit,
+            t_us,
+            cache,
+            object,
+            subscriber,
+            bytes,
+            lag_us,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+    }
+
+    /// `subscriber`'s retrieval missed `object` in `cache` (never
+    /// admitted, or already dropped); same delivery-SLO accounting as a
+    /// hit — the subscriber does not care why delivery was late.
+    pub fn on_retrieve_miss(
+        &self,
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        subscriber: u64,
+        bytes: u64,
+        lag_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        self.spans_total[SpanKind::RetrieveMiss as usize].inc();
+        self.check_delivery_slo(t_us, lag_us);
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::RetrieveMiss, subscriber),
+            parent: Some(SpanId::derive(trace, SpanKind::ResultProduced, cache)),
+            kind: SpanKind::RetrieveMiss,
+            t_us,
+            cache,
+            object,
+            subscriber,
+            bytes,
+            lag_us,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+    }
+
+    /// A miss was re-fetched from the durable backend store for
+    /// `subscriber`; `lag_us` is the modeled cluster fetch latency.
+    pub fn on_backend_fetch(
+        &self,
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        subscriber: u64,
+        bytes: u64,
+        lag_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        self.spans_total[SpanKind::BackendFetch as usize].inc();
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::BackendFetch, subscriber),
+            parent: Some(SpanId::derive(trace, SpanKind::RetrieveMiss, subscriber)),
+            kind: SpanKind::BackendFetch,
+            t_us,
+            cache,
+            object,
+            subscriber,
+            bytes,
+            lag_us,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        });
+    }
+
+    /// `object` left `cache`. `kind` must be one of [`SpanKind::Drop`],
+    /// [`SpanKind::Expire`] or [`SpanKind::FullyConsumed`];
+    /// `staleness_us` is its time in cache, `policy`/`drop_kind`/`score`
+    /// the audited policy decision (φ/s for evictions). Full
+    /// consumption is checked against the staleness SLO.
+    #[allow(clippy::too_many_arguments)] // single fan-in for all drop causes
+    pub fn on_drop(
+        &self,
+        t_us: u64,
+        cache: u64,
+        object: u64,
+        bytes: u64,
+        kind: SpanKind,
+        drop_kind: &'static str,
+        policy: &'static str,
+        score: f64,
+        staleness_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        debug_assert!(matches!(
+            kind,
+            SpanKind::Drop | SpanKind::Expire | SpanKind::FullyConsumed
+        ));
+        self.spans_total[kind as usize].inc();
+        self.staleness_us.record(staleness_us);
+        if kind == SpanKind::FullyConsumed && staleness_us > self.slo.staleness_us {
+            self.staleness_slo_violations.inc();
+            self.recorder.note_anomaly("staleness_slo", t_us);
+        }
+        let trace = TraceId::for_object(object);
+        if !self.sampled(trace) {
+            return;
+        }
+        self.emit(Span {
+            trace,
+            span: SpanId::derive(trace, kind, cache),
+            parent: Some(SpanId::derive(trace, SpanKind::CacheInsert, cache)),
+            kind,
+            t_us,
+            cache,
+            object,
+            subscriber: 0,
+            bytes,
+            lag_us: staleness_us,
+            policy,
+            drop_kind,
+            score,
+        });
+    }
+
+    fn check_delivery_slo(&self, t_us: u64, lag_us: u64) {
+        self.delivery_lag_us.record(lag_us);
+        if lag_us > self.slo.delivery_latency_us {
+            self.delivery_slo_violations.inc();
+            self.recorder.note_anomaly("delivery_latency_slo", t_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RingBufferSink;
+
+    fn tracer_with(
+        registry: &Registry,
+        recorder: Arc<FlightRecorder>,
+        config: TraceConfig,
+    ) -> (SharedTracer, Arc<RingBufferSink>) {
+        let ring = Arc::new(RingBufferSink::new(1024));
+        let sink: SharedSink = ring.clone();
+        (Tracer::new(registry, sink, recorder, config), ring)
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_time_free() {
+        let a = TraceId::for_object(42);
+        let b = TraceId::for_object(42);
+        assert_eq!(a, b);
+        assert_ne!(a, TraceId::for_object(43));
+        let s1 = SpanId::derive(a, SpanKind::RetrieveHit, 7);
+        assert_eq!(s1, SpanId::derive(b, SpanKind::RetrieveHit, 7));
+        assert_ne!(s1, SpanId::derive(a, SpanKind::RetrieveHit, 8));
+        assert_ne!(s1, SpanId::derive(a, SpanKind::RetrieveMiss, 7));
+    }
+
+    #[test]
+    fn lifecycle_parents_chain_without_id_plumbing() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(2, 64));
+        let (tracer, _) = tracer_with(&registry, recorder.clone(), TraceConfig::default());
+        tracer.on_result_produced(1, 9, 77, 100);
+        tracer.on_cache_insert(2, 9, 77, 100, 1);
+        tracer.on_retrieve_hit(3, 9, 77, 1001, 100, 2);
+        tracer.on_drop(
+            4,
+            9,
+            77,
+            100,
+            SpanKind::FullyConsumed,
+            "consume",
+            "lsc",
+            0.0,
+            2,
+        );
+        let spans = recorder.recent();
+        assert_eq!(spans.len(), 4);
+        let trace = TraceId::for_object(77);
+        assert!(spans.iter().all(|s| s.trace == trace));
+        let produced = &spans[0];
+        let insert = &spans[1];
+        let hit = &spans[2];
+        let consumed = &spans[3];
+        assert_eq!(produced.parent, None);
+        assert_eq!(insert.parent, Some(produced.span));
+        assert_eq!(hit.parent, Some(insert.span));
+        assert_eq!(consumed.parent, Some(insert.span));
+    }
+
+    #[test]
+    fn sampling_keeps_whole_traces() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 256));
+        let config = TraceConfig {
+            trace_sample_every_n: 4,
+            ..TraceConfig::default()
+        };
+        let (tracer, _) = tracer_with(&registry, recorder.clone(), config);
+        for object in 0..64u64 {
+            tracer.on_result_produced(1, 1, object, 10);
+            tracer.on_cache_insert(2, 1, object, 10, 1);
+        }
+        let spans = recorder.recent();
+        assert!(!spans.is_empty());
+        assert!(spans.len() < 128);
+        // Sampled traces keep every span: each sampled object has both.
+        for span in &spans {
+            assert_eq!(
+                spans.iter().filter(|s| s.trace == span.trace).count(),
+                2,
+                "trace {} partially sampled",
+                span.trace
+            );
+        }
+        // Metrics still count everything.
+        assert!(registry
+            .render()
+            .contains("bad_trace_spans_total{kind=\"result_produced\"} 64"));
+    }
+
+    #[test]
+    fn sample_zero_is_metrics_only() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let config = TraceConfig {
+            trace_sample_every_n: 0,
+            ..TraceConfig::default()
+        };
+        let (tracer, ring) = tracer_with(&registry, recorder.clone(), config);
+        tracer.on_result_produced(1, 1, 5, 10);
+        assert!(recorder.is_empty());
+        assert!(ring.is_empty());
+        assert!(registry
+            .render()
+            .contains("bad_trace_spans_total{kind=\"result_produced\"} 1"));
+    }
+
+    #[test]
+    fn slo_violations_are_counted_and_noted() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let config = TraceConfig {
+            slo: SloConfig {
+                delivery_latency_us: 100,
+                staleness_us: 100,
+            },
+            ..TraceConfig::default()
+        };
+        let (tracer, _) = tracer_with(&registry, recorder.clone(), config);
+        tracer.on_retrieve_hit(1, 1, 5, 9, 10, 50); // within SLO
+        tracer.on_retrieve_hit(2, 1, 5, 9, 10, 500); // violation
+        tracer.on_retrieve_miss(3, 1, 6, 9, 10, 900); // violation
+        tracer.on_drop(
+            4,
+            1,
+            5,
+            10,
+            SpanKind::FullyConsumed,
+            "consume",
+            "lsc",
+            0.0,
+            5_000, // stale
+        );
+        let text = registry.render();
+        assert!(text.contains("bad_delivery_latency_slo_violations_total 2"));
+        assert!(text.contains("bad_staleness_slo_violations_total 1"));
+        assert_eq!(recorder.anomalies(), 3);
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.on_result_produced(1, 1, 1, 1);
+        tracer.on_cache_insert(1, 1, 1, 1, 1);
+        tracer.on_retrieve_hit(1, 1, 1, 1, 1, u64::MAX);
+        assert!(tracer.recorder().is_empty());
+        assert_eq!(tracer.recorder().anomalies(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_rings_evict_oldest() {
+        let recorder = FlightRecorder::new(1, 2);
+        let trace = TraceId::for_object(1);
+        for t in 0..5u64 {
+            recorder.record(&Span {
+                trace,
+                span: SpanId::derive(trace, SpanKind::ResultProduced, t),
+                parent: None,
+                kind: SpanKind::ResultProduced,
+                t_us: t,
+                cache: 1,
+                object: 1,
+                subscriber: 0,
+                bytes: 1,
+                lag_us: 0,
+                policy: "",
+                drop_kind: "",
+                score: 0.0,
+            });
+        }
+        let spans = recorder.recent();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].t_us, 3);
+        assert_eq!(spans[1].t_us, 4);
+    }
+
+    #[test]
+    fn anomaly_dump_writes_jsonl() {
+        let dir = std::env::temp_dir().join(format!(
+            "bad-trace-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&dir);
+        let recorder = FlightRecorder::new(1, 8);
+        recorder.note_anomaly("before_path_is_set", 1);
+        recorder.set_dump_path(&dir);
+        let trace = TraceId::for_object(3);
+        recorder.record(&Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::Expire, 2),
+            parent: None,
+            kind: SpanKind::Expire,
+            t_us: 9,
+            cache: 2,
+            object: 3,
+            subscriber: 0,
+            bytes: 64,
+            lag_us: 1000,
+            policy: "ttl",
+            drop_kind: "expire",
+            score: 0.0,
+        });
+        recorder.note_anomaly("budget_overrun", 10);
+        assert_eq!(recorder.anomalies(), 2);
+        let text = std::fs::read_to_string(&dir).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""kind":"anomaly","reason":"budget_overrun"#));
+        assert!(lines[1].contains(r#""kind":"expire""#));
+        assert!(lines[1].contains(r#""drop_kind":"expire","policy":"ttl""#));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn span_json_is_stable() {
+        let trace = TraceId::for_object(11);
+        let span = Span {
+            trace,
+            span: SpanId::derive(trace, SpanKind::RetrieveHit, 42),
+            parent: Some(SpanId::derive(trace, SpanKind::CacheInsert, 2)),
+            kind: SpanKind::RetrieveHit,
+            t_us: 1_000,
+            cache: 2,
+            object: 11,
+            subscriber: 42,
+            bytes: 256,
+            lag_us: 77,
+            policy: "",
+            drop_kind: "",
+            score: 0.0,
+        };
+        let json = span.to_json();
+        assert!(json.starts_with(r#"{"kind":"retrieve_hit","t_us":1000,"trace":"#));
+        assert!(json.contains(r#""subscriber":42"#));
+        assert!(json.contains(r#""lag_us":77"#));
+        assert!(!json.contains("drop_kind"));
+    }
+}

@@ -49,7 +49,13 @@ offline_gate() {
     cargo test -q -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
       --test oracle_parity --test stress_sharded
-    cargo test -q -p bad-broker -p bad-cluster --lib
+    cargo test -q -p bad-broker --lib --test lifecycle_trace
+    cargo test -q -p bad-cluster --lib
+    # Scrape-endpoint smoke: boots the threaded proto runtime with a
+    # live tracer and scrapes /metrics, /healthz and /trace/recent over
+    # TCP (the crossbeam stub is functional, so the runtime threads run
+    # for real).
+    cargo test -q -p bad-proto --lib --test scrape_smoke
     # The 8-thread stress (and the rest of the std-only cache suite)
     # again under --release, as the acceptance gate requires.
     cargo test -q --release -p bad-cache --lib \
