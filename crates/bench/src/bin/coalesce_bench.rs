@@ -1,0 +1,267 @@
+//! Miss-fetch coalescing sweep: duplicate-fetch ratio, cluster bytes
+//! and GET throughput by subscribers-per-backend-sub (fan-in), caching
+//! policy and coalescing on/off.
+//!
+//! The scenario is the coalescer's reason to exist: a cache whose
+//! budget keeps nothing, so every retrieval misses its whole range, and
+//! fan-in subscribers per backend subscription all issuing GETRESULTS
+//! at the same virtual instant. Without coalescing the broker fetches
+//! the identical range from the cluster once per subscriber; with it,
+//! once per distinct range. Prints a table and writes
+//! `BENCH_coalesce.json` under `target/experiments/`. The headline
+//! number is the cluster-byte reduction at fan-in 100 (expected ≈ the
+//! fan-in itself, and at least 5×).
+//!
+//! `--smoke` runs a reduced sweep and exits non-zero if the
+//! duplicate-fetch ratio with coalescing ON exceeds 1.1 — the CI gate
+//! that single-flight dedup actually collapses the herd.
+
+use std::time::{Duration, Instant};
+
+use bad_bench::{print_table, write_bench_json};
+use bad_broker::{Broker, BrokerConfig};
+use bad_cache::PolicyName;
+use bad_cluster::DataCluster;
+use bad_query::ParamBindings;
+use bad_storage::Schema;
+use bad_telemetry::json::ObjectWriter;
+use bad_types::{ByteSize, DataValue, FrontendSubId, SubscriberId, Timestamp};
+
+/// The same xorshift64* generator the cache test harness uses.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+struct Cell {
+    fan_in: u64,
+    policy: PolicyName,
+    coalescing: bool,
+    duplicate_fetch_ratio: f64,
+    cluster_bytes: u64,
+    duplicate_bytes_saved: u64,
+    gets: u64,
+    get_ops_per_sec: f64,
+}
+
+fn t(secs: u64) -> Timestamp {
+    Timestamp::from_secs(secs)
+}
+
+/// One sweep cell: `streams` backend subscriptions × `fan_in`
+/// subscribers each, `rounds` publish→everyone-retrieves cycles against
+/// a 1-byte cache budget (every GET misses its whole range).
+fn run_cell(policy: PolicyName, fan_in: u64, coalescing: bool, streams: u64, rounds: u64) -> Cell {
+    let mut cluster = DataCluster::new();
+    cluster.create_dataset("Reports", Schema::open()).unwrap();
+    cluster
+        .register_channel(
+            "channel ByKind(kind: string) from Reports r \
+             where r.kind == $kind select r",
+        )
+        .unwrap();
+
+    let mut config = BrokerConfig::default();
+    config.cache.budget = ByteSize::new(1);
+    config.coalescer.enabled = coalescing;
+    let mut broker = Broker::new(policy, config);
+
+    let mut fronts: Vec<(SubscriberId, FrontendSubId)> = Vec::new();
+    for s in 0..streams {
+        let params = ParamBindings::from_pairs([("kind", DataValue::from(format!("k{s}")))]);
+        for j in 0..fan_in {
+            let sub = SubscriberId::new(1 + s * fan_in + j);
+            let fs = broker
+                .subscribe(&mut cluster, sub, "ByKind", params.clone(), t(0))
+                .unwrap();
+            fronts.push((sub, fs));
+        }
+    }
+
+    let mut rng = XorShift64::new(0xC0A1_E5CE ^ fan_in ^ (coalescing as u64) << 32);
+    let mut get_time = Duration::ZERO;
+    for r in 0..rounds {
+        let pub_ts = r * 10 + 1;
+        for s in 0..streams {
+            let body = "x".repeat(50 + rng.below(200) as usize);
+            let notifications = cluster
+                .publish(
+                    "Reports",
+                    t(pub_ts),
+                    DataValue::object([
+                        ("kind", DataValue::from(format!("k{s}"))),
+                        ("body", DataValue::from(body)),
+                    ]),
+                )
+                .unwrap();
+            for n in notifications {
+                broker.on_notification(&mut cluster, n, t(pub_ts));
+            }
+        }
+        // The herd: every subscriber retrieves at the same instant.
+        let now = t(pub_ts + 1);
+        let start = Instant::now();
+        for &(sub, fs) in &fronts {
+            broker.get_results(&mut cluster, sub, fs, now).unwrap();
+        }
+        get_time += start.elapsed();
+    }
+
+    let stats = broker.coalesce_stats();
+    let distinct_ranges = streams * rounds;
+    let gets = distinct_ranges * fan_in;
+    Cell {
+        fan_in,
+        policy,
+        coalescing,
+        // Cluster fetches actually issued per distinct missed range:
+        // 1.0 is perfect dedup, fan_in is the uncoalesced herd.
+        duplicate_fetch_ratio: stats.primary_fetches as f64 / distinct_ranges as f64,
+        cluster_bytes: stats.cluster_bytes_fetched.as_u64(),
+        duplicate_bytes_saved: stats.duplicate_bytes_saved.as_u64(),
+        gets,
+        get_ops_per_sec: gets as f64 / get_time.as_secs_f64().max(1e-9),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (fan_ins, policies, streams, rounds): (&[u64], &[PolicyName], u64, u64) = if smoke {
+        (&[1, 100], &[PolicyName::Lsc], 2, 5)
+    } else {
+        (
+            &[1, 10, 100],
+            &[
+                PolicyName::Lru,
+                PolicyName::Lsc,
+                PolicyName::Lscz,
+                PolicyName::Lsd,
+            ],
+            4,
+            20,
+        )
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &policy in policies {
+        for &fan_in in fan_ins {
+            for coalescing in [false, true] {
+                eprintln!(
+                    "coalesce_bench: policy={policy:?} fan_in={fan_in} \
+                     coalescing={coalescing}..."
+                );
+                cells.push(run_cell(policy, fan_in, coalescing, streams, rounds));
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for c in &cells {
+        rows.push(vec![
+            format!("{:?}", c.policy),
+            c.fan_in.to_string(),
+            if c.coalescing { "on" } else { "off" }.to_string(),
+            format!("{:.2}", c.duplicate_fetch_ratio),
+            c.cluster_bytes.to_string(),
+            format!("{:.0}", c.get_ops_per_sec),
+        ]);
+        let mut json = String::new();
+        {
+            let mut obj = ObjectWriter::new(&mut json);
+            obj.field_str("policy", &format!("{:?}", c.policy));
+            obj.field_u64("fan_in", c.fan_in);
+            obj.field_raw("coalescing", if c.coalescing { "true" } else { "false" });
+            obj.field_f64("duplicate_fetch_ratio", c.duplicate_fetch_ratio);
+            obj.field_u64("cluster_bytes_fetched", c.cluster_bytes);
+            obj.field_u64("duplicate_bytes_saved", c.duplicate_bytes_saved);
+            obj.field_u64("gets", c.gets);
+            obj.field_f64("get_ops_per_sec", c.get_ops_per_sec);
+        }
+        json_rows.push(json);
+    }
+
+    print_table(
+        "Miss-fetch coalescing: policy × fan-in × coalescing",
+        &[
+            "policy",
+            "fan_in",
+            "coalescing",
+            "dup_fetch_ratio",
+            "cluster_bytes",
+            "get_ops_per_sec",
+        ],
+        &rows,
+    );
+
+    // Headline: cluster-byte reduction at the largest fan-in, first
+    // policy in the sweep (paired off/on cells).
+    let max_fan_in = *fan_ins.last().unwrap();
+    let headline_policy = policies[0];
+    let find = |coalescing: bool| {
+        cells
+            .iter()
+            .find(|c| {
+                c.policy == headline_policy && c.fan_in == max_fan_in && c.coalescing == coalescing
+            })
+            .expect("swept")
+    };
+    let off = find(false);
+    let on = find(true);
+    let reduction = off.cluster_bytes as f64 / (on.cluster_bytes as f64).max(1.0);
+    println!(
+        "\ncluster-byte reduction at fan-in {max_fan_in} ({headline_policy:?}): \
+         {reduction:.1}x ({} -> {} bytes)",
+        off.cluster_bytes, on.cluster_bytes
+    );
+
+    let mut summary = String::new();
+    {
+        let mut obj = ObjectWriter::new(&mut summary);
+        obj.field_str("summary", "cluster_byte_reduction_at_max_fan_in");
+        obj.field_u64("fan_in", max_fan_in);
+        obj.field_f64("reduction", reduction);
+        obj.field_u64("off_cluster_bytes", off.cluster_bytes);
+        obj.field_u64("on_cluster_bytes", on.cluster_bytes);
+        obj.field_f64("on_duplicate_fetch_ratio", on.duplicate_fetch_ratio);
+    }
+    json_rows.push(summary);
+
+    let path = write_bench_json("coalesce", &format!("[{}]", json_rows.join(",")));
+    println!("wrote {}", path.display());
+
+    // CI gate (--smoke): coalescing must actually collapse the herd.
+    let worst_on_ratio = cells
+        .iter()
+        .filter(|c| c.coalescing)
+        .map(|c| c.duplicate_fetch_ratio)
+        .fold(0.0f64, f64::max);
+    if worst_on_ratio > 1.1 {
+        eprintln!(
+            "coalesce_bench: FAIL — duplicate-fetch ratio with coalescing \
+             on is {worst_on_ratio:.2} (> 1.1)"
+        );
+        std::process::exit(1);
+    }
+    println!("duplicate-fetch ratio with coalescing on: {worst_on_ratio:.2} (gate: <= 1.1)");
+}

@@ -12,6 +12,7 @@ use bad_types::{
     BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
 
+use crate::coalesce::{BatchOutcome, CoalesceStats, CoalescerConfig, FetchCoalescer};
 use crate::subscriptions::SubscriptionTable;
 use crate::telemetry::BrokerTelemetry;
 
@@ -41,6 +42,21 @@ pub trait ClusterHandle {
 
     /// Retrieves results in a timestamp range.
     fn cluster_fetch(&mut self, bs: BackendSubId, range: TimeRange) -> Vec<ResultObject>;
+
+    /// Retrieves several ranges in one round trip, results in request
+    /// order. The default forwards to [`ClusterHandle::cluster_fetch`]
+    /// per range; transports override it to issue a single batched
+    /// request (see `bad_net::NetworkModel::cluster_fetch_batch_latency`
+    /// for the latency model).
+    fn cluster_fetch_batch(
+        &mut self,
+        requests: &[(BackendSubId, TimeRange)],
+    ) -> Vec<Vec<ResultObject>> {
+        requests
+            .iter()
+            .map(|&(bs, range)| self.cluster_fetch(bs, range))
+            .collect()
+    }
 }
 
 impl ClusterHandle for DataCluster {
@@ -74,6 +90,9 @@ pub struct BrokerConfig {
     /// paper's monolithic cache manager; more shards let runtime
     /// worker threads operate on the cache concurrently.
     pub shards: usize,
+    /// Miss-fetch coalescing knobs (single-flight dedup + sideline
+    /// buffer). On by default; disable for the pre-coalescer behaviour.
+    pub coalescer: CoalescerConfig,
 }
 
 impl Default for BrokerConfig {
@@ -82,6 +101,7 @@ impl Default for BrokerConfig {
             cache: CacheConfig::default(),
             net: NetworkModel::paper_defaults(),
             shards: 1,
+            coalescer: CoalescerConfig::default(),
         }
     }
 }
@@ -166,6 +186,7 @@ impl DeliveryMetrics {
 pub struct Broker {
     subs: SubscriptionTable,
     cache: Arc<ShardedCacheManager>,
+    coalescer: FetchCoalescer,
     net: NetworkModel,
     delivery: DeliveryMetrics,
     telemetry: BrokerTelemetry,
@@ -181,6 +202,7 @@ impl Broker {
                 config.cache,
                 config.shards,
             )),
+            coalescer: FetchCoalescer::new(config.coalescer),
             net: config.net,
             delivery: DeliveryMetrics::default(),
             telemetry: BrokerTelemetry::detached(),
@@ -248,6 +270,12 @@ impl Broker {
         self.delivery
     }
 
+    /// Aggregate miss-fetch coalescing statistics (single-flight dedup
+    /// on the GET hot path; see [`crate::coalesce`]).
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        self.coalescer.stats()
+    }
+
     /// Subscribes `subscriber` to `channel(params)`, merging with an
     /// existing backend subscription when one matches (`SUBSCRIBE` of
     /// Algorithm 1).
@@ -295,6 +323,7 @@ impl Broker {
         let (backend, orphaned) = self.subs.remove_frontend(subscriber, fs)?;
         if orphaned {
             self.cache.remove_cache(backend, now);
+            self.coalescer.invalidate(backend);
             cluster.cluster_unsubscribe(backend)?;
         } else {
             self.cache.remove_subscriber(backend, subscriber, now)?;
@@ -317,6 +346,9 @@ impl Broker {
             return NotificationOutcome::default();
         };
         let since = entry.last_seen;
+        // New results make any buffered miss fetch for this backend sub
+        // stale: a later retrieval of an equal-`to` range must see them.
+        self.coalescer.invalidate(bs);
         let mut outcome = NotificationOutcome::default();
 
         if self.cache.caches_results() {
@@ -384,28 +416,28 @@ impl Broker {
         fs: FrontendSubId,
         now: Timestamp,
     ) -> Result<Delivery> {
-        let frontend = self
-            .subs
-            .frontend(fs)
-            .ok_or_else(|| bad_types::BadError::not_found("frontend subscription", fs.to_string()))?
-            .clone();
-        if frontend.subscriber != subscriber {
+        let frontend = self.subs.frontend(fs).ok_or_else(|| {
+            bad_types::BadError::not_found("frontend subscription", fs.to_string())
+        })?;
+        // Copy the few hot-path fields out instead of cloning the
+        // frontend entry (and, below, the backend entry with its
+        // channel string and frontend set).
+        let owner = frontend.subscriber;
+        let backend_id = frontend.backend;
+        let last_delivered = frontend.last_delivered;
+        if owner != subscriber {
             return Err(bad_types::BadError::InvalidArgument(format!(
-                "{fs} belongs to {}, not {subscriber}",
-                frontend.subscriber
+                "{fs} belongs to {owner}, not {subscriber}"
             )));
         }
-        let backend = self
+        let last_seen = self
             .subs
-            .backend(frontend.backend)
+            .backend(backend_id)
             .expect("table consistency")
-            .clone();
+            .last_seen;
 
-        let range = TimeRange::closed(
-            frontend.last_delivered + SimDuration::from_micros(1),
-            backend.last_seen,
-        );
-        let plan: GetPlan = self.cache.plan_get(backend.id, range, now);
+        let range = TimeRange::closed(last_delivered + SimDuration::from_micros(1), last_seen);
+        let plan: GetPlan = self.cache.plan_get(backend_id, range, now);
 
         let tracer = Arc::clone(self.telemetry.tracer());
         if tracer.enabled() {
@@ -414,7 +446,7 @@ impl Broker {
             for &(object, ts, size) in &plan.cached {
                 tracer.on_retrieve_hit(
                     now.as_micros(),
-                    backend.id.as_u64(),
+                    backend_id.as_u64(),
                     object.as_u64(),
                     subscriber.as_u64(),
                     size.as_u64(),
@@ -426,32 +458,55 @@ impl Broker {
         let mut miss_objects = 0u64;
         let mut miss_bytes = ByteSize::ZERO;
         for missed_range in &plan.missed {
-            let missed = cluster.cluster_fetch(backend.id, *missed_range);
-            let bytes: ByteSize = missed.iter().map(|o| o.size).sum();
-            self.cache
-                .record_miss_fetch(backend.id, missed.len() as u64, bytes, now);
+            let fetched = self.coalescer.fetch(backend_id, *missed_range, now, || {
+                cluster.cluster_fetch(backend_id, *missed_range)
+            });
+            // Miss accounting stays per retrieval (hit + miss ==
+            // requested) whether or not the bytes crossed the cluster
+            // link this time; cluster traffic is tracked separately in
+            // the coalescer's stats.
+            self.cache.record_miss_fetch(
+                backend_id,
+                fetched.objects.len() as u64,
+                fetched.bytes,
+                now,
+            );
+            if !fetched.primary {
+                self.telemetry.on_coalesced_fetch(fetched.bytes);
+            }
             if tracer.enabled() {
-                for object in &missed {
+                for object in fetched.objects {
                     tracer.on_retrieve_miss(
                         now.as_micros(),
-                        backend.id.as_u64(),
+                        backend_id.as_u64(),
                         object.id.as_u64(),
                         subscriber.as_u64(),
                         object.size.as_u64(),
                         now.as_micros().saturating_sub(object.ts.as_micros()),
                     );
-                    tracer.on_backend_fetch(
-                        now.as_micros(),
-                        backend.id.as_u64(),
-                        object.id.as_u64(),
-                        subscriber.as_u64(),
-                        object.size.as_u64(),
-                        self.net.cluster_fetch_latency(object.size).as_micros(),
-                    );
+                    if fetched.primary {
+                        tracer.on_backend_fetch(
+                            now.as_micros(),
+                            backend_id.as_u64(),
+                            object.id.as_u64(),
+                            subscriber.as_u64(),
+                            object.size.as_u64(),
+                            self.net.cluster_fetch_latency(object.size).as_micros(),
+                        );
+                    } else {
+                        tracer.on_coalesced_fetch(
+                            now.as_micros(),
+                            backend_id.as_u64(),
+                            object.id.as_u64(),
+                            subscriber.as_u64(),
+                            object.size.as_u64(),
+                            self.net.cluster_fetch_latency(object.size).as_micros(),
+                        );
+                    }
                 }
             }
-            miss_objects += missed.len() as u64;
-            miss_bytes += bytes;
+            miss_objects += fetched.objects.len() as u64;
+            miss_bytes += fetched.bytes;
         }
 
         let latency = self.net.delivery_latency(plan.cached_bytes, miss_bytes);
@@ -462,14 +517,14 @@ impl Broker {
             miss_objects,
             miss_bytes,
             latency,
-            up_to: backend.last_seen,
+            up_to: last_seen,
         };
 
         // ACK: advance fts and mark consumption in the cache.
-        self.subs.advance_frontend_marker(fs, backend.last_seen)?;
+        self.subs.advance_frontend_marker(fs, last_seen)?;
         let _ = self
             .cache
-            .ack_consume(backend.id, subscriber, backend.last_seen, now);
+            .ack_consume(backend_id, subscriber, last_seen, now);
 
         self.delivery.deliveries += 1;
         if delivery.total_objects() > 0 {
@@ -485,21 +540,192 @@ impl Broker {
     /// Retrieves all pending results across a subscriber's subscriptions
     /// (what a client does when it comes back online).
     ///
+    /// Unlike looping over [`Broker::get_results`], this is the batched
+    /// hot path: one [`ShardedCacheManager::plan_get_batch`] locking
+    /// each cache shard once, every missed range routed through the
+    /// fetch coalescer, and the distinct ranges that do go to the
+    /// cluster shipped in a single
+    /// [`ClusterHandle::cluster_fetch_batch`] round trip whose RTT is
+    /// amortized over the whole batch.
+    ///
     /// # Errors
     ///
-    /// Propagates the first retrieval error.
+    /// Propagates marker-advance errors (table inconsistency).
     pub fn get_all_pending(
         &mut self,
         cluster: &mut impl ClusterHandle,
         subscriber: SubscriberId,
         now: Timestamp,
     ) -> Result<Vec<Delivery>> {
-        let mut out = Vec::new();
+        // Gather every pending subscription's context (Copy fields
+        // only — no entry clones on this path either).
+        let mut pending: Vec<(FrontendSubId, BackendSubId, TimeRange, Timestamp)> = Vec::new();
         for fs in self.subs.subscriptions_of(subscriber) {
-            if self.has_pending(fs) {
-                out.push(self.get_results(cluster, subscriber, fs, now)?);
+            if !self.has_pending(fs) {
+                continue;
+            }
+            let frontend = self.subs.frontend(fs).expect("listed by subscriptions_of");
+            let backend_id = frontend.backend;
+            let last_delivered = frontend.last_delivered;
+            let last_seen = self
+                .subs
+                .backend(backend_id)
+                .expect("table consistency")
+                .last_seen;
+            let range = TimeRange::closed(last_delivered + SimDuration::from_micros(1), last_seen);
+            pending.push((fs, backend_id, range, last_seen));
+        }
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // One batched plan: each cache shard is locked once for the
+        // whole subscriber, not once per subscription.
+        let requests: Vec<(BackendSubId, TimeRange)> = pending
+            .iter()
+            .map(|&(_, bs, range, _)| (bs, range))
+            .collect();
+        let plans = self.cache.plan_get_batch(&requests, now);
+
+        let tracer = Arc::clone(self.telemetry.tracer());
+        if tracer.enabled() {
+            for (&(_, backend_id, _, _), plan) in pending.iter().zip(&plans) {
+                for &(object, ts, size) in &plan.cached {
+                    tracer.on_retrieve_hit(
+                        now.as_micros(),
+                        backend_id.as_u64(),
+                        object.as_u64(),
+                        subscriber.as_u64(),
+                        size.as_u64(),
+                        now.as_micros().saturating_sub(ts.as_micros()),
+                    );
+                }
             }
         }
+
+        // Flatten the missed ranges across the batch, remembering which
+        // subscription each one belongs to.
+        let mut miss_requests: Vec<(BackendSubId, TimeRange)> = Vec::new();
+        let mut owner_of: Vec<usize> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            for missed in &plan.missed {
+                miss_requests.push((pending[i].1, *missed));
+                owner_of.push(i);
+            }
+        }
+
+        let outcome = if miss_requests.is_empty() {
+            BatchOutcome::default()
+        } else {
+            let net = self.net;
+            let subscriber_u64 = subscriber.as_u64();
+            let trace = &tracer;
+            self.coalescer.fetch_batch(
+                &miss_requests,
+                now,
+                |to_fetch| cluster.cluster_fetch_batch(to_fetch),
+                |req_idx, objects, primary| {
+                    if !trace.enabled() {
+                        return;
+                    }
+                    let (bs, _) = miss_requests[req_idx];
+                    for object in objects {
+                        trace.on_retrieve_miss(
+                            now.as_micros(),
+                            bs.as_u64(),
+                            object.id.as_u64(),
+                            subscriber_u64,
+                            object.size.as_u64(),
+                            now.as_micros().saturating_sub(object.ts.as_micros()),
+                        );
+                        let fetch_us = net.cluster_fetch_latency(object.size).as_micros();
+                        if primary {
+                            trace.on_backend_fetch(
+                                now.as_micros(),
+                                bs.as_u64(),
+                                object.id.as_u64(),
+                                subscriber_u64,
+                                object.size.as_u64(),
+                                fetch_us,
+                            );
+                        } else {
+                            trace.on_coalesced_fetch(
+                                now.as_micros(),
+                                bs.as_u64(),
+                                object.id.as_u64(),
+                                subscriber_u64,
+                                object.size.as_u64(),
+                                fetch_us,
+                            );
+                        }
+                    }
+                },
+            )
+        };
+
+        let mut miss_objects = vec![0u64; pending.len()];
+        let mut miss_bytes = vec![ByteSize::ZERO; pending.len()];
+        for (req_idx, serve) in outcome.serves.iter().enumerate() {
+            let i = owner_of[req_idx];
+            miss_objects[i] += serve.objects;
+            miss_bytes[i] += serve.bytes;
+            // Per-retrieval miss accounting (hit + miss == requested),
+            // independent of whether this range rode a shared flight.
+            self.cache
+                .record_miss_fetch(pending[i].1, serve.objects, serve.bytes, now);
+            if !serve.primary {
+                self.telemetry.on_coalesced_fetch(serve.bytes);
+            }
+        }
+
+        // One shared cluster leg for the whole batch: a single RTT over
+        // the bytes that actually crossed the link. Zero when every
+        // miss was served from the sideline buffer.
+        let batch_leg = self
+            .net
+            .cluster_fetch_batch_latency(outcome.fetched_requests, outcome.fetched_bytes);
+
+        let mut out = Vec::with_capacity(pending.len());
+        for (i, &(fs, _, _, last_seen)) in pending.iter().enumerate() {
+            let plan = &plans[i];
+            let latency = if miss_bytes[i].is_zero() {
+                self.net.delivery_latency(plan.cached_bytes, ByteSize::ZERO)
+            } else {
+                // Processing + own subscriber leg + the shared batch
+                // cluster leg (instead of a private cluster RTT each).
+                self.net.processing
+                    + self
+                        .net
+                        .subscriber_latency(plan.cached_bytes + miss_bytes[i])
+                    + batch_leg
+            };
+            let delivery = Delivery {
+                frontend: fs,
+                hit_objects: plan.cached.len() as u64,
+                hit_bytes: plan.cached_bytes,
+                miss_objects: miss_objects[i],
+                miss_bytes: miss_bytes[i],
+                latency,
+                up_to: last_seen,
+            };
+            self.subs.advance_frontend_marker(fs, last_seen)?;
+            self.delivery.deliveries += 1;
+            if delivery.total_objects() > 0 {
+                self.delivery.non_empty_deliveries += 1;
+                self.delivery.total_latency += latency;
+            }
+            self.delivery.delivered_objects += delivery.total_objects();
+            self.delivery.delivered_bytes += delivery.total_bytes();
+            self.telemetry.on_retrieval(now, subscriber, &delivery);
+            out.push(delivery);
+        }
+
+        // Batched ACK: again one lock acquisition per cache shard.
+        let acks: Vec<(BackendSubId, SubscriberId, Timestamp)> = pending
+            .iter()
+            .map(|&(_, bs, _, last_seen)| (bs, subscriber, last_seen))
+            .collect();
+        let _ = self.cache.ack_consume_batch(&acks, now);
         Ok(out)
     }
 

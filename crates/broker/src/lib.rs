@@ -58,6 +58,7 @@
 
 pub mod bcs;
 pub mod broker;
+pub mod coalesce;
 pub mod failover;
 pub mod subscriptions;
 pub mod telemetry;
@@ -66,6 +67,7 @@ pub use bcs::{BrokerCoordinationService, BrokerRecord};
 pub use broker::{
     Broker, BrokerConfig, ClusterHandle, Delivery, DeliveryMetrics, NotificationOutcome,
 };
+pub use coalesce::{BatchOutcome, BatchServe, CoalesceStats, CoalescerConfig, FetchCoalescer};
 pub use failover::{BrokerFleet, FleetSubId};
 pub use subscriptions::{BackendEntry, FrontendSub, SubscriptionTable};
 pub use telemetry::BrokerTelemetry;

@@ -490,6 +490,41 @@ impl CacheManager {
         Ok(dropped)
     }
 
+    /// Plans a batch of range retrievals in request order — the
+    /// monolithic counterpart of
+    /// [`crate::ShardedCacheManager::plan_get_batch`], so the `shards =
+    /// 1` oracle parity extends to the batched `GET` path. Each plan is
+    /// exactly what [`CacheManager::plan_get`] would have returned for
+    /// that request in sequence.
+    pub fn plan_get_batch(
+        &mut self,
+        requests: &[(BackendSubId, TimeRange)],
+        now: Timestamp,
+    ) -> Vec<GetPlan> {
+        requests
+            .iter()
+            .map(|&(bs, range)| self.plan_get(bs, range, now))
+            .collect()
+    }
+
+    /// Applies a batch of `ACK`s in request order, concatenating the
+    /// consumption drops. Unknown caches are skipped (a concurrent
+    /// unsubscribe may have removed them mid-batch) rather than failing
+    /// the whole batch.
+    pub fn ack_consume_batch(
+        &mut self,
+        requests: &[(BackendSubId, SubscriberId, Timestamp)],
+        now: Timestamp,
+    ) -> Vec<DroppedObject> {
+        let mut dropped = Vec::new();
+        for &(bs, sub, up_to) in requests {
+            if let Ok(batch) = self.ack_consume(bs, sub, up_to, now) {
+                dropped.extend(batch);
+            }
+        }
+        dropped
+    }
+
     /// Periodic maintenance: recomputes TTLs on schedule (TTL and EXP
     /// policies) and expires tails under the TTL policy. The caller
     /// should invoke this on a regular tick; the work is proportional to
@@ -515,17 +550,20 @@ impl CacheManager {
                 }
             }
             if self.policy.kind() == PolicyKind::Eviction && self.config.use_victim_index {
-                // EXP scores are expiry instants; refresh them all.
-                let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
-                for bs in ids {
-                    self.reindex(bs, now);
+                // EXP scores are expiry instants; refresh them all in
+                // one pass over the map (inlined `reindex` — the id
+                // list is never materialized).
+                for (&bs, cache) in self.caches.iter() {
+                    if cache.is_empty() {
+                        self.index.remove(bs);
+                    } else {
+                        self.index.update(bs, self.policy.score(cache, now));
+                    }
                 }
             }
         }
         if self.policy.kind() == PolicyKind::TtlExpiry {
-            let ids: Vec<BackendSubId> = self.caches.keys().copied().collect();
-            for bs in ids {
-                let cache = self.caches.get_mut(&bs).expect("listed");
+            for (&bs, cache) in self.caches.iter_mut() {
                 let ttl = cache.ttl();
                 for object in cache.expire_tail(now) {
                     self.total_bytes -= object.size;

@@ -303,6 +303,86 @@ impl ShardedCacheManager {
         self.shard(bs).ack_consume(bs, sub, up_to, now)
     }
 
+    /// Plans a batch of range retrievals, locking each shard exactly
+    /// once no matter how many of the batch's caches it owns. Plans
+    /// come back in request order; within a shard the requests are
+    /// applied in request order, and caches on different shards are
+    /// independent, so each plan is identical to what a sequence of
+    /// [`ShardedCacheManager::plan_get`] calls would have produced
+    /// (and, with `shards = 1`, to [`CacheManager::plan_get_batch`]).
+    pub fn plan_get_batch(
+        &self,
+        requests: &[(BackendSubId, TimeRange)],
+        now: Timestamp,
+    ) -> Vec<GetPlan> {
+        if self.shards.len() == 1 {
+            return self.lock(0).plan_get_batch(requests, now);
+        }
+        if requests.len() <= 1 {
+            return requests
+                .iter()
+                .map(|&(bs, range)| self.plan_get(bs, range, now))
+                .collect();
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &(bs, _)) in requests.iter().enumerate() {
+            by_shard[self.shard_index(bs)].push(i);
+        }
+        let mut plans: Vec<Option<GetPlan>> = (0..requests.len()).map(|_| None).collect();
+        for (idx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.lock(idx);
+            for &i in indices {
+                let (bs, range) = requests[i];
+                plans[i] = Some(shard.plan_get(bs, range, now));
+            }
+        }
+        plans.into_iter().map(|p| p.expect("planned")).collect()
+    }
+
+    /// Applies a batch of `ACK`s, locking each shard exactly once.
+    /// Unknown caches are skipped (mirroring
+    /// [`CacheManager::ack_consume_batch`]); drops come back grouped by
+    /// shard, in request order within a shard.
+    pub fn ack_consume_batch(
+        &self,
+        requests: &[(BackendSubId, SubscriberId, Timestamp)],
+        now: Timestamp,
+    ) -> Vec<DroppedObject> {
+        if self.shards.len() == 1 {
+            return self.lock(0).ack_consume_batch(requests, now);
+        }
+        if requests.len() <= 1 {
+            let mut dropped = Vec::new();
+            for &(bs, sub, up_to) in requests {
+                if let Ok(batch) = self.ack_consume(bs, sub, up_to, now) {
+                    dropped.extend(batch);
+                }
+            }
+            return dropped;
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &(bs, _, _)) in requests.iter().enumerate() {
+            by_shard[self.shard_index(bs)].push(i);
+        }
+        let mut dropped = Vec::new();
+        for (idx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.lock(idx);
+            for &i in indices {
+                let (bs, sub, up_to) = requests[i];
+                if let Ok(batch) = shard.ack_consume(bs, sub, up_to, now) {
+                    dropped.extend(batch);
+                }
+            }
+        }
+        dropped
+    }
+
     /// Records objects fetched from the cluster due to a cache miss.
     pub fn record_miss_fetch(
         &self,

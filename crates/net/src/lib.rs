@@ -98,6 +98,19 @@ impl NetworkModel {
     pub fn notify_latency(&self) -> SimDuration {
         self.subscriber.rtt
     }
+
+    /// Time for the broker to fetch `total_bytes` spread over
+    /// `requests` distinct ranges from the data cluster in *one*
+    /// batched round trip: a single RTT handshake amortized over the
+    /// whole batch, plus the transfer of the combined payload. With
+    /// `requests <= 1` this degenerates to
+    /// [`NetworkModel::cluster_fetch_latency`]; an empty batch is free.
+    pub fn cluster_fetch_batch_latency(&self, requests: u64, total_bytes: ByteSize) -> SimDuration {
+        if requests == 0 {
+            return SimDuration::ZERO;
+        }
+        self.cluster.request_latency(total_bytes)
+    }
 }
 
 impl Default for NetworkModel {
@@ -145,6 +158,29 @@ mod tests {
         let net = NetworkModel::paper_defaults();
         let latency = net.delivery_latency(ByteSize::ZERO, ByteSize::ZERO);
         assert_eq!(latency, net.processing + net.subscriber.rtt);
+    }
+
+    #[test]
+    fn batched_fetch_amortizes_the_rtt() {
+        let net = NetworkModel::paper_defaults();
+        // 1 MiB at 10 MiB/s is exactly 100 ms, so the per-range and
+        // combined transfer times add up without truncation.
+        let per = ByteSize::from_mib(1);
+        let batched = net.cluster_fetch_batch_latency(3, ByteSize::new(per.as_u64() * 3));
+        let serial = net.cluster_fetch_latency(per)
+            + net.cluster_fetch_latency(per)
+            + net.cluster_fetch_latency(per);
+        // One RTT instead of three; the transfer time is identical.
+        assert_eq!(serial - batched, net.cluster.rtt + net.cluster.rtt);
+        // A singleton batch is exactly a plain fetch; an empty one is free.
+        assert_eq!(
+            net.cluster_fetch_batch_latency(1, per),
+            net.cluster_fetch_latency(per)
+        );
+        assert_eq!(
+            net.cluster_fetch_batch_latency(0, ByteSize::ZERO),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -203,6 +203,7 @@ pub fn run_prototype(
             cache: config.cache,
             net: config.net,
             shards: config.shards,
+            ..BrokerConfig::default()
         },
     );
 

@@ -79,6 +79,10 @@ enum ClusterRequest {
         range: TimeRange,
         reply: Sender<Vec<ResultObject>>,
     },
+    FetchBatch {
+        requests: Vec<(BackendSubId, TimeRange)>,
+        reply: Sender<Vec<Vec<ResultObject>>>,
+    },
     Publish {
         dataset: String,
         ts: Timestamp,
@@ -134,6 +138,16 @@ impl ClusterHandle for ClusterClient {
 
     fn cluster_fetch(&mut self, bs: BackendSubId, range: TimeRange) -> Vec<ResultObject> {
         self.roundtrip(|reply| ClusterRequest::Fetch { bs, range, reply })
+    }
+
+    fn cluster_fetch_batch(
+        &mut self,
+        requests: &[(BackendSubId, TimeRange)],
+    ) -> Vec<Vec<ResultObject>> {
+        // One channel round trip — and one virtual RTT — for the whole
+        // batch, matching `NetworkModel::cluster_fetch_batch_latency`.
+        let requests = requests.to_vec();
+        self.roundtrip(|reply| ClusterRequest::FetchBatch { requests, reply })
     }
 }
 
@@ -564,6 +578,13 @@ fn cluster_node(mut cluster: DataCluster, rx: Receiver<ClusterRequest>) {
             }
             ClusterRequest::Fetch { bs, range, reply } => {
                 let _ = reply.send(cluster.fetch(bs, range));
+            }
+            ClusterRequest::FetchBatch { requests, reply } => {
+                let results = requests
+                    .iter()
+                    .map(|&(bs, range)| cluster.fetch(bs, range))
+                    .collect();
+                let _ = reply.send(results);
             }
             ClusterRequest::Publish {
                 dataset,

@@ -134,6 +134,7 @@ impl Simulation {
                 cache,
                 net: config.net,
                 shards: config.shards,
+                ..BrokerConfig::default()
             },
         );
         if let Some((num, den)) = config.admission_max_budget_fraction {
@@ -241,8 +242,11 @@ impl Simulation {
     }
 
     fn on_join(&mut self, k: u32, now: Timestamp) {
-        let streams = self.subscribers[k as usize].streams.clone();
-        for s in streams {
+        // Index loop instead of cloning the stream list:
+        // subscribe_to_stream needs `&mut self`, so a borrow of the
+        // list can't be held across the calls.
+        for i in 0..self.subscribers[k as usize].streams.len() {
+            let s = self.subscribers[k as usize].streams[i];
             self.subscribe_to_stream(k, s, now);
         }
         let state = &mut self.subscribers[k as usize];

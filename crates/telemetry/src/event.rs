@@ -171,6 +171,7 @@ impl Event {
                 SpanKind::Drop => "span.drop",
                 SpanKind::Expire => "span.expire",
                 SpanKind::FullyConsumed => "span.fully_consumed",
+                SpanKind::CoalescedFetch => "span.coalesced_fetch",
             },
         }
     }

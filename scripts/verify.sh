@@ -22,6 +22,9 @@ online_gate() {
   cargo test -q
   cargo fmt --check
   cargo clippy --workspace --all-targets -- -D warnings
+  # Coalescing smoke gate: the reduced sweep exits non-zero if the
+  # duplicate-fetch ratio with coalescing on exceeds 1.1.
+  cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
 }
 
 offline_gate() {
@@ -49,7 +52,7 @@ offline_gate() {
     cargo test -q -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
       --test oracle_parity --test stress_sharded
-    cargo test -q -p bad-broker --lib --test lifecycle_trace
+    cargo test -q -p bad-broker --lib --test lifecycle_trace --test coalesce
     cargo test -q -p bad-cluster --lib
     # Scrape-endpoint smoke: boots the threaded proto runtime with a
     # live tracer and scrapes /metrics, /healthz and /trace/recent over
@@ -61,6 +64,9 @@ offline_gate() {
     cargo test -q --release -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
       --test oracle_parity --test stress_sharded
+    # Coalescing smoke gate (reduced sweep, release): fails if the
+    # duplicate-fetch ratio with coalescing on exceeds 1.1.
+    cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
   )
 }
 
