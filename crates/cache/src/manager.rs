@@ -18,6 +18,7 @@ pub use crate::metrics::DropKind as DropReason;
 use crate::object::{CachedObject, NewObject};
 use crate::policy::{EvictionPolicy, PolicyKind, PolicyName};
 use crate::result_cache::{GetPlan, ResultCache};
+use crate::shadow::{ShadowConfig, ShadowEvaluator, ShadowSnapshot};
 use crate::telemetry::CacheTelemetry;
 use crate::ttl::TtlComputer;
 
@@ -88,6 +89,9 @@ pub struct CacheManager {
     metrics: CacheMetrics,
     telemetry: CacheTelemetry,
     admission_rejections: u64,
+    /// Ghost-cache evaluator ([`crate::shadow`]); `None` (the default)
+    /// keeps every live path at one branch of overhead.
+    shadow: Option<Box<ShadowEvaluator>>,
 }
 
 impl CacheManager {
@@ -109,6 +113,42 @@ impl CacheManager {
             metrics: CacheMetrics::new(Timestamp::ZERO),
             telemetry: CacheTelemetry::detached(),
             admission_rejections: 0,
+            shadow: None,
+        }
+    }
+
+    /// Enables shadow-policy evaluation ([`crate::shadow`]): every
+    /// catalog policy runs as a metadata-only ghost replaying this
+    /// manager's access stream. Caches that already exist are seeded
+    /// (empty) into the ghosts at `now`.
+    pub fn enable_shadow(&mut self, config: ShadowConfig, now: Timestamp) {
+        let mut shadow = Box::new(ShadowEvaluator::new(
+            self.policy_name,
+            self.config,
+            &self.admission,
+            config,
+        ));
+        shadow.seed(&self.caches, now);
+        self.shadow = Some(shadow);
+    }
+
+    /// The shadow evaluator, when enabled.
+    pub fn shadow(&self) -> Option<&ShadowEvaluator> {
+        self.shadow.as_deref()
+    }
+
+    /// A snapshot of the shadow evaluator's counterfactual state, when
+    /// enabled.
+    pub fn shadow_snapshot(&self) -> Option<ShadowSnapshot> {
+        self.shadow.as_ref().map(|s| s.snapshot())
+    }
+
+    /// Registers the `bad_cache_shadow_*` series on `registry` (no-op
+    /// until [`CacheManager::enable_shadow`]). Call before traffic:
+    /// counters are not backfilled.
+    pub fn set_shadow_telemetry(&mut self, registry: &bad_telemetry::Registry) {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.set_telemetry(registry);
         }
     }
 
@@ -133,6 +173,9 @@ impl CacheManager {
     /// objects are not cached; subscribers fetch them from the durable
     /// result store on demand, like any other miss.
     pub fn set_admission(&mut self, admission: AdmissionControl) {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_set_admission(&admission);
+        }
         self.admission = admission;
     }
 
@@ -175,6 +218,9 @@ impl CacheManager {
     pub fn set_budget(&mut self, budget: ByteSize) {
         self.config.budget = budget;
         self.ttl.budget = budget;
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_set_budget(budget);
+        }
     }
 
     /// Current aggregate size across all caches.
@@ -203,6 +249,9 @@ impl CacheManager {
     ) {
         self.metrics.record_misses(objects, bytes);
         self.telemetry.on_misses(now, bs, objects, bytes);
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_record_miss_fetch(bs, objects, bytes, now);
+        }
     }
 
     /// Records bytes pulled from the cluster to populate caches (`Vol`).
@@ -224,6 +273,9 @@ impl CacheManager {
     ///
     /// Creating a cache that already exists is a no-op.
     pub fn create_cache(&mut self, bs: BackendSubId, now: Timestamp) {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_create_cache(bs, now);
+        }
         let config = &self.config;
         self.caches.entry(bs).or_insert_with(|| {
             let mut cache = ResultCache::new(bs, now, config.rate_window);
@@ -234,6 +286,9 @@ impl CacheManager {
 
     /// Tears down a backend subscription's cache, dropping its objects.
     pub fn remove_cache(&mut self, bs: BackendSubId, now: Timestamp) -> Vec<DroppedObject> {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_remove_cache(bs, now);
+        }
         let Some(mut cache) = self.caches.remove(&bs) else {
             return Vec::new();
         };
@@ -272,6 +327,9 @@ impl CacheManager {
     ///
     /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
     pub fn add_subscriber(&mut self, bs: BackendSubId, sub: SubscriberId) -> Result<()> {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_add_subscriber(bs, sub);
+        }
         let cache = self.cache_mut(bs)?;
         cache.add_subscriber(sub);
         Ok(())
@@ -289,6 +347,9 @@ impl CacheManager {
         sub: SubscriberId,
         now: Timestamp,
     ) -> Result<Vec<DroppedObject>> {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_remove_subscriber(bs, sub, now);
+        }
         let cache = self.cache_mut(bs)?;
         let removed = cache.remove_subscriber(sub);
         let mut dropped = Vec::new();
@@ -335,6 +396,11 @@ impl CacheManager {
         desc: NewObject,
         now: Timestamp,
     ) -> Result<Vec<DroppedObject>> {
+        // Before the live NC/admission short-circuits: ghosts apply
+        // their own policy's logic to the raw insert stream.
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_insert(bs, desc, now);
+        }
         if self.policy.kind() == PolicyKind::NoCache {
             // The baseline broker delivers straight through.
             self.cache_mut(bs)?; // still validate the subscription
@@ -373,6 +439,11 @@ impl CacheManager {
     /// rebalance shrinks this manager's share below its occupancy.
     pub fn enforce_budget(&mut self, now: Timestamp) -> Vec<DroppedObject> {
         let mut dropped = Vec::new();
+        // Ghosts settle under their own (possibly rebalanced) budgets;
+        // a cheap no-op when they are already within bounds.
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_enforce_budget(now);
+        }
         if self.policy.kind() != PolicyKind::Eviction {
             return dropped;
         }
@@ -380,6 +451,11 @@ impl CacheManager {
             let Some(victim) = self.choose_victim(now) else {
                 break;
             };
+            // Audit (sampled): what would the other policies have
+            // picked, given the exact same caches?
+            if let Some(shadow) = self.shadow.as_mut() {
+                shadow.pre_evict_audit(&self.caches, now);
+            }
             let cache = self.caches.get_mut(&victim).expect("victim exists");
             // The victim cache's φ/s score, captured before the drop
             // mutates it — this is the quantity the policy minimised.
@@ -403,6 +479,9 @@ impl CacheManager {
                 SimDuration::ZERO,
             );
             self.reindex(victim, now);
+            if let Some(shadow) = self.shadow.as_mut() {
+                shadow.record_audit(victim, &object, score, now);
+            }
             dropped.push(DroppedObject {
                 cache: victim,
                 reason: DropReason::Evicted,
@@ -420,6 +499,18 @@ impl CacheManager {
     /// A missing cache (NC policy or unknown subscription) misses the
     /// whole range.
     pub fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
+        let plan = self.plan_get_live(bs, range, now);
+        // After the live plan, so the ghosts diff against exactly what
+        // the real cache served (all-missed branches included).
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_plan_get(bs, range, &plan, now);
+        }
+        plan
+    }
+
+    /// The live half of [`CacheManager::plan_get`], without the shadow
+    /// replay.
+    fn plan_get_live(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
         let all_missed = |range: TimeRange| GetPlan {
             cached: Vec::new(),
             cached_bytes: ByteSize::ZERO,
@@ -457,6 +548,9 @@ impl CacheManager {
         up_to: Timestamp,
         now: Timestamp,
     ) -> Result<Vec<DroppedObject>> {
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_ack_consume(bs, sub, up_to, now);
+        }
         let drop_consumed = self.config.drop_on_full_consumption;
         let cache = self.cache_mut(bs)?;
         let removed = if drop_consumed {
@@ -531,6 +625,9 @@ impl CacheManager {
     /// the number of caches only when something is due.
     pub fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject> {
         let mut dropped = Vec::new();
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.on_maintain(now);
+        }
         if self.policy.uses_ttl()
             && now.since(self.last_ttl_recompute) >= self.ttl.recompute_interval
         {

@@ -71,10 +71,19 @@ impl RateEstimator {
         live as f64 / self.window.as_secs_f64()
     }
 
-    /// Total bytes currently inside the window (pruned lazily).
-    pub fn bytes_in_window(&mut self, now: Timestamp) -> u64 {
-        self.prune(now);
-        self.in_window
+    /// Total bytes inside the window ending at `now`.
+    ///
+    /// Like [`rate`](Self::rate) this is a pure read: events older than the
+    /// window are excluded by filtering rather than by pruning the buffer, so
+    /// read paths never need a mutable borrow. Buffered events are still
+    /// pruned incrementally on [`record`](Self::record).
+    pub fn bytes_in_window(&self, now: Timestamp) -> u64 {
+        let cutoff = now - self.window;
+        self.events
+            .iter()
+            .filter(|&&(ts, _)| ts > cutoff)
+            .map(|&(_, b)| b)
+            .sum()
     }
 
     fn prune(&mut self, now: Timestamp) {
@@ -137,5 +146,25 @@ mod tests {
     #[should_panic(expected = "rate window must be positive")]
     fn zero_window_panics() {
         RateEstimator::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn window_edge_pruning_matches_rate() {
+        let est = {
+            let mut est = RateEstimator::new(SimDuration::from_secs(10));
+            est.record(t(5), 100);
+            est
+        };
+        // `bytes_in_window` is an immutable read and agrees with `rate` at
+        // the window edge: an event exactly `window` old is excluded.
+        assert_eq!(est.bytes_in_window(t(14)), 100);
+        assert_eq!(est.rate(t(14)), 10.0);
+        assert_eq!(est.bytes_in_window(t(15)), 0);
+        assert_eq!(est.rate(t(15)), 0.0);
+        // A later record prunes the buffer; both reads stay consistent.
+        let mut est = est;
+        est.record(t(16), 50);
+        assert_eq!(est.bytes_in_window(t(16)), 50);
+        assert_eq!(est.in_window, 50);
     }
 }

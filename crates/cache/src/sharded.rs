@@ -39,11 +39,13 @@ use crate::metrics::CacheMetrics;
 use crate::object::NewObject;
 use crate::policy::{PolicyKind, PolicyName};
 use crate::result_cache::{GetPlan, ResultCache};
+use crate::shadow::{ShadowConfig, ShadowSnapshot};
 use crate::telemetry::CacheTelemetry;
 
 /// A finalizer-quality 64-bit mix (splitmix64) so consecutive
 /// subscription ids spread evenly across shards on every platform.
-fn mix64(mut x: u64) -> u64 {
+/// Also used (salted) by [`crate::shadow`]'s access sampling.
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -227,6 +229,44 @@ impl ShardedCacheManager {
         for i in 0..self.shards.len() {
             self.lock(i).set_admission(admission.clone());
         }
+    }
+
+    /// Enables shadow-policy evaluation ([`crate::shadow`]) on every
+    /// shard: each shard gets its own ghost fleet replaying that
+    /// shard's slice of the access stream, merged at read time by
+    /// [`ShardedCacheManager::shadow_snapshot`].
+    pub fn enable_shadow(&self, config: ShadowConfig, now: Timestamp) {
+        for i in 0..self.shards.len() {
+            self.lock(i).enable_shadow(config, now);
+        }
+    }
+
+    /// Registers the `bad_cache_shadow_*` series on `registry` (no-op
+    /// until [`ShardedCacheManager::enable_shadow`]). The labeled
+    /// handles are registry-backed and shared, so per-shard ghost
+    /// bumps aggregate automatically.
+    pub fn set_shadow_telemetry(&self, registry: &bad_telemetry::Registry) {
+        for i in 0..self.shards.len() {
+            self.lock(i).set_shadow_telemetry(registry);
+        }
+    }
+
+    /// The fold of every shard's [`ShadowSnapshot`] — per-policy
+    /// counters sum, audits concatenate in eviction-time order. `None`
+    /// until [`ShardedCacheManager::enable_shadow`]. Locks one shard
+    /// at a time, like [`ShardedCacheManager::metrics`].
+    pub fn shadow_snapshot(&self) -> Option<ShadowSnapshot> {
+        let mut out: Option<ShadowSnapshot> = None;
+        for i in 0..self.shards.len() {
+            let Some(snap) = self.lock(i).shadow_snapshot() else {
+                continue;
+            };
+            match out.as_mut() {
+                Some(merged) => merged.merge(&snap),
+                None => out = Some(snap),
+            }
+        }
+        out
     }
 
     /// Creates an empty cache for a new backend subscription.

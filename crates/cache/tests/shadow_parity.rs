@@ -1,0 +1,310 @@
+//! Shadow-evaluator invariants at the cache level: the ghost of the
+//! live policy must mirror the live cache byte-for-byte, and the
+//! `bad_cache_shadow_*` series must render as well-formed, label-escaped
+//! Prometheus text.
+
+use bad_cache::{
+    CacheConfig, CacheManager, NewObject, PolicyName, ShadowConfig, ShardedCacheManager,
+};
+use bad_telemetry::Registry;
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+const CACHES: u64 = 12;
+
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Drives a deterministic insert/get/miss-report/ack workload. Misses
+/// are reported from a ground-truth log of everything ever produced,
+/// exactly as the broker reports what the cluster returned for the
+/// plan's missed ranges.
+fn drive(mgr: &ShardedCacheManager, seed: u64, ops: u64) {
+    let mut rng = XorShift64::new(seed);
+    let mut produced: Vec<Vec<(Timestamp, u64)>> = vec![Vec::new(); CACHES as usize];
+    for c in 0..CACHES {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..=(c % 3) {
+            mgr.add_subscriber(bs, SubscriberId::new(100 * c + s))
+                .expect("cache just created");
+        }
+    }
+    for i in 0..ops {
+        let now = Timestamp::from_secs(i + 1);
+        let c = rng.below(CACHES);
+        let bs = BackendSubId::new(c);
+        match rng.below(10) {
+            0..=3 => {
+                let size = 500 + rng.below(4500);
+                mgr.insert(
+                    bs,
+                    NewObject {
+                        id: ObjectId::new(i),
+                        ts: now,
+                        size: ByteSize::new(size),
+                        fetch_latency: SimDuration::from_millis(200),
+                    },
+                    now,
+                )
+                .expect("cache exists");
+                produced[c as usize].push((now, size));
+            }
+            4..=7 => {
+                let from = Timestamp::from_secs(rng.below(i + 1));
+                let range = TimeRange::closed(from, now);
+                let plan = mgr.plan_get(bs, range, now);
+                let (mut objects, mut bytes) = (0u64, 0u64);
+                for &(ts, size) in &produced[c as usize] {
+                    if plan.missed.iter().any(|r| r.contains(ts)) {
+                        objects += 1;
+                        bytes += size;
+                    }
+                }
+                if objects > 0 {
+                    mgr.record_miss_fetch(bs, objects, ByteSize::new(bytes), now);
+                }
+            }
+            8 => {
+                let _ = mgr.ack_consume(
+                    bs,
+                    SubscriberId::new(100 * c),
+                    Timestamp::from_secs(rng.below(i + 1)),
+                    now,
+                );
+            }
+            _ => {
+                mgr.maintain(now);
+            }
+        }
+    }
+}
+
+/// Ghost(live) must report exactly the live cache's counters and zero
+/// regret in both directions, for monolith-equivalent and genuinely
+/// sharded deployments alike.
+#[test]
+fn ghost_of_live_policy_mirrors_live_counters_exactly() {
+    for (policy, shards) in [
+        (PolicyName::Lru, 1),
+        (PolicyName::Lru, 4),
+        (PolicyName::Lsc, 1),
+        (PolicyName::Lsc, 4),
+    ] {
+        let mgr = ShardedCacheManager::new(
+            policy,
+            CacheConfig {
+                budget: ByteSize::new(30_000),
+                ..CacheConfig::default()
+            },
+            shards,
+        );
+        mgr.enable_shadow(
+            ShadowConfig {
+                sample_every_n: 1,
+                audit_capacity: 32,
+            },
+            Timestamp::ZERO,
+        );
+        drive(&mgr, 0xBAD5EED ^ shards as u64, 3000);
+
+        let live = mgr.metrics();
+        let snapshot = mgr.shadow_snapshot().expect("shadow enabled");
+        let ghost = snapshot.ghost(policy).expect("live policy has a ghost");
+        assert!(live.hit_objects > 0, "workload produced no hits");
+        assert!(live.miss_objects > 0, "workload produced no misses");
+        assert_eq!(
+            ghost.counters.hit_objects, live.hit_objects,
+            "{policy}/{shards} shards: hit objects diverged"
+        );
+        assert_eq!(ghost.counters.hit_bytes, live.hit_bytes.as_u64());
+        assert_eq!(ghost.counters.miss_objects, live.miss_objects);
+        assert_eq!(ghost.counters.miss_bytes, live.miss_bytes.as_u64());
+        assert_eq!(
+            ghost.counters.regret_live_hit_ghost_miss, 0,
+            "{policy}/{shards} shards: live-hit/ghost-miss regret"
+        );
+        assert_eq!(
+            ghost.counters.regret_ghost_hit_live_miss, 0,
+            "{policy}/{shards} shards: ghost-hit/live-miss regret"
+        );
+    }
+}
+
+/// A mid-run budget shrink rebalances every ghost's share; parity with
+/// the live cache must survive it (this is the only path where the
+/// per-insert ghost budget sweep actually has work to do).
+#[test]
+fn parity_survives_a_mid_run_budget_change() {
+    let mut mgr = CacheManager::new(
+        PolicyName::Lru,
+        CacheConfig {
+            budget: ByteSize::new(40_000),
+            ..CacheConfig::default()
+        },
+    );
+    mgr.enable_shadow(
+        ShadowConfig {
+            sample_every_n: 1,
+            audit_capacity: 8,
+        },
+        Timestamp::ZERO,
+    );
+    let bs = BackendSubId::new(1);
+    mgr.create_cache(bs, Timestamp::ZERO);
+    mgr.add_subscriber(bs, SubscriberId::new(7)).unwrap();
+    for i in 0..60u64 {
+        let now = Timestamp::from_secs(i + 1);
+        mgr.insert(
+            bs,
+            NewObject {
+                id: ObjectId::new(i),
+                ts: now,
+                size: ByteSize::new(1000),
+                fetch_latency: SimDuration::from_millis(200),
+            },
+            now,
+        )
+        .unwrap();
+        if i == 30 {
+            mgr.set_budget(ByteSize::new(8_000));
+            mgr.enforce_budget(now);
+        }
+        let plan = mgr.plan_get(bs, TimeRange::closed(Timestamp::ZERO, now), now);
+        let missed = (i + 1) - plan.cached.len() as u64;
+        if missed > 0 {
+            mgr.record_miss_fetch(bs, missed, ByteSize::new(missed * 1000), now);
+        }
+    }
+    let live = mgr.metrics().clone();
+    let snapshot = mgr.shadow_snapshot().expect("shadow enabled");
+    let ghost = snapshot.ghost(PolicyName::Lru).expect("LRU ghost");
+    assert!(live.miss_objects > 0, "budget shrink must force misses");
+    assert_eq!(ghost.counters.hit_objects, live.hit_objects);
+    assert_eq!(ghost.counters.miss_objects, live.miss_objects);
+    assert_eq!(ghost.counters.regret_live_hit_ghost_miss, 0);
+    assert_eq!(ghost.counters.regret_ghost_hit_live_miss, 0);
+}
+
+/// Every ghost policy publishes `{policy="..."}`-labeled series under
+/// one `# TYPE` header per family, and the rendered totals agree with
+/// the snapshot the `/policies` endpoint serves.
+#[test]
+fn shadow_series_render_with_policy_labels() {
+    let registry = Registry::new();
+    let mgr = ShardedCacheManager::new(
+        PolicyName::Lru,
+        CacheConfig {
+            budget: ByteSize::new(30_000),
+            ..CacheConfig::default()
+        },
+        4,
+    );
+    mgr.enable_shadow(
+        ShadowConfig {
+            sample_every_n: 1,
+            audit_capacity: 32,
+        },
+        Timestamp::ZERO,
+    );
+    mgr.set_shadow_telemetry(&registry);
+    drive(&mgr, 77, 3000);
+
+    let text = registry.render();
+    for family in [
+        "bad_cache_shadow_hit_objects_total",
+        "bad_cache_shadow_hit_bytes_total",
+        "bad_cache_shadow_miss_objects_total",
+        "bad_cache_shadow_miss_bytes_total",
+        "bad_cache_shadow_regret_live_hit_ghost_miss_total",
+        "bad_cache_shadow_regret_ghost_hit_live_miss_total",
+    ] {
+        assert_eq!(
+            text.matches(&format!("# TYPE {family} counter")).count(),
+            1,
+            "family {family} must render exactly one TYPE header"
+        );
+        for policy in PolicyName::ALL {
+            assert!(
+                text.contains(&format!("{family}{{policy=\"{policy}\"}}")),
+                "family {family} lacks the {policy} series"
+            );
+        }
+    }
+    // The victim-score histogram renders as a labeled summary, and the
+    // sampling counters are unlabeled.
+    assert!(text.contains("# TYPE bad_cache_shadow_victim_score_milli summary"));
+    assert!(text.contains("bad_cache_shadow_victim_score_milli{policy=\"LRU\",quantile=\"0.5\"}"));
+    assert!(text.contains("bad_cache_shadow_sampled_accesses_total "));
+    assert!(text.contains("bad_cache_shadow_skipped_accesses_total "));
+
+    // Rendered counters and the snapshot view are two reads of the same
+    // state.
+    let snapshot = mgr.shadow_snapshot().expect("shadow enabled");
+    for ghost in &snapshot.ghosts {
+        let needle = format!(
+            "bad_cache_shadow_hit_objects_total{{policy=\"{}\"}} {}\n",
+            ghost.policy, ghost.counters.hit_objects
+        );
+        assert!(
+            text.contains(&needle),
+            "rendered hit counter for {} disagrees with the snapshot",
+            ghost.policy
+        );
+    }
+}
+
+/// The escaping path the shadow series rely on must keep the scrape
+/// text line-oriented even for hostile label values (policy names are
+/// tame today; the invariant must not depend on that staying true).
+#[test]
+fn hostile_policy_labels_stay_line_oriented_in_shadow_families() {
+    let hostile = "LSC\"z\\phi\nrogue";
+    let registry = Registry::new();
+    registry
+        .counter_with("bad_cache_shadow_hit_objects_total", &[("policy", hostile)])
+        .add(5);
+    registry
+        .counter_with("bad_cache_shadow_hit_objects_total", &[("policy", "LRU")])
+        .add(2);
+    let text = registry.render();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        3,
+        "raw newline leaked into the scrape text: {text:?}"
+    );
+    assert_eq!(
+        lines[0],
+        "# TYPE bad_cache_shadow_hit_objects_total counter"
+    );
+    let hostile_line = lines
+        .iter()
+        .find(|l| l.ends_with(" 5"))
+        .expect("hostile series rendered");
+    assert!(hostile_line.contains("policy=\"LSC\\\"z\\\\phi\\nrogue\""));
+    assert!(text.contains("bad_cache_shadow_hit_objects_total{policy=\"LRU\"} 2\n"));
+}

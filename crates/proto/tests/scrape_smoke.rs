@@ -1,14 +1,15 @@
 //! Scrape-endpoint smoke test: boots an *observed* deployment (live
-//! lifecycle tracer), drives one publish → notify → retrieve round
-//! through the threaded runtime, then scrapes `/metrics`, `/healthz`
-//! and `/trace/recent` over a real TCP socket like Prometheus would.
+//! lifecycle tracer, shadow-policy ghosts), drives one publish →
+//! notify → retrieve round through the threaded runtime, then scrapes
+//! `/metrics`, `/healthz`, `/trace/recent` and `/policies` over a real
+//! TCP socket like Prometheus would.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use bad_broker::BrokerConfig;
-use bad_cache::PolicyName;
+use bad_cache::{PolicyName, ShadowConfig};
 use bad_proto::harness::build_emergency_cluster;
 use bad_proto::Deployment;
 use bad_query::ParamBindings;
@@ -35,6 +36,10 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     let cluster = build_emergency_cluster().unwrap();
     let config = BrokerConfig {
         shards: 2,
+        shadow: Some(ShadowConfig {
+            sample_every_n: 1,
+            audit_capacity: 16,
+        }),
         ..BrokerConfig::default()
     };
     let dep = Deployment::start_observed(
@@ -95,14 +100,39 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(metrics.contains("bad_delivery_latency_slo_violations_total"));
     assert!(metrics.contains("bad_staleness_slo_violations_total"));
     assert!(metrics.contains("bad_cache_hit_objects_total"));
+    // Shadow ghosts publish per-policy counterfactual series on the
+    // same registry.
+    assert!(
+        metrics.contains("bad_cache_shadow_hit_objects_total{policy=\"LSC\"}"),
+        "missing ghost hit counter:\n{metrics}"
+    );
+    assert!(metrics.contains("bad_cache_shadow_sampled_accesses_total"));
 
-    // /healthz: per-shard occupancy, one row per configured shard.
+    // /healthz: per-shard occupancy plus the miss-fetch coalescer's
+    // live buffer state.
     let health = http_get(addr, "/healthz");
     assert!(health.starts_with("HTTP/1.1 200"), "{health}");
     assert!(health.contains("\"status\":\"ok\""), "{health}");
     assert!(health.contains("\"shards\":2"), "{health}");
     assert!(health.contains("\"shard_occupancy\":["), "{health}");
     assert!(health.contains("\"budget_bytes\""), "{health}");
+    assert!(health.contains("\"coalescer\":{"), "{health}");
+    assert!(health.contains("\"coalesced_fetches\""), "{health}");
+    assert!(health.contains("\"buffered_bytes\""), "{health}");
+
+    // /policies: live-vs-ghost counterfactual hit ratios as JSON, with
+    // the ghost of the live policy in exact agreement (zero regret).
+    let policies = http_get(addr, "/policies");
+    assert!(policies.starts_with("HTTP/1.1 200"), "{policies}");
+    assert!(policies.contains("application/json"), "{policies}");
+    assert!(policies.contains("\"live_policy\":\"LSC\""), "{policies}");
+    assert!(policies.contains("\"ghosts\":["), "{policies}");
+    assert!(policies.contains("\"policy\":\"LRU\""), "{policies}");
+    assert!(policies.contains("\"best_policy\""), "{policies}");
+    assert!(
+        policies.contains("\"regret_live_hit_ghost_miss\":0"),
+        "{policies}"
+    );
 
     // /trace/recent: the flight recorder saw the lifecycle (at minimum
     // the produced-result root spans and the cache inserts).

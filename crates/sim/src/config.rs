@@ -63,6 +63,11 @@ pub struct SimConfig {
     /// here; the knob exists so sweep configs can be shared with the
     /// threaded prototype.
     pub shards: usize,
+    /// Shadow-policy ghost caches (`bad_cache::shadow`): evaluate every
+    /// catalog policy counterfactually on each `n`-th sampled access.
+    /// `0` (the default) disables shadow evaluation; `1` shadows every
+    /// access (full parity with the live cache's counters).
+    pub shadow_sample_every_n: u32,
 }
 
 impl SimConfig {
@@ -89,6 +94,7 @@ impl SimConfig {
             admission_max_budget_fraction: None,
             subscription_lifetime: None,
             shards: 1,
+            shadow_sample_every_n: 0,
         }
     }
 
@@ -134,6 +140,7 @@ impl SimConfig {
             admission_max_budget_fraction: None,
             subscription_lifetime: None,
             shards: 1,
+            shadow_sample_every_n: 0,
         }
     }
 

@@ -56,7 +56,7 @@ pub use event::{null_sink, Event, EventSink, JsonlSink, NullSink, RingBufferSink
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{escape_label_value, Counter, Gauge, Registry};
 pub use sampler::{Sample, Sampler};
-pub use scrape::{HealthFn, ScrapeServer};
+pub use scrape::{HealthFn, PoliciesFn, ScrapeServer};
 pub use trace::{
     FlightRecorder, SharedTracer, SloConfig, Span, SpanId, SpanKind, TraceConfig, TraceId, Tracer,
 };

@@ -42,11 +42,21 @@ use crate::trace::FlightRecorder;
 /// occupancy here without `bad-telemetry` depending on the cache tier.
 pub type HealthFn = Arc<dyn Fn() -> String + Send + Sync>;
 
+/// Renders the `/policies` JSON body (shadow-policy counterfactuals);
+/// like [`HealthFn`] this keeps `bad-telemetry` free of a cache-tier
+/// dependency.
+pub type PoliciesFn = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// The scrape endpoint handle. Dropping it stops the accept thread.
 pub struct ScrapeServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Renders the `/policies` body when no [`PoliciesFn`] was supplied.
+fn no_policies() -> String {
+    r#"{"error":"shadow evaluation disabled"}"#.to_owned()
 }
 
 impl std::fmt::Debug for ScrapeServer {
@@ -67,6 +77,19 @@ impl ScrapeServer {
         recorder: Arc<FlightRecorder>,
         health: HealthFn,
     ) -> io::Result<Self> {
+        Self::bind_with_policies(addr, registry, recorder, health, Arc::new(no_policies))
+    }
+
+    /// Like [`bind`](Self::bind), but also serves a `/policies` JSON view
+    /// rendered by `policies` (live vs. ghost hit ratios, regret, best
+    /// policy — see `bad_cache::shadow`).
+    pub fn bind_with_policies(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        recorder: Arc<FlightRecorder>,
+        health: HealthFn,
+        policies: PoliciesFn,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -81,7 +104,7 @@ impl ScrapeServer {
                     let Ok(stream) = stream else { continue };
                     // Serve inline: scrapes are rare and tiny, and one
                     // thread keeps the endpoint's footprint fixed.
-                    let _ = serve_one(stream, &registry, &recorder, &health);
+                    let _ = serve_one(stream, &registry, &recorder, &health, &policies);
                 }
             })?;
         Ok(Self {
@@ -125,6 +148,7 @@ fn serve_one(
     registry: &Registry,
     recorder: &Arc<FlightRecorder>,
     health: &HealthFn,
+    policies: &PoliciesFn,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let path = read_request_path(&mut stream)?;
@@ -132,11 +156,19 @@ fn serve_one(
         Some("/metrics") => ("200 OK", "text/plain; version=0.0.4", registry.render()),
         Some("/healthz") => ("200 OK", "application/json", health()),
         Some("/trace/recent") => ("200 OK", "application/json", recorder.to_json()),
-        Some(_) => ("404 Not Found", "text/plain; version=0.0.4", String::new()),
+        Some("/policies") => ("200 OK", "application/json", policies()),
+        Some(other) => (
+            "404 Not Found",
+            "application/json",
+            format!(
+                r#"{{"error":"not found","path":{}}}"#,
+                crate::json::quote(other)
+            ),
+        ),
         None => (
             "400 Bad Request",
-            "text/plain; version=0.0.4",
-            String::new(),
+            "application/json",
+            r#"{"error":"bad request"}"#.to_owned(),
         ),
     };
     let response = format!(
@@ -252,6 +284,70 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_a_json_404_body() {
+        let (server, _registry, _recorder) = test_server();
+        let (head, body) = get(server.local_addr(), "/no/such/endpoint");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        assert!(head.contains("application/json"));
+        assert_eq!(body, r#"{"error":"not found","path":"/no/such/endpoint"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn policies_endpoint_serves_injected_body_and_defaults_to_disabled() {
+        let (server, _registry, _recorder) = test_server();
+        // The 4-arg `bind` has no policies closure: the route still
+        // answers 200 with an explanatory body.
+        let (head, body) = get(server.local_addr(), "/policies");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, r#"{"error":"shadow evaluation disabled"}"#);
+        server.shutdown();
+
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let server = ScrapeServer::bind_with_policies(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&recorder),
+            Arc::new(|| "{}".to_owned()),
+            Arc::new(|| r#"{"live_policy":"LRU"}"#.to_owned()),
+        )
+        .unwrap();
+        let (head, body) = get(server.local_addr(), "/policies");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"));
+        assert_eq!(body, r#"{"live_policy":"LRU"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn policies_survives_a_byte_by_byte_slow_client() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let server = ScrapeServer::bind_with_policies(
+            "127.0.0.1:0",
+            registry,
+            recorder,
+            Arc::new(|| "{}".to_owned()),
+            Arc::new(|| r#"{"best_policy":"LSC"}"#.to_owned()),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Dribble the request line one byte at a time; `read_request_path`
+        // must keep reading until it sees the newline.
+        for byte in b"GET /policies HTTP/1.1\r\nHost: test\r\n\r\n" {
+            stream.write_all(std::slice::from_ref(byte)).unwrap();
+            stream.flush().unwrap();
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, r#"{"best_policy":"LSC"}"#);
         server.shutdown();
     }
 

@@ -25,6 +25,11 @@ online_gate() {
   # Coalescing smoke gate: the reduced sweep exits non-zero if the
   # duplicate-fetch ratio with coalescing on exceeds 1.1.
   cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
+  # Shadow-policy smoke gate: fails if default-rate ghost evaluation
+  # costs more than 10% throughput, if the ghost of the live policy
+  # diverges from the real cache (regret must be exactly 0), or if no
+  # ghost beats live LRU on the scan-pollution workload.
+  cargo run -q --release -p bad-bench --bin shadow_overhead -- --smoke
 }
 
 offline_gate() {
@@ -51,7 +56,7 @@ offline_gate() {
     cargo test -q -p bad-types -p bad-query -p bad-storage -p bad-net --lib
     cargo test -q -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
-      --test oracle_parity --test stress_sharded
+      --test oracle_parity --test stress_sharded --test shadow_parity
     cargo test -q -p bad-broker --lib --test lifecycle_trace --test coalesce
     cargo test -q -p bad-cluster --lib
     # Scrape-endpoint smoke: boots the threaded proto runtime with a
@@ -63,10 +68,14 @@ offline_gate() {
     # again under --release, as the acceptance gate requires.
     cargo test -q --release -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
-      --test oracle_parity --test stress_sharded
+      --test oracle_parity --test stress_sharded --test shadow_parity
     # Coalescing smoke gate (reduced sweep, release): fails if the
     # duplicate-fetch ratio with coalescing on exceeds 1.1.
     cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
+    # Shadow-policy smoke gate (reduced sweep, release): overhead ≤ 10%
+    # at the default sampling rate, ghost(live) == live exactly, and a
+    # ghost policy must beat live LRU under scan pollution.
+    cargo run -q --release -p bad-bench --bin shadow_overhead -- --smoke
   )
 }
 
