@@ -217,10 +217,31 @@ fn write_sweep_csv(path: &Path, params: &SweepParams, points: &[SweepPoint]) {
 
 /// Writes the machine-readable `BENCH_<fig>.json` summary into
 /// `target/experiments/`, so the bench trajectory can be consumed
-/// without a CSV parser.
+/// without a CSV parser. The payload is wrapped in a `meta` envelope
+/// stamping the host parallelism, so throughput numbers stay
+/// interpretable away from the machine that produced them.
 pub fn write_bench_json(fig: &str, json: &str) -> PathBuf {
+    write_bench_json_with_meta(fig, &[], json)
+}
+
+/// Like [`write_bench_json`], but also records bench-specific
+/// configuration (window sizes, sampling rates, op counts) in the
+/// `meta` object. Each `extra` value is raw JSON, already rendered.
+pub fn write_bench_json_with_meta(fig: &str, extra: &[(&str, String)], json: &str) -> PathBuf {
+    let mut meta = String::new();
+    {
+        let mut obj = bad_telemetry::json::ObjectWriter::new(&mut meta);
+        obj.field_str("bench", fig);
+        obj.field_u64(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        );
+        for (key, value) in extra {
+            obj.field_raw(key, value);
+        }
+    }
     let path = experiments_dir().join(format!("BENCH_{fig}.json"));
-    fs::write(&path, json).expect("write bench json");
+    fs::write(&path, format!(r#"{{"meta":{meta},"data":{json}}}"#)).expect("write bench json");
     path
 }
 
@@ -303,6 +324,21 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_gets_a_meta_envelope() {
+        let path = write_bench_json_with_meta(
+            "lib_test_envelope",
+            &[("window_us", "60000000".to_owned())],
+            r#"[{"ok":true}]"#,
+        );
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with(r#"{"meta":{"bench":"lib_test_envelope""#));
+        assert!(content.contains(r#""available_parallelism":"#));
+        assert!(content.contains(r#""window_us":60000000"#));
+        assert!(content.ends_with(r#""data":[{"ok":true}]}"#));
+        let _ = fs::remove_file(path);
+    }
 
     #[test]
     fn fingerprint_changes_with_params() {

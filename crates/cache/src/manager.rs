@@ -698,6 +698,23 @@ impl CacheManager {
         self.ttl.expected_total_size(self.caches.values(), now)
     }
 
+    /// Per-subscription analytical-model inputs for the drift detector:
+    /// measured `n_i`, λ̂ᵢ/η̂ᵢ in objects/s, ρ̂ᵢ in bytes/s and the TTL
+    /// in force — everything eqs. 5–7 need to predict hit ratio,
+    /// staleness and occupancy for the coming window.
+    pub fn model_inputs(&self, now: Timestamp) -> Vec<bad_telemetry::SubscriptionModel> {
+        self.caches
+            .values()
+            .map(|c| bad_telemetry::SubscriptionModel {
+                subscribers: c.subscriber_count() as u64,
+                lambda_events_per_s: c.arrival_event_rate(now),
+                eta_events_per_s: c.consumption_event_rate(now),
+                rho_bytes_per_s: c.growth_rate(now),
+                ttl_s: c.ttl().as_secs_f64(),
+            })
+            .collect()
+    }
+
     /// The victim the policy would evict from right now, if any —
     /// exposed for tests, benchmarks and the ablation comparing indexed
     /// vs linear selection.

@@ -86,6 +86,21 @@ impl RateEstimator {
             .sum()
     }
 
+    /// Number of recorded events inside the window ending at `now`,
+    /// regardless of size. The analytical model of Section IV works in
+    /// *object* arrival/consumption rates (λ, η as events/s), while the
+    /// TTL computation works in bytes/s — this read serves the former
+    /// from the same buffer.
+    pub fn events_in_window(&self, now: Timestamp) -> u64 {
+        let cutoff = now - self.window;
+        self.events.iter().filter(|&&(ts, _)| ts > cutoff).count() as u64
+    }
+
+    /// Average event (object) rate in events/second over the window.
+    pub fn event_rate(&self, now: Timestamp) -> f64 {
+        self.events_in_window(now) as f64 / self.window.as_secs_f64()
+    }
+
     fn prune(&mut self, now: Timestamp) {
         let cutoff = now - self.window;
         while let Some(&(ts, bytes)) = self.events.front() {
@@ -140,6 +155,18 @@ mod tests {
         // Only the events within the last 2 s remain buffered.
         assert!(est.events.len() <= 3, "len = {}", est.events.len());
         assert_eq!(est.rate(t(99)), 10.0); // 20 bytes / 2 s
+    }
+
+    #[test]
+    fn event_rate_counts_objects_not_bytes() {
+        let mut est = RateEstimator::new(SimDuration::from_secs(10));
+        est.record(t(1), 5000);
+        est.record(t(2), 1);
+        assert_eq!(est.events_in_window(t(5)), 2);
+        assert_eq!(est.event_rate(t(5)), 0.2);
+        // Both events age out together with the byte view.
+        assert_eq!(est.events_in_window(t(20)), 0);
+        assert_eq!(est.event_rate(t(20)), 0.0);
     }
 
     #[test]

@@ -187,6 +187,18 @@ impl ResultCache {
         (self.arrivals.rate(now) - self.consumption.rate(now)).max(0.0)
     }
 
+    /// Measured arrival rate `λ_i` in objects/s — the event-count view
+    /// the analytical hit-ratio model (eqs. 5–7) works in.
+    pub fn arrival_event_rate(&self, now: Timestamp) -> f64 {
+        self.arrivals.event_rate(now)
+    }
+
+    /// Measured consumption rate `η_i` in objects/s, aggregated over
+    /// all attached subscribers.
+    pub fn consumption_event_rate(&self, now: Timestamp) -> f64 {
+        self.consumption.event_rate(now)
+    }
+
     /// Attaches a subscriber to the cache. Only objects inserted from now
     /// on will list it as pending (Section IV-A: earlier objects "would
     /// not contain this particular subscriber in their subscriber list").

@@ -440,6 +440,17 @@ impl ShardedCacheManager {
         self.shard(bs).record_populate(bytes);
     }
 
+    /// Per-subscription analytical-model inputs across every shard —
+    /// the sharded counterpart of [`CacheManager::model_inputs`]. Locks
+    /// one shard at a time, never two at once.
+    pub fn model_inputs(&self, now: Timestamp) -> Vec<bad_telemetry::SubscriptionModel> {
+        let mut models = Vec::new();
+        for idx in 0..self.shards.len() {
+            models.extend(self.lock(idx).model_inputs(now));
+        }
+        models
+    }
+
     /// Periodic maintenance: runs every shard's TTL retune/expiry pass
     /// in shard order, then (with more than one shard) rebalances the
     /// budget shares by occupancy. With one shard this is exactly

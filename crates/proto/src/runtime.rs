@@ -21,7 +21,8 @@ use bad_cluster::{DataCluster, Notification};
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
 use bad_telemetry::{
-    FlightRecorder, Registry, ScrapeServer, SharedSink, SharedTracer, TraceConfig, Tracer,
+    FlightRecorder, HealthConfig, HealthEngine, HealthObservation, Registry, ScrapeServer,
+    SharedSink, SharedTracer, TraceConfig, Tracer,
 };
 use bad_types::{
     BackendSubId, BadError, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
@@ -281,6 +282,7 @@ pub struct Deployment {
     registry: Registry,
     cache: Arc<ShardedCacheManager>,
     tracer: SharedTracer,
+    health: Option<Arc<HealthEngine>>,
 }
 
 impl Deployment {
@@ -323,6 +325,7 @@ impl Deployment {
             sink,
             Registry::new(),
             Tracer::disabled(),
+            None,
         )
     }
 
@@ -348,10 +351,31 @@ impl Deployment {
             FLIGHT_RECORDER_STRIPES,
             FLIGHT_RECORDER_STRIPE_CAPACITY,
         ));
+        // The continuous health engine shares the tracer's registry,
+        // flight recorder and event sink: its windowed snapshots, burn
+        // rates and drift scores read the same counters the tracer and
+        // cache telemetry write, and its alert transitions land in the
+        // same post-mortem ring as span anomalies.
+        let health = HealthEngine::new(
+            &registry,
+            Arc::clone(&recorder),
+            sink.clone(),
+            HealthConfig::default(),
+        );
         let tracer = Tracer::new(&registry, sink.clone(), recorder, trace);
-        Self::boot(policy, config, cluster, compression, sink, registry, tracer)
+        Self::boot(
+            policy,
+            config,
+            cluster,
+            compression,
+            sink,
+            registry,
+            tracer,
+            Some(health),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn boot(
         policy: PolicyName,
         config: BrokerConfig,
@@ -360,6 +384,7 @@ impl Deployment {
         sink: SharedSink,
         registry: Registry,
         tracer: SharedTracer,
+        health: Option<Arc<HealthEngine>>,
     ) -> Self {
         let clock = VirtualClock::new(compression);
         let (cluster_tx, cluster_rx) = unbounded::<ClusterRequest>();
@@ -387,6 +412,7 @@ impl Deployment {
 
         let broker_clock = clock.clone();
         let broker_tracer = Arc::clone(&tracer);
+        let broker_health = health.clone();
         let broker_handle = thread::spawn(move || {
             broker_node(
                 broker,
@@ -394,6 +420,7 @@ impl Deployment {
                 broker_rx,
                 broker_clock,
                 broker_tracer,
+                broker_health,
             )
         });
 
@@ -406,6 +433,7 @@ impl Deployment {
             registry,
             cache,
             tracer,
+            health,
         }
     }
 
@@ -426,6 +454,7 @@ impl Deployment {
         let recorder = Arc::clone(self.tracer.recorder());
         let anomaly_recorder = Arc::clone(self.tracer.recorder());
         let broker_tx = self.broker_tx.clone();
+        let health_engine = self.health.clone();
         let health: bad_telemetry::HealthFn = Arc::new(move || {
             // Coalescer state lives on the broker thread; ask it. A
             // stopped broker renders as `null` rather than failing the
@@ -481,6 +510,16 @@ impl Deployment {
                 obj.field_u64("anomalies", anomaly_recorder.anomalies());
                 obj.field_raw("coalescer", &coalescer);
                 obj.field_raw("shard_occupancy", &rows);
+                // Alert + drift summary so one `/healthz` probe answers
+                // "is anything on fire and does reality still match the
+                // model" without walking the dedicated endpoints.
+                match &health_engine {
+                    Some(engine) => {
+                        obj.field_raw("health", &engine.summary_json());
+                        obj.field_f64("drift_score", engine.drift_score());
+                    }
+                    None => obj.field_raw("health", "null"),
+                }
             }
             out
         });
@@ -490,7 +529,25 @@ impl Deployment {
                 Some(snapshot) => snapshot.to_json(&policy_cache.metrics()),
                 None => r#"{"error":"shadow evaluation disabled"}"#.to_owned(),
             });
-        ScrapeServer::bind_with_policies(addr, self.registry.clone(), recorder, health, policies)
+        let endpoints = bad_telemetry::ScrapeEndpoints {
+            health,
+            policies: Some(policies),
+            timeseries: self.health.as_ref().map(|engine| {
+                let engine = Arc::clone(engine);
+                Arc::new(move || engine.timeseries_json()) as bad_telemetry::EndpointFn
+            }),
+            alerts: self.health.as_ref().map(|engine| {
+                let engine = Arc::clone(engine);
+                Arc::new(move || engine.alerts_json()) as bad_telemetry::EndpointFn
+            }),
+        };
+        ScrapeServer::bind_with_endpoints(addr, self.registry.clone(), recorder, endpoints)
+    }
+
+    /// The continuous health engine ([`None`] unless the deployment was
+    /// booted via [`Deployment::start_observed`]).
+    pub fn health_engine(&self) -> Option<&Arc<HealthEngine>> {
+        self.health.as_ref()
     }
 
     /// Prometheus-text snapshot of every metric family the deployment
@@ -690,6 +747,7 @@ fn broker_node(
     rx: Receiver<BrokerRequest>,
     clock: VirtualClock,
     tracer: SharedTracer,
+    health: Option<Arc<HealthEngine>>,
 ) {
     // One maintenance worker per cache shard: a Maintain request fans
     // the per-shard TTL retune/expiry passes out in parallel (the whole
@@ -795,6 +853,28 @@ fn broker_node(
                                 .recorder()
                                 .note_anomaly("shard_imbalance", now.as_micros());
                         }
+                    }
+                }
+                // Window-gated health evaluation rides the maintenance
+                // cadence: snapshot the registry into the time-series
+                // ring, evaluate burn-rate alerts, and score the eq. 5–7
+                // prediction against what actually happened. `due` keeps
+                // the whole block free when the window hasn't closed.
+                if let Some(engine) = &health {
+                    let t_us = now.as_micros();
+                    if engine.due(t_us) {
+                        let shard_health = cache.shard_health();
+                        let occupancy: u64 = shard_health.iter().map(|s| s.occupancy_bytes).sum();
+                        let budget: u64 = shard_health.iter().map(|s| s.budget_bytes).sum();
+                        let model = bad_telemetry::drift::predict(&cache.model_inputs(now));
+                        engine.tick(
+                            t_us,
+                            HealthObservation {
+                                occupancy_bytes: occupancy,
+                                budget_bytes: budget,
+                                model: Some(model),
+                            },
+                        );
                     }
                 }
             }

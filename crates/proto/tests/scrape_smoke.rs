@@ -1,8 +1,10 @@
 //! Scrape-endpoint smoke test: boots an *observed* deployment (live
-//! lifecycle tracer, shadow-policy ghosts), drives one publish →
-//! notify → retrieve round through the threaded runtime, then scrapes
-//! `/metrics`, `/healthz`, `/trace/recent` and `/policies` over a real
-//! TCP socket like Prometheus would.
+//! lifecycle tracer, shadow-policy ghosts, continuous health engine),
+//! drives one publish → notify → retrieve round through the threaded
+//! runtime, then scrapes `/metrics`, `/healthz`, `/trace/recent`,
+//! `/policies`, `/timeseries` and `/alerts` over a real TCP socket
+//! like Prometheus would — and checks malformed request lines get a
+//! clean 400.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -29,6 +31,19 @@ fn http_get(addr: SocketAddr, path: &str) -> String {
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
     response
+}
+
+/// Sends raw bytes (possibly not valid HTTP) and returns whatever the
+/// server answers, tolerating an early reset after the response.
+fn http_raw(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request).expect("write request");
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    String::from_utf8_lossy(&response).into_owned()
 }
 
 #[test]
@@ -109,7 +124,8 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(metrics.contains("bad_cache_shadow_sampled_accesses_total"));
 
     // /healthz: per-shard occupancy plus the miss-fetch coalescer's
-    // live buffer state.
+    // live buffer state, plus the continuous-health summary (alert
+    // counts and model-drift score) from the health engine.
     let health = http_get(addr, "/healthz");
     assert!(health.starts_with("HTTP/1.1 200"), "{health}");
     assert!(health.contains("\"status\":\"ok\""), "{health}");
@@ -119,6 +135,9 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(health.contains("\"coalescer\":{"), "{health}");
     assert!(health.contains("\"coalesced_fetches\""), "{health}");
     assert!(health.contains("\"buffered_bytes\""), "{health}");
+    assert!(health.contains("\"health\":{"), "{health}");
+    assert!(health.contains("\"firing\""), "{health}");
+    assert!(health.contains("\"drift_score\""), "{health}");
 
     // /policies: live-vs-ghost counterfactual hit ratios as JSON, with
     // the ghost of the live policy in exact agreement (zero regret).
@@ -151,9 +170,46 @@ fn observed_deployment_serves_metrics_health_and_traces() {
         "no hit spans in:\n{traces}"
     );
 
+    // /timeseries: the windowed history ring as JSON. The short run
+    // may not have crossed a window boundary yet, so assert the
+    // always-present envelope rather than window contents.
+    let ts = http_get(addr, "/timeseries");
+    assert!(ts.starts_with("HTTP/1.1 200"), "{ts}");
+    assert!(ts.contains("application/json"), "{ts}");
+    assert!(ts.contains("\"window_us\":60000000"), "{ts}");
+    assert!(ts.contains("\"capacity\""), "{ts}");
+    assert!(ts.contains("\"series\":["), "{ts}");
+    assert!(ts.contains("\"samples\":["), "{ts}");
+
+    // /alerts: every registered burn-rate and drift rule reports a
+    // state from the moment the engine boots.
+    let alerts = http_get(addr, "/alerts");
+    assert!(alerts.starts_with("HTTP/1.1 200"), "{alerts}");
+    assert!(alerts.contains("application/json"), "{alerts}");
+    assert!(alerts.contains("\"rules\":["), "{alerts}");
+    assert!(
+        alerts.contains("\"rule\":\"delivery_latency_burn\""),
+        "{alerts}"
+    );
+    assert!(alerts.contains("\"rule\":\"staleness_burn\""), "{alerts}");
+    assert!(alerts.contains("\"rule\":\"model_drift\""), "{alerts}");
+    assert!(alerts.contains("\"state\":"), "{alerts}");
+    assert!(alerts.contains("\"transitions\":["), "{alerts}");
+
     // Unknown paths 404 instead of crashing the endpoint.
     let missing = http_get(addr, "/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // Malformed and oversized request lines get a 400 with a JSON
+    // body — not a silently dropped connection.
+    let garbage = http_raw(addr, b"BOGUS-LINE-WITHOUT-METHOD\r\n\r\n");
+    assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+    assert!(garbage.contains("application/json"), "{garbage}");
+    let mut big = Vec::from(&b"GET /"[..]);
+    big.extend(std::iter::repeat(b'a').take(8 * 1024));
+    big.extend(b" HTTP/1.1\r\n\r\n");
+    let oversized = http_raw(addr, &big);
+    assert!(oversized.starts_with("HTTP/1.1 400"), "{oversized}");
 
     server.shutdown();
     dep.shutdown();

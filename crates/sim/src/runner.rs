@@ -82,6 +82,9 @@ pub struct Simulation {
     popularity: ZipfPopularity,
     /// Subscription lifetime sampler (churn), when enabled.
     subscription_lifetime: Option<rand_distr::LogNormal<f64>>,
+    /// Continuous health engine (timeseries ring, burn-rate alerts,
+    /// model-drift scoring), when attached. Ticked on sampler epochs.
+    health: Option<std::sync::Arc<bad_telemetry::HealthEngine>>,
 }
 
 impl Simulation {
@@ -171,6 +174,7 @@ impl Simulation {
             sink: bad_telemetry::null_sink(),
             popularity,
             subscription_lifetime,
+            health: None,
         })
     }
 
@@ -204,6 +208,17 @@ impl Simulation {
         self.broker
             .attach_telemetry_traced(registry, sink.clone(), tracer);
         self.sink = sink;
+    }
+
+    /// Attaches a continuous health engine: on each sampler epoch where
+    /// the engine's window has closed, the run snapshots the registry
+    /// into the time-series ring, evaluates burn-rate alerts, and
+    /// scores the eq. 5–7 prediction (built from live per-subscription
+    /// λ̂/η̂/ρ̂/TTL measurements) against the observed hit ratio and
+    /// occupancy. Build the engine over the same [`Registry`] passed to
+    /// [`Simulation::attach_telemetry`].
+    pub fn attach_health(&mut self, health: std::sync::Arc<bad_telemetry::HealthEngine>) {
+        self.health = Some(health);
     }
 
     /// Runs the simulation to completion and reports the measurements.
@@ -406,6 +421,19 @@ impl Simulation {
             });
         }
         self.sampler.record(sample);
+        if let Some(engine) = &self.health {
+            if engine.due(sample.t_us) {
+                let model = bad_telemetry::drift::predict(&cache.model_inputs(now));
+                engine.tick(
+                    sample.t_us,
+                    bad_telemetry::HealthObservation {
+                        occupancy_bytes: sample.occupancy_bytes,
+                        budget_bytes: cache.budget().as_u64(),
+                        model: Some(model),
+                    },
+                );
+            }
+        }
     }
 
     fn next_interarrival(&mut self, stream: usize) -> SimDuration {

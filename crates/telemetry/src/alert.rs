@@ -1,0 +1,693 @@
+//! SLO error budgets, multi-window burn-rate rules and the alert state
+//! machine.
+//!
+//! An SLO like "at most 1% of deliveries may violate the latency
+//! deadline" defines an *error budget*. The burn rate over a window is
+//! the observed violation fraction divided by that budget: burning at
+//! 1× exhausts the budget exactly at the end of the SLO period,
+//! burning at 14× exhausts it fourteen times too fast. Following the
+//! multi-window construction from the SRE literature, a rule only
+//! trips when *both* a fast window (catches sudden regressions,
+//! provides fast reset) and a slow window (suppresses blips) burn
+//! above their thresholds — all in virtual time, so the simulator and
+//! the proto runtime alert identically.
+//!
+//! Rule condition changes drive a four-state machine:
+//!
+//! ```text
+//! Inactive ──cond──▶ Pending ──held pending_for──▶ Firing
+//!    ▲                  │                            │
+//!    │               !cond (early clear)           !cond
+//!    │                  ▼                            ▼
+//!    └──── resolve_hold elapsed ◀───────────────  Resolved ──cond──▶ Pending
+//! ```
+//!
+//! Every transition bumps a counter, lands in the [`FlightRecorder`]
+//! as an anomaly note (entering `Firing` only — resolution is not an
+//! anomaly) and is forwarded to the event sink as a typed
+//! [`Event::AlertTransition`], so alerts interleave with lifecycle
+//! spans in one JSONL trace.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, SharedSink};
+use crate::histogram::Histogram;
+use crate::json::ObjectWriter;
+use crate::registry::{Counter, Gauge, Registry};
+use crate::trace::FlightRecorder;
+
+/// Alert lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false, nothing brewing.
+    Inactive,
+    /// Condition true, waiting out `pending_for_us` before firing.
+    Pending,
+    /// Condition held long enough; the alert is live.
+    Firing,
+    /// Condition cleared after firing; lingers `resolve_hold_us` so a
+    /// flapping rule stays visible before returning to `Inactive`.
+    Resolved,
+}
+
+impl AlertState {
+    /// Stable lowercase label (JSON, events).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+}
+
+/// The pending→firing→resolved state machine, separated from rule
+/// evaluation so the transition table can be tested exhaustively with
+/// a plain boolean condition.
+#[derive(Clone, Copy, Debug)]
+pub struct AlertStateMachine {
+    state: AlertState,
+    /// Virtual time the current state was entered.
+    since_us: u64,
+    /// How long the condition must hold before `Pending` → `Firing`.
+    pending_for_us: u64,
+    /// How long `Resolved` lingers before `Inactive`.
+    resolve_hold_us: u64,
+}
+
+impl AlertStateMachine {
+    /// Creates a machine in `Inactive`.
+    pub fn new(pending_for_us: u64, resolve_hold_us: u64) -> Self {
+        Self {
+            state: AlertState::Inactive,
+            since_us: 0,
+            pending_for_us,
+            resolve_hold_us,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AlertState {
+        self.state
+    }
+
+    /// Virtual time the current state was entered.
+    pub fn since_us(&self) -> u64 {
+        self.since_us
+    }
+
+    /// Advances the machine at virtual `t_us` with the rule condition,
+    /// returning `Some((from, to))` when the state changed. Time jumps
+    /// (a sim fast-forwarding hours) are handled by `>=` deadline
+    /// checks: a jump simply accelerates the dwell-time transitions.
+    /// `Pending` → `Firing` can complete within one `step` call when
+    /// `pending_for_us` is zero or already elapsed — the externally
+    /// visible transition is the full hop.
+    pub fn step(&mut self, t_us: u64, condition: bool) -> Option<(AlertState, AlertState)> {
+        let from = self.state;
+        let to = if condition {
+            match self.state {
+                AlertState::Inactive | AlertState::Resolved => {
+                    // Zero dwell goes straight to Firing rather than
+                    // burning an extra window in Pending.
+                    if self.pending_for_us == 0 {
+                        AlertState::Firing
+                    } else {
+                        AlertState::Pending
+                    }
+                }
+                AlertState::Pending => {
+                    if t_us.saturating_sub(self.since_us) >= self.pending_for_us {
+                        AlertState::Firing
+                    } else {
+                        AlertState::Pending
+                    }
+                }
+                AlertState::Firing => AlertState::Firing,
+            }
+        } else {
+            match self.state {
+                AlertState::Inactive => AlertState::Inactive,
+                // An early clear cancels a pending alert outright.
+                AlertState::Pending => AlertState::Inactive,
+                AlertState::Firing => AlertState::Resolved,
+                AlertState::Resolved => {
+                    if t_us.saturating_sub(self.since_us) >= self.resolve_hold_us {
+                        AlertState::Inactive
+                    } else {
+                        AlertState::Resolved
+                    }
+                }
+            }
+        };
+        if to == from {
+            return None;
+        }
+        self.state = to;
+        self.since_us = t_us;
+        Some((from, to))
+    }
+}
+
+/// Where a burn-rate rule reads its request denominator: a plain
+/// counter, or a histogram's derived observation count (the tracer
+/// tracks delivery volume as histograms, not counters).
+#[derive(Clone, Debug)]
+pub enum ValueSource {
+    /// `Counter::get`.
+    Counter(Counter),
+    /// `Histogram::count` (sum of buckets).
+    HistogramCount(Histogram),
+}
+
+impl ValueSource {
+    fn get(&self) -> u64 {
+        match self {
+            ValueSource::Counter(c) => c.get(),
+            ValueSource::HistogramCount(h) => h.count(),
+        }
+    }
+}
+
+/// Configuration of one multi-window burn-rate rule.
+#[derive(Clone, Copy, Debug)]
+pub struct BurnRateRule {
+    /// Stable rule name (`&'static` so transitions stay `Copy`).
+    pub name: &'static str,
+    /// Error budget as a fraction of requests (0.01 = 1% may violate).
+    pub budget: f64,
+    /// Fast window width in virtual microseconds.
+    pub fast_window_us: u64,
+    /// Slow window width in virtual microseconds.
+    pub slow_window_us: u64,
+    /// Burn-rate threshold over the fast window.
+    pub fast_factor: f64,
+    /// Burn-rate threshold over the slow window.
+    pub slow_factor: f64,
+    /// Dwell time before `Pending` → `Firing`.
+    pub pending_for_us: u64,
+    /// Linger time in `Resolved`.
+    pub resolve_hold_us: u64,
+}
+
+/// A recorded state change, kept in a bounded log for `/alerts`.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionRecord {
+    /// Virtual time of the change.
+    pub t_us: u64,
+    /// Rule that moved.
+    pub rule: &'static str,
+    /// State left.
+    pub from: AlertState,
+    /// State entered.
+    pub to: AlertState,
+    /// Triggering measurement (fast-window burn rate, or drift score).
+    pub value: f64,
+}
+
+enum RuleKind {
+    Burn {
+        cfg: BurnRateRule,
+        violations: ValueSource,
+        requests: ValueSource,
+        /// `(t_us, cumulative violations, cumulative requests)` samples
+        /// at evaluation times, pruned to the slow window.
+        history: VecDeque<(u64, u64, u64)>,
+    },
+    /// Fires while `gauge / 1000 >= threshold` (gauges are u64, so
+    /// fractional scores are stored ×1000).
+    GaugeAbove {
+        name: &'static str,
+        gauge: Gauge,
+        threshold: f64,
+    },
+}
+
+struct Rule {
+    kind: RuleKind,
+    sm: AlertStateMachine,
+    /// Last measurement that drove the condition (for JSON readout).
+    last_value: f64,
+}
+
+impl Rule {
+    fn name(&self) -> &'static str {
+        match &self.kind {
+            RuleKind::Burn { cfg, .. } => cfg.name,
+            RuleKind::GaugeAbove { name, .. } => name,
+        }
+    }
+}
+
+/// Burn rate of the `(then, now]` cumulative samples against `budget`.
+fn burn_rate(then: (u64, u64), now: (u64, u64), budget: f64) -> f64 {
+    let bad = now.0.saturating_sub(then.0);
+    let total = now.1.saturating_sub(then.1);
+    if total == 0 || budget <= 0.0 {
+        return 0.0;
+    }
+    (bad as f64 / total as f64) / budget
+}
+
+struct ManagerInner {
+    rules: Vec<Rule>,
+    log: VecDeque<TransitionRecord>,
+}
+
+const TRANSITION_LOG_CAPACITY: usize = 64;
+
+/// Owns every alert rule, evaluates them on the health-engine window
+/// cadence, and fans transitions out to metrics, the flight recorder
+/// and the event sink.
+pub struct AlertManager {
+    inner: Mutex<ManagerInner>,
+    recorder: Arc<FlightRecorder>,
+    sink: SharedSink,
+    firing: Gauge,
+    pending: Gauge,
+    transitions_total: Counter,
+}
+
+impl AlertManager {
+    /// Creates an empty manager, registering its own summary metrics
+    /// (`bad_health_alerts_firing`, `bad_health_alerts_pending`,
+    /// `bad_health_alert_transitions_total`) on `registry`.
+    pub fn new(registry: &Registry, recorder: Arc<FlightRecorder>, sink: SharedSink) -> Self {
+        Self {
+            inner: Mutex::new(ManagerInner {
+                rules: Vec::new(),
+                log: VecDeque::with_capacity(TRANSITION_LOG_CAPACITY),
+            }),
+            recorder,
+            sink,
+            firing: registry.gauge("bad_health_alerts_firing"),
+            pending: registry.gauge("bad_health_alerts_pending"),
+            transitions_total: registry.counter("bad_health_alert_transitions_total"),
+        }
+    }
+
+    /// Adds a multi-window burn-rate rule over a violation source and a
+    /// request (denominator) source.
+    pub fn add_burn_rate(&self, cfg: BurnRateRule, violations: ValueSource, requests: ValueSource) {
+        let sm = AlertStateMachine::new(cfg.pending_for_us, cfg.resolve_hold_us);
+        self.lock().rules.push(Rule {
+            kind: RuleKind::Burn {
+                cfg,
+                violations,
+                requests,
+                history: VecDeque::new(),
+            },
+            sm,
+            last_value: 0.0,
+        });
+    }
+
+    /// Adds a threshold rule over a gauge storing a ×1000 fixed-point
+    /// score (the drift detector's output).
+    pub fn add_gauge_above(
+        &self,
+        name: &'static str,
+        gauge: Gauge,
+        threshold: f64,
+        pending_for_us: u64,
+        resolve_hold_us: u64,
+    ) {
+        self.lock().rules.push(Rule {
+            kind: RuleKind::GaugeAbove {
+                name,
+                gauge,
+                threshold,
+            },
+            sm: AlertStateMachine::new(pending_for_us, resolve_hold_us),
+            last_value: 0.0,
+        });
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ManagerInner> {
+        self.inner.lock().expect("alert manager poisoned")
+    }
+
+    /// Evaluates every rule at virtual `t_us`, returning the
+    /// transitions that occurred. Called once per health window — never
+    /// on a data hot path.
+    pub fn evaluate(&self, t_us: u64) -> Vec<TransitionRecord> {
+        let mut out = Vec::new();
+        let mut firing = 0u64;
+        let mut pending = 0u64;
+        let mut inner = self.lock();
+        for rule in &mut inner.rules {
+            let (condition, value) = match &mut rule.kind {
+                RuleKind::Burn {
+                    cfg,
+                    violations,
+                    requests,
+                    history,
+                } => {
+                    let now = (violations.get(), requests.get());
+                    history.push_back((t_us, now.0, now.1));
+                    let slow_cutoff = t_us.saturating_sub(cfg.slow_window_us);
+                    // Keep one sample at-or-before the cutoff as the
+                    // subtraction base for the full slow window.
+                    while history.len() > 1 && history[1].0 <= slow_cutoff {
+                        history.pop_front();
+                    }
+                    let base_at = |window_us: u64| {
+                        let cutoff = t_us.saturating_sub(window_us);
+                        let mut base = (history[0].1, history[0].2);
+                        for &(ht, hv, hr) in history.iter() {
+                            if ht <= cutoff {
+                                base = (hv, hr);
+                            } else {
+                                break;
+                            }
+                        }
+                        base
+                    };
+                    let fast = burn_rate(base_at(cfg.fast_window_us), now, cfg.budget);
+                    let slow = burn_rate(base_at(cfg.slow_window_us), now, cfg.budget);
+                    (fast >= cfg.fast_factor && slow >= cfg.slow_factor, fast)
+                }
+                RuleKind::GaugeAbove {
+                    gauge, threshold, ..
+                } => {
+                    let value = gauge.get() as f64 / 1000.0;
+                    (value >= *threshold, value)
+                }
+            };
+            rule.last_value = value;
+            if let Some((from, to)) = rule.sm.step(t_us, condition) {
+                out.push(TransitionRecord {
+                    t_us,
+                    rule: rule.name(),
+                    from,
+                    to,
+                    value,
+                });
+            }
+            match rule.sm.state() {
+                AlertState::Firing => firing += 1,
+                AlertState::Pending => pending += 1,
+                _ => {}
+            }
+        }
+        for t in &out {
+            if inner.log.len() == TRANSITION_LOG_CAPACITY {
+                inner.log.pop_front();
+            }
+            inner.log.push_back(*t);
+        }
+        drop(inner);
+        self.firing.set(firing);
+        self.pending.set(pending);
+        for t in &out {
+            self.transitions_total.inc();
+            if t.to == AlertState::Firing {
+                self.recorder
+                    .note_anomaly(&format!("alert_firing:{}", t.rule), t.t_us);
+            }
+            if self.sink.enabled() {
+                self.sink.record(&Event::AlertTransition {
+                    t_us: t.t_us,
+                    rule: t.rule,
+                    from: t.from.label(),
+                    to: t.to.label(),
+                    value_milli: (t.value.max(0.0) * 1000.0).min(u64::MAX as f64) as u64,
+                });
+            }
+        }
+        out
+    }
+
+    /// State of rule `name`, if registered.
+    pub fn state_of(&self, name: &str) -> Option<AlertState> {
+        self.lock()
+            .rules
+            .iter()
+            .find(|r| r.name() == name)
+            .map(|r| r.sm.state())
+    }
+
+    /// `(firing, pending)` rule counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.firing.get(), self.pending.get())
+    }
+
+    /// The `/alerts` endpoint body: every rule's state and last
+    /// measurement plus the recent transition log.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut body = String::with_capacity(1024);
+        {
+            let mut obj = ObjectWriter::new(&mut body);
+            obj.field_u64("firing", self.firing.get());
+            obj.field_u64("pending", self.pending.get());
+            obj.field_u64("transitions_total", self.transitions_total.get());
+            let mut rules = String::from("[");
+            for (i, rule) in inner.rules.iter().enumerate() {
+                if i > 0 {
+                    rules.push(',');
+                }
+                let mut row = String::new();
+                {
+                    let mut o = ObjectWriter::new(&mut row);
+                    o.field_str("rule", rule.name());
+                    o.field_str("state", rule.sm.state().label());
+                    o.field_u64("since_us", rule.sm.since_us());
+                    o.field_f64("value", rule.last_value);
+                }
+                rules.push_str(&row);
+            }
+            rules.push(']');
+            obj.field_raw("rules", &rules);
+            let mut log = String::from("[");
+            for (i, t) in inner.log.iter().enumerate() {
+                if i > 0 {
+                    log.push(',');
+                }
+                let mut row = String::new();
+                {
+                    let mut o = ObjectWriter::new(&mut row);
+                    o.field_u64("t_us", t.t_us);
+                    o.field_str("rule", t.rule);
+                    o.field_str("from", t.from.label());
+                    o.field_str("to", t.to.label());
+                    o.field_f64("value", t.value);
+                }
+                log.push_str(&row);
+            }
+            log.push(']');
+            obj.field_raw("transitions", &log);
+        }
+        body
+    }
+
+    /// A compact summary object for embedding in `/healthz`.
+    pub fn summary_json(&self) -> String {
+        let inner = self.lock();
+        let mut body = String::with_capacity(256);
+        {
+            let mut obj = ObjectWriter::new(&mut body);
+            obj.field_u64("firing", self.firing.get());
+            obj.field_u64("pending", self.pending.get());
+            let mut names = String::from("[");
+            let mut first = true;
+            for rule in &inner.rules {
+                if rule.sm.state() == AlertState::Firing {
+                    if !first {
+                        names.push(',');
+                    }
+                    first = false;
+                    names.push_str(&crate::json::quote(rule.name()));
+                }
+            }
+            names.push(']');
+            obj.field_raw("firing_rules", &names);
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{null_sink, RingBufferSink};
+
+    const S: u64 = 1_000_000;
+
+    fn machine(pending_s: u64, hold_s: u64) -> AlertStateMachine {
+        AlertStateMachine::new(pending_s * S, hold_s * S)
+    }
+
+    /// The exhaustive transition table: each row is
+    /// `(start state, dwell already elapsed, condition) → end state`.
+    #[test]
+    fn transition_table_is_exhaustive() {
+        use AlertState::*;
+        // (state, entered_at, t, condition, expected)
+        let table: &[(AlertState, u64, u64, bool, AlertState)] = &[
+            // Inactive rows.
+            (Inactive, 0, 10 * S, false, Inactive),
+            (Inactive, 0, 10 * S, true, Pending),
+            // Pending rows: early clear, dwell not met, dwell met.
+            (Pending, 10 * S, 11 * S, false, Inactive),
+            (Pending, 10 * S, 11 * S, true, Pending),
+            (Pending, 10 * S, 15 * S, true, Firing),
+            // Dwell exactly met fires (>=, not >).
+            (Pending, 10 * S, 13 * S, true, Firing),
+            // Firing rows.
+            (Firing, 0, 20 * S, true, Firing),
+            (Firing, 0, 20 * S, false, Resolved),
+            // Resolved rows: retrigger, hold not met, hold met.
+            (Resolved, 20 * S, 21 * S, true, Pending),
+            (Resolved, 20 * S, 21 * S, false, Resolved),
+            (Resolved, 20 * S, 26 * S, false, Inactive),
+        ];
+        for &(start, entered, t, cond, expected) in table {
+            let mut sm = machine(3, 5);
+            sm.state = start;
+            sm.since_us = entered;
+            sm.step(t, cond);
+            assert_eq!(
+                sm.state(),
+                expected,
+                "({start:?}, entered={entered}, t={t}, cond={cond})"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_time_jumps_accelerate_not_break() {
+        let mut sm = machine(3, 5);
+        assert_eq!(
+            sm.step(0, true),
+            Some((AlertState::Inactive, AlertState::Pending))
+        );
+        // A huge jump satisfies the dwell immediately.
+        assert_eq!(
+            sm.step(1_000_000 * S, true),
+            Some((AlertState::Pending, AlertState::Firing))
+        );
+        assert_eq!(
+            sm.step(1_000_001 * S, false),
+            Some((AlertState::Firing, AlertState::Resolved))
+        );
+        // Jump past the hold: straight back to Inactive.
+        assert_eq!(
+            sm.step(2_000_000 * S, false),
+            Some((AlertState::Resolved, AlertState::Inactive))
+        );
+        // Time going backwards must not panic or fire spuriously.
+        assert_eq!(sm.step(0, false), None);
+    }
+
+    #[test]
+    fn zero_dwell_fires_in_one_step() {
+        let mut sm = machine(0, 0);
+        assert_eq!(
+            sm.step(5 * S, true),
+            Some((AlertState::Inactive, AlertState::Firing))
+        );
+        assert_eq!(
+            sm.step(6 * S, false),
+            Some((AlertState::Firing, AlertState::Resolved))
+        );
+        // Zero hold: next evaluation returns to Inactive.
+        assert_eq!(
+            sm.step(7 * S, false),
+            Some((AlertState::Resolved, AlertState::Inactive))
+        );
+    }
+
+    fn burn_manager(registry: &Registry) -> (AlertManager, Counter, Counter) {
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let manager = AlertManager::new(registry, recorder, null_sink());
+        let bad = registry.counter("bad_test_violations_total");
+        let total = registry.counter("bad_test_requests_total");
+        manager.add_burn_rate(
+            BurnRateRule {
+                name: "test_burn",
+                budget: 0.01,
+                fast_window_us: 2 * S,
+                slow_window_us: 10 * S,
+                fast_factor: 10.0,
+                slow_factor: 5.0,
+                pending_for_us: S,
+                resolve_hold_us: S,
+            },
+            ValueSource::Counter(bad.clone()),
+            ValueSource::Counter(total.clone()),
+        );
+        (manager, bad, total)
+    }
+
+    #[test]
+    fn burn_rate_crosses_up_and_down() {
+        let registry = Registry::new();
+        let (manager, bad, total) = burn_manager(&registry);
+        // Healthy traffic: 1000 requests, 1 violation (0.1% < 1%·10).
+        total.add(1000);
+        bad.add(1);
+        manager.evaluate(0);
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Inactive));
+        // Regression: 50% violations — burn 50× the budget on both
+        // windows. Pending first, firing after the dwell.
+        total.add(1000);
+        bad.add(500);
+        manager.evaluate(S);
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Pending));
+        total.add(1000);
+        bad.add(500);
+        manager.evaluate(2 * S);
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Firing));
+        assert_eq!(manager.counts().0, 1);
+        // Recovery: violations stop; the fast window clears first.
+        total.add(10_000);
+        manager.evaluate(5 * S);
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Resolved));
+        total.add(10_000);
+        manager.evaluate(7 * S);
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Inactive));
+    }
+
+    #[test]
+    fn no_traffic_means_no_burn() {
+        let registry = Registry::new();
+        let (manager, _bad, _total) = burn_manager(&registry);
+        for i in 0..5 {
+            assert!(manager.evaluate(i * S).is_empty());
+        }
+        assert_eq!(manager.state_of("test_burn"), Some(AlertState::Inactive));
+    }
+
+    #[test]
+    fn transitions_feed_recorder_sink_and_log() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let ring = Arc::new(RingBufferSink::new(64));
+        let sink: SharedSink = ring.clone();
+        let manager = AlertManager::new(&registry, recorder.clone(), sink);
+        let score = registry.gauge("bad_test_score_milli");
+        manager.add_gauge_above("test_gauge", score.clone(), 0.5, 0, 0);
+        score.set(900); // 0.9 >= 0.5
+        let transitions = manager.evaluate(3 * S);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].to, AlertState::Firing);
+        // Firing noted as an anomaly; event forwarded; log retained.
+        assert_eq!(recorder.anomalies(), 1);
+        assert_eq!(ring.len(), 1);
+        let json = manager.to_json();
+        assert!(json.contains("\"rule\":\"test_gauge\""));
+        assert!(json.contains("\"to\":\"firing\""));
+        assert!(registry
+            .render()
+            .contains("bad_health_alert_transitions_total 1"));
+        // Resolution is not an anomaly.
+        score.set(0);
+        manager.evaluate(4 * S);
+        assert_eq!(recorder.anomalies(), 1);
+        let summary = manager.summary_json();
+        assert!(summary.contains("\"firing\":0"));
+    }
+}

@@ -141,6 +141,17 @@ pub enum Event {
     /// spans flow through the same sinks as every other event so one
     /// JSONL trace interleaves decisions and lifecycles in time order.
     Span(Span),
+    /// An alert rule changed state (see [`crate::alert`]). `value_milli`
+    /// is the rule's triggering measurement ×1000 (burn rate or drift
+    /// score) so the event stays `Copy` without an f64 formatting
+    /// dependency in the state machine.
+    AlertTransition {
+        t_us: u64,
+        rule: &'static str,
+        from: &'static str,
+        to: &'static str,
+        value_milli: u64,
+    },
 }
 
 impl Event {
@@ -173,6 +184,7 @@ impl Event {
                 SpanKind::FullyConsumed => "span.fully_consumed",
                 SpanKind::CoalescedFetch => "span.coalesced_fetch",
             },
+            Event::AlertTransition { .. } => "health.alert_transition",
         }
     }
 
@@ -192,7 +204,8 @@ impl Event {
             | Event::BrokerFailover { t_us, .. }
             | Event::ClusterChannelFire { t_us, .. }
             | Event::ClusterEnrich { t_us, .. }
-            | Event::EpochSample { t_us, .. } => t_us,
+            | Event::EpochSample { t_us, .. }
+            | Event::AlertTransition { t_us, .. } => t_us,
             Event::Span(span) => span.t_us,
         }
     }
@@ -349,6 +362,18 @@ impl Event {
             }
             Event::Span(span) => {
                 span.write_fields(&mut obj);
+            }
+            Event::AlertTransition {
+                rule,
+                from,
+                to,
+                value_milli,
+                ..
+            } => {
+                obj.field_str("rule", rule);
+                obj.field_str("from", from);
+                obj.field_str("to", to);
+                obj.field_f64("value", value_milli as f64 / 1000.0);
             }
         }
     }

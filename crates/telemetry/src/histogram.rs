@@ -12,6 +12,11 @@ use std::sync::Arc;
 
 const BUCKETS: usize = 65;
 
+/// Number of log buckets in every [`Histogram`] (bucket 0 plus one per
+/// bit of `u64`). Exposed so windowed snapshots (`timeseries`) can
+/// store sparse per-bucket deltas without guessing the layout.
+pub const BUCKET_COUNT: usize = BUCKETS;
+
 #[derive(Debug)]
 struct HistogramData {
     buckets: [AtomicU64; BUCKETS],
@@ -71,8 +76,10 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of bucket `index` (inclusive).
-    fn bucket_upper(index: usize) -> u64 {
+    /// Upper bound of bucket `index` (inclusive). Public so windowed
+    /// quantile readout over merged bucket deltas can reuse the exact
+    /// bucket layout instead of re-deriving it.
+    pub fn bucket_upper(index: usize) -> u64 {
         if index == 0 {
             0
         } else if index >= 64 {
@@ -136,6 +143,13 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Reads every bucket at once (relaxed loads). The timeseries
+    /// snapshotter diffs consecutive readouts to reconstruct windowed
+    /// distributions, so this is the raw material — not a quantile.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.data.buckets[i].load(Ordering::Relaxed))
     }
 
     /// Reads count, sum, max and the p50/p90/p99 quantiles at once.

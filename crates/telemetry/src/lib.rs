@@ -25,7 +25,20 @@
 //!   violation counters) with a [`FlightRecorder`] ring for post-mortem
 //!   dumps and a [`Tracer`] emission point shared by every layer.
 //! - [`ScrapeServer`]: a std-only TCP endpoint serving `/metrics`
-//!   (Prometheus text), `/healthz` and `/trace/recent` live.
+//!   (Prometheus text), `/healthz`, `/trace/recent`, `/policies`,
+//!   `/timeseries` and `/alerts` live.
+//! - [`timeseries`]: a fixed-capacity ring of delta-encoded windowed
+//!   registry snapshots — `rate()`, sliding-window quantiles and
+//!   min/max/avg over arbitrary virtual-time lookbacks.
+//! - [`alert`]: SLO error budgets with multi-window burn-rate rules
+//!   and a pending→firing→resolved state machine emitting typed
+//!   transitions into the flight recorder and event sinks.
+//! - [`drift`]: the paper's eqs. 5–7 as a live predictor — measured
+//!   λ/η/ρ/TTL in, predicted hit ratio/staleness/occupancy out,
+//!   compared against observed values by an exponentially-smoothed
+//!   drift score.
+//! - [`HealthEngine`]: the three layers above composed behind one
+//!   window-gated `tick`, driven from maintenance paths.
 //!
 //! ```
 //! use bad_telemetry::{Event, Registry, RingBufferSink, SharedSink};
@@ -44,19 +57,30 @@
 //! assert!(registry.render().contains("bad_cache_hit_objects_total 3"));
 //! ```
 
+pub mod alert;
+pub mod drift;
 pub mod event;
+pub mod health;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod sampler;
 pub mod scrape;
+pub mod timeseries;
 pub mod trace;
 
+pub use alert::{AlertManager, AlertState, AlertStateMachine, BurnRateRule, ValueSource};
+pub use drift::{
+    predict, DriftConfig, DriftDetector, DriftSample, EventRateEstimator, ModelPrediction,
+    SubscriptionModel,
+};
 pub use event::{null_sink, Event, EventSink, JsonlSink, NullSink, RingBufferSink, SharedSink};
+pub use health::{HealthConfig, HealthEngine, HealthObservation};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{escape_label_value, Counter, Gauge, Registry};
 pub use sampler::{Sample, Sampler};
-pub use scrape::{HealthFn, PoliciesFn, ScrapeServer};
+pub use scrape::{EndpointFn, HealthFn, PoliciesFn, ScrapeEndpoints, ScrapeServer};
+pub use timeseries::{SeriesStats, TimeSeriesConfig, TimeSeriesStore};
 pub use trace::{
     FlightRecorder, SharedTracer, SloConfig, Span, SpanId, SpanKind, TraceConfig, TraceId, Tracer,
 };

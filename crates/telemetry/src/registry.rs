@@ -188,6 +188,44 @@ impl Registry {
         map.entry(labeled_key(name, labels)).or_default().clone()
     }
 
+    /// Enumerates every registered counter as `(key, value)` in key
+    /// order, where `key` is the full storage key (`name{labels}`).
+    /// One lock + one pass; the timeseries snapshotter calls this once
+    /// per window, never on the hot path.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Enumerates every registered gauge as `(key, value)` in key order.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Enumerates every registered histogram as `(key, buckets, sum)`
+    /// in key order — raw bucket counts, not quantiles, so windowed
+    /// deltas stay exact under merging.
+    pub fn histogram_states(&self) -> Vec<(String, [u64; crate::histogram::BUCKET_COUNT], u64)> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.bucket_counts(), h.sum()))
+            .collect()
+    }
+
     /// Renders every registered metric in the Prometheus text
     /// exposition format. Counters and gauges are one sample each;
     /// histograms render as summaries (`{quantile="…"}` samples plus

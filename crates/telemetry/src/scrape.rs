@@ -1,12 +1,20 @@
-//! A std-only TCP scrape endpoint: live `/metrics`, `/healthz` and
-//! `/trace/recent` while a runtime is up.
+//! A std-only TCP scrape endpoint: live `/metrics`, `/healthz`,
+//! `/trace/recent`, `/policies`, `/timeseries` and `/alerts` while a
+//! runtime is up.
 //!
 //! The server is deliberately minimal — a single accept thread, one
 //! request per connection (`Connection: close`), and just enough
 //! HTTP/1.1 to satisfy Prometheus scrapers and `curl`. Bodies are
-//! rendered per request from the shared [`Registry`], a caller-provided
-//! health closure, and the [`FlightRecorder`], so the endpoint is pure
+//! rendered per request from the shared [`Registry`], caller-provided
+//! closures, and the [`FlightRecorder`], so the endpoint is pure
 //! read-side: it never touches the data path.
+//!
+//! Malformed input gets an answer, not a hang-up: the request-line
+//! read is bounded (an oversized line is answered `400` without
+//! buffering the rest), garbage and non-GET requests are answered
+//! `400` with a JSON body, and every response carries `Content-Type`,
+//! `Content-Length` and `Connection: close` so clients never have to
+//! guess framing.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -47,16 +55,43 @@ pub type HealthFn = Arc<dyn Fn() -> String + Send + Sync>;
 /// dependency.
 pub type PoliciesFn = Arc<dyn Fn() -> String + Send + Sync>;
 
+/// Renders an optional JSON endpoint body (`/timeseries`, `/alerts`).
+pub type EndpointFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The closure set behind the server's routes. Only `health` is
+/// mandatory; absent optional endpoints answer `200` with an
+/// explanatory `{"error": …}` body (same contract as `/policies`
+/// before this struct existed) so probes can distinguish "disabled"
+/// from "no such route".
+#[derive(Clone)]
+pub struct ScrapeEndpoints {
+    /// `/healthz`.
+    pub health: HealthFn,
+    /// `/policies` (shadow-policy counterfactuals), if enabled.
+    pub policies: Option<PoliciesFn>,
+    /// `/timeseries` (windowed registry history), if enabled.
+    pub timeseries: Option<EndpointFn>,
+    /// `/alerts` (burn-rate/drift alert states), if enabled.
+    pub alerts: Option<EndpointFn>,
+}
+
+impl ScrapeEndpoints {
+    /// Endpoints with only the mandatory health closure set.
+    pub fn health_only(health: HealthFn) -> Self {
+        Self {
+            health,
+            policies: None,
+            timeseries: None,
+            alerts: None,
+        }
+    }
+}
+
 /// The scrape endpoint handle. Dropping it stops the accept thread.
 pub struct ScrapeServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
-}
-
-/// Renders the `/policies` body when no [`PoliciesFn`] was supplied.
-fn no_policies() -> String {
-    r#"{"error":"shadow evaluation disabled"}"#.to_owned()
 }
 
 impl std::fmt::Debug for ScrapeServer {
@@ -77,7 +112,12 @@ impl ScrapeServer {
         recorder: Arc<FlightRecorder>,
         health: HealthFn,
     ) -> io::Result<Self> {
-        Self::bind_with_policies(addr, registry, recorder, health, Arc::new(no_policies))
+        Self::bind_with_endpoints(
+            addr,
+            registry,
+            recorder,
+            ScrapeEndpoints::health_only(health),
+        )
     }
 
     /// Like [`bind`](Self::bind), but also serves a `/policies` JSON view
@@ -89,6 +129,25 @@ impl ScrapeServer {
         recorder: Arc<FlightRecorder>,
         health: HealthFn,
         policies: PoliciesFn,
+    ) -> io::Result<Self> {
+        Self::bind_with_endpoints(
+            addr,
+            registry,
+            recorder,
+            ScrapeEndpoints {
+                policies: Some(policies),
+                ..ScrapeEndpoints::health_only(health)
+            },
+        )
+    }
+
+    /// The full route set: `/metrics` and `/trace/recent` always, plus
+    /// whichever of [`ScrapeEndpoints`] is wired.
+    pub fn bind_with_endpoints(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        recorder: Arc<FlightRecorder>,
+        endpoints: ScrapeEndpoints,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -104,7 +163,7 @@ impl ScrapeServer {
                     let Ok(stream) = stream else { continue };
                     // Serve inline: scrapes are rare and tiny, and one
                     // thread keeps the endpoint's footprint fixed.
-                    let _ = serve_one(stream, &registry, &recorder, &health, &policies);
+                    let _ = serve_one(stream, &registry, &recorder, &endpoints);
                 }
             })?;
         Ok(Self {
@@ -142,30 +201,58 @@ impl Drop for ScrapeServer {
     }
 }
 
+/// Serves an optional endpoint: the closure's body when wired, a `200`
+/// with an explanatory error body when not.
+fn optional(endpoint: Option<&EndpointFn>, disabled: &str) -> String {
+    match endpoint {
+        Some(render) => render(),
+        None => format!(r#"{{"error":{}}}"#, crate::json::quote(disabled)),
+    }
+}
+
 /// Reads one request, routes it, writes one response.
 fn serve_one(
     mut stream: TcpStream,
     registry: &Registry,
     recorder: &Arc<FlightRecorder>,
-    health: &HealthFn,
-    policies: &PoliciesFn,
+    endpoints: &ScrapeEndpoints,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let path = read_request_path(&mut stream)?;
-    let (status, content_type, body) = match path.as_deref() {
-        Some("/metrics") => ("200 OK", "text/plain; version=0.0.4", registry.render()),
-        Some("/healthz") => ("200 OK", "application/json", health()),
-        Some("/trace/recent") => ("200 OK", "application/json", recorder.to_json()),
-        Some("/policies") => ("200 OK", "application/json", policies()),
-        Some(other) => (
-            "404 Not Found",
-            "application/json",
-            format!(
-                r#"{{"error":"not found","path":{}}}"#,
-                crate::json::quote(other)
+    let (status, content_type, body) = match read_request_line(&mut stream)? {
+        RequestLine::Get(path) => match path.as_str() {
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", registry.render()),
+            "/healthz" => ("200 OK", "application/json", (endpoints.health)()),
+            "/trace/recent" => ("200 OK", "application/json", recorder.to_json()),
+            "/policies" => (
+                "200 OK",
+                "application/json",
+                optional(endpoints.policies.as_ref(), "shadow evaluation disabled"),
             ),
+            "/timeseries" => (
+                "200 OK",
+                "application/json",
+                optional(endpoints.timeseries.as_ref(), "health engine disabled"),
+            ),
+            "/alerts" => (
+                "200 OK",
+                "application/json",
+                optional(endpoints.alerts.as_ref(), "health engine disabled"),
+            ),
+            other => (
+                "404 Not Found",
+                "application/json",
+                format!(
+                    r#"{{"error":"not found","path":{}}}"#,
+                    crate::json::quote(other)
+                ),
+            ),
+        },
+        RequestLine::TooLong => (
+            "400 Bad Request",
+            "application/json",
+            r#"{"error":"request line too long"}"#.to_owned(),
         ),
-        None => (
+        RequestLine::Malformed => (
             "400 Bad Request",
             "application/json",
             r#"{"error":"bad request"}"#.to_owned(),
@@ -177,19 +264,48 @@ fn serve_one(
         body.len()
     );
     stream.write_all(response.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    // Drain whatever the client is still sending before closing. A
+    // close with unread bytes in the receive queue turns into a TCP
+    // RST, which can destroy the response before the client reads it.
+    // Bounded by the read timeout set above plus a byte cap, so a
+    // hostile client cannot hold the connection open.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    Ok(())
 }
 
-/// Parses the request target out of `GET <path> HTTP/1.1`. Returns
-/// `None` for anything that is not a well-formed GET request line.
-fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
-    // Read until the end of the request line; scrape requests are a
-    // few hundred bytes, so a small fixed buffer is plenty.
-    let mut buf = [0u8; 2048];
+/// Outcome of parsing the request line. Every variant gets a response;
+/// connections are only dropped on hard I/O errors.
+enum RequestLine {
+    /// A well-formed `GET <path> …` line.
+    Get(String),
+    /// The line overflowed the fixed buffer before a newline arrived.
+    TooLong,
+    /// Anything else: garbage bytes, empty input, a non-GET method.
+    Malformed,
+}
+
+/// Maximum request-line bytes buffered before answering `400`. Scrape
+/// requests are a few hundred bytes; anything larger is hostile or
+/// broken.
+const MAX_REQUEST_LINE: usize = 2048;
+
+/// Parses the request target out of `GET <path> HTTP/1.1`, reading at
+/// most [`MAX_REQUEST_LINE`] bytes.
+fn read_request_line(stream: &mut TcpStream) -> io::Result<RequestLine> {
+    let mut buf = [0u8; MAX_REQUEST_LINE];
     let mut len = 0;
     loop {
         if len == buf.len() {
-            return Ok(None);
+            return Ok(RequestLine::TooLong);
         }
         let n = match stream.read(&mut buf[len..]) {
             Ok(0) => break,
@@ -210,8 +326,8 @@ fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
     let line = text.lines().next().unwrap_or("");
     let mut parts = line.split_whitespace();
     match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
-        _ => Ok(None),
+        (Some("GET"), Some(path)) => Ok(RequestLine::Get(path.to_owned())),
+        _ => Ok(RequestLine::Malformed),
     }
 }
 
@@ -220,14 +336,32 @@ mod tests {
     use super::*;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    }
+
+    /// Sends raw bytes and splits the response into head and body.
+    fn raw(addr: SocketAddr, request: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
-            .unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let (head, body) = response.split_once("\r\n\r\n").unwrap();
         (head.to_owned(), body.to_owned())
+    }
+
+    /// Asserts the framing headers every response must carry, and that
+    /// `Content-Length` matches the actual body.
+    fn assert_framing(head: &str, body: &str, content_type: &str) {
+        assert!(
+            head.contains(&format!("Content-Type: {content_type}")),
+            "missing content type in {head}"
+        );
+        assert!(
+            head.contains(&format!("Content-Length: {}", body.len())),
+            "content length mismatch: head={head} body_len={}",
+            body.len()
+        );
+        assert!(head.contains("Connection: close"));
     }
 
     fn test_server() -> (ScrapeServer, Registry, Arc<FlightRecorder>) {
@@ -270,15 +404,17 @@ mod tests {
 
         let (head, body) = get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200 OK"));
-        assert!(head.contains("text/plain"));
+        assert_framing(&head, &body, "text/plain; version=0.0.4");
         assert!(body.contains("bad_scrape_test_total 7"));
 
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
         assert_eq!(body, r#"{"shards":2}"#);
 
         let (head, body) = get(addr, "/trace/recent");
         assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
         assert!(body.starts_with(r#"[{"kind":"cache_insert","t_us":5"#));
 
         let (head, _) = get(addr, "/nope");
@@ -292,7 +428,7 @@ mod tests {
         let (server, _registry, _recorder) = test_server();
         let (head, body) = get(server.local_addr(), "/no/such/endpoint");
         assert!(head.starts_with("HTTP/1.1 404"));
-        assert!(head.contains("application/json"));
+        assert_framing(&head, &body, "application/json");
         assert_eq!(body, r#"{"error":"not found","path":"/no/such/endpoint"}"#);
         server.shutdown();
     }
@@ -319,8 +455,87 @@ mod tests {
         .unwrap();
         let (head, body) = get(server.local_addr(), "/policies");
         assert!(head.starts_with("HTTP/1.1 200 OK"));
-        assert!(head.contains("application/json"));
+        assert_framing(&head, &body, "application/json");
         assert_eq!(body, r#"{"live_policy":"LRU"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeseries_and_alerts_routes_serve_injected_bodies() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let server = ScrapeServer::bind_with_endpoints(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&recorder),
+            ScrapeEndpoints {
+                health: Arc::new(|| "{}".to_owned()),
+                policies: None,
+                timeseries: Some(Arc::new(|| r#"{"windows":3}"#.to_owned())),
+                alerts: Some(Arc::new(|| r#"{"firing":1}"#.to_owned())),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let (head, body) = get(addr, "/timeseries");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
+        assert_eq!(body, r#"{"windows":3}"#);
+        let (head, body) = get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
+        assert_eq!(body, r#"{"firing":1}"#);
+        server.shutdown();
+
+        // Without closures the routes answer with an explanation.
+        let (server, _registry, _recorder) = test_server();
+        let (_, body) = get(server.local_addr(), "/timeseries");
+        assert_eq!(body, r#"{"error":"health engine disabled"}"#);
+        let (_, body) = get(server.local_addr(), "/alerts");
+        assert_eq!(body, r#"{"error":"health engine disabled"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400_not_a_hangup() {
+        let (server, _registry, _recorder) = test_server();
+        let addr = server.local_addr();
+
+        // Garbage bytes: still a response, still framed.
+        let (head, body) = raw(addr, "\u{1}\u{2}garbage\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 400"));
+        assert_framing(&head, &body, "application/json");
+        assert_eq!(body, r#"{"error":"bad request"}"#);
+
+        // Non-GET method.
+        let (head, body) = raw(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 400"));
+        assert_eq!(body, r#"{"error":"bad request"}"#);
+
+        // Empty request (client closes immediately).
+        let (head, _) = raw(addr, "");
+        assert!(head.starts_with("HTTP/1.1 400"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_lines_are_bounded_and_answered() {
+        let (server, _registry, _recorder) = test_server();
+        // 4 KiB of path with no newline: the server must answer 400
+        // after MAX_REQUEST_LINE bytes instead of buffering forever or
+        // dropping the connection.
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4096));
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // The server may answer (and close) before the client finishes
+        // writing; ignore the resulting EPIPE and read what came back.
+        let _ = stream.write_all(long.as_bytes());
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 400"));
+        assert_framing(head, body, "application/json");
+        assert_eq!(body, r#"{"error":"request line too long"}"#);
         server.shutdown();
     }
 
@@ -337,7 +552,7 @@ mod tests {
         )
         .unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        // Dribble the request line one byte at a time; `read_request_path`
+        // Dribble the request line one byte at a time; `read_request_line`
         // must keep reading until it sees the newline.
         for byte in b"GET /policies HTTP/1.1\r\nHost: test\r\n\r\n" {
             stream.write_all(std::slice::from_ref(byte)).unwrap();

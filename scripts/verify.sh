@@ -30,6 +30,10 @@ online_gate() {
   # diverges from the real cache (regret must be exactly 0), or if no
   # ghost beats live LRU on the scan-pollution workload.
   cargo run -q --release -p bad-bench --bin shadow_overhead -- --smoke
+  # Health-engine smoke gate: fails if the full health engine costs
+  # more than 10% throughput, if model_drift fires before the regime
+  # shift, or if it does not fire within the post-shift window budget.
+  cargo run -q --release -p bad-bench --bin health_overhead -- --smoke
 }
 
 offline_gate() {
@@ -60,9 +64,10 @@ offline_gate() {
     cargo test -q -p bad-broker --lib --test lifecycle_trace --test coalesce
     cargo test -q -p bad-cluster --lib
     # Scrape-endpoint smoke: boots the threaded proto runtime with a
-    # live tracer and scrapes /metrics, /healthz and /trace/recent over
-    # TCP (the crossbeam stub is functional, so the runtime threads run
-    # for real).
+    # live tracer + health engine and scrapes /metrics, /healthz,
+    # /trace/recent, /policies, /timeseries and /alerts over TCP (the
+    # crossbeam stub is functional, so the runtime threads run for
+    # real).
     cargo test -q -p bad-proto --lib --test scrape_smoke
     # The 8-thread stress (and the rest of the std-only cache suite)
     # again under --release, as the acceptance gate requires.
@@ -76,6 +81,10 @@ offline_gate() {
     # at the default sampling rate, ghost(live) == live exactly, and a
     # ghost policy must beat live LRU under scan pollution.
     cargo run -q --release -p bad-bench --bin shadow_overhead -- --smoke
+    # Health-engine smoke gate (release): overhead ≤ 10% on the
+    # cleanest interleaved rep pair, no model_drift false positive
+    # before the regime shift, firing within the post-shift bound.
+    cargo run -q --release -p bad-bench --bin health_overhead -- --smoke
   )
 }
 
