@@ -1,0 +1,417 @@
+//! Autopilot regime-shift acceptance bench.
+//!
+//! Drives one deterministic three-segment tape through the fleet cache
+//! four ways and gates the adaptive controller's behaviour:
+//!
+//! 1. **Segment A — hot fan-out (stationary).** A small set of
+//!    high-fanout streams produce and their subscribers replay full
+//!    history. Every reasonable policy behaves alike here; the
+//!    controller must not switch.
+//! 2. **Segment B — scan pollution (regime shift).** Single-subscriber
+//!    scan bursts overrun the budget. Pure recency (the starting LRU
+//!    policy) drains the hot streams; the LSC ghost keeps them. The
+//!    controller must promote exactly once, after its dwell windows.
+//! 3. **Segment C — emergency burst.** New very-high-fanout streams
+//!    produce rapidly. The utility policy installed in segment B keeps
+//!    winning; the controller must hold (no flapping).
+//!
+//! Baselines: every simulated policy runs the identical tape *fixed*
+//! (autopilot off); the best of them is the best-in-hindsight single
+//! policy. A stationary control (segment A workload for the whole
+//! tape, autopilot on) must never switch.
+//!
+//! Release gates (also under `--smoke`):
+//! - the autopilot run's hit ratio is within 5 points of
+//!   best-in-hindsight;
+//! - at least one switch happens overall, and no regime segment sees
+//!   more than one (no flapping);
+//! - the stationary control records zero switches.
+//!
+//! Writes `BENCH_autopilot.json` under `target/experiments/`.
+//! Deterministic: fixed clocks, no RNG on the tape.
+
+use bad_bench::{print_table, write_bench_json};
+use bad_cache::{
+    AutopilotConfig, AutopilotStatus, CacheConfig, CacheMetrics, NewObject, PolicyName,
+    PolicySwitchRecord, ShadowConfig, ShardedCacheManager,
+};
+use bad_telemetry::json::ObjectWriter;
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+// The scan-pollution regime from the shadow showcase, plus a distinct
+// emergency tier for segment C.
+const HOT_CACHES: u64 = 8;
+const HOT_SUBS: u64 = 16;
+const HOT_OBJECT: u64 = 1_000;
+const SCAN_CACHES: u64 = 48;
+const SCAN_BURST: u64 = 16;
+const SCAN_OBJECT: u64 = 5_000;
+const EMERG_CACHES: u64 = 4;
+const EMERG_SUBS: u64 = 32;
+const EMERG_OBJECT: u64 = 800;
+const EMERG_BURST: u64 = 4;
+/// How many of a hot stream's latest objects each retrieval replays.
+/// `HOT_CACHES * HOT_REPLAY * HOT_OBJECT` stays under `BUDGET` so the
+/// unpolluted workload fits in cache under every policy.
+const HOT_REPLAY: u64 = 3;
+const BUDGET: u64 = 40_000;
+
+/// One tape execution: final live metrics, the controller's status (if
+/// enabled) and the clock at the end of each segment for attributing
+/// switches to regimes.
+struct RunResult {
+    live: CacheMetrics,
+    status: Option<AutopilotStatus>,
+    segment_ends: [Timestamp; 3],
+}
+
+/// Executes the three-segment tape. `pollute` selects the real
+/// regime-shift tape; `false` replays segment A's stationary workload
+/// for all three segments (the control run).
+fn run_tape(
+    policy: PolicyName,
+    autopilot: Option<AutopilotConfig>,
+    rounds: u64,
+    pollute: bool,
+) -> RunResult {
+    let mgr = ShardedCacheManager::new(
+        policy,
+        CacheConfig {
+            budget: ByteSize::new(BUDGET),
+            ..CacheConfig::default()
+        },
+        1,
+    );
+    mgr.enable_shadow(
+        ShadowConfig {
+            sample_every_n: 1,
+            audit_capacity: 64,
+        },
+        Timestamp::ZERO,
+    );
+    if let Some(config) = autopilot {
+        mgr.enable_autopilot(config);
+    }
+
+    let total_caches = HOT_CACHES + SCAN_CACHES + EMERG_CACHES;
+    for h in 0..HOT_CACHES {
+        let bs = BackendSubId::new(h);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..HOT_SUBS {
+            mgr.add_subscriber(bs, SubscriberId::new(h * 100 + s))
+                .expect("hot cache exists");
+        }
+    }
+    for c in 0..SCAN_CACHES {
+        let bs = BackendSubId::new(HOT_CACHES + c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(10_000 + c))
+            .expect("scan cache exists");
+    }
+    for e in 0..EMERG_CACHES {
+        let bs = BackendSubId::new(HOT_CACHES + SCAN_CACHES + e);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        for s in 0..EMERG_SUBS {
+            mgr.add_subscriber(bs, SubscriberId::new(20_000 + e * 100 + s))
+                .expect("emergency cache exists");
+        }
+    }
+
+    // Ground truth of every insert so misses are reported the way the
+    // broker does (from the cluster's fetch response).
+    let mut inserted: Vec<Vec<(Timestamp, u64)>> = vec![Vec::new(); total_caches as usize];
+    let mut next_id = 0u64;
+    let mut clock = 0u64;
+    let mut segment_ends = [Timestamp::ZERO; 3];
+
+    for segment in 0..3u64 {
+        for _ in 0..rounds {
+            // Hot fan-out traffic runs in every segment.
+            for h in 0..HOT_CACHES {
+                clock += 1;
+                let now = Timestamp::from_secs(clock);
+                let bs = BackendSubId::new(h);
+                mgr.insert(
+                    bs,
+                    NewObject {
+                        id: ObjectId::new(next_id),
+                        ts: now,
+                        size: ByteSize::new(HOT_OBJECT),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .expect("hot cache exists");
+                inserted[h as usize].push((now, HOT_OBJECT));
+                next_id += 1;
+            }
+            // Subscribers replay the last few objects of each hot
+            // stream — a working set that *fits the budget*, so with
+            // no pollution every policy serves it alike and the
+            // controller has nothing to act on.
+            for h in 0..HOT_CACHES {
+                clock += 1;
+                let now = Timestamp::from_secs(clock);
+                let bs = BackendSubId::new(h);
+                let history = &inserted[h as usize];
+                let from = history[history.len().saturating_sub(HOT_REPLAY as usize)].0;
+                let plan = mgr.plan_get(bs, TimeRange::closed(from, now), now);
+                let (mut objects, mut bytes) = (0u64, 0u64);
+                for &(ts, size) in history {
+                    if plan.missed.iter().any(|r| r.contains(ts)) {
+                        objects += 1;
+                        bytes += size;
+                    }
+                }
+                if objects > 0 {
+                    mgr.record_miss_fetch(bs, objects, ByteSize::new(bytes), now);
+                }
+                // Every subscriber acknowledges objects older than the
+                // replay window; fully-consumed objects drop for every
+                // policy identically, so the unpolluted hot set stays
+                // within budget and gives the controller no signal.
+                if from > Timestamp::ZERO {
+                    let consumed = Timestamp::from_micros(from.as_micros() - 1);
+                    for s in 0..HOT_SUBS {
+                        let _ = mgr.ack_consume(bs, SubscriberId::new(h * 100 + s), consumed, now);
+                    }
+                }
+            }
+            // Segment B (and beyond, once polluted): scan bursts.
+            if pollute && segment >= 1 {
+                for k in 0..SCAN_BURST {
+                    let c = (clock.wrapping_mul(7) + k) % SCAN_CACHES;
+                    clock += 1;
+                    let now = Timestamp::from_secs(clock);
+                    let bs = BackendSubId::new(HOT_CACHES + c);
+                    mgr.insert(
+                        bs,
+                        NewObject {
+                            id: ObjectId::new(next_id),
+                            ts: now,
+                            size: ByteSize::new(SCAN_OBJECT),
+                            fetch_latency: SimDuration::from_millis(500),
+                        },
+                        now,
+                    )
+                    .expect("scan cache exists");
+                    inserted[(HOT_CACHES + c) as usize].push((now, SCAN_OBJECT));
+                    next_id += 1;
+                    let plan = mgr.plan_get(bs, TimeRange::closed(now, now), now);
+                    if !plan.missed.is_empty() {
+                        mgr.record_miss_fetch(bs, 1, ByteSize::new(SCAN_OBJECT), now);
+                    }
+                }
+            }
+            // Segment C: the emergency tier floods in on top.
+            if pollute && segment >= 2 {
+                for e in 0..EMERG_CACHES {
+                    for _ in 0..EMERG_BURST {
+                        clock += 1;
+                        let now = Timestamp::from_secs(clock);
+                        let bs = BackendSubId::new(HOT_CACHES + SCAN_CACHES + e);
+                        mgr.insert(
+                            bs,
+                            NewObject {
+                                id: ObjectId::new(next_id),
+                                ts: now,
+                                size: ByteSize::new(EMERG_OBJECT),
+                                fetch_latency: SimDuration::from_millis(500),
+                            },
+                            now,
+                        )
+                        .expect("emergency cache exists");
+                        inserted[(HOT_CACHES + SCAN_CACHES + e) as usize].push((now, EMERG_OBJECT));
+                        next_id += 1;
+                    }
+                    clock += 1;
+                    let now = Timestamp::from_secs(clock);
+                    let bs = BackendSubId::new(HOT_CACHES + SCAN_CACHES + e);
+                    let history = &inserted[(HOT_CACHES + SCAN_CACHES + e) as usize];
+                    let from = history[history.len().saturating_sub(EMERG_BURST as usize)].0;
+                    let plan = mgr.plan_get(bs, TimeRange::closed(from, now), now);
+                    let (mut objects, mut bytes) = (0u64, 0u64);
+                    for &(ts, size) in history {
+                        if plan.missed.iter().any(|r| r.contains(ts)) {
+                            objects += 1;
+                            bytes += size;
+                        }
+                    }
+                    if objects > 0 {
+                        mgr.record_miss_fetch(bs, objects, ByteSize::new(bytes), now);
+                    }
+                    // Emergency traffic is consumed as fast as it is
+                    // produced — only the current burst stays hot.
+                    if from > Timestamp::ZERO {
+                        let consumed = Timestamp::from_micros(from.as_micros() - 1);
+                        for s in 0..EMERG_SUBS {
+                            let _ = mgr.ack_consume(
+                                bs,
+                                SubscriberId::new(20_000 + e * 100 + s),
+                                consumed,
+                                now,
+                            );
+                        }
+                    }
+                }
+            }
+            // One maintenance tick per round = one controller window.
+            clock += 1;
+            let now = Timestamp::from_secs(clock);
+            mgr.maintain(now);
+            let _ = mgr.autopilot_tick(now);
+        }
+        segment_ends[segment as usize] = Timestamp::from_secs(clock);
+    }
+
+    RunResult {
+        live: mgr.metrics(),
+        status: mgr.autopilot_status(),
+        segment_ends,
+    }
+}
+
+/// Switches attributed to each regime segment by timestamp.
+fn switches_per_segment(switches: &[PolicySwitchRecord], ends: &[Timestamp; 3]) -> [u64; 3] {
+    let mut counts = [0u64; 3];
+    for record in switches {
+        let segment = ends.iter().position(|&end| record.at <= end).unwrap_or(2);
+        counts[segment] += 1;
+    }
+    counts
+}
+
+fn ratio(metrics: &CacheMetrics) -> f64 {
+    metrics.hit_ratio().unwrap_or(0.0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rounds = if smoke { 40 } else { 120 };
+
+    // Fixed-policy baselines on the identical tape: best-in-hindsight.
+    let mut baselines: Vec<(PolicyName, f64)> = Vec::new();
+    for policy in PolicyName::SIMULATED {
+        let run = run_tape(policy, None, rounds, true);
+        baselines.push((policy, ratio(&run.live)));
+    }
+    let (best_policy, best_ratio) =
+        baselines
+            .iter()
+            .copied()
+            .fold((PolicyName::Nc, f64::MIN), |acc, (p, r)| {
+                if r > acc.1 {
+                    (p, r)
+                } else {
+                    acc
+                }
+            });
+
+    // The adaptive run: start on LRU, let the controller promote.
+    let autopilot = run_tape(
+        PolicyName::Lru,
+        Some(AutopilotConfig::default()),
+        rounds,
+        true,
+    );
+    let autopilot_ratio = ratio(&autopilot.live);
+    let status = autopilot.status.expect("autopilot enabled");
+    let per_segment = switches_per_segment(&status.switches, &autopilot.segment_ends);
+
+    // Stationary control: same length, hot workload only — the
+    // controller must never move off a policy that is not losing.
+    let control = run_tape(
+        PolicyName::Lru,
+        Some(AutopilotConfig::default()),
+        rounds,
+        false,
+    );
+    let control_status = control.status.expect("autopilot enabled");
+
+    let mut rows: Vec<Vec<String>> = baselines
+        .iter()
+        .map(|(p, r)| vec![format!("{p} (fixed)"), format!("{r:.3}"), "-".into()])
+        .collect();
+    rows.push(vec![
+        format!("autopilot (LRU -> {})", status.active),
+        format!("{autopilot_ratio:.3}"),
+        status.switches.len().to_string(),
+    ]);
+    print_table(
+        &format!("Regime-shift tape, {rounds} rounds/segment (hot -> +scans -> +emergency)"),
+        &["policy", "hit_ratio", "switches"],
+        &rows,
+    );
+    println!(
+        "\nbest-in-hindsight: {best_policy} at {best_ratio:.3}; autopilot within \
+         {:.3}; switches per segment {per_segment:?}; control switches {}",
+        best_ratio - autopilot_ratio,
+        control_status.switches.len(),
+    );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for (policy, r) in &baselines {
+        let mut json = String::new();
+        {
+            let mut obj = ObjectWriter::new(&mut json);
+            obj.field_str("mode", "fixed");
+            obj.field_str("policy", &policy.to_string());
+            obj.field_f64("hit_ratio", *r);
+        }
+        json_rows.push(json);
+    }
+    let mut summary = String::new();
+    {
+        let mut obj = ObjectWriter::new(&mut summary);
+        obj.field_str("summary", "autopilot_regime_shift");
+        obj.field_u64("rounds_per_segment", rounds);
+        obj.field_str("best_policy", &best_policy.to_string());
+        obj.field_f64("best_hit_ratio", best_ratio);
+        obj.field_f64("autopilot_hit_ratio", autopilot_ratio);
+        obj.field_str("final_policy", status.active.as_str());
+        obj.field_u64("switches_total", status.switches.len() as u64);
+        obj.field_raw(
+            "switches_per_segment",
+            &format!("[{},{},{}]", per_segment[0], per_segment[1], per_segment[2]),
+        );
+        obj.field_u64("control_switches", control_status.switches.len() as u64);
+        obj.field_raw("autopilot", &status.to_json());
+    }
+    json_rows.push(summary);
+    let path = write_bench_json("autopilot", &format!("[{}]", json_rows.join(",")));
+    println!("wrote {}", path.display());
+
+    // CI gates.
+    let mut failed = false;
+    if autopilot_ratio < best_ratio - 0.05 {
+        eprintln!(
+            "autopilot_bench: FAIL — autopilot hit ratio {autopilot_ratio:.3} trails \
+             best-in-hindsight {best_policy} ({best_ratio:.3}) by more than 5 points"
+        );
+        failed = true;
+    }
+    if status.switches.is_empty() {
+        eprintln!("autopilot_bench: FAIL — the regime shift produced no policy switch");
+        failed = true;
+    }
+    if per_segment.iter().any(|&n| n > 1) {
+        eprintln!(
+            "autopilot_bench: FAIL — switch flapping: {per_segment:?} switches per \
+             regime segment (max 1 allowed)"
+        );
+        failed = true;
+    }
+    if !control_status.switches.is_empty() {
+        eprintln!(
+            "autopilot_bench: FAIL — stationary control switched {} time(s); \
+             hysteresis must hold a non-losing policy",
+            control_status.switches.len()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

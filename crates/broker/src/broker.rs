@@ -96,6 +96,12 @@ pub struct BrokerConfig {
     /// Shadow-policy ghost caches (`bad_cache::shadow`). `None` (the
     /// default) disables counterfactual evaluation entirely.
     pub shadow: Option<bad_cache::ShadowConfig>,
+    /// Adaptive policy autopilot (`bad_cache::autopilot`): promotes the
+    /// persistently-best shadow ghost to the live policy. `None` (the
+    /// default) keeps the configured policy fixed. Enabling this with
+    /// `shadow: None` implies a default [`bad_cache::ShadowConfig`] —
+    /// the controller is blind without ghosts.
+    pub autopilot: Option<bad_cache::AutopilotConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -106,6 +112,7 @@ impl Default for BrokerConfig {
             shards: 1,
             coalescer: CoalescerConfig::default(),
             shadow: None,
+            autopilot: None,
         }
     }
 }
@@ -200,8 +207,16 @@ impl Broker {
     /// Creates a broker with the given caching policy and configuration.
     pub fn new(policy: PolicyName, config: BrokerConfig) -> Self {
         let cache = ShardedCacheManager::new(policy, config.cache, config.shards);
-        if let Some(shadow) = config.shadow {
-            cache.enable_shadow(shadow, Timestamp::ZERO);
+        match config.shadow {
+            Some(shadow) => cache.enable_shadow(shadow, Timestamp::ZERO),
+            // The autopilot judges shadow snapshots; give it ghosts.
+            None if config.autopilot.is_some() => {
+                cache.enable_shadow(bad_cache::ShadowConfig::default(), Timestamp::ZERO);
+            }
+            None => {}
+        }
+        if let Some(autopilot) = config.autopilot {
+            cache.enable_autopilot(autopilot);
         }
         Self {
             subs: SubscriptionTable::new(),
@@ -240,6 +255,7 @@ impl Broker {
             Arc::clone(&tracer),
         ));
         self.cache.set_shadow_telemetry(registry);
+        self.cache.set_autopilot_telemetry(registry);
         self.telemetry = BrokerTelemetry::traced(registry, sink, tracer);
     }
 
@@ -743,9 +759,13 @@ impl Broker {
         Ok(out)
     }
 
-    /// Periodic maintenance: TTL recomputation and expiration.
+    /// Periodic maintenance: TTL recomputation and expiration, then one
+    /// autopilot evaluation window (no-op unless enabled). Each
+    /// maintenance tick is one window — the fleet controller judges the
+    /// shadow deltas accrued since the previous tick.
     pub fn maintain(&mut self, now: Timestamp) {
         let _ = self.cache.maintain(now);
+        let _ = self.cache.autopilot_tick(now);
     }
 }
 

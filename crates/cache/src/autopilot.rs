@@ -1,0 +1,535 @@
+//! Adaptive policy autopilot: closing the shadow-evaluation loop.
+//!
+//! PR 5's [`crate::shadow::ShadowEvaluator`] can already say *which*
+//! eviction policy would have won online; this module acts on it. A
+//! [`PolicyController`] consumes one [`ShadowSnapshot`] per maintenance
+//! window, diffs it against the previous window's snapshot (the
+//! cumulative-counter fix: long-dead regimes must not outvote the
+//! current one), and promotes the persistently-best ghost to the live
+//! policy behind a hysteresis state machine:
+//!
+//! ```text
+//!            contender clears margin          streak == dwell
+//!   Watching ───────────────────────▶ Dwell ─────────────────▶ SWITCH
+//!      ▲  ▲                            │                         │
+//!      │  │ contender changes/quiet    │                         │
+//!      │  └────────────────────────────┘                         │
+//!      │                 cooldown windows elapsed                │
+//!      └──────────────────────── Cooldown ◀──────────────────────┘
+//! ```
+//!
+//! - **Margin**: a ghost is a *contender* only if its windowed net
+//!   regret (`ghost_hit_live_miss − live_hit_ghost_miss`) is at least
+//!   [`AutopilotConfig::margin_milli`]/1000 of the window's requested
+//!   objects. Net regret over a shared request set equals the hit-count
+//!   advantage, so this is exactly a windowed hit-ratio margin.
+//! - **Dwell**: the same contender must clear the margin for
+//!   [`AutopilotConfig::min_dwell_windows`] consecutive windows; a
+//!   changed contender or a quiet window resets the streak.
+//! - **Cooldown**: after every switch, evaluation pauses for
+//!   [`AutopilotConfig::cooldown_windows`] windows so the migrated
+//!   cache can warm up before it is judged again.
+//!
+//! Promotion itself is [`crate::CacheManager::switch_policy`]: a safe
+//! in-place migration (resident entries re-scored, no flush, budget
+//! and metrics accounting untouched). The no-cache baseline is never
+//! promoted — its ghost hits nothing, and demoting a populated cache
+//! to NC would strand its resident bytes.
+//!
+//! The controller is deliberately split in two testable layers:
+//! [`HysteresisState::step`] is the pure state machine (driven
+//! exhaustively by the table test in `tests/autopilot.rs`, mirroring
+//! the alert state machine's test), and [`evaluate_window`] is the pure
+//! margin arithmetic over one windowed snapshot.
+
+use std::collections::VecDeque;
+
+use bad_telemetry::json::ObjectWriter;
+use bad_telemetry::{Counter, Gauge, Registry};
+use bad_types::Timestamp;
+
+use crate::policy::{PolicyKind, PolicyName};
+use crate::shadow::ShadowSnapshot;
+
+/// Switch records kept per controller; older promotions fall off.
+pub const SWITCH_HISTORY_CAPACITY: usize = 64;
+
+/// Hysteresis knobs for the policy autopilot. `Copy` so it can ride in
+/// `BrokerConfig`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutopilotConfig {
+    /// Consecutive windows the same contender must clear the margin
+    /// before promotion. `0` behaves like `1` (promote on the first
+    /// clearing window).
+    pub min_dwell_windows: u32,
+    /// Windows to skip after a switch before evaluating again.
+    pub cooldown_windows: u32,
+    /// Required windowed net regret, as a fraction of the window's
+    /// requested objects ×1000 (the telemetry fixed-point idiom):
+    /// `20` means the contender must have hit at least 2% more of the
+    /// window's requests than the live policy did.
+    pub margin_milli: u32,
+    /// Windows with fewer requested objects than this are *quiet*: they
+    /// produce no contender (and therefore reset any dwell streak).
+    pub min_window_requests: u64,
+}
+
+impl Default for AutopilotConfig {
+    fn default() -> Self {
+        Self {
+            min_dwell_windows: 3,
+            cooldown_windows: 4,
+            margin_milli: 20,
+            min_window_requests: 16,
+        }
+    }
+}
+
+/// One applied promotion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicySwitchRecord {
+    /// When the switch was applied.
+    pub at: Timestamp,
+    /// The 1-based evaluation window that triggered it.
+    pub window: u64,
+    /// The outgoing live policy.
+    pub from: PolicyName,
+    /// The promoted policy.
+    pub to: PolicyName,
+    /// The deciding window's net regret (objects the incoming ghost hit
+    /// beyond the live policy).
+    pub net_regret: u64,
+    /// The deciding window's requested objects (the margin denominator).
+    pub requested: u64,
+}
+
+/// A ghost that cleared the regret margin in one window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contender {
+    /// The clearing policy.
+    pub policy: PolicyName,
+    /// Its windowed net regret.
+    pub net_regret: u64,
+    /// Its windowed requested objects.
+    pub requested: u64,
+}
+
+/// Scans one *windowed* snapshot (see [`ShadowSnapshot::delta_since`])
+/// for the strongest promotion contender: the eligible ghost with the
+/// highest windowed net regret, provided it clears the margin. Eligible
+/// means not the live policy and not the no-cache baseline. Ties keep
+/// the first ghost in catalog order, matching
+/// [`ShadowSnapshot::best_policy`].
+pub fn evaluate_window(
+    window: &ShadowSnapshot,
+    live: PolicyName,
+    config: &AutopilotConfig,
+) -> Option<Contender> {
+    let mut best: Option<Contender> = None;
+    for ghost in &window.ghosts {
+        if ghost.policy == live || ghost.policy.build().kind() == PolicyKind::NoCache {
+            continue;
+        }
+        let c = &ghost.counters;
+        let requested = c.hit_objects + c.miss_objects;
+        if requested < config.min_window_requests.max(1) {
+            continue;
+        }
+        if c.regret_ghost_hit_live_miss <= c.regret_live_hit_ghost_miss {
+            continue;
+        }
+        let net_regret = c.regret_ghost_hit_live_miss - c.regret_live_hit_ghost_miss;
+        // net/requested >= margin_milli/1000, in integers.
+        if u128::from(net_regret) * 1000 < u128::from(requested) * u128::from(config.margin_milli) {
+            continue;
+        }
+        if best.is_none_or(|b| net_regret > b.net_regret) {
+            best = Some(Contender {
+                policy: ghost.policy,
+                net_regret,
+                requested,
+            });
+        }
+    }
+    best
+}
+
+/// The pure hysteresis core: dwell streaks and post-switch cooldown,
+/// fed one margin verdict per window. All fields are public so the
+/// exhaustive table test can place the machine in any state directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HysteresisState {
+    /// Windows left in the post-switch cooldown (evaluation paused).
+    pub cooldown_remaining: u32,
+    /// The contender currently accumulating a dwell streak.
+    pub candidate: Option<PolicyName>,
+    /// Consecutive windows `candidate` has cleared the margin.
+    pub streak: u32,
+}
+
+impl HysteresisState {
+    /// Advances one window. `contender` is the policy that cleared the
+    /// regret margin this window (`None` when nothing did, including
+    /// quiet windows). Returns the policy to promote, if any; on
+    /// promotion the machine enters cooldown.
+    pub fn step(
+        &mut self,
+        config: &AutopilotConfig,
+        contender: Option<PolicyName>,
+    ) -> Option<PolicyName> {
+        if self.cooldown_remaining > 0 {
+            self.cooldown_remaining -= 1;
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        }
+        let Some(policy) = contender else {
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        };
+        if self.candidate == Some(policy) {
+            self.streak += 1;
+        } else {
+            self.candidate = Some(policy);
+            self.streak = 1;
+        }
+        if self.streak >= config.min_dwell_windows.max(1) {
+            self.candidate = None;
+            self.streak = 0;
+            self.cooldown_remaining = config.cooldown_windows;
+            Some(policy)
+        } else {
+            None
+        }
+    }
+}
+
+/// Registered `bad_cache_autopilot_*` series.
+#[derive(Debug)]
+struct ControllerSeries {
+    windows: Counter,
+    switches: Counter,
+    streak: Gauge,
+    cooldown: Gauge,
+}
+
+impl ControllerSeries {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            windows: registry.counter("bad_cache_autopilot_windows_total"),
+            switches: registry.counter("bad_cache_autopilot_switches_total"),
+            streak: registry.gauge("bad_cache_autopilot_candidate_streak"),
+            cooldown: registry.gauge("bad_cache_autopilot_cooldown_remaining"),
+        }
+    }
+}
+
+/// The stateful controller one cache tier owns: windowed snapshot
+/// deltas in, promotion decisions out, bounded switch history kept for
+/// `/policies`. The caller applies the returned switch (the controller
+/// never touches the cache itself), which is what lets the sharded
+/// manager make one fleet-wide decision from the merged snapshot.
+#[derive(Debug)]
+pub struct PolicyController {
+    config: AutopilotConfig,
+    state: HysteresisState,
+    windows: u64,
+    /// Previous cumulative snapshot — the delta-encoding baseline.
+    baseline: Option<ShadowSnapshot>,
+    history: VecDeque<PolicySwitchRecord>,
+    series: Option<ControllerSeries>,
+}
+
+impl PolicyController {
+    /// A controller in its initial (watching, no baseline) state.
+    pub fn new(config: AutopilotConfig) -> Self {
+        Self {
+            config,
+            state: HysteresisState::default(),
+            windows: 0,
+            baseline: None,
+            history: VecDeque::new(),
+            series: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> AutopilotConfig {
+        self.config
+    }
+
+    /// Registers the `bad_cache_autopilot_*` series on `registry`.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.series = Some(ControllerSeries::new(registry));
+    }
+
+    /// Consumes one maintenance window's cumulative snapshot: diffs it
+    /// against the previous window, runs the margin evaluation and the
+    /// hysteresis step, and — on promotion — records and returns the
+    /// switch. The *caller* must then apply it to the live cache(s).
+    pub fn observe(
+        &mut self,
+        snapshot: &ShadowSnapshot,
+        live: PolicyName,
+        now: Timestamp,
+    ) -> Option<PolicySwitchRecord> {
+        self.windows += 1;
+        // The first window has no baseline: counters since enablement
+        // *are* that window's delta.
+        let window = match &self.baseline {
+            Some(base) => snapshot.delta_since(base),
+            None => snapshot.clone(),
+        };
+        self.baseline = Some(snapshot.clone());
+        let contender = evaluate_window(&window, live, &self.config);
+        let promoted = self.state.step(&self.config, contender.map(|c| c.policy));
+        if let Some(series) = &self.series {
+            series.windows.inc();
+            series.streak.set(u64::from(self.state.streak));
+            series
+                .cooldown
+                .set(u64::from(self.state.cooldown_remaining));
+        }
+        let to = promoted?;
+        let c = contender.expect("a promotion implies this window's contender");
+        let record = PolicySwitchRecord {
+            at: now,
+            window: self.windows,
+            from: live,
+            to,
+            net_regret: c.net_regret,
+            requested: c.requested,
+        };
+        if self.history.len() == SWITCH_HISTORY_CAPACITY {
+            self.history.pop_front();
+        }
+        self.history.push_back(record);
+        if let Some(series) = &self.series {
+            series.switches.inc();
+        }
+        Some(record)
+    }
+
+    /// Point-in-time status for `/policies` and `/healthz`. `active` is
+    /// the live policy the owner currently runs (the controller itself
+    /// only knows what it last promoted).
+    pub fn status(&self, active: PolicyName) -> AutopilotStatus {
+        AutopilotStatus {
+            active,
+            windows: self.windows,
+            cooldown_remaining: self.state.cooldown_remaining,
+            candidate: self.state.candidate,
+            streak: self.state.streak,
+            switches: self.history.iter().copied().collect(),
+        }
+    }
+}
+
+/// A snapshot of the controller for the scrape endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutopilotStatus {
+    /// The live policy currently in force.
+    pub active: PolicyName,
+    /// Evaluation windows processed so far.
+    pub windows: u64,
+    /// Windows left in the current post-switch cooldown.
+    pub cooldown_remaining: u32,
+    /// The contender accumulating a dwell streak, if any.
+    pub candidate: Option<PolicyName>,
+    /// Its consecutive clearing windows so far.
+    pub streak: u32,
+    /// Applied switches, oldest first (bounded; see
+    /// [`SWITCH_HISTORY_CAPACITY`]).
+    pub switches: Vec<PolicySwitchRecord>,
+}
+
+impl AutopilotStatus {
+    /// Renders the `autopilot` JSON object for `/policies`/`/healthz`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        {
+            let mut obj = ObjectWriter::new(&mut out);
+            obj.field_str("active_policy", self.active.as_str());
+            obj.field_u64("windows", self.windows);
+            obj.field_u64("cooldown_remaining", u64::from(self.cooldown_remaining));
+            match self.candidate {
+                Some(p) => obj.field_str("candidate", p.as_str()),
+                None => obj.field_raw("candidate", "null"),
+            }
+            obj.field_u64("streak", u64::from(self.streak));
+            obj.field_u64("switches_total", self.switches.len() as u64);
+            let rows: Vec<String> = self
+                .switches
+                .iter()
+                .map(|s| {
+                    let mut row = String::new();
+                    {
+                        let mut sw = ObjectWriter::new(&mut row);
+                        sw.field_u64("at_us", s.at.as_micros());
+                        sw.field_u64("window", s.window);
+                        sw.field_str("from", s.from.as_str());
+                        sw.field_str("to", s.to.as_str());
+                        sw.field_u64("net_regret", s.net_regret);
+                        sw.field_u64("requested", s.requested);
+                    }
+                    row
+                })
+                .collect();
+            obj.field_raw("switches", &format!("[{}]", rows.join(",")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::{GhostCounters, GhostReport};
+
+    fn window(rows: &[(PolicyName, u64, u64, u64)]) -> ShadowSnapshot {
+        ShadowSnapshot {
+            live_policy: PolicyName::Lru,
+            sample_every_n: 1,
+            sampled_accesses: 0,
+            skipped_accesses: 0,
+            ghosts: rows
+                .iter()
+                .map(|&(policy, requested, gained, lost)| GhostReport {
+                    policy,
+                    counters: GhostCounters {
+                        hit_objects: requested / 2,
+                        miss_objects: requested - requested / 2,
+                        regret_ghost_hit_live_miss: gained,
+                        regret_live_hit_ghost_miss: lost,
+                        ..GhostCounters::default()
+                    },
+                })
+                .collect(),
+            audit: Vec::new(),
+            audit_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn contender_requires_margin_and_positive_net_regret() {
+        let config = AutopilotConfig {
+            margin_milli: 50, // 5% of requested
+            min_window_requests: 10,
+            ..AutopilotConfig::default()
+        };
+        // 100 requested → needs net regret ≥ 5.
+        let w = window(&[
+            (PolicyName::Lsc, 100, 4, 0),  // below margin
+            (PolicyName::Lsd, 100, 10, 8), // net 2: below margin
+            (PolicyName::Exp, 100, 3, 9),  // negative net
+        ]);
+        assert_eq!(evaluate_window(&w, PolicyName::Lru, &config), None);
+        let w = window(&[(PolicyName::Lsc, 100, 6, 1)]);
+        assert_eq!(
+            evaluate_window(&w, PolicyName::Lru, &config),
+            Some(Contender {
+                policy: PolicyName::Lsc,
+                net_regret: 5,
+                requested: 100,
+            })
+        );
+    }
+
+    #[test]
+    fn contender_skips_live_nc_and_quiet_ghosts() {
+        let config = AutopilotConfig {
+            margin_milli: 0,
+            min_window_requests: 50,
+            ..AutopilotConfig::default()
+        };
+        let w = window(&[
+            (PolicyName::Lru, 100, 90, 0), // live: ineligible
+            (PolicyName::Nc, 100, 80, 0),  // no-cache: ineligible
+            (PolicyName::Lsc, 10, 9, 0),   // quiet window for this ghost
+        ]);
+        assert_eq!(evaluate_window(&w, PolicyName::Lru, &config), None);
+    }
+
+    #[test]
+    fn highest_net_regret_wins_ties_to_catalog_order() {
+        let config = AutopilotConfig {
+            margin_milli: 0,
+            min_window_requests: 1,
+            ..AutopilotConfig::default()
+        };
+        let w = window(&[
+            (PolicyName::Lscz, 100, 7, 0),
+            (PolicyName::Lsc, 100, 9, 0),
+            (PolicyName::Lsd, 100, 9, 0), // same net as LSC, later in order
+        ]);
+        let c = evaluate_window(&w, PolicyName::Lru, &config).unwrap();
+        assert_eq!(c.policy, PolicyName::Lsc);
+    }
+
+    #[test]
+    fn controller_windows_are_deltas_not_cumulative() {
+        let config = AutopilotConfig {
+            min_dwell_windows: 1,
+            cooldown_windows: 0,
+            margin_milli: 100,
+            min_window_requests: 1,
+        };
+        let mut ctl = PolicyController::new(config);
+        // Cumulative counters grow, but the *delta* between consecutive
+        // windows never clears the 10% margin (net +2 per 100 requests).
+        let w1 = window(&[(PolicyName::Lsc, 100, 30, 0)]);
+        assert!(ctl
+            .observe(&w1, PolicyName::Lru, Timestamp::from_secs(1))
+            .is_some());
+        let w2 = window(&[(PolicyName::Lsc, 200, 32, 0)]);
+        assert_eq!(
+            ctl.observe(&w2, PolicyName::Lru, Timestamp::from_secs(2)),
+            None,
+            "a cumulative 16% advantage must not mask a 2% window"
+        );
+    }
+
+    #[test]
+    fn status_json_lists_switch_history() {
+        let mut ctl = PolicyController::new(AutopilotConfig {
+            min_dwell_windows: 1,
+            cooldown_windows: 0,
+            margin_milli: 0,
+            min_window_requests: 1,
+        });
+        let w = window(&[(PolicyName::Lsc, 100, 9, 0)]);
+        let rec = ctl
+            .observe(&w, PolicyName::Lru, Timestamp::from_secs(5))
+            .unwrap();
+        assert_eq!((rec.from, rec.to), (PolicyName::Lru, PolicyName::Lsc));
+        let json = ctl.status(PolicyName::Lsc).to_json();
+        assert!(json.contains(r#""active_policy":"LSC""#));
+        assert!(json.contains(r#""switches_total":1"#));
+        assert!(json.contains(r#""from":"LRU","to":"LSC""#));
+    }
+
+    #[test]
+    fn switch_history_is_bounded() {
+        let mut ctl = PolicyController::new(AutopilotConfig {
+            min_dwell_windows: 1,
+            cooldown_windows: 0,
+            margin_milli: 0,
+            min_window_requests: 1,
+        });
+        // Alternate contenders so every window promotes; the baseline
+        // must be reset each time so each window's delta stays fresh.
+        for i in 0..(SWITCH_HISTORY_CAPACITY as u64 + 8) {
+            let (live, other) = if i % 2 == 0 {
+                (PolicyName::Lru, PolicyName::Lsc)
+            } else {
+                (PolicyName::Lsc, PolicyName::Lru)
+            };
+            let w = window(&[(other, (i + 1) * 100, (i + 1) * 10, 0)]);
+            assert!(ctl.observe(&w, live, Timestamp::from_secs(i + 1)).is_some());
+        }
+        let status = ctl.status(PolicyName::Lru);
+        assert_eq!(status.switches.len(), SWITCH_HISTORY_CAPACITY);
+        assert_eq!(status.windows, SWITCH_HISTORY_CAPACITY as u64 + 8);
+    }
+}

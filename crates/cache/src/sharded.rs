@@ -34,6 +34,7 @@ use std::sync::{Mutex, MutexGuard};
 use bad_types::{BackendSubId, ByteSize, Result, SubscriberId, TimeRange, Timestamp};
 
 use crate::admission::AdmissionControl;
+use crate::autopilot::{AutopilotConfig, AutopilotStatus, PolicyController, PolicySwitchRecord};
 use crate::manager::{CacheConfig, CacheManager, DroppedObject};
 use crate::metrics::CacheMetrics;
 use crate::object::NewObject;
@@ -85,8 +86,15 @@ pub struct ShardHealth {
 pub struct ShardedCacheManager {
     shards: Vec<Mutex<CacheManager>>,
     budget: ByteSize,
-    policy: PolicyName,
-    kind: PolicyKind,
+    /// The live policy and its kind — mutable since the autopilot can
+    /// promote a new policy fleet-wide ([`crate::autopilot`]). Lock
+    /// order: taken last, after any shard lock, and never held across
+    /// a shard lock acquisition.
+    policy: Mutex<(PolicyName, PolicyKind)>,
+    /// The fleet-level policy controller: one decision from the merged
+    /// shard snapshots, applied to every shard — so a fleet never runs
+    /// mixed policies. Lock order: taken first, before any shard lock.
+    autopilot: Mutex<Option<PolicyController>>,
 }
 
 impl ShardedCacheManager {
@@ -109,8 +117,8 @@ impl ShardedCacheManager {
         Self {
             shards,
             budget: config.budget,
-            policy,
-            kind: policy.build().kind(),
+            policy: Mutex::new((policy, policy.build().kind())),
+            autopilot: Mutex::new(None),
         }
     }
 
@@ -147,20 +155,25 @@ impl ShardedCacheManager {
         self.lock(idx).budget()
     }
 
-    /// The configured policy.
-    pub fn policy_name(&self) -> PolicyName {
-        self.policy
+    fn live_policy(&self) -> (PolicyName, PolicyKind) {
+        *self.policy.lock().expect("policy lock poisoned")
     }
 
-    /// How the policy bounds the cache.
+    /// The live policy (the configured one until the autopilot promotes
+    /// a ghost; see [`ShardedCacheManager::enable_autopilot`]).
+    pub fn policy_name(&self) -> PolicyName {
+        self.live_policy().0
+    }
+
+    /// How the live policy bounds the cache.
     pub fn kind(&self) -> PolicyKind {
-        self.kind
+        self.live_policy().1
     }
 
     /// Whether the broker should prefetch results into the cache on
     /// cluster notifications (everything except the NC baseline).
     pub fn caches_results(&self) -> bool {
-        self.kind != PolicyKind::NoCache
+        self.live_policy().1 != PolicyKind::NoCache
     }
 
     /// Current aggregate size across all shards.
@@ -267,6 +280,62 @@ impl ShardedCacheManager {
             }
         }
         out
+    }
+
+    /// Enables the fleet-level policy autopilot ([`crate::autopilot`]):
+    /// one controller judging the *merged* shard snapshots, so every
+    /// shard switches together and `shards = 1` makes the exact same
+    /// decisions as a monolithic manager. Requires
+    /// [`ShardedCacheManager::enable_shadow`] to have any effect.
+    pub fn enable_autopilot(&self, config: AutopilotConfig) {
+        *self.autopilot.lock().expect("autopilot lock poisoned") =
+            Some(PolicyController::new(config));
+    }
+
+    /// Registers the `bad_cache_autopilot_*` series on `registry`
+    /// (no-op until [`ShardedCacheManager::enable_autopilot`]).
+    pub fn set_autopilot_telemetry(&self, registry: &bad_telemetry::Registry) {
+        if let Some(autopilot) = self
+            .autopilot
+            .lock()
+            .expect("autopilot lock poisoned")
+            .as_mut()
+        {
+            autopilot.set_telemetry(registry);
+        }
+    }
+
+    /// The fleet controller's status, when enabled.
+    pub fn autopilot_status(&self) -> Option<AutopilotStatus> {
+        let live = self.policy_name();
+        self.autopilot
+            .lock()
+            .expect("autopilot lock poisoned")
+            .as_ref()
+            .map(|a| a.status(live))
+    }
+
+    /// Feeds the fleet controller one evaluation window: judges the
+    /// merged [`ShardedCacheManager::shadow_snapshot`] and — on
+    /// promotion — applies [`CacheManager::switch_policy`] to every
+    /// shard (a coordinated fleet-wide switch; shards migrate one at a
+    /// time, so concurrent data-path calls see old-policy and
+    /// new-policy shards briefly coexist, all with intact accounting)
+    /// and emits one [`PolicySwitch`](bad_telemetry::Event::PolicySwitch)
+    /// event. Call once per maintenance window.
+    pub fn autopilot_tick(&self, now: Timestamp) -> Option<PolicySwitchRecord> {
+        let mut autopilot = self.autopilot.lock().expect("autopilot lock poisoned");
+        let controller = autopilot.as_mut()?;
+        let snapshot = self.shadow_snapshot()?;
+        let live = self.policy_name();
+        let record = controller.observe(&snapshot, live, now)?;
+        for i in 0..self.shards.len() {
+            self.lock(i).switch_policy(record.to, now);
+        }
+        *self.policy.lock().expect("policy lock poisoned") = (record.to, record.to.build().kind());
+        let telemetry = self.lock(0).telemetry().clone();
+        telemetry.on_policy_switch(&record);
+        Some(record)
     }
 
     /// Creates an empty cache for a new backend subscription.

@@ -1,0 +1,463 @@
+//! Autopilot acceptance suite: the hysteresis state machine, the
+//! windowed-regret fix, safe in-place migration, and anti-flapping —
+//! all deterministic via the xorshift64* harness in `common`.
+
+mod common;
+
+use bad_cache::autopilot::evaluate_window;
+use bad_cache::{
+    AutopilotConfig, CacheConfig, CacheManager, GhostCounters, GhostReport, HysteresisState,
+    PolicyName, PolicySwitchRecord, ShadowConfig, ShadowSnapshot, ShardedCacheManager,
+};
+use bad_types::{ByteSize, SimDuration, Timestamp};
+use common::{gen_ops, replay_with, Driver, Replay};
+
+fn config(budget: u64) -> CacheConfig {
+    CacheConfig {
+        budget: ByteSize::new(budget),
+        ttl_recompute_interval: SimDuration::from_secs(30),
+        ..CacheConfig::default()
+    }
+}
+
+fn shadow_full() -> ShadowConfig {
+    ShadowConfig {
+        sample_every_n: 1,
+        ..ShadowConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: exhaustive hysteresis state-machine table (the alert-table
+// style of `bad-telemetry`'s alert tests).
+// ---------------------------------------------------------------------
+
+#[test]
+fn hysteresis_state_machine_table() {
+    const LSC: Option<PolicyName> = Some(PolicyName::Lsc);
+    const LSD: Option<PolicyName> = Some(PolicyName::Lsd);
+    let config = AutopilotConfig {
+        min_dwell_windows: 3,
+        cooldown_windows: 4,
+        ..AutopilotConfig::default()
+    };
+    // (name, state before: (cooldown, candidate, streak), contender,
+    //  promoted, state after)
+    #[allow(clippy::type_complexity)]
+    let table: &[(
+        &str,
+        (u32, Option<PolicyName>, u32),
+        Option<PolicyName>,
+        Option<PolicyName>,
+        (u32, Option<PolicyName>, u32),
+    )] = &[
+        // Margin not met (no contender this window).
+        ("idle stays idle", (0, None, 0), None, None, (0, None, 0)),
+        (
+            "quiet window resets a building streak",
+            (0, LSC, 2),
+            None,
+            None,
+            (0, None, 0),
+        ),
+        // Dwell not met.
+        (
+            "first clearing window opens a streak",
+            (0, None, 0),
+            LSC,
+            None,
+            (0, LSC, 1),
+        ),
+        (
+            "second clearing window extends the streak",
+            (0, LSC, 1),
+            LSC,
+            None,
+            (0, LSC, 2),
+        ),
+        (
+            "contender change restarts the streak",
+            (0, LSC, 2),
+            LSD,
+            None,
+            (0, LSD, 1),
+        ),
+        // Clean promotion.
+        (
+            "dwell met promotes and arms the cooldown",
+            (0, LSC, 2),
+            LSC,
+            LSC,
+            (4, None, 0),
+        ),
+        // Cooldown active.
+        (
+            "cooldown ignores a clearing contender",
+            (3, None, 0),
+            LSC,
+            None,
+            (2, None, 0),
+        ),
+        (
+            "cooldown ticks down on quiet windows too",
+            (1, None, 0),
+            None,
+            None,
+            (0, None, 0),
+        ),
+        (
+            "cooldown clears any stale streak",
+            (2, LSD, 2),
+            LSD,
+            None,
+            (1, None, 0),
+        ),
+    ];
+    for &(name, before, contender, promoted, after) in table {
+        let mut state = HysteresisState {
+            cooldown_remaining: before.0,
+            candidate: before.1,
+            streak: before.2,
+        };
+        assert_eq!(state.step(&config, contender), promoted, "{name}: output");
+        assert_eq!(
+            (state.cooldown_remaining, state.candidate, state.streak),
+            after,
+            "{name}: state after"
+        );
+    }
+}
+
+#[test]
+fn hysteresis_degenerate_configs() {
+    // Dwell 0 behaves like 1: promote on the first clearing window.
+    let eager = AutopilotConfig {
+        min_dwell_windows: 0,
+        cooldown_windows: 2,
+        ..AutopilotConfig::default()
+    };
+    let mut state = HysteresisState::default();
+    assert_eq!(
+        state.step(&eager, Some(PolicyName::Lru)),
+        Some(PolicyName::Lru)
+    );
+    assert_eq!(state.cooldown_remaining, 2);
+
+    // Cooldown 0 re-arms immediately after a promotion.
+    let hot = AutopilotConfig {
+        min_dwell_windows: 1,
+        cooldown_windows: 0,
+        ..AutopilotConfig::default()
+    };
+    let mut state = HysteresisState::default();
+    assert_eq!(
+        state.step(&hot, Some(PolicyName::Lsc)),
+        Some(PolicyName::Lsc)
+    );
+    assert_eq!(
+        state.step(&hot, Some(PolicyName::Lsd)),
+        Some(PolicyName::Lsd)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: windowed regret deltas — a late regime shift must still
+// trigger promotion even after a long history that favours the live
+// policy (the cumulative-counter bias this PR fixes).
+// ---------------------------------------------------------------------
+
+/// A cumulative snapshot where the LSC ghost has seen `requested`
+/// objects in total and gained `net` of them over the live policy.
+fn cumulative(requested: u64, net: u64) -> ShadowSnapshot {
+    ShadowSnapshot {
+        live_policy: PolicyName::Lru,
+        sample_every_n: 1,
+        sampled_accesses: requested,
+        skipped_accesses: 0,
+        ghosts: vec![GhostReport {
+            policy: PolicyName::Lsc,
+            counters: GhostCounters {
+                hit_objects: requested / 2 + net,
+                miss_objects: requested - requested / 2 - net,
+                regret_ghost_hit_live_miss: net,
+                regret_live_hit_ghost_miss: 0,
+                ..GhostCounters::default()
+            },
+        }],
+        audit: Vec::new(),
+        audit_dropped: 0,
+    }
+}
+
+#[test]
+fn late_regime_shift_still_triggers_promotion() {
+    let config = AutopilotConfig {
+        min_dwell_windows: 3,
+        cooldown_windows: 4,
+        margin_milli: 200, // 20% of the window's requests
+        min_window_requests: 16,
+    };
+    let mut ctl = bad_cache::PolicyController::new(config);
+    // 50 windows of stationary workload: 100 requests each, the LSC
+    // ghost never gains anything. No contender, no promotion.
+    let mut requested = 0;
+    for w in 0..50u64 {
+        requested += 100;
+        assert_eq!(
+            ctl.observe(
+                &cumulative(requested, 0),
+                PolicyName::Lru,
+                Timestamp::from_secs(w)
+            ),
+            None,
+            "stationary prefix must not promote"
+        );
+    }
+    // The regime shifts: LSC now gains 50 of every 100 requests. The
+    // *cumulative* margin is still far below 20% for many windows —
+    // evaluating cumulatively would sit blind on the dead regime...
+    let mut net = 0;
+    let mut promoted = None;
+    for w in 50..60u64 {
+        requested += 100;
+        net += 50;
+        let snapshot = cumulative(requested, net);
+        assert_eq!(
+            evaluate_window(&snapshot, PolicyName::Lru, &config),
+            None,
+            "window {w}: the cumulative view dilutes the shift below the margin"
+        );
+        if let Some(record) = ctl.observe(&snapshot, PolicyName::Lru, Timestamp::from_secs(w)) {
+            promoted = Some((w, record));
+            break;
+        }
+    }
+    // ...but the windowed deltas see a 50% margin immediately: the
+    // controller promotes after exactly the dwell requirement.
+    let (at_window, record) = promoted.expect("windowed deltas promote after the shift");
+    assert_eq!(at_window, 52, "three clearing windows after the shift");
+    assert_eq!(record.to, PolicyName::Lsc);
+    assert_eq!(
+        record.net_regret, 50,
+        "the deciding window's delta, not the total"
+    );
+    assert_eq!(record.requested, 100);
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: safe in-place migration — a forced mid-tape promotion keeps
+// every accounting invariant, and indexed victim selection stays
+// byte-identical to the linear scan across the switch.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mid_tape_switch_preserves_accounting_invariants() {
+    for &(from, to) in &[
+        (PolicyName::Lru, PolicyName::Lsc),
+        (PolicyName::Lsc, PolicyName::Lscz),
+        (PolicyName::Exp, PolicyName::Lru),
+        (PolicyName::Lru, PolicyName::Ttl),
+        (PolicyName::Ttl, PolicyName::Lsd),
+    ] {
+        for &seed in &[7u64, 42] {
+            let ops = gen_ops(seed, 250, 5, 6);
+            let mut mgr = CacheManager::new(from, config(30_000));
+            let mut op_no = 0u64;
+            let mut switched = false;
+            let log = replay_with(&mut mgr, &ops, 5, |m| {
+                op_no += 1;
+                if op_no == 125 {
+                    switched = m.switch_policy(to, Timestamp::from_secs(op_no));
+                }
+            });
+            assert!(switched, "{from}->{to}/{seed}: switch must report a change");
+            assert_eq!(mgr.policy_name(), to, "{from}->{to}/{seed}: policy swapped");
+            // No flush: nothing in the dropped stream is attributable
+            // to the switch itself — every drop has a normal cause, and
+            // the byte ledger still balances exactly.
+            assert_eq!(
+                CacheManager::total_bytes(&mgr),
+                mgr.caches_bytes_sum(),
+                "{from}->{to}/{seed}: byte ledger balances"
+            );
+            let metrics = mgr.metrics();
+            assert_eq!(
+                metrics.hit_objects, log.hits,
+                "{from}->{to}/{seed}: hit accounting preserved"
+            );
+            assert_eq!(
+                metrics.miss_objects, log.misses,
+                "{from}->{to}/{seed}: miss accounting preserved"
+            );
+            assert_eq!(
+                metrics.hit_objects + metrics.miss_objects,
+                metrics.requested_objects,
+                "{from}->{to}/{seed}: hit+miss == requested"
+            );
+            let dropped_bytes: u64 = log.dropped.iter().map(|d| d.object.size.as_u64()).sum();
+            assert_eq!(
+                metrics.inserted_bytes.as_u64(),
+                CacheManager::total_bytes(&mgr).as_u64() + dropped_bytes,
+                "{from}->{to}/{seed}: inserted == resident + dropped"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_tape_switch_indexed_matches_linear_scan() {
+    for &seed in &[7u64, 21, 1009] {
+        let ops = gen_ops(seed, 250, 5, 6);
+        let run = |use_index: bool| -> (Replay, bad_cache::CacheMetrics) {
+            let mut mgr = CacheManager::new(
+                PolicyName::Lru,
+                CacheConfig {
+                    use_victim_index: use_index,
+                    ..config(30_000)
+                },
+            );
+            let mut op_no = 0u64;
+            let log = replay_with(&mut mgr, &ops, 5, |m| {
+                op_no += 1;
+                if op_no == 125 {
+                    m.switch_policy(PolicyName::Lsc, Timestamp::from_secs(op_no));
+                }
+            });
+            (log, mgr.metrics().clone())
+        };
+        let (log_indexed, metrics_indexed) = run(true);
+        let (log_linear, metrics_linear) = run(false);
+        assert_eq!(log_indexed, log_linear, "seed {seed}: replay logs diverge");
+        assert_eq!(
+            metrics_indexed, metrics_linear,
+            "seed {seed}: metrics diverge"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: anti-flapping — a stationary workload with no sustained
+// regret margin performs zero switches, and the mono vs `shards = 1`
+// switch sequences are identical on a flap-friendly configuration.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stationary_workload_never_switches() {
+    let autopilot = AutopilotConfig {
+        min_dwell_windows: 3,
+        cooldown_windows: 4,
+        margin_milli: 100, // a sustained 10% advantage would be a regime
+        min_window_requests: 8,
+    };
+    for &seed in &[1u64, 2, 3, 5, 8, 13] {
+        let ops = gen_ops(seed, 400, 5, 6);
+        let mut mgr = CacheManager::new(PolicyName::Lru, config(30_000));
+        mgr.enable_shadow(shadow_full(), Timestamp::ZERO);
+        mgr.enable_autopilot(autopilot);
+        let mut op_no = 0u64;
+        replay_with(&mut mgr, &ops, 5, |m| {
+            op_no += 1;
+            if op_no.is_multiple_of(10) {
+                let _ = m.autopilot_tick(Timestamp::from_secs(op_no));
+            }
+        });
+        let status = mgr.autopilot_status().expect("autopilot enabled");
+        assert!(status.windows >= 40, "seed {seed}: windows evaluated");
+        assert_eq!(
+            status.switches,
+            Vec::<PolicySwitchRecord>::new(),
+            "seed {seed}: stationary workload must not switch"
+        );
+        assert_eq!(mgr.policy_name(), PolicyName::Lru, "seed {seed}");
+    }
+}
+
+#[test]
+fn mono_and_single_shard_switch_sequences_match() {
+    // A deliberately flap-friendly configuration (no margin, no dwell,
+    // no cooldown) maximises decision points, and starting live as
+    // `Nc` (never cache) guarantees a promotion: every ghost hit is a
+    // live miss, so the first window with any reuse produces a
+    // contender. The guarantee under test is that the fleet controller
+    // on one shard reproduces the mono controller's sequence
+    // decision-for-decision.
+    let autopilot = AutopilotConfig {
+        min_dwell_windows: 1,
+        cooldown_windows: 0,
+        margin_milli: 0,
+        min_window_requests: 1,
+    };
+    for &seed in &[7u64, 21, 42] {
+        let ops = gen_ops(seed, 300, 5, 6);
+
+        let mut mono = CacheManager::new(PolicyName::Nc, config(30_000));
+        mono.enable_shadow(shadow_full(), Timestamp::ZERO);
+        mono.enable_autopilot(autopilot);
+        let mut op_no = 0u64;
+        let log_mono = replay_with(&mut mono, &ops, 5, |m| {
+            op_no += 1;
+            if op_no.is_multiple_of(10) {
+                let _ = m.autopilot_tick(Timestamp::from_secs(op_no));
+            }
+        });
+
+        let mut fleet = ShardedCacheManager::new(PolicyName::Nc, config(30_000), 1);
+        fleet.enable_shadow(shadow_full(), Timestamp::ZERO);
+        fleet.enable_autopilot(autopilot);
+        let mut op_no = 0u64;
+        let log_fleet = replay_with(&mut fleet, &ops, 5, |m| {
+            op_no += 1;
+            if op_no.is_multiple_of(10) {
+                let _ = m.autopilot_tick(Timestamp::from_secs(op_no));
+            }
+        });
+
+        let mono_status = mono.autopilot_status().expect("autopilot enabled");
+        let fleet_status = fleet.autopilot_status().expect("autopilot enabled");
+        assert!(
+            !mono_status.switches.is_empty(),
+            "seed {seed}: the flap-friendly config must actually switch"
+        );
+        assert_eq!(
+            mono_status.switches, fleet_status.switches,
+            "seed {seed}: switch sequences diverge"
+        );
+        assert_eq!(mono.policy_name(), fleet.policy_name(), "seed {seed}");
+        assert_ne!(
+            mono.policy_name(),
+            PolicyName::Nc,
+            "seed {seed}: the controller must have escaped the no-cache policy"
+        );
+        assert_eq!(log_mono, log_fleet, "seed {seed}: replay logs diverge");
+        assert_eq!(
+            mono.metrics().clone(),
+            fleet.metrics(),
+            "seed {seed}: metrics diverge"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: a promotion re-targets the shadow evaluator — the new live
+// policy stops auditing itself and the snapshot names the new policy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn switch_retargets_shadow_evaluator() {
+    let mut mgr = CacheManager::new(PolicyName::Lru, config(30_000));
+    mgr.enable_shadow(shadow_full(), Timestamp::ZERO);
+    let ops = gen_ops(11, 120, 4, 5);
+    let mut op_no = 0u64;
+    replay_with(&mut mgr, &ops, 4, |m| {
+        op_no += 1;
+        if op_no == 60 {
+            assert!(m.switch_policy(PolicyName::Lsc, Timestamp::from_secs(op_no)));
+        }
+    });
+    let snapshot = mgr.shadow_snapshot().expect("shadow enabled");
+    assert_eq!(snapshot.live_policy, PolicyName::Lsc);
+    // The ghost fleet keeps running across the switch: every catalog
+    // policy still reports, including the old and new live policies.
+    assert!(snapshot.ghost(PolicyName::Lru).is_some());
+    assert!(snapshot.ghost(PolicyName::Lsc).is_some());
+}

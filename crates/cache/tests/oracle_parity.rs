@@ -137,3 +137,94 @@ fn multi_shard_preserves_aggregate_accounting() {
         }
     }
 }
+
+#[test]
+fn forced_promotion_matches_fresh_manager_under_new_policy() {
+    // Migration parity for the autopilot's in-place policy switch: a
+    // manager constructed under `from` and promoted to `to` before any
+    // traffic must be observationally *byte-identical* to a manager
+    // constructed under `to` — same dropped-object stream, same
+    // metrics, same telemetry event stream, same rendered registry and
+    // the same shadow-ghost counters. Any residue the migration leaves
+    // behind (a stale victim index, an unretargeted shadow evaluator,
+    // perturbed counters) shows up here.
+    use bad_cache::ShadowConfig;
+    use bad_types::Timestamp;
+
+    let pairs = [
+        (PolicyName::Lru, PolicyName::Lsc),
+        (PolicyName::Lsc, PolicyName::Lscz),
+        (PolicyName::Exp, PolicyName::Lru),
+        (PolicyName::Lru, PolicyName::Ttl),
+        (PolicyName::Ttl, PolicyName::Lsd),
+        (PolicyName::Lsc, PolicyName::Nc),
+    ];
+    let shadow = ShadowConfig {
+        sample_every_n: 1,
+        ..ShadowConfig::default()
+    };
+    for (from, to) in pairs {
+        for use_index in [true, false] {
+            for seed in SEEDS {
+                let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+                let cfg = CacheConfig {
+                    use_victim_index: use_index,
+                    ..config(10_000)
+                };
+
+                let migrated_registry = Registry::new();
+                let migrated_ring = Arc::new(RingBufferSink::new(100_000));
+                let mut migrated = CacheManager::new(from, cfg);
+                migrated.set_telemetry(CacheTelemetry::new(
+                    &migrated_registry,
+                    migrated_ring.clone() as SharedSink,
+                ));
+                migrated.enable_shadow(shadow, Timestamp::ZERO);
+                assert!(migrated.switch_policy(to, Timestamp::ZERO));
+                let migrated_log = replay(&mut migrated, &ops, 4);
+
+                let fresh_registry = Registry::new();
+                let fresh_ring = Arc::new(RingBufferSink::new(100_000));
+                let mut fresh = CacheManager::new(to, cfg);
+                fresh.set_telemetry(CacheTelemetry::new(
+                    &fresh_registry,
+                    fresh_ring.clone() as SharedSink,
+                ));
+                fresh.enable_shadow(shadow, Timestamp::ZERO);
+                let fresh_log = replay(&mut fresh, &ops, 4);
+
+                assert_eq!(
+                    migrated_log, fresh_log,
+                    "{from:?}->{to:?} seed {seed} index={use_index}: dropped streams diverged"
+                );
+                assert_eq!(
+                    migrated.metrics().clone(),
+                    fresh.metrics().clone(),
+                    "{from:?}->{to:?} seed {seed} index={use_index}: metrics diverged"
+                );
+                assert_eq!(Driver::total_bytes(&migrated), Driver::total_bytes(&fresh));
+                assert_eq!(migrated.policy_name(), to);
+                assert_eq!(
+                    migrated_ring.events(),
+                    fresh_ring.events(),
+                    "{from:?}->{to:?} seed {seed} index={use_index}: telemetry events diverged"
+                );
+                assert_eq!(
+                    migrated_registry.render(),
+                    fresh_registry.render(),
+                    "{from:?}->{to:?} seed {seed} index={use_index}: registries diverged"
+                );
+                // Shadow parity: the retargeted evaluator reports the
+                // same live policy and ghost fleet as the fresh one.
+                let migrated_snap = migrated.shadow_snapshot().expect("shadow enabled");
+                let fresh_snap = fresh.shadow_snapshot().expect("shadow enabled");
+                assert_eq!(migrated_snap.live_policy, to);
+                assert_eq!(
+                    migrated_snap.to_json_with(migrated.metrics(), None),
+                    fresh_snap.to_json_with(fresh.metrics(), None),
+                    "{from:?}->{to:?} seed {seed} index={use_index}: shadow reports diverged"
+                );
+            }
+        }
+    }
+}

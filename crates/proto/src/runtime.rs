@@ -520,13 +520,23 @@ impl Deployment {
                     }
                     None => obj.field_raw("health", "null"),
                 }
+                // Autopilot summary: active policy + switch history, so
+                // a probe notices "the fleet changed policy overnight"
+                // without walking `/policies`.
+                match cache.autopilot_status() {
+                    Some(status) => obj.field_raw("autopilot", &status.to_json()),
+                    None => obj.field_raw("autopilot", "null"),
+                }
             }
             out
         });
         let policy_cache = Arc::clone(&self.cache);
         let policies: bad_telemetry::PoliciesFn =
             Arc::new(move || match policy_cache.shadow_snapshot() {
-                Some(snapshot) => snapshot.to_json(&policy_cache.metrics()),
+                Some(snapshot) => snapshot.to_json_with(
+                    &policy_cache.metrics(),
+                    policy_cache.autopilot_status().as_ref(),
+                ),
                 None => r#"{"error":"shadow evaluation disabled"}"#.to_owned(),
             });
         let endpoints = bad_telemetry::ScrapeEndpoints {
@@ -833,6 +843,13 @@ fn broker_node(
                     let _ = done_rx.recv();
                 }
                 let _ = broker.cache().rebalance(now);
+                // One autopilot evaluation window per maintenance pass,
+                // judged after every shard has settled and the budget
+                // is rebalanced (no-op unless enabled). The runtime
+                // fans maintenance out to the shard workers itself, so
+                // this is the threaded counterpart of
+                // `Broker::maintain`'s tick.
+                let _ = cache.autopilot_tick(now);
                 if tracer.enabled() {
                     // Post-maintenance invariant checks: either anomaly
                     // dumps the flight recorder's recent spans so the

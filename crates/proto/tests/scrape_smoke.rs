@@ -55,6 +55,7 @@ fn observed_deployment_serves_metrics_health_and_traces() {
             sample_every_n: 1,
             audit_capacity: 16,
         }),
+        autopilot: Some(bad_cache::AutopilotConfig::default()),
         ..BrokerConfig::default()
     };
     let dep = Deployment::start_observed(
@@ -138,6 +139,11 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(health.contains("\"health\":{"), "{health}");
     assert!(health.contains("\"firing\""), "{health}");
     assert!(health.contains("\"drift_score\""), "{health}");
+    // Autopilot summary: the fleet controller reports its active policy
+    // and (empty so far) switch history.
+    assert!(health.contains("\"autopilot\":{"), "{health}");
+    assert!(health.contains("\"active_policy\":\"LSC\""), "{health}");
+    assert!(health.contains("\"switches\":["), "{health}");
 
     // /policies: live-vs-ghost counterfactual hit ratios as JSON, with
     // the ghost of the live policy in exact agreement (zero regret).
@@ -152,6 +158,11 @@ fn observed_deployment_serves_metrics_health_and_traces() {
         policies.contains("\"regret_live_hit_ghost_miss\":0"),
         "{policies}"
     );
+    // The autopilot block rides the same body: active policy, hysteresis
+    // state and switch history.
+    assert!(policies.contains("\"autopilot\":{"), "{policies}");
+    assert!(policies.contains("\"cooldown_remaining\""), "{policies}");
+    assert!(policies.contains("\"switches_total\""), "{policies}");
 
     // /trace/recent: the flight recorder saw the lifecycle (at minimum
     // the produced-result root spans and the cache inserts).
@@ -206,7 +217,7 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
     assert!(garbage.contains("application/json"), "{garbage}");
     let mut big = Vec::from(&b"GET /"[..]);
-    big.extend(std::iter::repeat(b'a').take(8 * 1024));
+    big.extend(std::iter::repeat_n(b'a', 8 * 1024));
     big.extend(b" HTTP/1.1\r\n\r\n");
     let oversized = http_raw(addr, &big);
     assert!(oversized.starts_with("HTTP/1.1 400"), "{oversized}");

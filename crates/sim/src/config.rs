@@ -68,6 +68,14 @@ pub struct SimConfig {
     /// `0` (the default) disables shadow evaluation; `1` shadows every
     /// access (full parity with the live cache's counters).
     pub shadow_sample_every_n: u32,
+    /// Adaptive policy autopilot (`bad_cache::autopilot`): when `true`,
+    /// each maintenance tick is one controller evaluation window and
+    /// the starting policy is only the *initial* one — the broker may
+    /// promote whichever ghost persistently wins. Implies shadow
+    /// evaluation (a default `ShadowConfig` when
+    /// `shadow_sample_every_n` is `0`). `false` (the default) keeps
+    /// the configured policy fixed, as the paper does.
+    pub autopilot: bool,
 }
 
 impl SimConfig {
@@ -95,6 +103,7 @@ impl SimConfig {
             subscription_lifetime: None,
             shards: 1,
             shadow_sample_every_n: 0,
+            autopilot: false,
         }
     }
 
@@ -141,6 +150,7 @@ impl SimConfig {
             subscription_lifetime: None,
             shards: 1,
             shadow_sample_every_n: 0,
+            autopilot: false,
         }
     }
 

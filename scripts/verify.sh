@@ -34,6 +34,11 @@ online_gate() {
   # more than 10% throughput, if model_drift fires before the regime
   # shift, or if it does not fire within the post-shift window budget.
   cargo run -q --release -p bad-bench --bin health_overhead -- --smoke
+  # Autopilot smoke gate: the regime-shift tape must trigger exactly
+  # one promotion per shifted segment (no flapping), the stationary
+  # control must never switch, and the adaptive run must land within
+  # 5 points of the best-in-hindsight fixed policy.
+  cargo run -q --release -p bad-bench --bin autopilot_bench -- --smoke
 }
 
 offline_gate() {
@@ -60,7 +65,8 @@ offline_gate() {
     cargo test -q -p bad-types -p bad-query -p bad-storage -p bad-net --lib
     cargo test -q -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
-      --test oracle_parity --test stress_sharded --test shadow_parity
+      --test oracle_parity --test stress_sharded --test shadow_parity \
+      --test autopilot
     cargo test -q -p bad-broker --lib --test lifecycle_trace --test coalesce
     cargo test -q -p bad-cluster --lib
     # Scrape-endpoint smoke: boots the threaded proto runtime with a
@@ -73,7 +79,8 @@ offline_gate() {
     # again under --release, as the acceptance gate requires.
     cargo test -q --release -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
-      --test oracle_parity --test stress_sharded --test shadow_parity
+      --test oracle_parity --test stress_sharded --test shadow_parity \
+      --test autopilot
     # Coalescing smoke gate (reduced sweep, release): fails if the
     # duplicate-fetch ratio with coalescing on exceeds 1.1.
     cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
@@ -85,6 +92,10 @@ offline_gate() {
     # cleanest interleaved rep pair, no model_drift false positive
     # before the regime shift, firing within the post-shift bound.
     cargo run -q --release -p bad-bench --bin health_overhead -- --smoke
+    # Autopilot smoke gate (release): exactly one promotion per shifted
+    # regime segment, zero switches in the stationary control, hit
+    # ratio within 5 points of best-in-hindsight.
+    cargo run -q --release -p bad-bench --bin autopilot_bench -- --smoke
   )
 }
 
