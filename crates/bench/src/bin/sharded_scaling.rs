@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use bad_bench::{print_table, write_bench_json};
+use bad_bench::{print_table, write_bench_json_with_meta};
 use bad_cache::{CacheConfig, NewObject, PolicyName, ShardedCacheManager};
 use bad_telemetry::json::ObjectWriter;
 use bad_types::{
@@ -190,6 +190,15 @@ fn main() {
     }
     json_rows.push(summary);
 
-    let path = write_bench_json("sharded", &format!("[{}]", json_rows.join(",")));
+    let meta: Vec<(&str, String)> = vec![
+        ("caches", CACHES.to_string()),
+        ("budget_bytes", BUDGET.to_string()),
+        ("ops_per_thread", OPS_PER_THREAD.to_string()),
+        (
+            "sweep",
+            format!("[{}]", SWEEP.map(|s| s.to_string()).join(",")),
+        ),
+    ];
+    let path = write_bench_json_with_meta("sharded", &meta, &format!("[{}]", json_rows.join(",")));
     println!("wrote {}", path.display());
 }

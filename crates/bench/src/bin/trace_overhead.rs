@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use bad_bench::{print_table, write_bench_json};
+use bad_bench::{print_table, write_bench_json_with_meta};
 use bad_cache::{CacheConfig, CacheTelemetry, NewObject, PolicyName, ShardedCacheManager};
 use bad_telemetry::json::ObjectWriter;
 use bad_telemetry::{FlightRecorder, Registry, SharedTracer, TraceConfig, Tracer};
@@ -258,6 +258,18 @@ fn main() {
     }
     json_rows.push(summary);
 
-    let path = write_bench_json("trace_overhead", &format!("[{}]", json_rows.join(",")));
+    let meta: Vec<(&str, String)> = vec![
+        ("caches", CACHES.to_string()),
+        ("budget_bytes", BUDGET.to_string()),
+        ("ops_per_thread", OPS_PER_THREAD.to_string()),
+        ("shards", SHARDS.to_string()),
+        ("reps", (REPS as u64).to_string()),
+        ("worker_threads", threads().to_string()),
+    ];
+    let path = write_bench_json_with_meta(
+        "trace_overhead",
+        &meta,
+        &format!("[{}]", json_rows.join(",")),
+    );
     println!("wrote {}", path.display());
 }

@@ -8,6 +8,7 @@ use bad_cluster::{DataCluster, Notification};
 use bad_net::NetworkModel;
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
+use bad_telemetry::{Profiler, StagePath, TraceId};
 use bad_types::{
     BackendSubId, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
@@ -201,6 +202,10 @@ pub struct Broker {
     net: NetworkModel,
     delivery: DeliveryMetrics,
     telemetry: BrokerTelemetry,
+    /// Continuous hot-path profiler ([`Profiler::disabled`] unless
+    /// attached). The broker owns the `get_all_pending` envelope and
+    /// threads its stage timer through the sharded cache's batch paths.
+    profiler: Profiler,
 }
 
 impl Broker {
@@ -225,6 +230,7 @@ impl Broker {
             net: config.net,
             delivery: DeliveryMetrics::default(),
             telemetry: BrokerTelemetry::detached(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -249,14 +255,35 @@ impl Broker {
         sink: bad_telemetry::SharedSink,
         tracer: bad_telemetry::SharedTracer,
     ) {
-        self.cache.set_telemetry(bad_cache::CacheTelemetry::traced(
-            registry,
-            sink.clone(),
-            Arc::clone(&tracer),
-        ));
+        self.attach_telemetry_profiled(registry, sink, tracer, Profiler::disabled());
+    }
+
+    /// Like [`Broker::attach_telemetry_traced`], but additionally
+    /// attaches the continuous hot-path profiler: the cache tier
+    /// registers per-shard lock sites through it, and the broker
+    /// decomposes `get_all_pending` into stage timings (route,
+    /// lock-wait, lookup, coalesce-hold, cluster-RTT, ack). Profiling
+    /// is metadata-only — delivery plans are byte-identical.
+    pub fn attach_telemetry_profiled(
+        &mut self,
+        registry: &bad_telemetry::Registry,
+        sink: bad_telemetry::SharedSink,
+        tracer: bad_telemetry::SharedTracer,
+        profiler: Profiler,
+    ) {
+        self.cache.set_telemetry(
+            bad_cache::CacheTelemetry::traced(registry, sink.clone(), Arc::clone(&tracer))
+                .with_profiler(profiler.clone()),
+        );
         self.cache.set_shadow_telemetry(registry);
         self.cache.set_autopilot_telemetry(registry);
         self.telemetry = BrokerTelemetry::traced(registry, sink, tracer);
+        self.profiler = profiler;
+    }
+
+    /// The profiler in force ([`Profiler::disabled`] by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// The subscription table (read-only).
@@ -587,6 +614,16 @@ impl Broker {
         subscriber: SubscriberId,
         now: Timestamp,
     ) -> Result<Vec<Delivery>> {
+        // Envelope for the whole batched retrieval; leaves recorded by
+        // the cache tier (route/lock-wait/lookup) and the coalescer
+        // seam below fold under `get_all_pending` in the call tree.
+        let profiler = self.profiler.clone();
+        let mut timer = profiler.op();
+        let trace_id = match timer {
+            Some(_) => TraceId::for_object(subscriber.as_u64()).as_u64(),
+            None => 0,
+        };
+
         // Gather every pending subscription's context (Copy fields
         // only — no entry clones on this path either).
         let mut pending: Vec<(FrontendSubId, BackendSubId, TimeRange, Timestamp)> = Vec::new();
@@ -606,6 +643,7 @@ impl Broker {
             pending.push((fs, backend_id, range, last_seen));
         }
         if pending.is_empty() {
+            profiler.finish(timer, StagePath::GetTotal, trace_id);
             return Ok(Vec::new());
         }
 
@@ -615,7 +653,12 @@ impl Broker {
             .iter()
             .map(|&(_, bs, range, _)| (bs, range))
             .collect();
-        let plans = self.cache.plan_get_batch(&requests, now);
+        // The gather loop above is envelope self-time; start the stage
+        // clock at the cache boundary so route/lock-wait stay honest.
+        profiler.stage_skip(&mut timer);
+        let plans = self
+            .cache
+            .plan_get_batch_staged(&requests, now, &profiler, &mut timer);
 
         let tracer = Arc::clone(self.telemetry.tracer());
         if tracer.enabled() {
@@ -650,10 +693,22 @@ impl Broker {
             let net = self.net;
             let subscriber_u64 = subscriber.as_u64();
             let trace = &tracer;
-            self.coalescer.fetch_batch(
+            // Don't bill the tracer spans above to the coalescer: reset
+            // the stage clock so `coalesce_hold` starts here. The two
+            // `coalesce_hold` samples bracket the cluster flight —
+            // dedup/purge/routing before it, sideline serving after.
+            profiler.stage_skip(&mut timer);
+            let prof = &profiler;
+            let timer_ref = &mut timer;
+            let outcome = self.coalescer.fetch_batch(
                 &miss_requests,
                 now,
-                |to_fetch| cluster.cluster_fetch_batch(to_fetch),
+                |to_fetch| {
+                    prof.stage(timer_ref, StagePath::GetCoalesceHold, trace_id);
+                    let results = cluster.cluster_fetch_batch(to_fetch);
+                    prof.stage(timer_ref, StagePath::GetClusterRtt, trace_id);
+                    results
+                },
                 |req_idx, objects, primary| {
                     if !trace.enabled() {
                         return;
@@ -690,7 +745,9 @@ impl Broker {
                         }
                     }
                 },
-            )
+            );
+            profiler.stage(&mut timer, StagePath::GetCoalesceHold, trace_id);
+            outcome
         };
 
         let mut miss_objects = vec![0u64; pending.len()];
@@ -755,7 +812,13 @@ impl Broker {
             .iter()
             .map(|&(_, bs, _, last_seen)| (bs, subscriber, last_seen))
             .collect();
-        let _ = self.cache.ack_consume_batch(&acks, now);
+        // Delivery accounting above is envelope self-time, not ack
+        // lock-wait: reset the stage clock before the staged acks.
+        profiler.stage_skip(&mut timer);
+        let _ = self
+            .cache
+            .ack_consume_batch_staged(&acks, now, &profiler, &mut timer);
+        profiler.finish(timer, StagePath::GetTotal, trace_id);
         Ok(out)
     }
 
@@ -766,6 +829,9 @@ impl Broker {
     pub fn maintain(&mut self, now: Timestamp) {
         let _ = self.cache.maintain(now);
         let _ = self.cache.autopilot_tick(now);
+        // Fold this thread's stage ring (retrieval envelopes recorded
+        // since the last tick) into the global call-tree aggregates.
+        self.profiler.flush_thread();
     }
 }
 

@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use bad_telemetry::{OpTimer, Profiler, StagePath};
 use bad_types::{
     BackendSubId, BadError, ByteSize, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
@@ -473,10 +474,34 @@ impl CacheManager {
         desc: NewObject,
         now: Timestamp,
     ) -> Result<Vec<DroppedObject>> {
+        self.insert_staged(bs, desc, now, &Profiler::disabled(), &mut None)
+    }
+
+    /// [`CacheManager::insert`] with profiler stage boundaries —
+    /// shadow-replay / apply / victim-scan attribution on the caller's
+    /// [`OpTimer`]. The sharded manager threads its per-op timer
+    /// through here so the insert envelope includes the lock wait.
+    /// Stage calls are metadata-only; behaviour is identical to the
+    /// plain `insert`.
+    pub(crate) fn insert_staged(
+        &mut self,
+        bs: BackendSubId,
+        desc: NewObject,
+        now: Timestamp,
+        profiler: &Profiler,
+        timer: &mut Option<OpTimer>,
+    ) -> Result<Vec<DroppedObject>> {
+        // Exemplars use the same trace-id derivation as the flight
+        // recorder, so a slow bucket links straight to its spans.
+        let trace = match timer {
+            Some(_) => bad_telemetry::TraceId::for_object(desc.id.as_u64()).as_u64(),
+            None => 0,
+        };
         // Before the live NC/admission short-circuits: ghosts apply
         // their own policy's logic to the raw insert stream.
         if let Some(shadow) = self.shadow.as_mut() {
             shadow.on_insert(bs, desc, now);
+            profiler.stage(timer, StagePath::InsertShadowReplay, trace);
         }
         if self.policy.kind() == PolicyKind::NoCache {
             // The baseline broker delivers straight through.
@@ -504,8 +529,12 @@ impl CacheManager {
         self.telemetry
             .on_insert(now, bs, desc.id, desc.ts, desc.size, self.total_bytes);
         self.reindex(bs, now);
+        profiler.stage(timer, StagePath::InsertApply, trace);
 
         let dropped = self.enforce_budget(now);
+        if !dropped.is_empty() {
+            profiler.stage(timer, StagePath::InsertVictimScan, trace);
+        }
         self.metrics.observe_peak(self.total_bytes);
         Ok(dropped)
     }
@@ -576,13 +605,44 @@ impl CacheManager {
     /// A missing cache (NC policy or unknown subscription) misses the
     /// whole range.
     pub fn plan_get(&mut self, bs: BackendSubId, range: TimeRange, now: Timestamp) -> GetPlan {
+        self.plan_get_staged(bs, range, now, &Profiler::disabled(), &mut None)
+    }
+
+    /// [`CacheManager::plan_get`] with profiler stage boundaries
+    /// (lookup / shadow-replay) on the caller's [`OpTimer`]. The
+    /// *trailing* boundary is the caller's: release the shard through
+    /// [`bad_telemetry::ProfiledGuard::unlock_staged`] with
+    /// [`CacheManager::tail_get_stage`], so the hold-time read doubles
+    /// as the final stage boundary.
+    pub(crate) fn plan_get_staged(
+        &mut self,
+        bs: BackendSubId,
+        range: TimeRange,
+        now: Timestamp,
+        profiler: &Profiler,
+        timer: &mut Option<OpTimer>,
+    ) -> GetPlan {
         let plan = self.plan_get_live(bs, range, now);
-        // After the live plan, so the ghosts diff against exactly what
-        // the real cache served (all-missed branches included).
+        // Shadow replay runs after the live plan, so the ghosts diff
+        // against exactly what the real cache served (all-missed
+        // branches included); the lookup/replay split only needs its
+        // own boundary when a replay actually follows.
         if let Some(shadow) = self.shadow.as_mut() {
+            profiler.stage(timer, StagePath::GetLookup, 0);
             shadow.on_plan_get(bs, range, &plan, now);
         }
         plan
+    }
+
+    /// The stage the caller should attribute the under-lock tail of a
+    /// GET plan to when releasing the shard: shadow replay when ghosts
+    /// are live, the lookup itself otherwise.
+    pub(crate) fn tail_get_stage(&self) -> StagePath {
+        if self.shadow.is_some() {
+            StagePath::GetShadowReplay
+        } else {
+            StagePath::GetLookup
+        }
     }
 
     /// The live half of [`CacheManager::plan_get`], without the shadow
@@ -619,6 +679,18 @@ impl CacheManager {
     ///
     /// Returns [`BadError::NotFound`] when no cache exists for `bs`.
     pub fn ack_consume(
+        &mut self,
+        bs: BackendSubId,
+        sub: SubscriberId,
+        up_to: Timestamp,
+        now: Timestamp,
+    ) -> Result<Vec<DroppedObject>> {
+        // The whole body is one profiler stage (`…;ack_consume`); the
+        // sharded caller attributes it when releasing the shard.
+        self.ack_consume_inner(bs, sub, up_to, now)
+    }
+
+    fn ack_consume_inner(
         &mut self,
         bs: BackendSubId,
         sub: SubscriberId,
@@ -672,10 +744,35 @@ impl CacheManager {
         requests: &[(BackendSubId, TimeRange)],
         now: Timestamp,
     ) -> Vec<GetPlan> {
-        requests
+        self.plan_get_batch_staged(requests, now, &Profiler::disabled(), &mut None)
+    }
+
+    /// [`CacheManager::plan_get_batch`] with one stage boundary per
+    /// batch phase (all lookups, then all shadow replays) on the
+    /// caller's [`OpTimer`] — a whole batch costs at most one tick
+    /// read here plus the caller's shared release read (see
+    /// [`CacheManager::tail_get_stage`]), not two per request, so full
+    /// profiling stays affordable on large pending sets. The plans
+    /// (and the replay order the ghosts see) are identical to the
+    /// per-request sequence.
+    pub(crate) fn plan_get_batch_staged(
+        &mut self,
+        requests: &[(BackendSubId, TimeRange)],
+        now: Timestamp,
+        profiler: &Profiler,
+        timer: &mut Option<OpTimer>,
+    ) -> Vec<GetPlan> {
+        let plans: Vec<GetPlan> = requests
             .iter()
-            .map(|&(bs, range)| self.plan_get(bs, range, now))
-            .collect()
+            .map(|&(bs, range)| self.plan_get_live(bs, range, now))
+            .collect();
+        if let Some(shadow) = self.shadow.as_mut() {
+            profiler.stage(timer, StagePath::GetLookup, 0);
+            for (&(bs, range), plan) in requests.iter().zip(&plans) {
+                shadow.on_plan_get(bs, range, plan, now);
+            }
+        }
+        plans
     }
 
     /// Applies a batch of `ACK`s in request order, concatenating the
@@ -687,9 +784,11 @@ impl CacheManager {
         requests: &[(BackendSubId, SubscriberId, Timestamp)],
         now: Timestamp,
     ) -> Vec<DroppedObject> {
+        // Like `ack_consume`, the whole batch is one profiler stage,
+        // attributed by the sharded caller at shard release.
         let mut dropped = Vec::new();
         for &(bs, sub, up_to) in requests {
-            if let Ok(batch) = self.ack_consume(bs, sub, up_to, now) {
+            if let Ok(batch) = self.ack_consume_inner(bs, sub, up_to, now) {
                 dropped.extend(batch);
             }
         }
@@ -701,6 +800,24 @@ impl CacheManager {
     /// should invoke this on a regular tick; the work is proportional to
     /// the number of caches only when something is due.
     pub fn maintain(&mut self, now: Timestamp) -> Vec<DroppedObject> {
+        self.maintain_staged(now, &Profiler::disabled(), &mut None)
+    }
+
+    /// [`CacheManager::maintain`] attributing the TTL recompute +
+    /// expiry sweep to the `maintain;ttl_expiry` stage of the caller's
+    /// [`OpTimer`].
+    pub(crate) fn maintain_staged(
+        &mut self,
+        now: Timestamp,
+        profiler: &Profiler,
+        timer: &mut Option<OpTimer>,
+    ) -> Vec<DroppedObject> {
+        let dropped = self.maintain_inner(now);
+        profiler.stage(timer, StagePath::MaintainTtlExpiry, 0);
+        dropped
+    }
+
+    fn maintain_inner(&mut self, now: Timestamp) -> Vec<DroppedObject> {
         let mut dropped = Vec::new();
         if let Some(shadow) = self.shadow.as_mut() {
             shadow.on_maintain(now);

@@ -9,7 +9,8 @@
 //! `enabled()` call per event site.
 
 use bad_telemetry::{
-    Counter, Event, Gauge, Histogram, Registry, SharedSink, SharedTracer, SpanKind, Tracer,
+    Counter, Event, Gauge, Histogram, Profiler, Registry, SharedSink, SharedTracer, SpanKind,
+    Tracer,
 };
 use bad_types::{BackendSubId, ByteSize, ObjectId, SimDuration, Timestamp};
 
@@ -22,6 +23,7 @@ use crate::object::CachedObject;
 pub struct CacheTelemetry {
     sink: SharedSink,
     tracer: SharedTracer,
+    profiler: Profiler,
     hit_objects: Counter,
     miss_objects: Counter,
     inserted_objects: Counter,
@@ -55,6 +57,7 @@ impl CacheTelemetry {
         Self {
             sink,
             tracer,
+            profiler: Profiler::disabled(),
             hit_objects: registry.counter("bad_cache_hit_objects_total"),
             miss_objects: registry.counter("bad_cache_miss_objects_total"),
             inserted_objects: registry.counter("bad_cache_inserted_objects_total"),
@@ -73,6 +76,23 @@ impl CacheTelemetry {
     /// sink — the default for standalone managers and tests.
     pub fn detached() -> Self {
         Self::new(&Registry::new(), bad_telemetry::null_sink())
+    }
+
+    /// Attaches the continuous profiler
+    /// ([`bad_telemetry::profile`]); the manager this bundle is
+    /// installed on registers its per-shard lock sites through it and
+    /// threads stage timers through the data paths. Profiling is
+    /// metadata-only: a profiled manager makes byte-identical caching
+    /// decisions.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// The profiler in force ([`Profiler::disabled`] by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// The event sink in force.

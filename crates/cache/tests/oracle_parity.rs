@@ -11,7 +11,7 @@ mod common;
 use std::sync::Arc;
 
 use bad_cache::{CacheConfig, CacheManager, CacheTelemetry, PolicyName, ShardedCacheManager};
-use bad_telemetry::{Registry, RingBufferSink, SharedSink};
+use bad_telemetry::{ProfileConfig, Profiler, Registry, RingBufferSink, SharedSink};
 use bad_types::{ByteSize, SimDuration};
 use common::{gen_ops, replay, Driver};
 
@@ -92,6 +92,77 @@ fn single_shard_matches_monolith_telemetry() {
             mono_registry.render(),
             sharded_registry.render(),
             "{policy:?}: rendered registries diverged"
+        );
+    }
+}
+
+/// Full stage-and-lock profiling is metadata-only: a profiled
+/// single-shard manager must stay byte-identical to the unprofiled
+/// monolith — same replay log, same metrics, same telemetry events,
+/// same rendered cache registry. The profiler's own series register on
+/// a separate registry precisely so the cache registries stay
+/// byte-comparable here.
+#[test]
+fn single_shard_with_full_profiling_matches_monolith() {
+    for policy in policies() {
+        let seed = 1009;
+        let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+
+        let mono_registry = Registry::new();
+        let mono_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut mono = CacheManager::new(policy, config(10_000));
+        mono.set_telemetry(CacheTelemetry::new(
+            &mono_registry,
+            mono_ring.clone() as SharedSink,
+        ));
+        let mono_log = replay(&mut mono, &ops, 4);
+
+        let profile_registry = Registry::new();
+        let profiler = Profiler::new(&profile_registry, ProfileConfig { sample_every_n: 1 });
+        let sharded_registry = Registry::new();
+        let sharded_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut sharded = ShardedCacheManager::new(policy, config(10_000), 1);
+        sharded.set_telemetry(CacheTelemetry::new(
+            &sharded_registry,
+            sharded_ring.clone() as SharedSink,
+        ));
+        sharded.set_profiler(&profiler);
+        let sharded_log = replay(&mut sharded, &ops, 4);
+
+        assert_eq!(
+            mono_log, sharded_log,
+            "{policy:?}: profiled replay log diverged"
+        );
+        assert_eq!(
+            mono.metrics().clone(),
+            Driver::metrics_snapshot(&sharded),
+            "{policy:?}: profiled metrics diverged"
+        );
+        assert_eq!(
+            mono_ring.events(),
+            sharded_ring.events(),
+            "{policy:?}: profiled telemetry event streams diverged"
+        );
+        assert_eq!(
+            mono_registry.render(),
+            sharded_registry.render(),
+            "{policy:?}: profiled cache registries diverged"
+        );
+
+        // And the profiler really was live: it attributed lock
+        // acquisitions to the single shard and folded stage samples.
+        profiler.flush_thread();
+        let sites = profiler.lock_sites();
+        assert_eq!(sites.len(), 1, "{policy:?}: expected one lock site");
+        assert!(
+            sites[0].acquisitions() > 0,
+            "{policy:?}: profiler saw no lock acquisitions"
+        );
+        assert!(
+            profile_registry
+                .render()
+                .contains("bad_profile_stage_ns_count"),
+            "{policy:?}: profiler stage series missing"
         );
     }
 }

@@ -21,8 +21,8 @@ use bad_cluster::{DataCluster, Notification};
 use bad_query::ParamBindings;
 use bad_storage::ResultObject;
 use bad_telemetry::{
-    FlightRecorder, HealthConfig, HealthEngine, HealthObservation, Registry, ScrapeServer,
-    SharedSink, SharedTracer, TraceConfig, Tracer,
+    FlightRecorder, Gauge, HealthConfig, HealthEngine, HealthObservation, ProfileConfig, Profiler,
+    Registry, ScrapeServer, SharedSink, SharedTracer, TraceConfig, Tracer,
 };
 use bad_types::{
     BackendSubId, BadError, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
@@ -104,6 +104,9 @@ struct ClusterClient {
     tx: Sender<ClusterRequest>,
     clock: VirtualClock,
     rtt: SimDuration,
+    /// `bad_proto_cluster_inflight_rpcs`: broker→cluster requests sent
+    /// but not yet answered (the fetch worker channel's live depth).
+    inflight: Gauge,
 }
 
 impl ClusterClient {
@@ -113,8 +116,11 @@ impl ClusterClient {
     {
         let (reply_tx, reply_rx) = bounded(1);
         self.clock.sleep(self.rtt);
+        self.inflight.inc();
         self.tx.send(build(reply_tx)).expect("cluster thread alive");
-        reply_rx.recv().expect("cluster thread replies")
+        let reply = reply_rx.recv().expect("cluster thread replies");
+        self.inflight.dec();
+        reply
     }
 }
 
@@ -283,6 +289,10 @@ pub struct Deployment {
     cache: Arc<ShardedCacheManager>,
     tracer: SharedTracer,
     health: Option<Arc<HealthEngine>>,
+    profiler: Profiler,
+    /// Pre-rendered `bad_build_info` labels as a JSON object, embedded
+    /// in every `/healthz` body.
+    build_info: String,
 }
 
 impl Deployment {
@@ -326,6 +336,7 @@ impl Deployment {
             Registry::new(),
             Tracer::disabled(),
             None,
+            Profiler::disabled(),
         )
     }
 
@@ -363,6 +374,11 @@ impl Deployment {
             HealthConfig::default(),
         );
         let tracer = Tracer::new(&registry, sink.clone(), recorder, trace);
+        // The observed deployment profiles continuously: every op is
+        // sampled (`sample_every_n == 1`) and every shard mutex gets a
+        // lock site. Profiling is metadata-only — caching decisions are
+        // byte-identical (pinned by the cache crate's parity tests).
+        let profiler = Profiler::new(&registry, ProfileConfig::default());
         Self::boot(
             policy,
             config,
@@ -372,6 +388,7 @@ impl Deployment {
             registry,
             tracer,
             Some(health),
+            profiler,
         )
     }
 
@@ -385,10 +402,53 @@ impl Deployment {
         registry: Registry,
         tracer: SharedTracer,
         health: Option<Arc<HealthEngine>>,
+        profiler: Profiler,
     ) -> Self {
         let clock = VirtualClock::new(compression);
         let (cluster_tx, cluster_rx) = unbounded::<ClusterRequest>();
         let (broker_tx, broker_rx) = unbounded::<BrokerRequest>();
+
+        // `bad_build_info`: one constant-1 gauge whose labels identify
+        // what is running — crate version plus the feature knobs that
+        // change hot-path behaviour. Scrapes join it against any other
+        // series to tell "which build/config produced these numbers".
+        let build_labels: [(&str, String); 6] = [
+            ("version", env!("CARGO_PKG_VERSION").to_owned()),
+            ("policy", policy.as_str().to_owned()),
+            ("shards", config.shards.to_string()),
+            (
+                "profile",
+                if profiler.enabled() { "on" } else { "off" }.to_owned(),
+            ),
+            (
+                "shadow",
+                if config.shadow.is_some() || config.autopilot.is_some() {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned(),
+            ),
+            (
+                "autopilot",
+                if config.autopilot.is_some() {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned(),
+            ),
+        ];
+        let label_refs: Vec<(&str, &str)> =
+            build_labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        registry.gauge_with("bad_build_info", &label_refs).set(1);
+        let mut build_info = String::new();
+        {
+            let mut obj = bad_telemetry::json::ObjectWriter::new(&mut build_info);
+            for (key, value) in &build_labels {
+                obj.field_str(key, value);
+            }
+        }
 
         cluster.set_event_sink(sink.clone());
         cluster.set_tracer(Arc::clone(&tracer));
@@ -398,21 +458,33 @@ impl Deployment {
             tx: cluster_tx.clone(),
             clock: clock.clone(),
             rtt: config.net.cluster.rtt,
+            inflight: registry.gauge("bad_proto_cluster_inflight_rpcs"),
         };
 
         // Build the broker on this thread so the deployment can keep a
         // shared cache handle (for `/healthz` shard occupancy) before the
         // broker node takes ownership.
         let mut broker = Broker::new(policy, config);
-        broker.attach_telemetry_traced(&registry, sink, Arc::clone(&tracer));
+        broker.attach_telemetry_profiled(&registry, sink, Arc::clone(&tracer), profiler.clone());
         let cache = broker.cache_handle();
         registry
             .gauge("bad_broker_cache_shards")
             .set(cache.shard_count() as u64);
+        // One queue-depth gauge per shard maintenance worker: jobs
+        // enqueued but not yet drained by `shard_worker`.
+        let shard_queue_depth: Vec<Gauge> = (0..cache.shard_count())
+            .map(|idx| {
+                registry.gauge_with(
+                    "bad_proto_shard_queue_depth",
+                    &[("shard", &idx.to_string())],
+                )
+            })
+            .collect();
 
         let broker_clock = clock.clone();
         let broker_tracer = Arc::clone(&tracer);
         let broker_health = health.clone();
+        let broker_profiler = profiler.clone();
         let broker_handle = thread::spawn(move || {
             broker_node(
                 broker,
@@ -421,6 +493,8 @@ impl Deployment {
                 broker_clock,
                 broker_tracer,
                 broker_health,
+                broker_profiler,
+                shard_queue_depth,
             )
         });
 
@@ -434,14 +508,19 @@ impl Deployment {
             cache,
             tracer,
             health,
+            profiler,
+            build_info,
         }
     }
 
     /// Binds a scrape endpoint (use port `0` for an ephemeral port)
     /// serving `/metrics` (Prometheus text), `/healthz` (per-shard cache
-    /// occupancy plus coalescer state as JSON), `/policies` (live vs.
-    /// shadow-policy counterfactuals, when shadow evaluation is enabled)
-    /// and `/trace/recent` (the flight recorder's span ring as JSON).
+    /// occupancy, coalescer state, build info and top contended locks as
+    /// JSON), `/policies` (live vs. shadow-policy counterfactuals, when
+    /// shadow evaluation is enabled), `/trace/recent` (the flight
+    /// recorder's span ring as JSON) and `/profile` (the continuous
+    /// profiler's folded-stack stage tree plus per-site lock wait/hold
+    /// breakdown, when booted via [`Deployment::start_observed`]).
     ///
     /// # Errors
     ///
@@ -455,6 +534,8 @@ impl Deployment {
         let anomaly_recorder = Arc::clone(self.tracer.recorder());
         let broker_tx = self.broker_tx.clone();
         let health_engine = self.health.clone();
+        let health_profiler = self.profiler.clone();
+        let build_info = self.build_info.clone();
         let health: bad_telemetry::HealthFn = Arc::new(move || {
             // Coalescer state lives on the broker thread; ask it. A
             // stopped broker renders as `null` rather than failing the
@@ -527,6 +608,24 @@ impl Deployment {
                     Some(status) => obj.field_raw("autopilot", &status.to_json()),
                     None => obj.field_raw("autopilot", "null"),
                 }
+                // What's running: the `bad_build_info` labels, embedded
+                // so one probe identifies the build and its knobs.
+                obj.field_raw("build", &build_info);
+                // Top-k contended lock sites: the "which shard mutex is
+                // hot right now" answer without walking `/profile`.
+                if health_profiler.enabled() {
+                    let mut sites = String::from("[");
+                    for (i, site) in health_profiler.top_contended(3).iter().enumerate() {
+                        if i > 0 {
+                            sites.push(',');
+                        }
+                        sites.push_str(&site.render_json());
+                    }
+                    sites.push(']');
+                    obj.field_raw("top_contended", &sites);
+                } else {
+                    obj.field_raw("top_contended", "null");
+                }
             }
             out
         });
@@ -550,6 +649,10 @@ impl Deployment {
                 let engine = Arc::clone(engine);
                 Arc::new(move || engine.alerts_json()) as bad_telemetry::EndpointFn
             }),
+            profile: self.profiler.enabled().then(|| {
+                let profiler = self.profiler.clone();
+                Arc::new(move || profiler.render_json()) as bad_telemetry::EndpointFn
+            }),
         };
         ScrapeServer::bind_with_endpoints(addr, self.registry.clone(), recorder, endpoints)
     }
@@ -558,6 +661,12 @@ impl Deployment {
     /// booted via [`Deployment::start_observed`]).
     pub fn health_engine(&self) -> Option<&Arc<HealthEngine>> {
         self.health.as_ref()
+    }
+
+    /// The continuous hot-path profiler ([`Profiler::disabled`] unless
+    /// the deployment was booted via [`Deployment::start_observed`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Prometheus-text snapshot of every metric family the deployment
@@ -726,11 +835,13 @@ fn shard_worker(
     cache: std::sync::Arc<bad_cache::ShardedCacheManager>,
     idx: usize,
     rx: Receiver<ShardJob>,
+    queue_depth: Gauge,
 ) {
     while let Ok(job) = rx.recv() {
         match job {
             ShardJob::Maintain { now, done } => {
                 let _ = cache.maintain_shard(idx, now);
+                queue_depth.dec();
                 let _ = done.send(());
             }
             ShardJob::Stop => break,
@@ -751,6 +862,7 @@ const SHARD_IMBALANCE_SLACK_BYTES: u64 = 1 << 20;
 const FLIGHT_RECORDER_STRIPES: usize = 8;
 const FLIGHT_RECORDER_STRIPE_CAPACITY: usize = 128;
 
+#[allow(clippy::too_many_arguments)]
 fn broker_node(
     mut broker: Broker,
     mut cluster: ClusterClient,
@@ -758,6 +870,8 @@ fn broker_node(
     clock: VirtualClock,
     tracer: SharedTracer,
     health: Option<Arc<HealthEngine>>,
+    profiler: Profiler,
+    shard_queue_depth: Vec<Gauge>,
 ) {
     // One maintenance worker per cache shard: a Maintain request fans
     // the per-shard TTL retune/expiry passes out in parallel (the whole
@@ -766,10 +880,13 @@ fn broker_node(
     let cache = broker.cache_handle();
     let mut shard_txs: Vec<Sender<ShardJob>> = Vec::with_capacity(cache.shard_count());
     let mut shard_handles = Vec::with_capacity(cache.shard_count());
-    for idx in 0..cache.shard_count() {
+    for (idx, depth) in shard_queue_depth.iter().enumerate() {
         let (tx, shard_rx) = unbounded::<ShardJob>();
         let cache = broker.cache_handle();
-        shard_handles.push(thread::spawn(move || shard_worker(cache, idx, shard_rx)));
+        let depth = depth.clone();
+        shard_handles.push(thread::spawn(move || {
+            shard_worker(cache, idx, shard_rx, depth)
+        }));
         shard_txs.push(tx);
     }
 
@@ -832,7 +949,8 @@ fn broker_node(
             }
             BrokerRequest::Maintain => {
                 let (done_tx, done_rx) = bounded(shard_txs.len());
-                for tx in &shard_txs {
+                for (idx, tx) in shard_txs.iter().enumerate() {
+                    shard_queue_depth[idx].inc();
                     let _ = tx.send(ShardJob::Maintain {
                         now,
                         done: done_tx.clone(),
@@ -843,6 +961,11 @@ fn broker_node(
                     let _ = done_rx.recv();
                 }
                 let _ = broker.cache().rebalance(now);
+                // Fold the broker thread's stage ring (the retrieval
+                // envelopes recorded since the last tick) into the
+                // global aggregates; shard workers self-flush when
+                // their rings fill.
+                profiler.flush_thread();
                 // One autopilot evaluation window per maintenance pass,
                 // judged after every shard has settled and the budget
                 // is rebalanced (no-op unless enabled). The runtime

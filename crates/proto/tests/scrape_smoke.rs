@@ -94,6 +94,12 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(!alice.events.is_empty(), "client was not notified");
     let delivery = alice.get_results(fs).unwrap();
     assert!(delivery.total_objects() >= 1);
+    // One more maintenance pass folds the broker thread's profiler ring
+    // (the retrieval stages above) into the global aggregates; the
+    // metrics round trip rendezvouses with the broker node so the flush
+    // has definitely happened before the scrape below.
+    dep.maintain();
+    let _ = dep.broker_metrics();
 
     let server = dep
         .serve_scrape("127.0.0.1:0")
@@ -123,6 +129,26 @@ fn observed_deployment_serves_metrics_health_and_traces() {
         "missing ghost hit counter:\n{metrics}"
     );
     assert!(metrics.contains("bad_cache_shadow_sampled_accesses_total"));
+    // The profiler publishes its stage/lock series on the same registry,
+    // and the build-info gauge identifies what is running.
+    assert!(
+        metrics.contains("bad_profile_stage_ns_count{stage=\"insert\"}"),
+        "missing insert stage histogram:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("bad_profile_lock_acquisitions_total{site=\"cache_shard0\"}"),
+        "missing shard lock site:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("bad_build_info{") && metrics.contains("version=\""),
+        "missing build-info gauge:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("policy=\"LSC\"") && metrics.contains("profile=\"on\""),
+        "build-info labels incomplete:\n{metrics}"
+    );
+    assert!(metrics.contains("bad_proto_shard_queue_depth{shard=\"0\"}"));
+    assert!(metrics.contains("bad_proto_cluster_inflight_rpcs"));
 
     // /healthz: per-shard occupancy plus the miss-fetch coalescer's
     // live buffer state, plus the continuous-health summary (alert
@@ -144,6 +170,36 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(health.contains("\"autopilot\":{"), "{health}");
     assert!(health.contains("\"active_policy\":\"LSC\""), "{health}");
     assert!(health.contains("\"switches\":["), "{health}");
+    // Build info and the profiler's top-contended summary ride the
+    // same body.
+    assert!(health.contains("\"build\":{"), "{health}");
+    assert!(health.contains("\"policy\":\"LSC\""), "{health}");
+    assert!(health.contains("\"profile\":\"on\""), "{health}");
+    assert!(health.contains("\"top_contended\":["), "{health}");
+
+    // /profile: the continuous profiler's folded-stack stage tree and
+    // per-site lock breakdown, served over real TCP. The retrieval
+    // above guarantees at least the insert and get_all_pending
+    // envelopes have samples.
+    let profile = http_get(addr, "/profile");
+    assert!(profile.starts_with("HTTP/1.1 200"), "{profile}");
+    assert!(profile.contains("application/json"), "{profile}");
+    assert!(profile.contains("\"enabled\":true"), "{profile}");
+    assert!(profile.contains("\"folded\":["), "{profile}");
+    assert!(
+        profile.contains("\"insert "),
+        "no insert envelope in folded stacks:\n{profile}"
+    );
+    assert!(
+        profile.contains("get_all_pending"),
+        "no retrieval envelope:\n{profile}"
+    );
+    assert!(profile.contains("\"stages\":["), "{profile}");
+    assert!(profile.contains("\"locks\":["), "{profile}");
+    assert!(
+        profile.contains("\"site\":\"cache_shard0\""),
+        "no shard lock site:\n{profile}"
+    );
 
     // /policies: live-vs-ghost counterfactual hit ratios as JSON, with
     // the ghost of the live policy in exact agreement (zero regret).

@@ -76,6 +76,13 @@ pub struct SimConfig {
     /// `shadow_sample_every_n` is `0`). `false` (the default) keeps
     /// the configured policy fixed, as the paper does.
     pub autopilot: bool,
+    /// Continuous hot-path profiler (`bad_telemetry::profile`): `0`
+    /// (the default) disables profiling, `n` samples every `n`-th
+    /// operation's stage breakdown (`1` = every op; lock sites are
+    /// registered either way when non-zero). Profiling is
+    /// metadata-only — the simulated caching decisions and the report
+    /// are byte-identical with it on or off.
+    pub profile: u32,
 }
 
 impl SimConfig {
@@ -104,6 +111,7 @@ impl SimConfig {
             shards: 1,
             shadow_sample_every_n: 0,
             autopilot: false,
+            profile: 0,
         }
     }
 
@@ -151,6 +159,7 @@ impl SimConfig {
             shards: 1,
             shadow_sample_every_n: 0,
             autopilot: false,
+            profile: 0,
         }
     }
 

@@ -191,8 +191,7 @@ impl Simulation {
     /// `registry`, plus the full event stream (including per-epoch
     /// `sim.epoch_sample` snapshots) into `sink`.
     pub fn attach_telemetry(&mut self, registry: &Registry, sink: SharedSink) {
-        self.broker.attach_telemetry(registry, sink.clone());
-        self.sink = sink;
+        self.attach_telemetry_traced(registry, sink, bad_telemetry::Tracer::disabled());
     }
 
     /// Like [`SimRunner::attach_telemetry`], but also threads a
@@ -207,8 +206,18 @@ impl Simulation {
         tracer: bad_telemetry::SharedTracer,
     ) {
         self.backend.set_tracer(std::sync::Arc::clone(&tracer));
+        // The profiler knob rides the telemetry attachment: stage
+        // samples and lock-site series land on the same registry as
+        // the metric families (`bad_profile_*`).
+        let profiler = match self.config.profile {
+            0 => bad_telemetry::Profiler::disabled(),
+            n => bad_telemetry::Profiler::new(
+                registry,
+                bad_telemetry::ProfileConfig { sample_every_n: n },
+            ),
+        };
         self.broker
-            .attach_telemetry_traced(registry, sink.clone(), tracer);
+            .attach_telemetry_profiled(registry, sink.clone(), tracer, profiler);
         self.sink = sink;
     }
 
@@ -691,6 +700,37 @@ mod tests {
         // run with shadow evaluation off.
         let baseline = run(PolicyName::Lsc, 200, 7);
         assert_eq!(a, baseline, "shadow evaluation perturbs the live run");
+    }
+
+    #[test]
+    fn profiled_run_is_report_identical_and_publishes_stage_series() {
+        // Acceptance: profiling is metadata-only — a fully profiled run
+        // (every op sampled) produces the byte-identical report of an
+        // unprofiled run with the same seed, while the registry carries
+        // the stage-latency and lock-site series.
+        let mut config = SimConfig::smoke().with_budget(ByteSize::from_kib(200));
+        config.profile = 1;
+        let mut sim = Simulation::new(PolicyName::Lsc, config, 7).unwrap();
+        let registry = Registry::new();
+        sim.attach_telemetry(&registry, bad_telemetry::null_sink());
+        let profiled = sim.run();
+
+        let baseline = run(PolicyName::Lsc, 200, 7);
+        assert_eq!(profiled, baseline, "profiling perturbs the live run");
+
+        let text = registry.render();
+        assert!(
+            text.contains("bad_profile_stage_ns_count{stage=\"insert\"}"),
+            "missing insert stage series:\n{text}"
+        );
+        assert!(
+            text.contains("bad_profile_stage_ns_count{stage=\"get_all_pending\"}"),
+            "missing retrieval stage series:\n{text}"
+        );
+        assert!(
+            text.contains("bad_profile_lock_acquisitions_total{site=\"cache_shard0\"}"),
+            "missing shard lock site:\n{text}"
+        );
     }
 
     #[test]

@@ -22,6 +22,13 @@ struct HistogramData {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar slots (most recent trace id to land in the
+    /// bucket, 0 = none yet). Allocated only by
+    /// [`Histogram::with_exemplars`]: ordinary histograms carry no
+    /// exemplar storage and [`Histogram::record_exemplar`] degrades to
+    /// a plain [`Histogram::record`], so quantile math and the
+    /// Prometheus render are byte-identical either way.
+    exemplars: Option<Box<[AtomicU64; BUCKETS]>>,
 }
 
 /// A cheap, thread-safe, log-bucketed histogram handle.
@@ -63,8 +70,29 @@ impl Histogram {
                 buckets: std::array::from_fn(|_| AtomicU64::new(0)),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
+                exemplars: None,
             }),
         }
+    }
+
+    /// Creates an empty histogram with per-bucket exemplar retention:
+    /// [`Histogram::record_exemplar`] remembers the most recent trace
+    /// id that landed in each bucket, linking a latency outlier back to
+    /// the flight-recorder spans that produced it.
+    pub fn with_exemplars() -> Self {
+        Self {
+            data: Arc::new(HistogramData {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+                exemplars: Some(Box::new(std::array::from_fn(|_| AtomicU64::new(0)))),
+            }),
+        }
+    }
+
+    /// Whether this histogram retains per-bucket exemplars.
+    pub fn has_exemplars(&self) -> bool {
+        self.data.exemplars.is_some()
     }
 
     #[inline]
@@ -102,6 +130,40 @@ impl Histogram {
         data.sum.fetch_add(value, Ordering::Relaxed);
         if value > data.max.load(Ordering::Relaxed) {
             data.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation tagged with the trace id that produced
+    /// it. On an exemplar-enabled histogram the bucket's exemplar slot
+    /// is overwritten with `trace` (one extra relaxed store on top of
+    /// [`Histogram::record`]'s two RMWs); on a plain histogram the tag
+    /// is dropped and this is exactly `record`. A `trace` of 0 records
+    /// the value but leaves the exemplar slot untouched, since 0 is the
+    /// "no exemplar yet" sentinel.
+    #[inline]
+    pub fn record_exemplar(&self, value: u64, trace: u64) {
+        let data = &self.data;
+        let bucket = Self::bucket_index(value);
+        data.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        data.sum.fetch_add(value, Ordering::Relaxed);
+        if value > data.max.load(Ordering::Relaxed) {
+            data.max.fetch_max(value, Ordering::Relaxed);
+        }
+        if trace != 0 {
+            if let Some(exemplars) = &data.exemplars {
+                exemplars[bucket].store(trace, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The most recent trace id recorded into bucket `index`, or `None`
+    /// if the bucket has no exemplar (never hit, exemplars disabled, or
+    /// only 0-tagged records).
+    pub fn exemplar(&self, index: usize) -> Option<u64> {
+        let exemplars = self.data.exemplars.as_ref()?;
+        match exemplars.get(index)?.load(Ordering::Relaxed) {
+            0 => None,
+            trace => Some(trace),
         }
     }
 
@@ -267,6 +329,77 @@ mod tests {
         // Out-of-range q on a non-empty histogram clamps to the ends.
         assert_eq!(h.quantile(-3.0), h.quantile(0.0));
         assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn exemplars_tag_the_bucket_that_was_hit() {
+        let h = Histogram::with_exemplars();
+        assert!(h.has_exemplars());
+        h.record_exemplar(0, 11); // bucket 0
+        h.record_exemplar(3, 22); // bucket 2
+        h.record_exemplar(2, 33); // bucket 2 again: overwrites
+        h.record_exemplar(1024, 44); // bucket 11
+        assert_eq!(h.exemplar(0), Some(11));
+        assert_eq!(h.exemplar(1), None);
+        assert_eq!(h.exemplar(2), Some(33));
+        assert_eq!(h.exemplar(11), Some(44));
+        assert_eq!(h.exemplar(64), None);
+        assert_eq!(h.exemplar(1000), None);
+        // A 0 trace records the value but never claims an exemplar slot.
+        h.record_exemplar(5, 0);
+        assert_eq!(h.exemplar(3), None);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 3 + 2 + 1024 + 5);
+    }
+
+    #[test]
+    fn plain_histograms_drop_exemplars_but_count_the_record() {
+        let h = Histogram::new();
+        assert!(!h.has_exemplars());
+        h.record_exemplar(7, 99);
+        assert_eq!(h.exemplar(3), None);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn exemplars_survive_concurrent_records() {
+        use std::sync::Arc;
+        // Each thread records values into a disjoint set of buckets,
+        // tagged with traces that encode (bucket, thread). Afterwards
+        // every hit bucket must hold an exemplar some thread actually
+        // recorded into that bucket — overwrites race, misfiles do not.
+        let h = Arc::new(Histogram::with_exemplars());
+        let threads = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for round in 0..1000u64 {
+                        for bucket in 1..16usize {
+                            // Value 2^(bucket-1) lands exactly in `bucket`.
+                            let value = 1u64 << (bucket - 1);
+                            let trace = (bucket as u64) << 32 | (t as u64) << 16 | (round & 0xFFFF);
+                            h.record_exemplar(value, trace);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        for bucket in 1..16usize {
+            let trace = h.exemplar(bucket).expect("bucket was hit");
+            assert_eq!(
+                trace >> 32,
+                bucket as u64,
+                "bucket {bucket} holds an exemplar recorded for another bucket"
+            );
+        }
+        // Quantile math is untouched by the extra exemplar store.
+        assert_eq!(h.count(), threads as u64 * 1000 * 15);
     }
 
     #[test]

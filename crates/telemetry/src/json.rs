@@ -108,6 +108,27 @@ impl<'a> ObjectWriter<'a> {
         self.out.push_str(&number(value));
     }
 
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes an array of strings, each escaped.
+    pub fn field_array_str(&mut self, key: &str, values: &[String]) {
+        self.key(key);
+        self.out.push('[');
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push('"');
+            escape_into(self.out, value);
+            self.out.push('"');
+        }
+        self.out.push(']');
+    }
+
     /// Writes a pre-rendered JSON value verbatim (caller guarantees
     /// validity — used for nested arrays/objects).
     pub fn field_raw(&mut self, key: &str, value: &str) {

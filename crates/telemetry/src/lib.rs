@@ -26,7 +26,12 @@
 //!   dumps and a [`Tracer`] emission point shared by every layer.
 //! - [`ScrapeServer`]: a std-only TCP endpoint serving `/metrics`
 //!   (Prometheus text), `/healthz`, `/trace/recent`, `/policies`,
-//!   `/timeseries` and `/alerts` live.
+//!   `/timeseries`, `/alerts` and `/profile` live.
+//! - [`profile`]: the continuous hot-path profiler — instrumented
+//!   shard/coalescer lock acquisition (wait/hold/contention per
+//!   [`LockSite`]), per-operation stage timers folded into a
+//!   flamegraph-exportable call tree, and per-bucket trace-id
+//!   exemplars linking latency outliers to the flight recorder.
 //! - [`timeseries`]: a fixed-capacity ring of delta-encoded windowed
 //!   registry snapshots — `rate()`, sliding-window quantiles and
 //!   min/max/avg over arbitrary virtual-time lookbacks.
@@ -63,6 +68,7 @@ pub mod event;
 pub mod health;
 pub mod histogram;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod sampler;
 pub mod scrape;
@@ -77,6 +83,7 @@ pub use drift::{
 pub use event::{null_sink, Event, EventSink, JsonlSink, NullSink, RingBufferSink, SharedSink};
 pub use health::{HealthConfig, HealthEngine, HealthObservation};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use profile::{LockSite, OpTimer, ProfileConfig, ProfiledGuard, Profiler, StagePath};
 pub use registry::{escape_label_value, Counter, Gauge, Registry};
 pub use sampler::{Sample, Sampler};
 pub use scrape::{EndpointFn, HealthFn, PoliciesFn, ScrapeEndpoints, ScrapeServer};

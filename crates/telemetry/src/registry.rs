@@ -51,6 +51,30 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Increments by one (queue-depth gauges: one enqueue).
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one, saturating at zero (one dequeue — saturation
+    /// guards a racing read between a send and its depth bump).
+    #[inline]
+    pub fn dec(&self) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        while current > 0 {
+            match self.value.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -186,6 +210,24 @@ impl Registry {
             .lock()
             .expect("histogram registry poisoned");
         map.entry(labeled_key(name, labels)).or_default().clone()
+    }
+
+    /// Returns the histogram `name{labels}`, creating it *with
+    /// per-bucket exemplar retention* on first use (see
+    /// [`Histogram::with_exemplars`]). If the series already exists —
+    /// with or without exemplars — the existing handle is returned
+    /// unchanged, so registration order decides exemplar storage.
+    /// Rendering is identical either way: exemplars never appear in
+    /// the Prometheus text format.
+    pub fn histogram_with_exemplars(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned");
+        map.entry(labeled_key(name, labels))
+            .or_insert_with(Histogram::with_exemplars)
+            .clone()
     }
 
     /// Enumerates every registered counter as `(key, value)` in key

@@ -1,6 +1,6 @@
 //! A std-only TCP scrape endpoint: live `/metrics`, `/healthz`,
-//! `/trace/recent`, `/policies`, `/timeseries` and `/alerts` while a
-//! runtime is up.
+//! `/trace/recent`, `/policies`, `/timeseries`, `/alerts` and
+//! `/profile` while a runtime is up.
 //!
 //! The server is deliberately minimal — a single accept thread, one
 //! request per connection (`Connection: close`), and just enough
@@ -73,6 +73,9 @@ pub struct ScrapeEndpoints {
     pub timeseries: Option<EndpointFn>,
     /// `/alerts` (burn-rate/drift alert states), if enabled.
     pub alerts: Option<EndpointFn>,
+    /// `/profile` (hot-path profiler: folded-stack stage tree + lock
+    /// contention), if enabled.
+    pub profile: Option<EndpointFn>,
 }
 
 impl ScrapeEndpoints {
@@ -83,6 +86,7 @@ impl ScrapeEndpoints {
             policies: None,
             timeseries: None,
             alerts: None,
+            profile: None,
         }
     }
 }
@@ -237,6 +241,11 @@ fn serve_one(
                 "200 OK",
                 "application/json",
                 optional(endpoints.alerts.as_ref(), "health engine disabled"),
+            ),
+            "/profile" => (
+                "200 OK",
+                "application/json",
+                optional(endpoints.profile.as_ref(), "profiler disabled"),
             ),
             other => (
                 "404 Not Found",
@@ -473,6 +482,7 @@ mod tests {
                 policies: None,
                 timeseries: Some(Arc::new(|| r#"{"windows":3}"#.to_owned())),
                 alerts: Some(Arc::new(|| r#"{"firing":1}"#.to_owned())),
+                profile: None,
             },
         )
         .unwrap();
@@ -493,6 +503,35 @@ mod tests {
         assert_eq!(body, r#"{"error":"health engine disabled"}"#);
         let (_, body) = get(server.local_addr(), "/alerts");
         assert_eq!(body, r#"{"error":"health engine disabled"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_route_serves_injected_body_and_defaults_to_disabled() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let server = ScrapeServer::bind_with_endpoints(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&recorder),
+            ScrapeEndpoints {
+                profile: Some(Arc::new(|| {
+                    r#"{"enabled":true,"folded":["insert;victim_scan 12"]}"#.to_owned()
+                })),
+                ..ScrapeEndpoints::health_only(Arc::new(|| "{}".to_owned()))
+            },
+        )
+        .unwrap();
+        let (head, body) = get(server.local_addr(), "/profile");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
+        assert!(body.contains("insert;victim_scan 12"));
+        server.shutdown();
+
+        // Without a closure the route explains itself.
+        let (server, _registry, _recorder) = test_server();
+        let (_, body) = get(server.local_addr(), "/profile");
+        assert_eq!(body, r#"{"error":"profiler disabled"}"#);
         server.shutdown();
     }
 

@@ -359,6 +359,20 @@ impl FlightRecorder {
         self.contended_drops.load(Ordering::Relaxed)
     }
 
+    /// Total slot claims across all stripes. Every `record` call claims
+    /// exactly one slot (one `fetch_add`) *before* the per-slot
+    /// `try_lock`, so claims count attempted records — a span dropped
+    /// on slot contention still shows up here. The striping invariant
+    /// `claims == records attempted` (and therefore
+    /// `visible spans + overwritten + contended_drops == claims`) is
+    /// pinned by the generative overwrite-under-contention test.
+    pub fn claims(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Anomalies noted so far.
     pub fn anomalies(&self) -> u64 {
         self.anomalies.load(Ordering::Relaxed)
@@ -434,6 +448,12 @@ impl FlightRecorder {
             header.field_str("reason", reason);
             header.field_u64("t_us", t_us);
             header.field_u64("spans", spans.len() as u64);
+            // When the continuous profiler is live on this thread, say
+            // what the thread was doing when it noticed the anomaly —
+            // the stage path is the cheapest possible backtrace.
+            if let Some(stage) = crate::profile::last_stage_path() {
+                header.field_str("last_stage", stage);
+            }
         }
         text.push('\n');
         for span in &spans {
@@ -1032,6 +1052,102 @@ mod tests {
         assert!(lines[0].contains(r#""kind":"anomaly","reason":"budget_overrun"#));
         assert!(lines[1].contains(r#""kind":"expire""#));
         assert!(lines[1].contains(r#""drop_kind":"expire","policy":"ttl""#));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn overwrite_under_contention_never_loses_the_claim() {
+        // Generative striping test: many threads hammer tiny rings so
+        // slots wrap constantly and writers collide on the per-slot
+        // try_lock. Whatever the interleaving, the *claim* counter must
+        // stay exact: every attempted record bumps exactly one stripe
+        // head, so Σ heads == records attempted, with contended drops
+        // only ever reducing what is *visible*, never what was claimed.
+        let mut seed = 0xC1A1_35EEu64;
+        for round in 0..4 {
+            // xorshift64* the shape: stripe/capacity in [1, 8], thread
+            // and record counts per round.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let mixed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let stripes = 1 + (mixed % 8) as usize;
+            let capacity = 1 + ((mixed >> 8) % 8) as usize;
+            let threads = 4;
+            let per_thread = 2_000u64;
+            let recorder = Arc::new(FlightRecorder::new(stripes, capacity));
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let recorder = Arc::clone(&recorder);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            let trace = TraceId::for_object(t * per_thread + i);
+                            recorder.record(&Span {
+                                trace,
+                                span: SpanId::derive(trace, SpanKind::CacheInsert, i),
+                                parent: None,
+                                kind: SpanKind::CacheInsert,
+                                t_us: i,
+                                cache: t,
+                                object: i,
+                                subscriber: 0,
+                                bytes: 1,
+                                lag_us: 0,
+                                policy: "",
+                                drop_kind: "",
+                                score: 0.0,
+                            });
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            let attempted = threads * per_thread;
+            assert_eq!(
+                recorder.claims(),
+                attempted,
+                "round {round}: stripes={stripes} capacity={capacity} lost a claim"
+            );
+            // Drops only ever come out of claimed slots, every visible
+            // span came from a successful (non-dropped) write, and the
+            // ring can never show more spans than it has slots.
+            let visible = recorder.len() as u64;
+            assert!(
+                visible + recorder.contended_drops() <= attempted,
+                "round {round}: visible={visible} drops={} attempted={attempted}",
+                recorder.contended_drops()
+            );
+            assert!(visible <= (recorder.stripes.len() * recorder.capacity) as u64);
+        }
+    }
+
+    #[test]
+    fn anomaly_dump_carries_the_threads_last_stage_path() {
+        use crate::profile::{ProfileConfig, Profiler, StagePath};
+        use crate::registry::Registry;
+
+        let dir = std::env::temp_dir().join(format!(
+            "bad-trace-stage-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&dir);
+        let recorder = FlightRecorder::new(1, 8);
+        recorder.set_dump_path(&dir);
+
+        // Profiler on: record a stage on *this* thread, then note an
+        // anomaly — the dump header must carry the stage path.
+        let profiler = Profiler::new(&Registry::new(), ProfileConfig::default());
+        let mut timer = profiler.op();
+        profiler.stage(&mut timer, StagePath::InsertVictimScan, 42);
+        recorder.note_anomaly("budget_overrun", 10);
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(
+            text.contains(r#""last_stage":"insert;victim_scan""#),
+            "{text}"
+        );
         let _ = std::fs::remove_file(&dir);
     }
 

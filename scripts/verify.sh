@@ -39,6 +39,11 @@ online_gate() {
   # control must never switch, and the adaptive run must land within
   # 5 points of the best-in-hindsight fixed policy.
   cargo run -q --release -p bad-bench --bin autopilot_bench -- --smoke
+  # Profiler smoke gate: full stage profiling must cost ≤ 10% and
+  # sampled (1/64) ≤ 3% on the median per-rep interleaved ratio, and
+  # the lock-contention curve must show shards=1 wait strictly
+  # dominating shards=8 under the fixed 8-thread tape.
+  cargo run -q --release -p bad-bench --bin profile_overhead -- --smoke
 }
 
 offline_gate() {
@@ -96,6 +101,11 @@ offline_gate() {
     # regime segment, zero switches in the stationary control, hit
     # ratio within 5 points of best-in-hindsight.
     cargo run -q --release -p bad-bench --bin autopilot_bench -- --smoke
+    # Profiler smoke gate (release): overhead ≤ 10% full / ≤ 3%
+    # sampled on the median per-rep interleaved ratio; shards=1
+    # lock-wait must strictly dominate shards=8 on the contention
+    # curve.
+    cargo run -q --release -p bad-bench --bin profile_overhead -- --smoke
   )
 }
 
