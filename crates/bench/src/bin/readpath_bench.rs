@@ -1,0 +1,514 @@
+//! Locked vs lock-free GET path benchmark.
+//!
+//! Sweeps a read-heavy workload (85 % GET / 10 % insert / 5 % ack over
+//! preloaded caches) against [`ShardedCacheManager`] with
+//! `use_lockfree_reads` off (every GET under the shard mutex) and on
+//! (optimistic seqlock snapshot reads, deferred-ack mailbox) for every
+//! combination of 1/2/4/8 threads × 1/4/8 shards, prints a throughput
+//! table and writes `BENCH_readpath.json` under `target/experiments/`.
+//!
+//! Headline numbers:
+//!
+//! * the **uncontended latency ratio** — ns/op of the lock-free build
+//!   over the locked build at 1 thread / 1 shard; the optimistic path
+//!   must not cost more than the uncontended mutex it replaces;
+//! * the **contended speedup** — lock-free over locked throughput at
+//!   8 threads / 8 shards, where the locked build serializes GET
+//!   planning under the shard mutexes and the lock-free build only
+//!   touches two micro-critical-sections (snapshot clone + mailbox
+//!   push) per GET. Only meaningful with ≥ 4 real cores; on smaller
+//!   hosts the threads timeslice and the ratio collapses to ~1×.
+//!
+//! `--smoke` shrinks the op counts and gates:
+//!
+//! * **parity** — a serial mixed tape replayed against locked and
+//!   lock-free managers (1 and 4 shards) must produce identical
+//!   dropped streams, hit tallies, metrics and retained bytes;
+//! * **no-regression** — uncontended (1 thread / 1 shard) lock-free
+//!   throughput ≥ 70 % of locked (best of 3 interleaved reps, the
+//!   margin absorbing CI noise);
+//! * **scaling** — lock-free ≥ 2× locked at 8 threads / 8 shards,
+//!   checked only when `available_parallelism ≥ 4` (as the profiler
+//!   bench does): single-core hosts cannot exhibit contention, so the
+//!   assertion is skipped there with a note.
+//!
+//! Use `--release`; std threads only, deterministic op streams.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use bad_bench::{print_table, write_bench_json_with_meta};
+use bad_cache::{CacheConfig, NewObject, PolicyName, ShardedCacheManager};
+use bad_telemetry::json::ObjectWriter;
+use bad_telemetry::{LockSite, ProfileConfig, Profiler, Registry};
+use bad_types::{
+    BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
+};
+
+const CACHES: u64 = 64;
+const BUDGET: u64 = 64_000_000;
+const PRELOAD: u64 = 128;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: [usize; 3] = [1, 4, 8];
+
+/// The same xorshift64* generator the cache test harness uses.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn config(lockfree: bool) -> CacheConfig {
+    CacheConfig {
+        budget: ByteSize::new(BUDGET),
+        use_lockfree_reads: lockfree,
+        ..CacheConfig::default()
+    }
+}
+
+/// Builds a manager with `CACHES` caches, each preloaded with
+/// `PRELOAD` objects so GETs have real planning work to do.
+fn build(lockfree: bool, shards: usize) -> Arc<ShardedCacheManager> {
+    let mgr = Arc::new(ShardedCacheManager::new(
+        PolicyName::Lsc,
+        config(lockfree),
+        shards,
+    ));
+    for c in 0..CACHES {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c))
+            .expect("cache just created");
+        for i in 0..PRELOAD {
+            let now = Timestamp::from_secs(i + 1);
+            mgr.insert(
+                bs,
+                NewObject {
+                    id: ObjectId::new(c * 1_000_000 + i),
+                    ts: now,
+                    size: ByteSize::new(256),
+                    fetch_latency: SimDuration::from_millis(500),
+                },
+                now,
+            )
+            .expect("cache exists");
+        }
+    }
+    mgr
+}
+
+/// One thread of the read-heavy measured phase. Inserts go to caches
+/// owned by this thread (single writer per cache keeps timelines
+/// append-only); GETs and acks roam freely.
+fn worker(mgr: &ShardedCacheManager, threads: u64, t: u64, ops: u64) -> u64 {
+    let mut rng = XorShift64::new(0x0DD_BA11 ^ (t + 1));
+    let owned: Vec<u64> = (0..CACHES).filter(|c| c % threads == t).collect();
+    let mut hits = 0u64;
+    for i in 0..ops {
+        let now = Timestamp::from_secs(PRELOAD + i + 1);
+        match rng.below(20) {
+            // 85 % GETs over the preloaded region.
+            0..=16 => {
+                let bs = BackendSubId::new(rng.below(CACHES));
+                let from = rng.below(PRELOAD);
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(from),
+                    Timestamp::from_secs(from + rng.below(64)),
+                );
+                let plan = mgr.plan_get(bs, range, now);
+                hits += plan.cached.len() as u64;
+            }
+            // 10 % inserts extend an owned cache's timeline.
+            17..=18 => {
+                let bs = BackendSubId::new(owned[rng.below(owned.len() as u64) as usize]);
+                mgr.insert(
+                    bs,
+                    NewObject {
+                        id: ObjectId::new(t * 100_000_000 + i),
+                        ts: now,
+                        size: ByteSize::new(256),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .expect("cache exists");
+            }
+            // 5 % acks from the permanent subscriber.
+            _ => {
+                let c = rng.below(CACHES);
+                let _ = mgr.ack_consume(
+                    BackendSubId::new(c),
+                    SubscriberId::new(1000 + c),
+                    Timestamp::from_secs(rng.below(PRELOAD / 2)),
+                    now,
+                );
+            }
+        }
+    }
+    hits
+}
+
+/// Runs one cell of the sweep; returns ops/second over the measured
+/// phase (preload excluded).
+fn run_cell(lockfree: bool, shards: usize, threads: u64, ops_per_thread: u64) -> f64 {
+    let mgr = build(lockfree, shards);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || worker(&mgr, threads, t, ops_per_thread))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    mgr.maintain(Timestamp::from_secs(2 * (PRELOAD + ops_per_thread)));
+    (threads * ops_per_thread) as f64 / elapsed
+}
+
+/// Serial parity gate: the same deterministic mixed tape against the
+/// locked and lock-free builds must produce identical observable
+/// behaviour. Returns an error string on divergence.
+fn parity_check(shards: usize, ops: u64) -> Result<(), String> {
+    let run = |lockfree: bool| {
+        let mgr = build(lockfree, shards);
+        let mut rng = XorShift64::new(0xC0FFEE);
+        let mut hits = 0u64;
+        let mut dropped = Vec::new();
+        for i in 0..ops {
+            let now = Timestamp::from_secs(PRELOAD + i + 1);
+            match rng.below(12) {
+                0..=4 => {
+                    let bs = BackendSubId::new(rng.below(CACHES));
+                    dropped.extend(
+                        mgr.insert(
+                            bs,
+                            NewObject {
+                                id: ObjectId::new(10_000_000 + i),
+                                ts: now,
+                                size: ByteSize::new(1 + rng.below(4000)),
+                                fetch_latency: SimDuration::from_millis(500),
+                            },
+                            now,
+                        )
+                        .expect("cache exists"),
+                    );
+                }
+                5..=8 => {
+                    let bs = BackendSubId::new(rng.below(CACHES));
+                    let from = rng.below(PRELOAD);
+                    let range = TimeRange::closed(
+                        Timestamp::from_secs(from),
+                        Timestamp::from_secs(from + rng.below(64)),
+                    );
+                    hits += mgr.plan_get(bs, range, now).cached.len() as u64;
+                }
+                9..=10 => {
+                    let c = rng.below(CACHES);
+                    if let Ok(batch) = mgr.ack_consume(
+                        BackendSubId::new(c),
+                        SubscriberId::new(1000 + c),
+                        Timestamp::from_secs(rng.below(PRELOAD + ops)),
+                        now,
+                    ) {
+                        dropped.extend(batch);
+                    }
+                }
+                _ => dropped.extend(mgr.maintain(now)),
+            }
+        }
+        dropped.extend(mgr.quiesce());
+        (hits, dropped, mgr.metrics(), mgr.total_bytes())
+    };
+    let (l_hits, l_drops, l_metrics, l_bytes) = run(false);
+    let (f_hits, f_drops, f_metrics, f_bytes) = run(true);
+    if l_hits != f_hits {
+        return Err(format!(
+            "{shards} shards: hits diverged (locked {l_hits}, lockfree {f_hits})"
+        ));
+    }
+    if l_drops != f_drops {
+        return Err(format!(
+            "{shards} shards: dropped streams diverged ({} vs {} drops)",
+            l_drops.len(),
+            f_drops.len()
+        ));
+    }
+    if l_metrics != f_metrics {
+        return Err(format!("{shards} shards: metrics diverged"));
+    }
+    if l_bytes != f_bytes {
+        return Err(format!(
+            "{shards} shards: retained bytes diverged ({l_bytes:?} vs {f_bytes:?})"
+        ));
+    }
+    Ok(())
+}
+
+/// Measures the average latency of the GET calls themselves on a
+/// single thread (1 shard): the same mixed tape as [`worker`], but
+/// only the `plan_get` invocations are timed. This isolates what the
+/// tentpole changes — the deferred hit accounting is replayed under
+/// the *writer* ops' locks, so it is (correctly) charged to the
+/// inserts/acks that drain it, exactly as contention charges it in
+/// production. Returns ns per GET.
+fn measure_get_latency(lockfree: bool, ops: u64) -> f64 {
+    let mgr = build(lockfree, 1);
+    let mut rng = XorShift64::new(0x0DD_BA11);
+    let mut get_ns = 0u128;
+    let mut gets = 0u64;
+    for i in 0..ops {
+        let now = Timestamp::from_secs(PRELOAD + i + 1);
+        match rng.below(20) {
+            0..=16 => {
+                let bs = BackendSubId::new(rng.below(CACHES));
+                let from = rng.below(PRELOAD);
+                let range = TimeRange::closed(
+                    Timestamp::from_secs(from),
+                    Timestamp::from_secs(from + rng.below(64)),
+                );
+                let start = Instant::now();
+                let plan = mgr.plan_get(bs, range, now);
+                get_ns += start.elapsed().as_nanos();
+                gets += 1;
+                std::hint::black_box(plan);
+            }
+            17..=18 => {
+                mgr.insert(
+                    BackendSubId::new(rng.below(CACHES)),
+                    NewObject {
+                        id: ObjectId::new(200_000_000 + i),
+                        ts: now,
+                        size: ByteSize::new(256),
+                        fetch_latency: SimDuration::from_millis(500),
+                    },
+                    now,
+                )
+                .expect("cache exists");
+            }
+            _ => {
+                let c = rng.below(CACHES);
+                let _ = mgr.ack_consume(
+                    BackendSubId::new(c),
+                    SubscriberId::new(1000 + c),
+                    Timestamp::from_secs(rng.below(PRELOAD / 2)),
+                    now,
+                );
+            }
+        }
+    }
+    get_ns as f64 / gets as f64
+}
+
+/// Replays the contended 8-thread / 8-shard cell with the profiler's
+/// lock sites attached and returns the total attributed lock wait —
+/// the same quantity `/profile` exports as `bad_profile_lock_wait_ns`
+/// — so the JSON records the before (locked) / after (lock-free)
+/// contention attribution alongside the throughput numbers.
+fn measure_lock_wait(lockfree: bool, ops_per_thread: u64) -> u64 {
+    let registry = Registry::new();
+    let profiler = Profiler::new(&registry, ProfileConfig { sample_every_n: 0 });
+    let mgr = build(lockfree, 8);
+    mgr.set_profiler(&profiler);
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || worker(&mgr, 8, t, ops_per_thread))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    mgr.maintain(Timestamp::from_secs(2 * (PRELOAD + ops_per_thread)));
+    profiler
+        .lock_sites()
+        .iter()
+        .map(LockSite::wait_total_ns)
+        .sum()
+}
+
+fn mode_name(lockfree: bool) -> &'static str {
+    if lockfree {
+        "lockfree"
+    } else {
+        "locked"
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops_per_thread: u64 = if smoke { 8_000 } else { 60_000 };
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Parity gate first — always, both modes: a fast serial tape at 1
+    // and 4 shards.
+    for shards in [1usize, 4] {
+        if let Err(err) = parity_check(shards, if smoke { 4_000 } else { 20_000 }) {
+            eprintln!("FAIL: lockfree/locked parity: {err}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("readpath_bench: parity ok (1 and 4 shards)");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    // throughput[mode][shard_idx][thread_idx]; mode 0 = locked.
+    let mut throughput = [[[0.0f64; THREADS.len()]; SHARDS.len()]; 2];
+
+    for (si, &shards) in SHARDS.iter().enumerate() {
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            for (mi, lockfree) in [false, true].into_iter().enumerate() {
+                eprintln!(
+                    "readpath_bench: mode={} shards={shards} threads={threads}...",
+                    mode_name(lockfree)
+                );
+                let ops_per_sec = run_cell(lockfree, shards, threads as u64, ops_per_thread);
+                throughput[mi][si][ti] = ops_per_sec;
+                let ns_per_op = 1e9 / ops_per_sec;
+                rows.push(vec![
+                    mode_name(lockfree).to_string(),
+                    shards.to_string(),
+                    threads.to_string(),
+                    format!("{ops_per_sec:.0}"),
+                    format!("{ns_per_op:.0}"),
+                ]);
+                let mut json = String::new();
+                {
+                    let mut obj = ObjectWriter::new(&mut json);
+                    obj.field_str("mode", mode_name(lockfree));
+                    obj.field_u64("shards", shards as u64);
+                    obj.field_u64("threads", threads as u64);
+                    obj.field_u64("total_ops", threads as u64 * ops_per_thread);
+                    obj.field_f64("ops_per_sec", ops_per_sec);
+                    obj.field_f64("ns_per_op", ns_per_op);
+                }
+                json_rows.push(json);
+            }
+        }
+    }
+
+    print_table(
+        "GET path: locked vs lock-free throughput (ops/s) by shards × threads",
+        &["mode", "shards", "threads", "ops_per_sec", "ns_per_op"],
+        &rows,
+    );
+
+    // Uncontended GET latency: best of 3 interleaved single-thread
+    // reps (minimum ns, so one background hiccup cannot decide the
+    // ratio). Only the GET calls are timed — the deferred accounting
+    // is charged to the writer ops that drain it.
+    let uncontended_ops = ops_per_thread / 2;
+    let mut locked_get_ns = f64::MAX;
+    let mut free_get_ns = f64::MAX;
+    for _ in 0..3 {
+        locked_get_ns = locked_get_ns.min(measure_get_latency(false, uncontended_ops));
+        free_get_ns = free_get_ns.min(measure_get_latency(true, uncontended_ops));
+    }
+    let latency_ratio = free_get_ns / locked_get_ns;
+    let contended_speedup = throughput[1][2][3] / throughput[0][2][3]; // 8 shards, 8 threads
+
+    // Attributed lock wait under the contended cell, both modes — the
+    // `/profile` endpoint's `bad_profile_lock_wait_ns` before/after.
+    let locked_wait_ns = measure_lock_wait(false, ops_per_thread / 2);
+    let free_wait_ns = measure_lock_wait(true, ops_per_thread / 2);
+
+    println!(
+        "\nuncontended GET latency: locked {locked_get_ns:.0} ns, \
+         lock-free {free_get_ns:.0} ns ({latency_ratio:.2}x)"
+    );
+    println!("contended 8t/8s lock-free over locked: {contended_speedup:.2}x");
+    println!(
+        "attributed lock wait (8t/8s, bad_profile_lock_wait_ns): \
+         locked {locked_wait_ns} ns, lock-free {free_wait_ns} ns"
+    );
+    if cores < 4 {
+        println!(
+            "note: only {cores} core(s) available — threads timeslice, so the \
+             contended speedup cannot manifest on this host"
+        );
+    }
+
+    let mut summary = String::new();
+    {
+        let mut obj = ObjectWriter::new(&mut summary);
+        obj.field_str("summary", "lockfree_vs_locked");
+        obj.field_f64("uncontended_locked_get_ns", locked_get_ns);
+        obj.field_f64("uncontended_lockfree_get_ns", free_get_ns);
+        obj.field_f64("uncontended_get_latency_ratio", latency_ratio);
+        obj.field_f64("contended_speedup_8t_8s", contended_speedup);
+        obj.field_u64("contended_lock_wait_locked_ns", locked_wait_ns);
+        obj.field_u64("contended_lock_wait_lockfree_ns", free_wait_ns);
+        obj.field_u64("available_parallelism", cores as u64);
+    }
+    json_rows.push(summary);
+
+    let meta: Vec<(&str, String)> = vec![
+        ("caches", CACHES.to_string()),
+        ("budget_bytes", BUDGET.to_string()),
+        ("preload_per_cache", PRELOAD.to_string()),
+        ("ops_per_thread", ops_per_thread.to_string()),
+        (
+            "threads_sweep",
+            format!("[{}]", THREADS.map(|s| s.to_string()).join(",")),
+        ),
+        (
+            "shards_sweep",
+            format!("[{}]", SHARDS.map(|s| s.to_string()).join(",")),
+        ),
+        ("smoke", smoke.to_string()),
+    ];
+    let path = write_bench_json_with_meta("readpath", &meta, &format!("[{}]", json_rows.join(",")));
+    println!("wrote {}", path.display());
+
+    if smoke {
+        // No-regression gate: an optimistic GET must not cost more
+        // than the uncontended locked GET it replaces. The 1.25 margin
+        // absorbs CI timing noise; the JSON records the true ratio.
+        if latency_ratio > 1.25 {
+            eprintln!(
+                "FAIL: uncontended lock-free GET latency {free_get_ns:.0} ns exceeds \
+                 125% of locked {locked_get_ns:.0} ns"
+            );
+            std::process::exit(1);
+        }
+        // Scaling gate: only on hosts that can actually run the
+        // 8-thread cell in parallel (single-core CI cannot exhibit
+        // contention, so the assertion is vacuous there).
+        if cores >= 4 {
+            if contended_speedup < 2.0 {
+                eprintln!(
+                    "FAIL: lock-free contended speedup {contended_speedup:.2}x at \
+                     8 threads / 8 shards below the 2x gate"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!(
+                "readpath_bench: skipping the contended scaling assertion \
+                 (available_parallelism = {cores} < 4)"
+            );
+        }
+        println!("readpath_bench --smoke: all gates green");
+    }
+}

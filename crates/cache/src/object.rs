@@ -1,6 +1,7 @@
 //! Cached result objects.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use bad_types::{ByteSize, ObjectId, SimDuration, SubscriberId, Timestamp};
 
@@ -43,7 +44,12 @@ pub struct CachedObject {
     /// object's expiration header is fixed when it is admitted.
     pub frozen_expiry: Timestamp,
     /// Subscribers attached to the object that have not retrieved it yet.
-    pub pending: BTreeSet<SubscriberId>,
+    ///
+    /// Shared (`Arc`) with the owning cache's live subscriber list at
+    /// insertion time, so attaching the set is a pointer copy rather
+    /// than a per-object clone; copy-on-write kicks in only when a
+    /// subscriber actually retrieves the object.
+    pub pending: Arc<BTreeSet<SubscriberId>>,
 }
 
 impl CachedObject {
@@ -53,7 +59,7 @@ impl CachedObject {
         desc: NewObject,
         cached_at: Timestamp,
         ttl_at_insert: SimDuration,
-        pending: BTreeSet<SubscriberId>,
+        pending: impl Into<Arc<BTreeSet<SubscriberId>>>,
     ) -> Self {
         Self {
             id: desc.id,
@@ -62,7 +68,7 @@ impl CachedObject {
             fetch_latency: desc.fetch_latency,
             cached_at,
             frozen_expiry: cached_at + ttl_at_insert,
-            pending,
+            pending: pending.into(),
         }
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use bad_types::{
     BackendSubId, ByteSize, ObjectId, SimDuration, SubscriberId, TimeRange, Timestamp,
@@ -59,8 +60,10 @@ pub struct ResultCache {
     id: BackendSubId,
     /// Oldest (tail) at the front, newest (head) at the back.
     entries: VecDeque<CachedObject>,
-    /// Subscribers currently attached to the cache (`S(i)`).
-    subs: BTreeSet<SubscriberId>,
+    /// Subscribers currently attached to the cache (`S(i)`). Kept
+    /// behind an `Arc` so each insert attaches the set by pointer copy
+    /// (see [`CachedObject::pending`]); (un)subscribes copy-on-write.
+    subs: Arc<BTreeSet<SubscriberId>>,
     total_bytes: ByteSize,
     /// Last time a subscriber retrieved from this cache (LRU key).
     last_access: Timestamp,
@@ -89,7 +92,7 @@ impl ResultCache {
         Self {
             id,
             entries: VecDeque::new(),
-            subs: BTreeSet::new(),
+            subs: Arc::new(BTreeSet::new()),
             total_bytes: ByteSize::ZERO,
             last_access: now,
             arrivals: RateEstimator::new(rate_window),
@@ -203,19 +206,25 @@ impl ResultCache {
     /// on will list it as pending (Section IV-A: earlier objects "would
     /// not contain this particular subscriber in their subscriber list").
     pub fn add_subscriber(&mut self, sub: SubscriberId) {
-        self.subs.insert(sub);
+        if !self.subs.contains(&sub) {
+            Arc::make_mut(&mut self.subs).insert(sub);
+        }
     }
 
     /// Detaches a subscriber, also removing it from every resident
     /// object's pending set (the `UNSUBSCRIBE` routine). Objects whose
     /// pending set empties as a result are dropped and returned.
     pub fn remove_subscriber(&mut self, sub: SubscriberId) -> Vec<CachedObject> {
-        self.subs.remove(&sub);
+        if self.subs.contains(&sub) {
+            Arc::make_mut(&mut self.subs).remove(&sub);
+        }
         let mut dropped = Vec::new();
         let mut idx = 0;
         while idx < self.entries.len() {
             let entry = &mut self.entries[idx];
-            entry.pending.remove(&sub);
+            if entry.pending.contains(&sub) {
+                Arc::make_mut(&mut entry.pending).remove(&sub);
+            }
             if entry.pending.is_empty() {
                 let object = self.entries.remove(idx).expect("index in bounds");
                 self.total_bytes -= object.size;
@@ -244,7 +253,7 @@ impl ResultCache {
         self.total_bytes += desc.size;
         // Note: insertion does NOT update `last_access` — the LRU policy
         // ranks caches by how recently a *subscriber* accessed them.
-        let object = CachedObject::new(desc, now, self.ttl, self.subs.clone());
+        let object = CachedObject::new(desc, now, self.ttl, Arc::clone(&self.subs));
         self.entries.push_back(object);
         self.entries.back().expect("just pushed")
     }
@@ -316,7 +325,9 @@ impl ResultCache {
                 break;
             }
             let entry = &mut self.entries[idx];
-            entry.pending.remove(&sub);
+            if entry.pending.contains(&sub) {
+                Arc::make_mut(&mut entry.pending).remove(&sub);
+            }
             if entry.pending.is_empty() {
                 let object = self.entries.remove(idx).expect("index in bounds");
                 self.total_bytes -= object.size;
@@ -337,7 +348,9 @@ impl ResultCache {
             if entry.ts > up_to {
                 break;
             }
-            entry.pending.remove(&sub);
+            if entry.pending.contains(&sub) {
+                Arc::make_mut(&mut entry.pending).remove(&sub);
+            }
         }
     }
 
@@ -385,6 +398,18 @@ impl ResultCache {
     /// Number of live admission gaps (diagnostics).
     pub fn gap_count(&self) -> usize {
         self.gaps.len()
+    }
+
+    /// Live admission-gap timestamps in ascending order (snapshot
+    /// capture for the lock-free read path).
+    pub(crate) fn gaps(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.gaps.iter().copied()
+    }
+
+    /// Updates the LRU key exactly as [`Self::plan_get`] would — used
+    /// when replaying a deferred optimistic read's bookkeeping.
+    pub(crate) fn touch(&mut self, now: Timestamp) {
+        self.last_access = now;
     }
 
     /// Advances the coverage watermark just past a dropped tail's

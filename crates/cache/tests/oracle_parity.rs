@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use bad_cache::{CacheConfig, CacheManager, CacheTelemetry, PolicyName, ShardedCacheManager};
 use bad_telemetry::{ProfileConfig, Profiler, Registry, RingBufferSink, SharedSink};
-use bad_types::{ByteSize, SimDuration};
-use common::{gen_ops, replay, Driver};
+use bad_types::{ByteSize, SimDuration, Timestamp};
+use common::{gen_ops, replay, replay_with, Driver};
 
 const SEEDS: [u64; 4] = [7, 21, 42, 1009];
 const OPS_PER_SEED: usize = 250;
@@ -164,6 +164,187 @@ fn single_shard_with_full_profiling_matches_monolith() {
                 .contains("bad_profile_stage_ns_count"),
             "{policy:?}: profiler stage series missing"
         );
+    }
+}
+
+/// The lock-free read path oracle: a manager with
+/// `use_lockfree_reads = true` (the default — optimistic seqlock GETs,
+/// adaptive deferred acks) must be observationally byte-identical to
+/// one with the flag off (every operation under the shard mutex, the
+/// pre-read-path behaviour) on the same op tape — same per-call
+/// dropped-object stream, same metrics, same retained bytes — for
+/// every policy at both 1 and 4 shards, including a mid-tape budget
+/// shrink and the tape's own `Maintain` ops.
+#[test]
+fn lockfree_reads_match_locked_all_policies_and_shards() {
+    for policy in policies() {
+        for shards in [1usize, 4] {
+            for seed in SEEDS {
+                let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+                let locked_cfg = CacheConfig {
+                    use_lockfree_reads: false,
+                    ..config(10_000)
+                };
+
+                let run = |cfg: CacheConfig| {
+                    let mut mgr = ShardedCacheManager::new(policy, cfg, shards);
+                    let mut shrink = Vec::new();
+                    let mut op_no = 0usize;
+                    let mut log = replay_with(&mut mgr, &ops, 4, |m| {
+                        op_no += 1;
+                        if op_no == OPS_PER_SEED / 2 {
+                            shrink.extend(m.set_budget(
+                                ByteSize::new(4_000),
+                                Timestamp::from_secs(op_no as u64),
+                            ));
+                        }
+                    });
+                    // Apply any still-enqueued read records and stashed
+                    // deferred drops before comparing final state.
+                    log.dropped.extend(mgr.quiesce());
+                    (mgr, log, shrink)
+                };
+                let (locked, locked_log, locked_shrink) = run(locked_cfg);
+                let (lockfree, lockfree_log, lockfree_shrink) = run(config(10_000));
+
+                assert_eq!(
+                    locked_log, lockfree_log,
+                    "{policy:?} seed {seed} shards {shards}: replay logs diverged"
+                );
+                assert_eq!(
+                    locked_shrink, lockfree_shrink,
+                    "{policy:?} seed {seed} shards {shards}: budget-shrink drops diverged"
+                );
+                assert_eq!(
+                    Driver::metrics_snapshot(&locked),
+                    Driver::metrics_snapshot(&lockfree),
+                    "{policy:?} seed {seed} shards {shards}: metrics diverged"
+                );
+                assert_eq!(Driver::total_bytes(&locked), Driver::total_bytes(&lockfree));
+                assert_eq!(locked.cache_count(), lockfree.cache_count());
+            }
+        }
+    }
+}
+
+/// Same oracle over the telemetry side channel at one shard: the
+/// lock-free build's deferred hit records drain at the next lock
+/// acquisition, which on a serial tape is always before the next op's
+/// own events — so the event ring and the rendered registry must come
+/// out byte-identical to the fully locked build.
+#[test]
+fn lockfree_single_shard_matches_locked_telemetry() {
+    for policy in policies() {
+        let ops = gen_ops(42, OPS_PER_SEED, 4, 8);
+
+        let locked_registry = Registry::new();
+        let locked_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut locked = ShardedCacheManager::new(
+            policy,
+            CacheConfig {
+                use_lockfree_reads: false,
+                ..config(10_000)
+            },
+            1,
+        );
+        locked.set_telemetry(CacheTelemetry::new(
+            &locked_registry,
+            locked_ring.clone() as SharedSink,
+        ));
+        replay(&mut locked, &ops, 4);
+
+        let free_registry = Registry::new();
+        let free_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut lockfree = ShardedCacheManager::new(policy, config(10_000), 1);
+        lockfree.set_telemetry(CacheTelemetry::new(
+            &free_registry,
+            free_ring.clone() as SharedSink,
+        ));
+        replay(&mut lockfree, &ops, 4);
+        // A trailing optimistic GET may leave its hit record enqueued;
+        // drain it before reading the ring.
+        let residue = lockfree.quiesce();
+        assert!(
+            residue.is_empty(),
+            "{policy:?}: serial adaptive tape stashed drops: {residue:?}"
+        );
+
+        assert_eq!(
+            locked_ring.events(),
+            free_ring.events(),
+            "{policy:?}: telemetry event streams diverged"
+        );
+        assert_eq!(
+            locked_registry.render(),
+            free_registry.render(),
+            "{policy:?}: rendered registries diverged"
+        );
+    }
+}
+
+/// Forces every ack through the deferred mailbox (the contended-path
+/// behaviour, made deterministic) and checks the drain/stash machinery
+/// end to end: per-call results shift — a deferred ack returns no
+/// drops, they surface prepended to a later drop-returning call — but
+/// the *cumulative* dropped stream keeps the exact serial order, and
+/// final metrics, telemetry and occupancy are byte-identical to the
+/// locked build.
+#[test]
+fn force_deferred_acks_preserve_cumulative_streams() {
+    for policy in policies() {
+        for seed in SEEDS {
+            let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+
+            let locked_registry = Registry::new();
+            let locked_ring = Arc::new(RingBufferSink::new(100_000));
+            let mut locked = ShardedCacheManager::new(
+                policy,
+                CacheConfig {
+                    use_lockfree_reads: false,
+                    ..config(10_000)
+                },
+                1,
+            );
+            locked.set_telemetry(CacheTelemetry::new(
+                &locked_registry,
+                locked_ring.clone() as SharedSink,
+            ));
+            let locked_log = replay(&mut locked, &ops, 4);
+
+            let free_registry = Registry::new();
+            let free_ring = Arc::new(RingBufferSink::new(100_000));
+            let mut lockfree = ShardedCacheManager::new(policy, config(10_000), 1);
+            lockfree.set_telemetry(CacheTelemetry::new(
+                &free_registry,
+                free_ring.clone() as SharedSink,
+            ));
+            lockfree.set_force_defer_acks(true);
+            let mut free_log = replay(&mut lockfree, &ops, 4);
+            free_log.dropped.extend(lockfree.quiesce());
+
+            assert_eq!(
+                locked_log.dropped, free_log.dropped,
+                "{policy:?} seed {seed}: cumulative dropped streams diverged"
+            );
+            assert_eq!(locked_log.hits, free_log.hits, "{policy:?} seed {seed}");
+            assert_eq!(locked_log.misses, free_log.misses, "{policy:?} seed {seed}");
+            assert_eq!(
+                Driver::metrics_snapshot(&locked),
+                Driver::metrics_snapshot(&lockfree),
+                "{policy:?} seed {seed}: metrics diverged"
+            );
+            assert_eq!(Driver::total_bytes(&locked), Driver::total_bytes(&lockfree));
+            assert_eq!(
+                locked_ring.events(),
+                free_ring.events(),
+                "{policy:?} seed {seed}: telemetry event streams diverged"
+            );
+            assert_eq!(
+                locked_registry.render(),
+                free_registry.render(),
+                "{policy:?} seed {seed}: rendered registries diverged"
+            );
+        }
     }
 }
 

@@ -149,6 +149,156 @@ fn run_stress(shards: usize) {
     );
 }
 
+/// Lock-free read-path stress: 6 reader threads hammer optimistic
+/// snapshot GETs while 2 writer threads insert, ack and maintain
+/// concurrently. Every returned plan must be internally consistent —
+/// a torn read would show up as out-of-order/out-of-range cached
+/// entries or a `cached_bytes` sum mismatch — and once the final
+/// maintain has drained every shard's read mailbox, the hit metric
+/// must equal the readers' own tally exactly.
+#[test]
+fn optimistic_reads_are_never_torn_and_account_exactly() {
+    use bad_telemetry::{ProfileConfig, Profiler, Registry};
+
+    const READERS: u64 = 6;
+    const WRITERS: u64 = 2;
+    const READ_OPS: u64 = 20_000;
+    const WRITE_OPS: u64 = 5_000;
+    const STRESS_CACHES: u64 = 16;
+
+    let registry = Registry::new();
+    let profiler = Profiler::new(&registry, ProfileConfig { sample_every_n: 1 });
+    let mgr = Arc::new(ShardedCacheManager::new(
+        PolicyName::Lsc,
+        CacheConfig {
+            budget: ByteSize::new(4_000_000),
+            ttl_recompute_interval: SimDuration::from_secs(30),
+            ..CacheConfig::default()
+        },
+        8,
+    ));
+    mgr.set_profiler(&profiler);
+    for c in 0..STRESS_CACHES {
+        let bs = BackendSubId::new(c);
+        mgr.create_cache(bs, Timestamp::ZERO);
+        mgr.add_subscriber(bs, SubscriberId::new(1000 + c))
+            .expect("cache just created");
+    }
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || {
+                let mut rng = XorShift64::new(0xFEED ^ (w + 1));
+                let owned: Vec<u64> = (0..STRESS_CACHES).filter(|c| c % WRITERS == w).collect();
+                for i in 0..WRITE_OPS {
+                    let now = Timestamp::from_secs(i + 1);
+                    let c = owned[rng.below(owned.len() as u64) as usize];
+                    let bs = BackendSubId::new(c);
+                    match rng.below(8) {
+                        0..=5 => {
+                            mgr.insert(
+                                bs,
+                                bad_cache::NewObject {
+                                    id: ObjectId::new(w * 1_000_000 + i),
+                                    ts: now,
+                                    size: ByteSize::new(rng.range(1, 2000)),
+                                    fetch_latency: SimDuration::from_millis(500),
+                                },
+                                now,
+                            )
+                            .expect("cache exists");
+                        }
+                        6 => {
+                            let _ = mgr.ack_consume(
+                                bs,
+                                SubscriberId::new(1000 + c),
+                                Timestamp::from_secs(rng.below(WRITE_OPS)),
+                                now,
+                            );
+                        }
+                        _ => {
+                            mgr.maintain_shard((i % 8) as usize, now);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let mgr = Arc::clone(&mgr);
+            let profiler = profiler.clone();
+            thread::spawn(move || {
+                let mut rng = XorShift64::new(0xACE ^ (r + 1));
+                let mut hits = 0u64;
+                for i in 0..READ_OPS {
+                    let now = Timestamp::from_secs(i + 1);
+                    let bs = BackendSubId::new(rng.below(STRESS_CACHES));
+                    let from = rng.below(WRITE_OPS);
+                    let len = rng.below(200);
+                    let range = TimeRange::closed(
+                        Timestamp::from_secs(from),
+                        Timestamp::from_secs(from + len),
+                    );
+                    let plan = mgr.plan_get(bs, range, now);
+                    // Torn-read detection: a snapshot assembled from a
+                    // half-published state would violate one of these.
+                    let mut bytes = ByteSize::ZERO;
+                    let mut last_ts = None;
+                    for &(_, ts, size) in &plan.cached {
+                        assert!(range.contains(ts), "cached entry outside requested range");
+                        if let Some(prev) = last_ts {
+                            assert!(ts > prev, "cached entries out of order: torn read");
+                        }
+                        last_ts = Some(ts);
+                        bytes += size;
+                    }
+                    assert_eq!(
+                        plan.cached_bytes, bytes,
+                        "cached_bytes sum mismatch: torn read"
+                    );
+                    for w in plan.missed.windows(2) {
+                        assert!(w[0].to < w[1].from, "missed ranges overlap or out of order");
+                    }
+                    hits += plan.cached.len() as u64;
+                }
+                profiler.flush_thread();
+                hits
+            })
+        })
+        .collect();
+
+    for handle in writers {
+        handle.join().expect("writer panicked");
+    }
+    let mut hits = 0u64;
+    for handle in readers {
+        hits += handle.join().expect("reader panicked");
+    }
+
+    // Drain every shard's mailbox (maintain locks each shard), then
+    // the deferred hit accounting must balance exactly.
+    mgr.maintain(Timestamp::from_secs(2 * READ_OPS));
+    let m = mgr.metrics();
+    assert_eq!(m.hit_objects, hits, "deferred hit accounting diverged");
+    assert_eq!(
+        m.hit_objects + m.miss_objects,
+        m.requested_objects,
+        "requests not exactly partitioned into hits and misses"
+    );
+
+    // The lock-free path really ran: the folded stage tree shows
+    // optimistic reads (and their accounting drains).
+    profiler.flush_thread();
+    let folded = profiler.render_folded();
+    assert!(
+        folded.contains("get_all_pending;optimistic_read "),
+        "no optimistic reads recorded:\n{folded}"
+    );
+}
+
 #[test]
 fn eight_threads_four_shards_accounting_balances() {
     run_stress(4);

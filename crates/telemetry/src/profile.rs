@@ -159,6 +159,14 @@ pub enum StagePath {
     GetClusterRtt,
     /// Post-delivery consume acknowledgement under the shard lock.
     GetAck,
+    /// Seqlock snapshot read that served a plan without the shard lock.
+    GetOptimisticRead,
+    /// Optimistic read attempt that lost the generation race and fell
+    /// back to the locked path.
+    GetSeqlockRetry,
+    /// Draining deferred hit/ack records from the read mailbox while a
+    /// shard lock is held.
+    GetAckDrain,
     /// Whole `insert` operation (root).
     InsertTotal,
     /// Waiting on (and acquiring) the shard mutex on the insert path.
@@ -183,7 +191,7 @@ pub enum StagePath {
 
 impl StagePath {
     /// Number of stage paths (array sizes).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// Every path, in render order.
     pub const ALL: [StagePath; Self::COUNT] = [
@@ -195,6 +203,9 @@ impl StagePath {
         StagePath::GetCoalesceHold,
         StagePath::GetClusterRtt,
         StagePath::GetAck,
+        StagePath::GetOptimisticRead,
+        StagePath::GetSeqlockRetry,
+        StagePath::GetAckDrain,
         StagePath::InsertTotal,
         StagePath::InsertLockWait,
         StagePath::InsertApply,
@@ -218,6 +229,9 @@ impl StagePath {
             StagePath::GetCoalesceHold => "get_all_pending;coalesce_hold",
             StagePath::GetClusterRtt => "get_all_pending;cluster_rtt",
             StagePath::GetAck => "get_all_pending;ack_consume",
+            StagePath::GetOptimisticRead => "get_all_pending;optimistic_read",
+            StagePath::GetSeqlockRetry => "get_all_pending;seqlock_retry",
+            StagePath::GetAckDrain => "get_all_pending;ack_drain",
             StagePath::InsertTotal => "insert",
             StagePath::InsertLockWait => "insert;lock_wait",
             StagePath::InsertApply => "insert;apply",
@@ -241,7 +255,10 @@ impl StagePath {
             | StagePath::GetShadowReplay
             | StagePath::GetCoalesceHold
             | StagePath::GetClusterRtt
-            | StagePath::GetAck => StagePath::GetTotal,
+            | StagePath::GetAck
+            | StagePath::GetOptimisticRead
+            | StagePath::GetSeqlockRetry
+            | StagePath::GetAckDrain => StagePath::GetTotal,
             StagePath::InsertTotal
             | StagePath::InsertLockWait
             | StagePath::InsertApply

@@ -44,6 +44,12 @@ online_gate() {
   # the lock-contention curve must show shards=1 wait strictly
   # dominating shards=8 under the fixed 8-thread tape.
   cargo run -q --release -p bad-bench --bin profile_overhead -- --smoke
+  # Read-path smoke gate: lock-free and locked GET paths must agree
+  # exactly on hits/drops/metrics (serial parity tape), uncontended
+  # GET latency must not regress past 1.25x of locked, and on hosts
+  # with ≥ 4 cores the 8-thread/8-shard lock-free throughput must be
+  # ≥ 2x locked (skipped below 4 cores).
+  cargo run -q --release -p bad-bench --bin readpath_bench -- --smoke
 }
 
 offline_gate() {
@@ -106,6 +112,10 @@ offline_gate() {
     # lock-wait must strictly dominate shards=8 on the contention
     # curve.
     cargo run -q --release -p bad-bench --bin profile_overhead -- --smoke
+    # Read-path smoke gate (release): lockfree-vs-locked serial parity,
+    # uncontended GET latency ≤ 1.25x locked, ≥ 2x contended scaling on
+    # ≥ 4-core hosts (skipped on smaller hosts, as this container).
+    cargo run -q --release -p bad-bench --bin readpath_bench -- --smoke
   )
 }
 
