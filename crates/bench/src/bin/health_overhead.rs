@@ -137,6 +137,7 @@ fn worker(
                             occupancy_bytes: mgr.total_bytes().as_u64(),
                             budget_bytes: mgr.budget().as_u64(),
                             model: Some(model),
+                            hot_skew: None,
                         },
                     );
                 }
@@ -322,6 +323,7 @@ fn showcase(windows_before: u64, windows_after: u64) -> Showcase {
                     occupancy_bytes: mgr.total_bytes().as_u64(),
                     budget_bytes: mgr.budget().as_u64(),
                     model: Some(model),
+                    hot_skew: None,
                 },
             );
         }

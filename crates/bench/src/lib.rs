@@ -194,9 +194,10 @@ fn parse_report_row(line: &str) -> Option<SimReport> {
         deliveries: cols[14].parse().ok()?,
         delivered_objects: cols[15].parse().ok()?,
         produced_objects: cols[16].parse().ok()?,
-        // The CSV cache stores scalars only; the epoch series is not
-        // round-tripped.
+        // The CSV cache stores scalars only; the epoch series and hot
+        // summary are not round-tripped.
         samples: Vec::new(),
+        hot: None,
     })
 }
 

@@ -103,6 +103,11 @@ pub struct BrokerConfig {
     /// `shadow: None` implies a default [`bad_cache::ShadowConfig`] —
     /// the controller is blind without ghosts.
     pub autopilot: Option<bad_cache::AutopilotConfig>,
+    /// Hot-key attribution sketches (`bad_telemetry::sketch`): per-
+    /// shard Space-Saving heavy hitters, a distinct-active estimator
+    /// and top-K delivery-lag quantiles, merged at read time behind
+    /// the `/hot` endpoint. `None` (the default) records nothing.
+    pub sketches: Option<bad_telemetry::SketchConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -114,6 +119,7 @@ impl Default for BrokerConfig {
             coalescer: CoalescerConfig::default(),
             shadow: None,
             autopilot: None,
+            sketches: None,
         }
     }
 }
@@ -222,6 +228,9 @@ impl Broker {
         }
         if let Some(autopilot) = config.autopilot {
             cache.enable_autopilot(autopilot);
+        }
+        if let Some(sketches) = config.sketches {
+            cache.enable_sketches(sketches);
         }
         Self {
             subs: SubscriptionTable::new(),
@@ -511,6 +520,16 @@ impl Broker {
                 );
             }
         }
+        // Hot-key attribution: the same produce→deliver lag per served
+        // object feeds the per-key quantiles and SLO-violation axis.
+        if self.cache.sketches_enabled() {
+            for &(_, ts, _) in &plan.cached {
+                self.cache.record_delivery_lag(
+                    backend_id,
+                    now.as_micros().saturating_sub(ts.as_micros()),
+                );
+            }
+        }
 
         let mut miss_objects = 0u64;
         let mut miss_bytes = ByteSize::ZERO;
@@ -530,6 +549,14 @@ impl Broker {
             );
             if !fetched.primary {
                 self.telemetry.on_coalesced_fetch(fetched.bytes);
+            }
+            if self.cache.sketches_enabled() {
+                for object in fetched.objects {
+                    self.cache.record_delivery_lag(
+                        backend_id,
+                        now.as_micros().saturating_sub(object.ts.as_micros()),
+                    );
+                }
             }
             if tracer.enabled() {
                 for object in fetched.objects {
@@ -675,6 +702,17 @@ impl Broker {
                 }
             }
         }
+        let sketches_on = self.cache.sketches_enabled();
+        if sketches_on {
+            for (&(_, backend_id, _, _), plan) in pending.iter().zip(&plans) {
+                for &(_, ts, _) in &plan.cached {
+                    self.cache.record_delivery_lag(
+                        backend_id,
+                        now.as_micros().saturating_sub(ts.as_micros()),
+                    );
+                }
+            }
+        }
 
         // Flatten the missed ranges across the batch, remembering which
         // subscription each one belongs to.
@@ -693,6 +731,7 @@ impl Broker {
             let net = self.net;
             let subscriber_u64 = subscriber.as_u64();
             let trace = &tracer;
+            let sketch_cache = Arc::clone(&self.cache);
             // Don't bill the tracer spans above to the coalescer: reset
             // the stage clock so `coalesce_hold` starts here. The two
             // `coalesce_hold` samples bracket the cluster flight —
@@ -710,10 +749,18 @@ impl Broker {
                     results
                 },
                 |req_idx, objects, primary| {
+                    let (bs, _) = miss_requests[req_idx];
+                    if sketches_on {
+                        for object in objects {
+                            sketch_cache.record_delivery_lag(
+                                bs,
+                                now.as_micros().saturating_sub(object.ts.as_micros()),
+                            );
+                        }
+                    }
                     if !trace.enabled() {
                         return;
                     }
-                    let (bs, _) = miss_requests[req_idx];
                     for object in objects {
                         trace.on_retrieve_miss(
                             now.as_micros(),

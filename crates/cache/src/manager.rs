@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use bad_telemetry::{OpTimer, Profiler, StagePath};
+use bad_telemetry::{OpTimer, Profiler, SketchRecorder, StagePath};
 use bad_types::{
     BackendSubId, BadError, ByteSize, Result, SimDuration, SubscriberId, TimeRange, Timestamp,
 };
@@ -114,6 +114,13 @@ pub struct CacheManager {
     /// drop-returning operation, so the cumulative drop stream matches
     /// the serial locked execution exactly.
     deferred_drops: Vec<DroppedObject>,
+    /// Hot-key attribution sketches ([`bad_telemetry::sketch`]).
+    /// Strictly metadata-only — never consulted by any caching
+    /// decision, so enabling sketches cannot perturb oracle parity.
+    /// Lives here (not inside [`CacheTelemetry`]) because
+    /// [`CacheManager::set_telemetry`] replaces the telemetry bundle
+    /// wholesale and must not silently drop the recorder.
+    sketches: Option<Arc<SketchRecorder>>,
 }
 
 impl CacheManager {
@@ -139,6 +146,7 @@ impl CacheManager {
             autopilot: None,
             read_path: None,
             deferred_drops: Vec::new(),
+            sketches: None,
         }
     }
 
@@ -180,6 +188,12 @@ impl CacheManager {
                     }
                     self.metrics.record_hits(objects, bytes);
                     self.telemetry.on_hits(now, bs, objects, bytes);
+                    // Optimistic (lock-free) hits are attributed here,
+                    // post-drain — the sketches see exactly the same
+                    // hit stream as the locked execution.
+                    if let Some(sketches) = &self.sketches {
+                        sketches.record_hit(bs.as_u64(), objects, bytes.as_u64());
+                    }
                     self.reindex(bs, now);
                 }
                 ReadRecord::Ack {
@@ -373,6 +387,20 @@ impl CacheManager {
         &self.telemetry
     }
 
+    /// Attaches a hot-key sketch recorder. The hooks it feeds
+    /// (`plan_get` hits — including optimistic hits replayed through
+    /// the deferred mailbox — `record_miss_fetch`, `ack_consume`) are
+    /// pure observation: one sampling RMW per skipped op, and never an
+    /// input to any caching decision.
+    pub fn set_sketches(&mut self, recorder: Arc<SketchRecorder>) {
+        self.sketches = Some(recorder);
+    }
+
+    /// The sketch recorder in force, if any.
+    pub fn sketches(&self) -> Option<&Arc<SketchRecorder>> {
+        self.sketches.as_ref()
+    }
+
     /// The configured policy.
     pub fn policy_name(&self) -> PolicyName {
         self.policy_name
@@ -458,6 +486,9 @@ impl CacheManager {
     ) {
         self.metrics.record_misses(objects, bytes);
         self.telemetry.on_misses(now, bs, objects, bytes);
+        if let Some(sketches) = &self.sketches {
+            sketches.record_miss(bs.as_u64(), objects);
+        }
         if let Some(shadow) = self.shadow.as_mut() {
             shadow.on_record_miss_fetch(bs, objects, bytes, now);
         }
@@ -820,6 +851,13 @@ impl CacheManager {
             .record_hits(plan.cached.len() as u64, plan.cached_bytes);
         self.telemetry
             .on_hits(now, bs, plan.cached.len() as u64, plan.cached_bytes);
+        if let Some(sketches) = &self.sketches {
+            sketches.record_hit(
+                bs.as_u64(),
+                plan.cached.len() as u64,
+                plan.cached_bytes.as_u64(),
+            );
+        }
         self.reindex(bs, now);
         plan
     }
@@ -851,6 +889,11 @@ impl CacheManager {
     ) -> Result<Vec<DroppedObject>> {
         if let Some(shadow) = self.shadow.as_mut() {
             shadow.on_ack_consume(bs, sub, up_to, now);
+        }
+        // Activity signal only (distinct-active estimator) — acks mark
+        // a subscription live even when it never hits or misses.
+        if let Some(sketches) = &self.sketches {
+            sketches.record_ack(bs.as_u64());
         }
         let drop_consumed = self.config.drop_on_full_consumption;
         let cache = self.cache_mut(bs)?;

@@ -32,7 +32,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, TryLockError};
 
-use bad_telemetry::{LockSite, OpTimer, ProfiledGuard, Profiler, StagePath, TraceId};
+use bad_telemetry::{
+    HotSnapshot, LockSite, OpTimer, ProfiledGuard, Profiler, SketchConfig, SketchRecorder,
+    StagePath, TraceId,
+};
 use bad_types::{BackendSubId, ByteSize, Result, SubscriberId, TimeRange, Timestamp};
 
 use crate::admission::AdmissionControl;
@@ -156,6 +159,13 @@ pub struct ShardedCacheManager {
     /// branch. The sites only *observe* the shard mutexes, so the
     /// autopilot → shard → policy lock order is unchanged.
     profile: OnceLock<ShardProfile>,
+    /// Hot-key sketch recorders, one per shard, index-aligned with
+    /// `shards` (write-once, like `profile`). Each shard's hooks feed
+    /// its own recorder under the shard lock (so the recorder mutex is
+    /// uncontended); [`ShardedCacheManager::hot_snapshot`] merges the
+    /// per-shard states at read time, order-independently. Delivery-lag
+    /// recording routes here directly, *without* the shard mutex.
+    sketch: OnceLock<Vec<Arc<SketchRecorder>>>,
 }
 
 /// The profiler attachment of one [`ShardedCacheManager`].
@@ -201,6 +211,7 @@ impl ShardedCacheManager {
             force_defer_acks: AtomicBool::new(false),
             autopilot: Mutex::new(None),
             profile: OnceLock::new(),
+            sketch: OnceLock::new(),
         }
     }
 
@@ -386,6 +397,53 @@ impl ShardedCacheManager {
             profiler: profiler.clone(),
             sites,
         });
+    }
+
+    /// Enables hot-key attribution sketches ([`bad_telemetry::sketch`]):
+    /// one recorder per shard, installed on each shard manager's hooks.
+    /// Write-once, like [`ShardedCacheManager::set_profiler`] — later
+    /// calls are no-ops. Strictly metadata-only: no caching decision
+    /// reads the sketches, so `shards = 1` with sketches enabled stays
+    /// byte-identical to the monolith (pinned by `oracle_parity`).
+    pub fn enable_sketches(&self, config: SketchConfig) {
+        let recorders: Vec<Arc<SketchRecorder>> = (0..self.shards.len())
+            .map(|_| Arc::new(SketchRecorder::new(config)))
+            .collect();
+        if self.sketch.set(recorders).is_err() {
+            return;
+        }
+        let recorders = self.sketch.get().expect("just set");
+        for (i, recorder) in recorders.iter().enumerate() {
+            self.lock(i).set_sketches(Arc::clone(recorder));
+        }
+    }
+
+    /// Whether sketches are enabled.
+    pub fn sketches_enabled(&self) -> bool {
+        self.sketch.get().is_some()
+    }
+
+    /// The merged hot-key snapshot across all shards (`None` until
+    /// [`ShardedCacheManager::enable_sketches`]). Reads each shard's
+    /// recorder directly — never the shard mutexes — and merges
+    /// order-independently, so two scrapes over the same quiescent
+    /// state render byte-identical `/hot` JSON regardless of shard
+    /// iteration order.
+    pub fn hot_snapshot(&self) -> Option<HotSnapshot> {
+        let recorders = self.sketch.get()?;
+        let snapshots: Vec<HotSnapshot> = recorders.iter().map(|r| r.snapshot()).collect();
+        HotSnapshot::merge(&snapshots)
+    }
+
+    /// Attributes one delivered object's end-to-end lag to `bs`'s
+    /// shard recorder. No-op until sketches are enabled. Deliberately
+    /// lock-free with respect to the shards: the broker calls this per
+    /// delivered object on the GET path, which (with lock-free reads)
+    /// may not have taken the shard mutex at all.
+    pub fn record_delivery_lag(&self, bs: BackendSubId, lag_us: u64) {
+        if let Some(recorders) = self.sketch.get() {
+            recorders[self.shard_index(bs)].record_delivery_lag(bs.as_u64(), lag_us);
+        }
     }
 
     /// Installs admission control on every shard.

@@ -167,6 +167,70 @@ fn single_shard_with_full_profiling_matches_monolith() {
     }
 }
 
+/// Hot-key sketches are metadata-only: a single-shard manager with
+/// full sketch recording enabled must stay byte-identical to the
+/// unsketched monolith — same replay log, same metrics, same telemetry
+/// events, same rendered cache registry. The sketches live entirely
+/// outside the caching decision path (their own per-shard recorder, no
+/// registry series), so nothing they do may leak into parity.
+#[test]
+fn single_shard_with_sketches_matches_monolith() {
+    use bad_telemetry::SketchConfig;
+
+    for policy in policies() {
+        let seed = 21;
+        let ops = gen_ops(seed, OPS_PER_SEED, 4, 8);
+
+        let mono_registry = Registry::new();
+        let mono_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut mono = CacheManager::new(policy, config(10_000));
+        mono.set_telemetry(CacheTelemetry::new(
+            &mono_registry,
+            mono_ring.clone() as SharedSink,
+        ));
+        let mono_log = replay(&mut mono, &ops, 4);
+
+        let sharded_registry = Registry::new();
+        let sharded_ring = Arc::new(RingBufferSink::new(100_000));
+        let mut sharded = ShardedCacheManager::new(policy, config(10_000), 1);
+        sharded.set_telemetry(CacheTelemetry::new(
+            &sharded_registry,
+            sharded_ring.clone() as SharedSink,
+        ));
+        sharded.enable_sketches(SketchConfig::default());
+        let mut sharded_log = replay(&mut sharded, &ops, 4);
+        sharded_log.dropped.extend(sharded.quiesce());
+
+        assert_eq!(
+            mono_log, sharded_log,
+            "{policy:?}: sketched replay log diverged"
+        );
+        assert_eq!(
+            mono.metrics().clone(),
+            Driver::metrics_snapshot(&sharded),
+            "{policy:?}: sketched metrics diverged"
+        );
+        assert_eq!(
+            mono_ring.events(),
+            sharded_ring.events(),
+            "{policy:?}: sketched telemetry event streams diverged"
+        );
+        assert_eq!(
+            mono_registry.render(),
+            sharded_registry.render(),
+            "{policy:?}: sketched cache registries diverged"
+        );
+
+        // And the sketches really were live: the replay's requests
+        // landed in the heavy-hitter axes.
+        let snapshot = sharded.hot_snapshot().expect("sketches enabled");
+        assert!(
+            snapshot.totals().requests > 0,
+            "{policy:?}: sketches saw no requests"
+        );
+    }
+}
+
 /// The lock-free read path oracle: a manager with
 /// `use_lockfree_reads = true` (the default — optimistic seqlock GETs,
 /// adaptive deferred acks) must be observationally byte-identical to

@@ -22,7 +22,8 @@ use bad_query::ParamBindings;
 use bad_storage::ResultObject;
 use bad_telemetry::{
     FlightRecorder, Gauge, HealthConfig, HealthEngine, HealthObservation, ProfileConfig, Profiler,
-    Registry, ScrapeServer, SharedSink, SharedTracer, TraceConfig, Tracer,
+    Registry, ScrapeServer, SharedSink, SharedTracer, SketchConfig, TraceConfig, Tracer,
+    DEFAULT_SCRAPE_LIMIT,
 };
 use bad_types::{
     BackendSubId, BadError, ByteSize, FrontendSubId, Result, SimDuration, SubscriberId, TimeRange,
@@ -351,12 +352,20 @@ impl Deployment {
     /// the whole picture over HTTP.
     pub fn start_observed(
         policy: PolicyName,
-        config: BrokerConfig,
+        mut config: BrokerConfig,
         cluster: DataCluster,
         compression: f64,
         sink: SharedSink,
         trace: TraceConfig,
     ) -> Self {
+        // Observed deployments attribute hot keys by default: the
+        // sketches are metadata-only (caching decisions stay
+        // byte-identical, pinned by the cache crate's parity tests), and
+        // `/hot` plus the `/healthz` top-5 summary are only useful with
+        // them on.
+        if config.sketches.is_none() {
+            config.sketches = Some(SketchConfig::default());
+        }
         let registry = Registry::new();
         let recorder = Arc::new(FlightRecorder::new(
             FLIGHT_RECORDER_STRIPES,
@@ -412,7 +421,7 @@ impl Deployment {
         // what is running — crate version plus the feature knobs that
         // change hot-path behaviour. Scrapes join it against any other
         // series to tell "which build/config produced these numbers".
-        let build_labels: [(&str, String); 6] = [
+        let build_labels: [(&str, String); 7] = [
             ("version", env!("CARGO_PKG_VERSION").to_owned()),
             ("policy", policy.as_str().to_owned()),
             ("shards", config.shards.to_string()),
@@ -432,6 +441,15 @@ impl Deployment {
             (
                 "autopilot",
                 if config.autopilot.is_some() {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned(),
+            ),
+            (
+                "sketches",
+                if config.sketches.is_some() {
                     "on"
                 } else {
                     "off"
@@ -467,6 +485,17 @@ impl Deployment {
         let mut broker = Broker::new(policy, config);
         broker.attach_telemetry_profiled(&registry, sink, Arc::clone(&tracer), profiler.clone());
         let cache = broker.cache_handle();
+        // Anomaly dumps stamp "who was hot right then": when
+        // `note_anomaly` triggers a cold dump, the flight recorder pulls
+        // the sketches' current top-K summary into the dump header.
+        if cache.sketches_enabled() {
+            let hot_cache = Arc::clone(&cache);
+            tracer.recorder().set_anomaly_context(Arc::new(move || {
+                hot_cache
+                    .hot_snapshot()
+                    .map_or_else(|| "null".to_owned(), |snapshot| snapshot.summary_json(5))
+            }));
+        }
         registry
             .gauge("bad_broker_cache_shards")
             .set(cache.shard_count() as u64);
@@ -518,9 +547,11 @@ impl Deployment {
     /// occupancy, coalescer state, build info and top contended locks as
     /// JSON), `/policies` (live vs. shadow-policy counterfactuals, when
     /// shadow evaluation is enabled), `/trace/recent` (the flight
-    /// recorder's span ring as JSON) and `/profile` (the continuous
-    /// profiler's folded-stack stage tree plus per-site lock wait/hold
-    /// breakdown, when booted via [`Deployment::start_observed`]).
+    /// recorder's span ring as JSON, capped by `?limit=`), `/profile`
+    /// (the continuous profiler's folded-stack stage tree plus per-site
+    /// lock wait/hold breakdown, when booted via
+    /// [`Deployment::start_observed`]) and `/hot` (sketch-based
+    /// heavy-hitter attribution, when sketches are enabled).
     ///
     /// # Errors
     ///
@@ -626,6 +657,12 @@ impl Deployment {
                 } else {
                     obj.field_raw("top_contended", "null");
                 }
+                // Top-5 hot subscriptions by requests: the "who is
+                // eating the cache" answer without walking `/hot`.
+                match cache.hot_snapshot() {
+                    Some(snapshot) => obj.field_raw("hot", &snapshot.summary_json(5)),
+                    None => obj.field_raw("hot", "null"),
+                }
             }
             out
         });
@@ -651,7 +688,17 @@ impl Deployment {
             }),
             profile: self.profiler.enabled().then(|| {
                 let profiler = self.profiler.clone();
-                Arc::new(move || profiler.render_json()) as bad_telemetry::EndpointFn
+                Arc::new(move |limit: Option<usize>| {
+                    profiler.render_json_limit(limit.unwrap_or(DEFAULT_SCRAPE_LIMIT))
+                }) as bad_telemetry::LimitFn
+            }),
+            hot: self.cache.sketches_enabled().then(|| {
+                let hot_cache = Arc::clone(&self.cache);
+                Arc::new(move || {
+                    hot_cache
+                        .hot_snapshot()
+                        .map_or_else(|| "null".to_owned(), |snapshot| snapshot.to_json())
+                }) as bad_telemetry::EndpointFn
             }),
         };
         ScrapeServer::bind_with_endpoints(addr, self.registry.clone(), recorder, endpoints)
@@ -1013,6 +1060,7 @@ fn broker_node(
                                 occupancy_bytes: occupancy,
                                 budget_bytes: budget,
                                 model: Some(model),
+                                hot_skew: cache.hot_snapshot().map(|snapshot| snapshot.skew()),
                             },
                         );
                     }

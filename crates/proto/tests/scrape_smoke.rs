@@ -1,10 +1,10 @@
 //! Scrape-endpoint smoke test: boots an *observed* deployment (live
 //! lifecycle tracer, shadow-policy ghosts, continuous health engine),
 //! drives one publish → notify → retrieve round through the threaded
-//! runtime, then scrapes `/metrics`, `/healthz`, `/trace/recent`,
-//! `/policies`, `/timeseries` and `/alerts` over a real TCP socket
-//! like Prometheus would — and checks malformed request lines get a
-//! clean 400.
+//! runtime, then scrapes `/metrics`, `/healthz`, `/trace/recent`
+//! (including its `?limit=` cap), `/policies`, `/timeseries`,
+//! `/alerts` and `/hot` over a real TCP socket like Prometheus would —
+//! and checks malformed request lines get a clean 400.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -147,6 +147,10 @@ fn observed_deployment_serves_metrics_health_and_traces() {
         metrics.contains("policy=\"LSC\"") && metrics.contains("profile=\"on\""),
         "build-info labels incomplete:\n{metrics}"
     );
+    assert!(
+        metrics.contains("sketches=\"on\""),
+        "observed deployments default the sketches on:\n{metrics}"
+    );
     assert!(metrics.contains("bad_proto_shard_queue_depth{shard=\"0\"}"));
     assert!(metrics.contains("bad_proto_cluster_inflight_rpcs"));
 
@@ -176,6 +180,11 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(health.contains("\"policy\":\"LSC\""), "{health}");
     assert!(health.contains("\"profile\":\"on\""), "{health}");
     assert!(health.contains("\"top_contended\":["), "{health}");
+    // The sketches' top-5 summary rides the same body: the "who is
+    // eating the cache" answer from one probe.
+    assert!(health.contains("\"hot\":{"), "{health}");
+    assert!(health.contains("\"top_requests\":["), "{health}");
+    assert!(health.contains("\"distinct_active_estimate\""), "{health}");
 
     // /profile: the continuous profiler's folded-stack stage tree and
     // per-site lock breakdown, served over real TCP. The retrieval
@@ -235,6 +244,35 @@ fn observed_deployment_serves_metrics_health_and_traces() {
     assert!(
         traces.contains("\"kind\":\"retrieve_hit\""),
         "no hit spans in:\n{traces}"
+    );
+    // `?limit=` caps the span dump to the most recent spans; a bogus
+    // value falls back to the default rather than erroring.
+    let limited = http_get(addr, "/trace/recent?limit=1");
+    assert!(limited.starts_with("HTTP/1.1 200"), "{limited}");
+    let spans = limited.matches("\"kind\":").count();
+    assert!(spans <= 1, "limit=1 returned {spans} spans:\n{limited}");
+    let bogus = http_get(addr, "/trace/recent?limit=banana");
+    assert!(bogus.starts_with("HTTP/1.1 200"), "{bogus}");
+
+    // /hot: sketch-based heavy-hitter attribution, on by default in
+    // observed deployments — all four axes, the distinct-active
+    // estimate and the skew gauge, with at least one attributed key
+    // from the retrieval above.
+    let hot = http_get(addr, "/hot");
+    assert!(hot.starts_with("HTTP/1.1 200"), "{hot}");
+    assert!(hot.contains("application/json"), "{hot}");
+    assert!(hot.contains("\"totals\":{"), "{hot}");
+    assert!(hot.contains("\"top\":{"), "{hot}");
+    assert!(hot.contains("\"requests\":["), "{hot}");
+    assert!(hot.contains("\"bytes\":["), "{hot}");
+    assert!(hot.contains("\"misses\":["), "{hot}");
+    assert!(hot.contains("\"slo_violations\":["), "{hot}");
+    assert!(hot.contains("\"distinct_active_estimate\""), "{hot}");
+    assert!(hot.contains("\"skew_top_k\""), "{hot}");
+    assert!(hot.contains("\"lag_us\":["), "{hot}");
+    assert!(
+        hot.contains("\"key\":"),
+        "no attributed keys after a delivery:\n{hot}"
     );
 
     // /timeseries: the windowed history ring as JSON. The short run

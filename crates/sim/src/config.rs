@@ -83,6 +83,14 @@ pub struct SimConfig {
     /// metadata-only — the simulated caching decisions and the report
     /// are byte-identical with it on or off.
     pub profile: u32,
+    /// Hot-key attribution sketches (`bad_telemetry::sketch`): `0` (the
+    /// default) disables them, `n` samples every `n`-th cache operation
+    /// into the per-shard Space-Saving / distinct-count / lag-quantile
+    /// sketches (`1` = every op). Like profiling, sketches are
+    /// metadata-only: the simulated caching decisions and every other
+    /// report field are byte-identical with them on or off; the report
+    /// gains a `hot` top-K summary when enabled.
+    pub sketch_sample_every_n: u32,
 }
 
 impl SimConfig {
@@ -112,6 +120,7 @@ impl SimConfig {
             shadow_sample_every_n: 0,
             autopilot: false,
             profile: 0,
+            sketch_sample_every_n: 0,
         }
     }
 
@@ -160,6 +169,7 @@ impl SimConfig {
             shadow_sample_every_n: 0,
             autopilot: false,
             profile: 0,
+            sketch_sample_every_n: 0,
         }
     }
 

@@ -47,6 +47,12 @@ pub struct SimReport {
     /// Per-epoch sampler series (occupancy, hit ratio, `Σ ρ_i·T_i`) —
     /// the raw data behind the scalar summaries above.
     pub samples: Vec<Sample>,
+    /// Pre-rendered hot-key summary (top-5 subscriptions by requests,
+    /// distinct-active estimate, skew) when the run had sketches
+    /// enabled (`SimConfig::sketch_sample_every_n > 0`); `None`
+    /// otherwise. Deterministic per `(policy, config, seed)` like every
+    /// other field.
+    pub hot: Option<String>,
 }
 
 impl SimReport {
@@ -119,6 +125,10 @@ impl SimReport {
             obj.field_u64("delivered_objects", self.delivered_objects);
             obj.field_u64("produced_objects", self.produced_objects);
             obj.field_raw("samples", &samples);
+            match &self.hot {
+                Some(summary) => obj.field_raw("hot", summary),
+                None => obj.field_raw("hot", "null"),
+            }
         }
         out
     }
@@ -191,6 +201,7 @@ mod tests {
                 hit_ratio: hit,
                 expected_ttl_bytes: 0.0,
             }],
+            hot: None,
         }
     }
 
@@ -211,6 +222,7 @@ mod tests {
         assert!(json.contains(r#""policy":"LSC""#));
         assert!(json.contains(r#""hit_ratio":0.5"#));
         assert!(json.contains(r#""samples":[{"t_us":60000000,"occupancy_bytes":4096"#));
+        assert!(json.contains(r#""hot":null"#));
         // No stray NaN/Infinity tokens — everything stays parseable.
         assert!(!json.contains("NaN") && !json.contains("inf"));
     }

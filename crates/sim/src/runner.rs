@@ -139,6 +139,13 @@ impl Simulation {
             }),
         };
         let autopilot = config.autopilot.then(bad_cache::AutopilotConfig::default);
+        let sketches = match config.sketch_sample_every_n {
+            0 => None,
+            n => Some(bad_telemetry::SketchConfig {
+                sample_every_n: n,
+                ..bad_telemetry::SketchConfig::default()
+            }),
+        };
         let mut broker = Broker::new(
             policy,
             BrokerConfig {
@@ -147,6 +154,7 @@ impl Simulation {
                 shards: config.shards,
                 shadow,
                 autopilot,
+                sketches,
                 ..BrokerConfig::default()
             },
         );
@@ -441,6 +449,7 @@ impl Simulation {
                         occupancy_bytes: sample.occupancy_bytes,
                         budget_bytes: cache.budget().as_u64(),
                         model: Some(model),
+                        hot_skew: cache.hot_snapshot().map(|snapshot| snapshot.skew()),
                     },
                 );
             }
@@ -489,6 +498,9 @@ impl Simulation {
             delivered_objects: delivery.delivered_objects,
             produced_objects: self.backend.produced_objects(),
             samples: self.sampler.into_samples(),
+            hot: cache
+                .hot_snapshot()
+                .map(|snapshot| snapshot.summary_json(5)),
         }
     }
 }
@@ -731,6 +743,34 @@ mod tests {
             text.contains("bad_profile_lock_acquisitions_total{site=\"cache_shard0\"}"),
             "missing shard lock site:\n{text}"
         );
+    }
+
+    #[test]
+    fn sketched_run_is_report_identical_and_surfaces_hot_keys() {
+        // Acceptance: sketches are metadata-only — a fully sketched run
+        // (every op recorded) matches the unsketched baseline on every
+        // report field except the `hot` summary it gains, and the
+        // summary names the run's heavy hitters deterministically.
+        let mut config = SimConfig::smoke().with_budget(ByteSize::from_kib(200));
+        config.sketch_sample_every_n = 1;
+        let sketched = Simulation::new(PolicyName::Lsc, config.clone(), 7)
+            .unwrap()
+            .run();
+
+        let hot = sketched.hot.clone().expect("sketches enabled");
+        assert!(
+            hot.contains("\"top_requests\"") && hot.contains("\"distinct_active_estimate\""),
+            "hot summary missing fields: {hot}"
+        );
+
+        let mut scrubbed = sketched.clone();
+        scrubbed.hot = None;
+        let baseline = run(PolicyName::Lsc, 200, 7);
+        assert_eq!(scrubbed, baseline, "sketching perturbs the live run");
+
+        // Deterministic per seed, including the rendered summary.
+        let again = Simulation::new(PolicyName::Lsc, config, 7).unwrap().run();
+        assert_eq!(sketched, again, "sketched runs stay deterministic");
     }
 
     #[test]

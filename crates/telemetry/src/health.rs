@@ -54,6 +54,11 @@ pub struct HealthConfig {
     pub resolve_hold_windows: u32,
     /// Drift scoring knobs.
     pub drift: DriftConfig,
+    /// `hot_skew` alert threshold: the top-K share of all requests
+    /// (from the sketch layer's heavy-hitter readout) above which the
+    /// demand-concentration alert arms. `≥ 1.0` effectively disables
+    /// it on non-degenerate workloads.
+    pub hot_skew_threshold: f64,
 }
 
 impl Default for HealthConfig {
@@ -72,6 +77,7 @@ impl Default for HealthConfig {
             pending_windows: 1,
             resolve_hold_windows: 2,
             drift: DriftConfig::default(),
+            hot_skew_threshold: 0.9,
         }
     }
 }
@@ -88,6 +94,12 @@ pub struct HealthObservation {
     /// model inputs (see `bad_cache`'s `model_inputs`). `None` skips
     /// drift scoring for the window.
     pub model: Option<ModelPrediction>,
+    /// Demand concentration from the sketch layer: the top-K keys'
+    /// share of all requests in `[0, 1]` (see
+    /// `bad_telemetry::sketch::HotSnapshot::skew`). `None` when
+    /// sketches are disabled — the gauge holds its last value and the
+    /// `hot_skew` rule stays quiet.
+    pub hot_skew: Option<f64>,
 }
 
 /// Cumulative counter readings from the previous window, for delta
@@ -110,6 +122,7 @@ pub struct HealthEngine {
     misses: Counter,
     staleness_us: crate::Histogram,
     drift_score_milli: Gauge,
+    hot_skew_milli: Gauge,
     observed_hit_ratio_milli: Gauge,
     predicted_hit_ratio_milli: Gauge,
     windows_total: Counter,
@@ -172,6 +185,14 @@ impl HealthEngine {
             windows(config.pending_windows),
             windows(config.resolve_hold_windows),
         );
+        let hot_skew_milli = registry.gauge("bad_health_hot_skew_milli");
+        alerts.add_gauge_above(
+            "hot_skew",
+            hot_skew_milli.clone(),
+            config.hot_skew_threshold,
+            windows(config.pending_windows),
+            windows(config.resolve_hold_windows),
+        );
         Arc::new(Self {
             timeseries: TimeSeriesStore::new(
                 registry.clone(),
@@ -187,6 +208,7 @@ impl HealthEngine {
             misses: registry.counter("bad_cache_miss_objects_total"),
             staleness_us: staleness_volume,
             drift_score_milli,
+            hot_skew_milli,
             observed_hit_ratio_milli: registry.gauge("bad_health_observed_hit_ratio_milli"),
             predicted_hit_ratio_milli: registry.gauge("bad_health_predicted_hit_ratio_milli"),
             windows_total: registry.counter("bad_health_windows_total"),
@@ -235,6 +257,10 @@ impl HealthEngine {
         });
         if let Some(h) = observed_hit_ratio {
             self.observed_hit_ratio_milli.set((h * 1000.0) as u64);
+        }
+        if let Some(skew) = observation.hot_skew {
+            self.hot_skew_milli
+                .set((skew.clamp(0.0, 1.0) * 1000.0) as u64);
         }
         if let Some(model) = observation.model {
             self.predicted_hit_ratio_milli
@@ -354,6 +380,7 @@ mod tests {
             occupancy_bytes: 1000,
             budget_bytes: 100_000,
             model: Some(model),
+            hot_skew: None,
         };
         for i in 0..4u64 {
             hits.add(90);
@@ -384,6 +411,49 @@ mod tests {
         assert!(fired_at <= 8, "took {fired_at} windows");
         assert!(registry.render().contains("bad_health_alerts_firing 1"));
         assert!(e.summary_json().contains("model_drift"));
+    }
+
+    #[test]
+    fn hot_skew_alert_fires_on_sustained_concentration() {
+        let registry = Registry::new();
+        let e = engine(&registry, HealthConfig::default());
+        // Below threshold: rule stays inactive.
+        e.tick(
+            0,
+            HealthObservation {
+                hot_skew: Some(0.5),
+                ..HealthObservation::default()
+            },
+        );
+        assert_eq!(
+            e.alerts().state_of("hot_skew"),
+            Some(crate::alert::AlertState::Inactive)
+        );
+        assert!(registry.render().contains("bad_health_hot_skew_milli 500"));
+        // Sustained concentration above the 0.9 default walks the rule
+        // pending → firing.
+        let mut fired = false;
+        for i in 1..6u64 {
+            let transitions = e.tick(
+                i * W,
+                HealthObservation {
+                    hot_skew: Some(0.97),
+                    ..HealthObservation::default()
+                },
+            );
+            if transitions
+                .iter()
+                .any(|t| t.rule == "hot_skew" && t.to == crate::alert::AlertState::Firing)
+            {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "hot_skew never fired");
+        // Sketches off (None): the gauge holds and the alert resolves
+        // back down eventually rather than flapping on missing data.
+        e.tick(10 * W, HealthObservation::default());
+        assert!(registry.render().contains("bad_health_hot_skew_milli 970"));
     }
 
     #[test]

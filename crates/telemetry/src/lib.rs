@@ -26,7 +26,12 @@
 //!   dumps and a [`Tracer`] emission point shared by every layer.
 //! - [`ScrapeServer`]: a std-only TCP endpoint serving `/metrics`
 //!   (Prometheus text), `/healthz`, `/trace/recent`, `/policies`,
-//!   `/timeseries`, `/alerts` and `/profile` live.
+//!   `/timeseries`, `/alerts`, `/profile` and `/hot` live.
+//! - [`sketch`]: fixed-memory hot-key attribution — Space-Saving
+//!   heavy hitters along four axes (requests / bytes / misses / SLO
+//!   violations), a HyperLogLog-style distinct-active estimator and
+//!   top-K-only delivery-lag quantiles, merged order-independently
+//!   across cache shards at read time.
 //! - [`profile`]: the continuous hot-path profiler — instrumented
 //!   shard/coalescer lock acquisition (wait/hold/contention per
 //!   [`LockSite`]), per-operation stage timers folded into a
@@ -72,6 +77,7 @@ pub mod profile;
 pub mod registry;
 pub mod sampler;
 pub mod scrape;
+pub mod sketch;
 pub mod timeseries;
 pub mod trace;
 
@@ -86,7 +92,13 @@ pub use histogram::{Histogram, HistogramSnapshot};
 pub use profile::{LockSite, OpTimer, ProfileConfig, ProfiledGuard, Profiler, StagePath};
 pub use registry::{escape_label_value, Counter, Gauge, Registry};
 pub use sampler::{Sample, Sampler};
-pub use scrape::{EndpointFn, HealthFn, PoliciesFn, ScrapeEndpoints, ScrapeServer};
+pub use scrape::{
+    EndpointFn, HealthFn, LimitFn, PoliciesFn, ScrapeEndpoints, ScrapeServer, DEFAULT_SCRAPE_LIMIT,
+};
+pub use sketch::{
+    DistinctEstimator, HotSnapshot, LagHist, SketchConfig, SketchRecorder, SketchTotals,
+    SpaceSaving, SsEntry,
+};
 pub use timeseries::{SeriesStats, TimeSeriesConfig, TimeSeriesStore};
 pub use trace::{
     FlightRecorder, SharedTracer, SloConfig, Span, SpanId, SpanKind, TraceConfig, TraceId, Tracer,

@@ -667,6 +667,18 @@ impl Profiler {
     /// per-bucket exemplars) and every lock site's wait/hold/contention
     /// readout.
     pub fn render_json(&self) -> String {
+        self.render_json_limit(usize::MAX)
+    }
+
+    /// Like [`Profiler::render_json`], but rendering at most `limit`
+    /// lock sites (the most contended first, via
+    /// [`Profiler::top_contended`]) — the scrape endpoint caps
+    /// `/profile` with this, since lock sites are the only part of the
+    /// payload that grows with deployment size (one per shard). The
+    /// stage tree is a fixed enum and never needs capping. A
+    /// `locks_total` field always reports the uncapped count so
+    /// truncation is visible.
+    pub fn render_json_limit(&self, limit: usize) -> String {
         let Some(inner) = self.inner.as_deref() else {
             return r#"{"enabled":false}"#.to_owned();
         };
@@ -721,8 +733,15 @@ impl Profiler {
             }
             stages.push(']');
             obj.field_raw("stages", &stages);
+            let all_sites = self.lock_sites();
+            obj.field_u64("locks_total", all_sites.len() as u64);
+            let sites = if all_sites.len() > limit {
+                self.top_contended(limit)
+            } else {
+                all_sites
+            };
             let mut locks = String::from("[");
-            for (i, site) in self.lock_sites().iter().enumerate() {
+            for (i, site) in sites.iter().enumerate() {
                 if i > 0 {
                     locks.push(',');
                 }

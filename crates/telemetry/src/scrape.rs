@@ -1,6 +1,11 @@
 //! A std-only TCP scrape endpoint: live `/metrics`, `/healthz`,
-//! `/trace/recent`, `/policies`, `/timeseries`, `/alerts` and
-//! `/profile` while a runtime is up.
+//! `/trace/recent`, `/policies`, `/timeseries`, `/alerts`, `/profile`
+//! and `/hot` while a runtime is up.
+//!
+//! The growable bodies (`/trace/recent` spans, `/profile` lock sites)
+//! accept a `?limit=N` query parameter and default to
+//! [`DEFAULT_SCRAPE_LIMIT`] so a full flight recorder can never
+//! produce an unbounded response.
 //!
 //! The server is deliberately minimal — a single accept thread, one
 //! request per connection (`Connection: close`), and just enough
@@ -55,8 +60,19 @@ pub type HealthFn = Arc<dyn Fn() -> String + Send + Sync>;
 /// dependency.
 pub type PoliciesFn = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// Renders an optional JSON endpoint body (`/timeseries`, `/alerts`).
+/// Renders an optional JSON endpoint body (`/timeseries`, `/alerts`,
+/// `/hot`).
 pub type EndpointFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Renders a JSON endpoint body under an optional `?limit=N` cap
+/// (`None` = no query parameter; the closure applies its own default).
+pub type LimitFn = Arc<dyn Fn(Option<usize>) -> String + Send + Sync>;
+
+/// Default `?limit=` for the endpoints whose bodies grow with runtime
+/// state (`/trace/recent` spans, `/profile` lock sites): a full flight
+/// recorder holds `stripes × capacity` spans, which is unbounded from
+/// the scraper's point of view.
+pub const DEFAULT_SCRAPE_LIMIT: usize = 512;
 
 /// The closure set behind the server's routes. Only `health` is
 /// mandatory; absent optional endpoints answer `200` with an
@@ -74,8 +90,10 @@ pub struct ScrapeEndpoints {
     /// `/alerts` (burn-rate/drift alert states), if enabled.
     pub alerts: Option<EndpointFn>,
     /// `/profile` (hot-path profiler: folded-stack stage tree + lock
-    /// contention), if enabled.
-    pub profile: Option<EndpointFn>,
+    /// contention), if enabled. Receives the parsed `?limit=` cap.
+    pub profile: Option<LimitFn>,
+    /// `/hot` (sketch-based heavy-hitter attribution), if enabled.
+    pub hot: Option<EndpointFn>,
 }
 
 impl ScrapeEndpoints {
@@ -87,6 +105,7 @@ impl ScrapeEndpoints {
             timeseries: None,
             alerts: None,
             profile: None,
+            hot: None,
         }
     }
 }
@@ -223,39 +242,60 @@ fn serve_one(
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let (status, content_type, body) = match read_request_line(&mut stream)? {
-        RequestLine::Get(path) => match path.as_str() {
-            "/metrics" => ("200 OK", "text/plain; version=0.0.4", registry.render()),
-            "/healthz" => ("200 OK", "application/json", (endpoints.health)()),
-            "/trace/recent" => ("200 OK", "application/json", recorder.to_json()),
-            "/policies" => (
-                "200 OK",
-                "application/json",
-                optional(endpoints.policies.as_ref(), "shadow evaluation disabled"),
-            ),
-            "/timeseries" => (
-                "200 OK",
-                "application/json",
-                optional(endpoints.timeseries.as_ref(), "health engine disabled"),
-            ),
-            "/alerts" => (
-                "200 OK",
-                "application/json",
-                optional(endpoints.alerts.as_ref(), "health engine disabled"),
-            ),
-            "/profile" => (
-                "200 OK",
-                "application/json",
-                optional(endpoints.profile.as_ref(), "profiler disabled"),
-            ),
-            other => (
-                "404 Not Found",
-                "application/json",
-                format!(
-                    r#"{{"error":"not found","path":{}}}"#,
-                    crate::json::quote(other)
+        RequestLine::Get(path) => {
+            // `/route?limit=N` — the only query parameter the server
+            // understands; anything else in the query is ignored.
+            let (route, query) = match path.split_once('?') {
+                Some((route, query)) => (route, Some(query)),
+                None => (path.as_str(), None),
+            };
+            let limit = query.and_then(parse_limit);
+            match route {
+                "/metrics" => ("200 OK", "text/plain; version=0.0.4", registry.render()),
+                "/healthz" => ("200 OK", "application/json", (endpoints.health)()),
+                "/trace/recent" => (
+                    "200 OK",
+                    "application/json",
+                    recorder.to_json_limit(limit.unwrap_or(DEFAULT_SCRAPE_LIMIT)),
                 ),
-            ),
-        },
+                "/policies" => (
+                    "200 OK",
+                    "application/json",
+                    optional(endpoints.policies.as_ref(), "shadow evaluation disabled"),
+                ),
+                "/timeseries" => (
+                    "200 OK",
+                    "application/json",
+                    optional(endpoints.timeseries.as_ref(), "health engine disabled"),
+                ),
+                "/alerts" => (
+                    "200 OK",
+                    "application/json",
+                    optional(endpoints.alerts.as_ref(), "health engine disabled"),
+                ),
+                "/profile" => (
+                    "200 OK",
+                    "application/json",
+                    match endpoints.profile.as_ref() {
+                        Some(render) => render(limit),
+                        None => r#"{"error":"profiler disabled"}"#.to_owned(),
+                    },
+                ),
+                "/hot" => (
+                    "200 OK",
+                    "application/json",
+                    optional(endpoints.hot.as_ref(), "sketches disabled"),
+                ),
+                other => (
+                    "404 Not Found",
+                    "application/json",
+                    format!(
+                        r#"{{"error":"not found","path":{}}}"#,
+                        crate::json::quote(other)
+                    ),
+                ),
+            }
+        }
         RequestLine::TooLong => (
             "400 Bad Request",
             "application/json",
@@ -289,6 +329,15 @@ fn serve_one(
         }
     }
     Ok(())
+}
+
+/// Extracts `limit=N` from a query string (`a=1&limit=5` → `Some(5)`);
+/// unparseable or absent values fall back to the route's default.
+fn parse_limit(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("limit="))
+        .and_then(|value| value.parse().ok())
 }
 
 /// Outcome of parsing the request line. Every variant gets a response;
@@ -483,6 +532,7 @@ mod tests {
                 timeseries: Some(Arc::new(|| r#"{"windows":3}"#.to_owned())),
                 alerts: Some(Arc::new(|| r#"{"firing":1}"#.to_owned())),
                 profile: None,
+                hot: None,
             },
         )
         .unwrap();
@@ -515,8 +565,11 @@ mod tests {
             registry.clone(),
             Arc::clone(&recorder),
             ScrapeEndpoints {
-                profile: Some(Arc::new(|| {
-                    r#"{"enabled":true,"folded":["insert;victim_scan 12"]}"#.to_owned()
+                profile: Some(Arc::new(|limit| {
+                    format!(
+                        r#"{{"enabled":true,"limit":{},"folded":["insert;victim_scan 12"]}}"#,
+                        limit.map_or(-1i64, |l| l as i64)
+                    )
                 })),
                 ..ScrapeEndpoints::health_only(Arc::new(|| "{}".to_owned()))
             },
@@ -526,12 +579,90 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"));
         assert_framing(&head, &body, "application/json");
         assert!(body.contains("insert;victim_scan 12"));
+        // No query → the closure sees None.
+        assert!(body.contains(r#""limit":-1"#), "{body}");
+        // ?limit=3 → the closure sees the parsed cap.
+        let (_, body) = get(server.local_addr(), "/profile?limit=3");
+        assert!(body.contains(r#""limit":3"#), "{body}");
         server.shutdown();
 
         // Without a closure the route explains itself.
         let (server, _registry, _recorder) = test_server();
         let (_, body) = get(server.local_addr(), "/profile");
         assert_eq!(body, r#"{"error":"profiler disabled"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_route_serves_injected_body_and_defaults_to_disabled() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(1, 16));
+        let server = ScrapeServer::bind_with_endpoints(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&recorder),
+            ScrapeEndpoints {
+                hot: Some(Arc::new(|| {
+                    r#"{"top":{"requests":[{"key":7,"count":42,"err":0}]}}"#.to_owned()
+                })),
+                ..ScrapeEndpoints::health_only(Arc::new(|| "{}".to_owned()))
+            },
+        )
+        .unwrap();
+        let (head, body) = get(server.local_addr(), "/hot");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
+        assert!(body.contains(r#""key":7,"count":42"#));
+        server.shutdown();
+
+        // Without a closure the route explains itself.
+        let (server, _registry, _recorder) = test_server();
+        let (_, body) = get(server.local_addr(), "/hot");
+        assert_eq!(body, r#"{"error":"sketches disabled"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_recent_is_capped_by_the_limit_parameter() {
+        let (server, _registry, recorder) = test_server();
+        for object in 0..8u64 {
+            recorder.record(&crate::trace::Span {
+                trace: crate::trace::TraceId::for_object(object),
+                span: crate::trace::SpanId::derive(
+                    crate::trace::TraceId::for_object(object),
+                    crate::trace::SpanKind::CacheInsert,
+                    1,
+                ),
+                parent: None,
+                kind: crate::trace::SpanKind::CacheInsert,
+                t_us: object,
+                cache: 1,
+                object,
+                subscriber: 0,
+                bytes: 64,
+                lag_us: 1,
+                policy: "",
+                drop_kind: "",
+                score: 0.0,
+            });
+        }
+        let addr = server.local_addr();
+        // Unlimited (default cap ≫ 8): all spans come back.
+        let (_, body) = get(addr, "/trace/recent");
+        assert_eq!(body.matches(r#""kind":"cache_insert""#).count(), 8);
+        // ?limit=3: the three most recent only.
+        let (head, body) = get(addr, "/trace/recent?limit=3");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_framing(&head, &body, "application/json");
+        assert_eq!(body.matches(r#""kind":"cache_insert""#).count(), 3);
+        assert!(
+            body.contains(r#""t_us":7"#),
+            "most recent span kept: {body}"
+        );
+        assert!(!body.contains(r#""t_us":0"#), "oldest span dropped: {body}");
+        // Garbage limits fall back to the default.
+        let (_, body) = get(addr, "/trace/recent?limit=banana");
+        assert_eq!(body.matches(r#""kind":"cache_insert""#).count(), 8);
         server.shutdown();
     }
 

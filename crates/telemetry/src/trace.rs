@@ -290,6 +290,20 @@ pub struct FlightRecorder {
     /// the mutex entirely when nothing will ever be written.
     dumps_enabled: AtomicBool,
     dump_path: Mutex<Option<PathBuf>>,
+    anomaly_context: AnomalyContext,
+}
+
+/// An optional dump-time context closure (see
+/// [`FlightRecorder::set_anomaly_context`]); newtyped for a manual
+/// `Debug` since closures have none.
+#[derive(Default)]
+struct AnomalyContext(Mutex<Option<Arc<dyn Fn() -> String + Send + Sync>>>);
+
+impl std::fmt::Debug for AnomalyContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let installed = self.0.lock().map(|guard| guard.is_some()).unwrap_or(false);
+        f.debug_tuple("AnomalyContext").field(&installed).finish()
+    }
 }
 
 /// One flight-recorder ring: writers claim the next slot by bumping
@@ -325,6 +339,7 @@ impl FlightRecorder {
             dumps_written: AtomicU64::new(0),
             dumps_enabled: AtomicBool::new(false),
             dump_path: Mutex::new(None),
+            anomaly_context: AnomalyContext::default(),
         }
     }
 
@@ -408,7 +423,17 @@ impl FlightRecorder {
 
     /// The buffered spans as a JSON array (the `/trace/recent` body).
     pub fn to_json(&self) -> String {
+        self.to_json_limit(usize::MAX)
+    }
+
+    /// Like [`FlightRecorder::to_json`], but rendering only the most
+    /// recent `limit` spans — the scrape endpoint caps `/trace/recent`
+    /// with this so a full recorder cannot produce an unbounded
+    /// response body.
+    pub fn to_json_limit(&self, limit: usize) -> String {
         let spans = self.recent();
+        let skip = spans.len().saturating_sub(limit);
+        let spans = &spans[skip..];
         let mut out = String::with_capacity(64 + spans.len() * 160);
         out.push('[');
         for (i, span) in spans.iter().enumerate() {
@@ -419,6 +444,19 @@ impl FlightRecorder {
         }
         out.push(']');
         out
+    }
+
+    /// Installs a context closure whose output (a raw JSON value, e.g.
+    /// a hot-key top-K summary) is stamped into every subsequent
+    /// anomaly-dump header as `"context"` — a budget-overrun dump then
+    /// names its suspects. Only invoked on the (already cold, already
+    /// capped) dump path, never on the hot note path.
+    pub fn set_anomaly_context(&self, context: Arc<dyn Fn() -> String + Send + Sync>) {
+        *self
+            .anomaly_context
+            .0
+            .lock()
+            .expect("anomaly context poisoned") = Some(context);
     }
 
     /// Notes an anomaly (SLO violation, budget overrun, shard
@@ -453,6 +491,17 @@ impl FlightRecorder {
             // the stage path is the cheapest possible backtrace.
             if let Some(stage) = crate::profile::last_stage_path() {
                 header.field_str("last_stage", stage);
+            }
+            // And when a hot-key context source is wired, name the
+            // current heavy hitters right in the header.
+            let context = self
+                .anomaly_context
+                .0
+                .lock()
+                .expect("anomaly context poisoned")
+                .clone();
+            if let Some(context) = context {
+                header.field_raw("context", &context());
             }
         }
         text.push('\n');

@@ -50,6 +50,12 @@ online_gate() {
   # with ≥ 4 cores the 8-thread/8-shard lock-free throughput must be
   # ≥ 2x locked (skipped below 4 cores).
   cargo run -q --release -p bad-bench --bin readpath_bench -- --smoke
+  # Hot-key sketch smoke gate: full sketching must cost ≤ 5% and
+  # sampled (1/16) ≤ 2% on the median per-rep interleaved ratio, and
+  # on the Zipf accuracy tape both the single and the shard-merged
+  # top-10 must overlap the exact top-10 in ≥ 9/10 keys with the
+  # Metwally bounds intact and the distinct estimate within ±20%.
+  cargo run -q --release -p bad-bench --bin sketch_overhead -- --smoke
 }
 
 offline_gate() {
@@ -77,21 +83,21 @@ offline_gate() {
     cargo test -q -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
       --test oracle_parity --test stress_sharded --test shadow_parity \
-      --test autopilot
+      --test autopilot --test sketch_merge
     cargo test -q -p bad-broker --lib --test lifecycle_trace --test coalesce
     cargo test -q -p bad-cluster --lib
     # Scrape-endpoint smoke: boots the threaded proto runtime with a
     # live tracer + health engine and scrapes /metrics, /healthz,
-    # /trace/recent, /policies, /timeseries and /alerts over TCP (the
-    # crossbeam stub is functional, so the runtime threads run for
-    # real).
+    # /trace/recent (with ?limit=), /policies, /timeseries, /alerts
+    # and /hot over TCP (the crossbeam stub is functional, so the
+    # runtime threads run for real).
     cargo test -q -p bad-proto --lib --test scrape_smoke
     # The 8-thread stress (and the rest of the std-only cache suite)
     # again under --release, as the acceptance gate requires.
     cargo test -q --release -p bad-cache --lib \
       --test telemetry_events --test gen_harness \
       --test oracle_parity --test stress_sharded --test shadow_parity \
-      --test autopilot
+      --test autopilot --test sketch_merge
     # Coalescing smoke gate (reduced sweep, release): fails if the
     # duplicate-fetch ratio with coalescing on exceeds 1.1.
     cargo run -q --release -p bad-bench --bin coalesce_bench -- --smoke
@@ -116,6 +122,10 @@ offline_gate() {
     # uncontended GET latency ≤ 1.25x locked, ≥ 2x contended scaling on
     # ≥ 4-core hosts (skipped on smaller hosts, as this container).
     cargo run -q --release -p bad-bench --bin readpath_bench -- --smoke
+    # Hot-key sketch smoke gate (release): full ≤ 5% / sampled ≤ 2%
+    # overhead, ≥ 9/10 Zipf top-10 overlap (single and shard-merged),
+    # Metwally bounds intact, distinct estimate within ±20%.
+    cargo run -q --release -p bad-bench --bin sketch_overhead -- --smoke
   )
 }
 
